@@ -1,0 +1,247 @@
+//! HashStash's recycler graph (§5.1).
+//!
+//! HashStash "utilizes a recycler graph to keep track of the plans
+//! associated with previously executed queries… It first does a sub-tree
+//! matching between the query and the recycler graph *without requiring
+//! predicates to be identical*," then recycles the union of matched
+//! operators' materialized outputs and re-applies the query's predicates.
+//!
+//! The key is structural: an operator node matches a stored node when the
+//! operator kind, its parameters *minus predicates*, and its child's key all
+//! match. For EVA-RS plans that means a detector apply matches across
+//! queries with different WHERE clauses (so its output is reusable), while
+//! box-level UDFs inside predicates never form their own operator in
+//! HashStash's world and are therefore invisible to it.
+
+use std::collections::BTreeMap;
+
+use eva_common::hash::xxhash64;
+use eva_planner::PhysPlan;
+
+/// Structural key of one operator subtree (predicates excluded).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeKey(pub u64);
+
+/// Statistics about one recyclable node.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct NodeInfo {
+    /// How many registered plans contain this subtree.
+    pub occurrences: u64,
+    /// Human-readable description of the subtree root.
+    pub describe: String,
+}
+
+/// The recycler graph: structural keys of previously executed operator
+/// subtrees.
+#[derive(Debug, Clone, Default)]
+pub struct RecyclerGraph {
+    nodes: BTreeMap<NodeKey, NodeInfo>,
+}
+
+impl RecyclerGraph {
+    /// Empty graph.
+    pub fn new() -> RecyclerGraph {
+        RecyclerGraph::default()
+    }
+
+    /// Structural key of a plan subtree. Predicates are deliberately
+    /// excluded from the hash (HashStash matches across predicate changes);
+    /// scan *ranges* are likewise excluded (range differences are predicate
+    /// differences).
+    pub fn key_of(plan: &PhysPlan) -> NodeKey {
+        let mut repr = String::new();
+        fn go(p: &PhysPlan, out: &mut String) {
+            match p {
+                PhysPlan::ScanFrames { table, .. } => {
+                    out.push_str("scan(");
+                    out.push_str(table);
+                    out.push(')');
+                }
+                PhysPlan::Filter { input, .. } => {
+                    // Filters are transparent for matching: recycled outputs
+                    // get the query's own predicates re-applied.
+                    go(input, out);
+                }
+                PhysPlan::Apply { input, spec, .. } => {
+                    out.push_str("apply[");
+                    match spec.fallback_udf() {
+                        Some(u) => out.push_str(&u.name),
+                        None => out.push_str(&spec.display_name),
+                    }
+                    out.push_str("](");
+                    go(input, out);
+                    out.push(')');
+                }
+                PhysPlan::Project { input, .. }
+                | PhysPlan::Sort { input, .. }
+                | PhysPlan::Limit { input, .. } => go(input, out),
+                PhysPlan::Aggregate {
+                    input, group_by, ..
+                } => {
+                    out.push_str("agg[");
+                    out.push_str(&group_by.join(","));
+                    out.push_str("](");
+                    go(input, out);
+                    out.push(')');
+                }
+            }
+        }
+        go(plan, &mut repr);
+        NodeKey(xxhash64(repr.as_bytes(), 0xCAFE))
+    }
+
+    /// Register every apply subtree of an executed plan.
+    pub fn register(&mut self, plan: &PhysPlan) {
+        fn walk(g: &mut RecyclerGraph, p: &PhysPlan) {
+            if let PhysPlan::Apply { spec, .. } = p {
+                let key = RecyclerGraph::key_of(p);
+                let entry = g.nodes.entry(key).or_default();
+                entry.occurrences += 1;
+                if entry.describe.is_empty() {
+                    entry.describe = spec.display_name.clone();
+                }
+            }
+            if let Some(i) = p.input() {
+                walk(g, i);
+            }
+        }
+        walk(self, plan);
+    }
+
+    /// Which apply subtrees of `plan` match previously registered ones —
+    /// the sub-tree matching step of HashStash's reuse.
+    pub fn matches(&self, plan: &PhysPlan) -> Vec<NodeKey> {
+        let mut out = Vec::new();
+        let mut node = Some(plan);
+        while let Some(p) = node {
+            if matches!(p, PhysPlan::Apply { .. }) {
+                let key = RecyclerGraph::key_of(p);
+                if self.nodes.contains_key(&key) {
+                    out.push(key);
+                }
+            }
+            node = p.input();
+        }
+        out
+    }
+
+    /// Number of distinct recyclable subtrees.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Is the graph empty?
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Info about a node.
+    pub fn info(&self, key: NodeKey) -> Option<&NodeInfo> {
+        self.nodes.get(&key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eva_core::{EvaDb, SessionConfig};
+    use eva_parser::{parse, Statement};
+    use eva_planner::ReuseStrategy;
+    use eva_video::generator::generate;
+    use eva_video::VideoConfig;
+
+    fn db() -> EvaDb {
+        let mut db = EvaDb::new(SessionConfig::for_strategy(ReuseStrategy::HashStash)).unwrap();
+        db.load_video(
+            generate(VideoConfig {
+                name: "v".into(),
+                n_frames: 50,
+                width: 96,
+                height: 54,
+                fps: 25.0,
+                target_density: 3.0,
+                person_fraction: 0.0,
+                seed: 2,
+            }),
+            "video",
+        )
+        .unwrap();
+        db
+    }
+
+    fn plan(db: &EvaDb, sql: &str) -> PhysPlan {
+        match parse(sql).unwrap() {
+            Statement::Select(s) => db.plan_select(&s).unwrap(),
+            _ => panic!("expected select"),
+        }
+    }
+
+    #[test]
+    fn detector_matches_across_predicates() {
+        let db = db();
+        let p1 = plan(
+            &db,
+            "SELECT id FROM video CROSS APPLY fasterrcnn_resnet50(frame) WHERE id < 10",
+        );
+        let p2 = plan(
+            &db,
+            "SELECT id FROM video CROSS APPLY fasterrcnn_resnet50(frame) \
+             WHERE id > 20 AND label = 'car'",
+        );
+        let mut g = RecyclerGraph::new();
+        g.register(&p1);
+        assert_eq!(g.len(), 1);
+        let m = g.matches(&p2);
+        assert_eq!(m.len(), 1, "detector apply must match across predicates");
+        assert_eq!(g.info(m[0]).unwrap().occurrences, 1);
+    }
+
+    #[test]
+    fn different_detectors_do_not_match() {
+        let db = db();
+        let p1 = plan(
+            &db,
+            "SELECT id FROM video CROSS APPLY fasterrcnn_resnet50(frame) WHERE id < 10",
+        );
+        let p2 = plan(
+            &db,
+            "SELECT id FROM video CROSS APPLY yolo_tiny(frame) WHERE id < 10",
+        );
+        let mut g = RecyclerGraph::new();
+        g.register(&p1);
+        assert!(g.matches(&p2).is_empty());
+    }
+
+    #[test]
+    fn predicate_udfs_match_only_with_same_upstream() {
+        // The cartype apply's subtree includes the detector below it, so it
+        // matches only when the whole chain matches — and in HashStash those
+        // nodes carry no materialized state anyway (ApplyReuse::None).
+        let db = db();
+        let q = "SELECT id FROM video CROSS APPLY fasterrcnn_resnet50(frame) \
+                 WHERE cartype(frame, bbox) = 'Nissan'";
+        let p1 = plan(&db, q);
+        let mut g = RecyclerGraph::new();
+        g.register(&p1);
+        assert_eq!(g.len(), 2, "detector + cartype subtrees");
+        let p2 = plan(
+            &db,
+            "SELECT id FROM video CROSS APPLY yolo_tiny(frame) \
+             WHERE cartype(frame, bbox) = 'Nissan'",
+        );
+        // cartype-over-yolo does not match cartype-over-rcnn.
+        assert!(g.matches(&p2).is_empty());
+    }
+
+    #[test]
+    fn registration_counts_occurrences() {
+        let db = db();
+        let q = "SELECT id FROM video CROSS APPLY fasterrcnn_resnet50(frame) WHERE id < 10";
+        let p = plan(&db, q);
+        let mut g = RecyclerGraph::new();
+        g.register(&p);
+        g.register(&p);
+        let key = g.matches(&p)[0];
+        assert_eq!(g.info(key).unwrap().occurrences, 2);
+    }
+}

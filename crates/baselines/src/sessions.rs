@@ -1,0 +1,168 @@
+//! Session constructors for every system under test.
+
+use eva_common::Result;
+use eva_core::{EvaDb, SessionConfig};
+use eva_planner::ReuseStrategy;
+
+/// The full EVA system (semantic reuse + Eq. 4 ranking + Algorithm 2).
+pub fn eva_session() -> Result<EvaDb> {
+    EvaDb::new(SessionConfig::for_strategy(ReuseStrategy::Eva))
+}
+
+/// No reuse at all (the Fig. 5 denominator).
+pub fn no_reuse_session() -> Result<EvaDb> {
+    EvaDb::new(SessionConfig::for_strategy(ReuseStrategy::NoReuse))
+}
+
+/// HashStash: operator-subtree reuse, canonical ranking.
+pub fn hashstash_session() -> Result<EvaDb> {
+    EvaDb::new(SessionConfig::for_strategy(ReuseStrategy::HashStash))
+}
+
+/// FunCache: tuple-level function caching with input hashing.
+pub fn funcache_session() -> Result<EvaDb> {
+    EvaDb::new(SessionConfig::for_strategy(ReuseStrategy::FunCache))
+}
+
+/// Min-Cost (Fig. 10): logical UDFs resolve to the cheapest eligible model;
+/// per-model reuse stays on, but Algorithm 2's cross-model view cover is off.
+pub fn min_cost_session() -> Result<EvaDb> {
+    let mut cfg = SessionConfig::for_strategy(ReuseStrategy::Eva);
+    cfg.planner.logical_set_cover = false;
+    EvaDb::new(cfg)
+}
+
+/// Min-Cost-NoReuse (Fig. 10): cheapest eligible model, reuse disabled.
+pub fn min_cost_noreuse_session() -> Result<EvaDb> {
+    let mut cfg = SessionConfig::for_strategy(ReuseStrategy::NoReuse);
+    cfg.planner.logical_set_cover = false;
+    EvaDb::new(cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eva_video::generator::generate;
+    use eva_video::VideoConfig;
+
+    fn load(db: &mut EvaDb) {
+        db.load_video(
+            generate(VideoConfig {
+                name: "v".into(),
+                n_frames: 100,
+                width: 96,
+                height: 54,
+                fps: 25.0,
+                target_density: 5.0,
+                person_fraction: 0.0,
+                seed: 4,
+            }),
+            "video",
+        )
+        .unwrap();
+    }
+
+    const Q1: &str = "SELECT id FROM video CROSS APPLY fasterrcnn_resnet50(frame) \
+                      WHERE id < 80 AND label = 'car' AND cartype(frame, bbox) = 'Toyota'";
+    const Q2: &str = "SELECT id FROM video CROSS APPLY fasterrcnn_resnet50(frame) \
+                      WHERE id < 80 AND label = 'car' AND cartype(frame, bbox) = 'Honda'";
+
+    #[test]
+    fn hashstash_reuses_detector_but_not_box_udfs() {
+        let mut db = hashstash_session().unwrap();
+        load(&mut db);
+        db.execute_sql(Q1).unwrap().rows().unwrap();
+        db.execute_sql(Q2).unwrap().rows().unwrap();
+        let det = db.invocation_stats().get("fasterrcnn_resnet50");
+        let ct = db.invocation_stats().get("cartype");
+        assert!(det.reused_invocations > 0, "detector should recycle");
+        assert_eq!(ct.reused_invocations, 0, "box UDFs must not recycle");
+    }
+
+    #[test]
+    fn eva_reuses_both() {
+        let mut db = eva_session().unwrap();
+        load(&mut db);
+        db.execute_sql(Q1).unwrap().rows().unwrap();
+        db.execute_sql(Q2).unwrap().rows().unwrap();
+        let det = db.invocation_stats().get("fasterrcnn_resnet50");
+        let ct = db.invocation_stats().get("cartype");
+        assert!(det.reused_invocations > 0);
+        assert!(ct.reused_invocations > 0, "EVA reuses predicate UDFs too");
+    }
+
+    #[test]
+    fn funcache_matches_eva_hit_percentage() {
+        let mut eva = eva_session().unwrap();
+        load(&mut eva);
+        let mut fc = funcache_session().unwrap();
+        load(&mut fc);
+        for q in [Q1, Q2, Q1] {
+            eva.execute_sql(q).unwrap().rows().unwrap();
+            fc.execute_sql(q).unwrap().rows().unwrap();
+        }
+        let he = eva.invocation_stats().hit_percentage();
+        let hf = fc.invocation_stats().hit_percentage();
+        assert!(
+            (he - hf).abs() < 1e-6,
+            "Table 2: FunCache and EVA have identical (optimal) hit %: {he} vs {hf}"
+        );
+        // But FunCache pays hashing cost; EVA does not.
+        let hash_ms = fc
+            .cost_snapshot()
+            .get(eva_common::CostCategory::HashInput);
+        assert!(hash_ms > 0.0);
+        assert_eq!(
+            eva.cost_snapshot().get(eva_common::CostCategory::HashInput),
+            0.0
+        );
+    }
+
+    #[test]
+    fn min_cost_substitutes_cheapest_model() {
+        let mut db = min_cost_session().unwrap();
+        load(&mut db);
+        let q = "SELECT id FROM video CROSS APPLY objectdetector(frame) ACCURACY 'LOW' \
+                 WHERE id < 50 AND label = 'car'";
+        db.execute_sql(q).unwrap().rows().unwrap();
+        let yolo = db.invocation_stats().get("yolo_tiny");
+        assert!(yolo.total_invocations > 0, "cheapest model (yolo) runs");
+        assert_eq!(
+            db.invocation_stats().get("fasterrcnn_resnet50").total_invocations,
+            0
+        );
+    }
+
+    #[test]
+    fn eva_set_cover_reuses_high_accuracy_view_for_low_query() {
+        let mut db = eva_session().unwrap();
+        load(&mut db);
+        // A HIGH-accuracy query materializes rcnn101 results…
+        db.execute_sql(
+            "SELECT id FROM video CROSS APPLY objectdetector(frame) ACCURACY 'HIGH' \
+             WHERE id < 50 AND label = 'car'",
+        )
+        .unwrap()
+        .rows()
+        .unwrap();
+        // …then a LOW-accuracy query over the same frames reads that view
+        // instead of running yolo (the paper's Q4 motivating example).
+        db.execute_sql(
+            "SELECT id FROM video CROSS APPLY objectdetector(frame) ACCURACY 'LOW' \
+             WHERE id < 50 AND label = 'car'",
+        )
+        .unwrap()
+        .rows()
+        .unwrap();
+        let rcnn101 = db.invocation_stats().get("fasterrcnn_resnet101");
+        assert!(
+            rcnn101.reused_invocations > 0,
+            "low-accuracy query must reuse the high-accuracy view"
+        );
+        assert_eq!(
+            db.invocation_stats().get("yolo_tiny").total_invocations,
+            0,
+            "no fresh yolo runs needed"
+        );
+    }
+}

@@ -1,0 +1,55 @@
+//! Criterion micro-benchmarks for the execution engine: end-to-end query
+//! wall time cold vs warm (view-served) on a small synthetic video.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use eva_baselines::ReuseStrategy;
+use eva_core::{EvaDb, SessionConfig};
+use eva_video::generator::generate;
+use eva_video::VideoConfig;
+
+const Q: &str = "SELECT id, bbox FROM video CROSS APPLY fasterrcnn_resnet50(frame) \
+                 WHERE id < 400 AND label = 'car' AND cartype(frame, bbox) = 'Nissan'";
+
+fn db(strategy: ReuseStrategy) -> EvaDb {
+    let mut db = EvaDb::new(SessionConfig::for_strategy(strategy)).unwrap();
+    db.load_video(
+        generate(VideoConfig {
+            name: "v".into(),
+            n_frames: 400,
+            width: 96,
+            height: 54,
+            fps: 25.0,
+            target_density: 5.0,
+            person_fraction: 0.0,
+            seed: 23,
+        }),
+        "video",
+    )
+    .unwrap();
+    db
+}
+
+fn bench_execute(c: &mut Criterion) {
+    c.bench_function("execute_no_reuse", |b| {
+        let mut session = db(ReuseStrategy::NoReuse);
+        b.iter(|| black_box(session.execute_sql(Q).unwrap()))
+    });
+    c.bench_function("execute_eva_warm", |b| {
+        let mut session = db(ReuseStrategy::Eva);
+        session.execute_sql(Q).unwrap(); // warm the views
+        b.iter(|| black_box(session.execute_sql(Q).unwrap()))
+    });
+    c.bench_function("execute_funcache_warm", |b| {
+        let mut session = db(ReuseStrategy::FunCache);
+        session.execute_sql(Q).unwrap();
+        b.iter(|| black_box(session.execute_sql(Q).unwrap()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_execute
+}
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Criterion micro-benchmarks for the symbolic engine: interval algebra,
+//! Algorithm 1 reduction, the derived predicates, and the naive baseline.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use eva_expr::Expr;
+use eva_symbolic::naive::ops as naive_ops;
+use eva_symbolic::{diff, inter, to_dnf, union, Dnf, IntervalSet, NaiveDnf};
+
+fn workload_predicate(i: u64) -> Expr {
+    // Predicates shaped like the vBENCH queries.
+    Expr::col("id")
+        .ge((i * 1000) as i64)
+        .and(Expr::col("id").lt((i * 1000 + 7000) as i64))
+        .and(Expr::col("label").eq_val("car"))
+        .and(Expr::col("area(bbox,frame)").gt(0.2))
+}
+
+fn bench_interval_ops(c: &mut Criterion) {
+    let a = IntervalSet::interval(0.0, false, 100.0, true)
+        .union(&IntervalSet::interval(200.0, false, 300.0, true));
+    let b = IntervalSet::interval(50.0, false, 250.0, true);
+    c.bench_function("interval_union", |bch| {
+        bch.iter(|| black_box(&a).union(black_box(&b)))
+    });
+    c.bench_function("interval_intersect", |bch| {
+        bch.iter(|| black_box(&a).intersect(black_box(&b)))
+    });
+    c.bench_function("interval_complement", |bch| {
+        bch.iter(|| black_box(&a).complement())
+    });
+    c.bench_function("interval_subset", |bch| {
+        bch.iter(|| black_box(&b).is_subset(black_box(&a)))
+    });
+}
+
+fn bench_reduce(c: &mut Criterion) {
+    // Union of 8 query predicates — what the aggregated predicate p_u sees.
+    let dnfs: Vec<Dnf> = (0..8)
+        .map(|i| to_dnf(&workload_predicate(i)).unwrap())
+        .collect();
+    c.bench_function("algorithm1_reduce_8_queries", |bch| {
+        bch.iter(|| {
+            let mut acc = Dnf::false_();
+            for d in &dnfs {
+                acc = union(&acc, d);
+            }
+            black_box(acc.atom_count())
+        })
+    });
+}
+
+fn bench_derived_predicates(c: &mut Criterion) {
+    let p_u = {
+        let mut acc = Dnf::false_();
+        for i in 0..4 {
+            acc = union(&acc, &to_dnf(&workload_predicate(i)).unwrap());
+        }
+        acc
+    };
+    let q = to_dnf(&workload_predicate(3)).unwrap();
+    c.bench_function("inter_pu_q", |bch| {
+        bch.iter(|| black_box(inter(black_box(&p_u), black_box(&q))))
+    });
+    c.bench_function("diff_pu_q", |bch| {
+        bch.iter(|| black_box(diff(black_box(&p_u), black_box(&q))))
+    });
+}
+
+fn bench_naive_baseline(c: &mut Criterion) {
+    let exprs: Vec<Expr> = (0..4).map(workload_predicate).collect();
+    c.bench_function("naive_simplify_union_4_queries", |bch| {
+        bch.iter(|| {
+            let mut acc = NaiveDnf::false_();
+            for e in &exprs {
+                acc = naive_ops::union(&acc, &NaiveDnf::from_expr(e));
+            }
+            black_box(acc.atom_count())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_interval_ops, bench_reduce, bench_derived_predicates, bench_naive_baseline
+}
+criterion_main!(benches);

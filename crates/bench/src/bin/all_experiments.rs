@@ -1,0 +1,52 @@
+//! Run the full experiment suite (every table and figure) in sequence.
+//!
+//! Equivalent to invoking each binary individually; results land both on
+//! stdout and in `experiments_out/*.json`.
+
+use std::process::Command;
+
+fn main() {
+    let experiments = [
+        "tab2_hit_percentage",
+        "fig5_workload_speedup",
+        "tab3_udf_statistics",
+        "fig6_time_breakdown",
+        "tab4_q8_breakdown",
+        "fig7_symbolic_reduction",
+        "fig8_query_order",
+        "fig9_predicate_reordering",
+        "fig10_logical_reuse",
+        "tab5_model_zoo",
+        "fig11_video_content",
+        "fig12_video_length",
+        "sec56_specialized_filters",
+        "ablations",
+    ];
+    let exe = std::env::current_exe().expect("own path");
+    let dir = exe.parent().expect("bin dir");
+    let mut failed = Vec::new();
+    for name in experiments {
+        let path = dir.join(name);
+        let status = if path.exists() {
+            Command::new(&path).status()
+        } else {
+            // Fall back to cargo when running via `cargo run` in-tree.
+            Command::new("cargo")
+                .args(["run", "--release", "-p", "eva-bench", "--bin", name])
+                .status()
+        };
+        match status {
+            Ok(s) if s.success() => {}
+            other => {
+                eprintln!("experiment {name} failed: {other:?}");
+                failed.push(name);
+            }
+        }
+    }
+    if failed.is_empty() {
+        println!("\nAll experiments completed. JSON in experiments_out/.");
+    } else {
+        eprintln!("\nFailed experiments: {failed:?}");
+        std::process::exit(1);
+    }
+}

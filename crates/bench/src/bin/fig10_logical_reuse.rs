@@ -1,0 +1,53 @@
+//! **Figure 10** — Impact of logical UDF reuse (Algorithm 2): per-query
+//! execution time of Min-Cost-NoReuse, Min-Cost, and EVA on VBENCH-HIGH
+//! with the detector expressed as the logical `ObjectDetector` task.
+//!
+//! Paper shape: EVA is ~6.6× faster on the LOW-accuracy query (it reuses
+//! the high-accuracy view instead of running YOLO-tiny), 1.2–3.2× faster on
+//! the later queries (multi-view reuse), and ~2× *slower* on one query where
+//! the reused high-accuracy view detects more objects, inflating dependent
+//! UDF work (§6's chained-function-calls limitation).
+
+use eva_baselines::{min_cost_noreuse_session, min_cost_session};
+use eva_bench::{banner, fmt_f, medium_dataset, session_with, write_json, TextTable};
+use eva_planner::ReuseStrategy;
+use eva_vbench::{run_workload, vbench_high, DetectorKind, Workload};
+
+fn main() -> eva_common::Result<()> {
+    banner("Figure 10: Logical UDF reuse (times in seconds, per query)");
+    let ds = medium_dataset();
+    let queries = vbench_high(ds.len(), DetectorKind::Logical, false);
+    let workload = Workload::new("vbench-high-logical", queries.clone());
+
+    let mut reports = Vec::new();
+    let mut labels = Vec::new();
+    for (label, mut db) in [
+        ("Min-cost-noreuse", min_cost_noreuse_session()?),
+        ("Min-cost", min_cost_session()?),
+        ("EVA", session_with(ReuseStrategy::Eva, &ds)?),
+    ] {
+        // The min-cost constructors come without the dataset; load uniformly.
+        if db.catalog().table("video").is_err() {
+            db.load_video(ds.clone(), "video")?;
+        }
+        reports.push(run_workload(&mut db, &workload)?);
+        labels.push(label);
+    }
+
+    let mut header = vec!["query".to_string(), "accuracy".to_string()];
+    header.extend(labels.iter().map(|l| format!("{l} (s)")));
+    header.push("EVA vs Min-cost".into());
+    let mut table = TextTable::new(header);
+    let mut json = Vec::new();
+    for (i, q) in queries.iter().enumerate() {
+        let times: Vec<f64> = reports.iter().map(|r| r.per_query[i].sim_secs).collect();
+        let mut row = vec![q.name.clone(), q.accuracy.to_string()];
+        row.extend(times.iter().map(|t| fmt_f(*t, 1)));
+        row.push(format!("{:.2}x", times[1] / times[2].max(1e-9)));
+        table.row(row);
+        json.push((q.name.clone(), times));
+    }
+    println!("{}", table.render());
+    write_json("fig10_logical_reuse", &json);
+    Ok(())
+}

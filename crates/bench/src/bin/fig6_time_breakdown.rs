@@ -1,0 +1,80 @@
+//! **Figure 6** — (a) per-query time breakdown of VBENCH-HIGH under EVA
+//! (log-scale in the paper; we print seconds) and (b) the distribution of
+//! the overhead sources: materialization, optimization, the apply operator,
+//! and reads.
+//!
+//! Paper shape: the first few queries pay full UDF cost, later queries are
+//! much faster; reuse overheads are far below UDF savings; reading
+//! dominates among the overheads.
+
+use eva_baselines::ReuseStrategy;
+use eva_bench::{banner, fmt_f, medium_dataset, session_with, write_json, TextTable};
+use eva_common::CostCategory;
+use eva_vbench::{run_workload, vbench_high, DetectorKind, Workload};
+
+fn main() -> eva_common::Result<()> {
+    banner("Figure 6a: Per-query time breakdown (VBENCH-HIGH under EVA)");
+    let ds = medium_dataset();
+    let workload = Workload::new(
+        "vbench-high",
+        vbench_high(ds.len(), DetectorKind::Physical("fasterrcnn_resnet50"), false),
+    );
+    let mut db = session_with(ReuseStrategy::Eva, &ds)?;
+    let report = run_workload(&mut db, &workload)?;
+
+    let mut table = TextTable::new(vec![
+        "query",
+        "total (s)",
+        "udf (s)",
+        "reuse = read_view+mat+apply (s)",
+        "read_video (s)",
+        "optimize (s)",
+    ]);
+    for q in &report.per_query {
+        let b = &q.breakdown;
+        let reuse = b.get(CostCategory::ReadView)
+            + b.get(CostCategory::Materialize)
+            + b.get(CostCategory::Apply);
+        table.row(vec![
+            q.name.clone(),
+            fmt_f(q.sim_secs, 1),
+            fmt_f(b.get(CostCategory::Udf) / 1000.0, 1),
+            fmt_f(reuse / 1000.0, 1),
+            fmt_f(b.get(CostCategory::ReadVideo) / 1000.0, 1),
+            fmt_f(b.get(CostCategory::Optimize) / 1000.0, 3),
+        ]);
+    }
+    println!("{}", table.render());
+
+    banner("Figure 6b: Overhead sources across queries (min / median / max, s)");
+    let mut table = TextTable::new(vec!["source", "min", "median", "max"]);
+    let sources = [
+        ("materialization", CostCategory::Materialize),
+        ("optimization", CostCategory::Optimize),
+        ("apply", CostCategory::Apply),
+        ("read (video+view)", CostCategory::ReadVideo),
+    ];
+    for (label, cat) in sources {
+        let mut vals: Vec<f64> = report
+            .per_query
+            .iter()
+            .map(|q| {
+                let mut v = q.breakdown.get(cat) / 1000.0;
+                if cat == CostCategory::ReadVideo {
+                    v += q.breakdown.get(CostCategory::ReadView) / 1000.0;
+                }
+                v
+            })
+            .collect();
+        vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        table.row(vec![
+            label.to_string(),
+            fmt_f(vals[0], 2),
+            fmt_f(vals[vals.len() / 2], 2),
+            fmt_f(*vals.last().unwrap(), 2),
+        ]);
+    }
+    println!("{}", table.render());
+    write_json("fig6_time_breakdown", &report);
+    Ok(())
+}

@@ -1,0 +1,62 @@
+//! **Figure 9** — Impact of materialization-aware predicate reordering:
+//! per-query speedup of the materialization-aware ranking (Eq. 4) over the
+//! canonical ranking (Eq. 2), for the multi-UDF-predicate queries across
+//! the four permutations of VBENCH-HIGH.
+//!
+//! Paper shape: 3–6× on most multi-predicate queries; ~1× where both
+//! rankings pick the same order.
+
+use eva_bench::{banner, medium_dataset, session_with_config, write_json, TextTable};
+use eva_core::SessionConfig;
+use eva_planner::{RankingKind, ReuseStrategy};
+use eva_vbench::{run_workload, vbench_high, DetectorKind, Workload};
+
+fn main() -> eva_common::Result<()> {
+    banner("Figure 9: Canonical vs materialization-aware predicate reordering");
+    let ds = medium_dataset();
+    let base_queries = vbench_high(ds.len(), DetectorKind::Physical("fasterrcnn_resnet50"), false);
+
+    let mut table = TextTable::new(vec![
+        "query",
+        "canonical (s)",
+        "mat-aware (s)",
+        "speedup",
+    ]);
+    let mut json = Vec::new();
+    for perm_seed in 1..=4u64 {
+        let queries = eva_vbench::queries::permute(&base_queries, perm_seed);
+        let workload = Workload::new(format!("perm{perm_seed}"), queries.clone());
+
+        let mut reports = Vec::new();
+        for ranking in [RankingKind::Canonical, RankingKind::MaterializationAware] {
+            let mut cfg = SessionConfig::for_strategy(ReuseStrategy::Eva);
+            cfg.planner.ranking = ranking;
+            let mut db = session_with_config(cfg, &ds)?;
+            reports.push(run_workload(&mut db, &workload)?);
+        }
+        let (canonical, mat_aware) = (&reports[0], &reports[1]);
+        for (i, q) in queries.iter().enumerate() {
+            if q.n_udf_preds < 2 {
+                continue; // only multi-UDF-predicate queries are affected
+            }
+            let c = canonical.per_query[i].sim_secs;
+            let m = mat_aware.per_query[i].sim_secs;
+            let global_id = (perm_seed - 1) * 8 + i as u64 + 1;
+            table.row(vec![
+                format!("Q{global_id} ({} in perm {perm_seed})", q.name),
+                format!("{c:.1}"),
+                format!("{m:.1}"),
+                format!("{:.2}x", c / m.max(1e-9)),
+            ]);
+            json.push((global_id, c, m));
+        }
+    }
+    println!("{}", table.render());
+    let best = json
+        .iter()
+        .map(|(_, c, m)| c / m.max(1e-9))
+        .fold(f64::MIN, f64::max);
+    println!("max reordering speedup: {best:.2}x");
+    write_json("fig9_predicate_reordering", &json);
+    Ok(())
+}

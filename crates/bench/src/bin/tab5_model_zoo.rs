@@ -1,0 +1,31 @@
+//! **Table 5** — The object-detector model zoo used by the logical-reuse
+//! experiment: per-tuple cost and (box)AP-derived accuracy tier.
+//!
+//! Paper values: YOLO-tiny 9 ms / 17.6 (LOW); FasterRCNN-ResNet50 99 ms /
+//! 37.9 (MEDIUM); FasterRCNN-ResNet101 120 ms / 42.0 (HIGH).
+
+use eva_bench::{banner, write_json, TextTable};
+use eva_catalog::Catalog;
+use eva_udf::registry::install_standard_zoo;
+use eva_udf::UdfRegistry;
+
+fn main() -> eva_common::Result<()> {
+    banner("Table 5: Object-detector statistics");
+    let catalog = Catalog::new();
+    let registry = UdfRegistry::new();
+    install_standard_zoo(&registry, &catalog)?;
+
+    let mut table = TextTable::new(vec!["model", "C_u (ms)", "accuracy tier"]);
+    let mut json = Vec::new();
+    for def in catalog.physical_udfs("objectdetector", eva_catalog::AccuracyLevel::Low) {
+        table.row(vec![
+            def.name.clone(),
+            format!("{:.0}", def.cost_ms.unwrap_or(0.0)),
+            def.accuracy.to_string(),
+        ]);
+        json.push((def.name, def.cost_ms, def.accuracy.to_string()));
+    }
+    println!("{}", table.render());
+    write_json("tab5_model_zoo", &json);
+    Ok(())
+}

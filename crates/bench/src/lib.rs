@@ -1,0 +1,121 @@
+//! # eva-bench
+//!
+//! The experiment harness reproducing **every table and figure** of the
+//! paper's evaluation (§5). Each experiment is a binary under `src/bin/`
+//! printing the same rows/series the paper reports; `all_experiments` runs
+//! the full suite and writes machine-readable JSON next to the text output.
+//!
+//! | binary | paper artifact |
+//! |---|---|
+//! | `tab2_hit_percentage` | Table 2 |
+//! | `fig5_workload_speedup` | Fig. 5 (+ Eq. 7 upper bounds) |
+//! | `tab3_udf_statistics` | Table 3 |
+//! | `fig6_time_breakdown` | Fig. 6a/6b |
+//! | `tab4_q8_breakdown` | Table 4 |
+//! | `fig7_symbolic_reduction` | Fig. 7 |
+//! | `fig8_query_order` | Fig. 8a/8b |
+//! | `fig9_predicate_reordering` | Fig. 9 |
+//! | `fig10_logical_reuse` | Fig. 10 |
+//! | `tab5_model_zoo` | Table 5 |
+//! | `fig11_video_content` | Fig. 11 |
+//! | `fig12_video_length` | Fig. 12 |
+//! | `sec56_specialized_filters` | §5.6 |
+//!
+//! Reported "time" is simulated time from the virtual clock (DESIGN.md §1),
+//! so results are deterministic for a fixed dataset seed.
+
+use std::path::PathBuf;
+
+use eva_baselines::ReuseStrategy;
+use eva_common::Result;
+use eva_core::{EvaDb, SessionConfig};
+use eva_video::{jackson, ua_detrac, UaDetracSize, VideoDataset};
+
+pub use eva_common::table_fmt::{fmt_f, fmt_x, TextTable};
+
+/// The dataset seed every experiment uses (determinism across binaries).
+pub const SEED: u64 = 7;
+
+/// The medium UA-DETRAC dataset (the evaluation default).
+pub fn medium_dataset() -> VideoDataset {
+    ua_detrac(UaDetracSize::Medium, SEED)
+}
+
+/// The Jackson dataset (§5.5/§5.6).
+pub fn jackson_dataset() -> VideoDataset {
+    jackson(SEED)
+}
+
+/// A UA-DETRAC dataset by size.
+pub fn sized_dataset(size: UaDetracSize) -> VideoDataset {
+    ua_detrac(size, SEED)
+}
+
+/// A session of the given strategy with `dataset` loaded as table `video`.
+pub fn session_with(strategy: ReuseStrategy, dataset: &VideoDataset) -> Result<EvaDb> {
+    let mut db = EvaDb::new(SessionConfig::for_strategy(strategy))?;
+    db.load_video(dataset.clone(), "video")?;
+    Ok(db)
+}
+
+/// A session from an explicit config with `dataset` loaded.
+pub fn session_with_config(config: SessionConfig, dataset: &VideoDataset) -> Result<EvaDb> {
+    let mut db = EvaDb::new(config)?;
+    db.load_video(dataset.clone(), "video")?;
+    Ok(db)
+}
+
+/// Directory where experiments drop their JSON results.
+pub fn out_dir() -> PathBuf {
+    let dir = PathBuf::from(
+        std::env::var("EVA_BENCH_OUT").unwrap_or_else(|_| "experiments_out".to_string()),
+    );
+    let _ = std::fs::create_dir_all(&dir);
+    dir
+}
+
+/// Write a serializable result to `experiments_out/<name>.json`.
+pub fn write_json<T: serde::Serialize>(name: &str, value: &T) {
+    let path = out_dir().join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(&path, json) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: could not serialize {name}: {e}"),
+    }
+}
+
+/// Print an experiment banner.
+pub fn banner(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn datasets_are_deterministic() {
+        assert_eq!(medium_dataset().frames()[0], medium_dataset().frames()[0]);
+        assert_eq!(medium_dataset().len(), 14_000);
+        assert_eq!(jackson_dataset().len(), 14_000);
+    }
+
+    #[test]
+    fn session_builders_work() {
+        let ds = eva_video::generator::generate(eva_video::VideoConfig {
+            name: "t".into(),
+            n_frames: 10,
+            width: 10,
+            height: 10,
+            fps: 25.0,
+            target_density: 1.0,
+            person_fraction: 0.0,
+            seed: 1,
+        });
+        let db = session_with(ReuseStrategy::Eva, &ds).unwrap();
+        assert!(db.catalog().table("video").is_ok());
+    }
+}

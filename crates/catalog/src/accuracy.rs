@@ -1,0 +1,84 @@
+//! Accuracy levels for logical vision tasks.
+
+use eva_common::{EvaError, Result};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Accuracy tiers used by `ACCURACY '<level>'` constraints. Ordered:
+/// `Low < Medium < High`. A physical UDF *satisfies* a constraint when its
+/// own accuracy is at least the requested level (a high-accuracy model is
+/// always acceptable where a low-accuracy one suffices — the premise behind
+/// reusing FasterRCNN results for YOLO-tier queries).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub enum AccuracyLevel {
+    /// e.g. YOLO-tiny (boxAP 17.6).
+    #[default]
+    Low,
+    /// e.g. FasterRCNN-ResNet50 (boxAP 37.9).
+    Medium,
+    /// e.g. FasterRCNN-ResNet101 (boxAP 42.0).
+    High,
+}
+
+impl AccuracyLevel {
+    /// Parse from the EVA-QL property string (case-insensitive).
+    pub fn parse(s: &str) -> Result<AccuracyLevel> {
+        match s.to_ascii_uppercase().as_str() {
+            "LOW" => Ok(AccuracyLevel::Low),
+            "MEDIUM" => Ok(AccuracyLevel::Medium),
+            "HIGH" => Ok(AccuracyLevel::High),
+            other => Err(EvaError::Catalog(format!(
+                "unknown accuracy level '{other}' (expected LOW/MEDIUM/HIGH)"
+            ))),
+        }
+    }
+
+    /// Does a model of accuracy `self` satisfy a request for `required`?
+    pub fn satisfies(&self, required: AccuracyLevel) -> bool {
+        *self >= required
+    }
+
+    /// Canonical property string.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            AccuracyLevel::Low => "LOW",
+            AccuracyLevel::Medium => "MEDIUM",
+            AccuracyLevel::High => "HIGH",
+        }
+    }
+}
+
+impl fmt::Display for AccuracyLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_is_case_insensitive() {
+        assert_eq!(AccuracyLevel::parse("high").unwrap(), AccuracyLevel::High);
+        assert_eq!(AccuracyLevel::parse("Medium").unwrap(), AccuracyLevel::Medium);
+        assert!(AccuracyLevel::parse("ultra").is_err());
+    }
+
+    #[test]
+    fn ordering_and_satisfaction() {
+        assert!(AccuracyLevel::High.satisfies(AccuracyLevel::Low));
+        assert!(AccuracyLevel::High.satisfies(AccuracyLevel::High));
+        assert!(!AccuracyLevel::Low.satisfies(AccuracyLevel::Medium));
+        assert!(AccuracyLevel::Low < AccuracyLevel::High);
+    }
+
+    #[test]
+    fn round_trip() {
+        for a in [AccuracyLevel::Low, AccuracyLevel::Medium, AccuracyLevel::High] {
+            assert_eq!(AccuracyLevel::parse(a.as_str()).unwrap(), a);
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! # eva-catalog
+//!
+//! The system catalog: registered video tables and UDF definitions.
+//!
+//! A UDF definition mirrors EVA-QL's `CREATE UDF` statement (Listing 2 of
+//! the paper): input/output schemas, an implementation id, an optional
+//! *logical type* (e.g. `ObjectDetector`) and properties such as `ACCURACY`.
+//! The optimizer's logical-UDF-reuse pass (§4.3) queries the catalog for all
+//! physical UDFs implementing a logical type at or above a requested
+//! accuracy.
+
+pub mod accuracy;
+pub mod catalog;
+pub mod udf_def;
+
+pub use accuracy::AccuracyLevel;
+pub use catalog::Catalog;
+pub use udf_def::{TableDef, UdfDef};

@@ -1,0 +1,85 @@
+//! Table and UDF definition records.
+
+use serde::{Deserialize, Serialize};
+
+use eva_common::{Schema, UdfId};
+
+use crate::accuracy::AccuracyLevel;
+
+/// A registered video table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TableDef {
+    /// Table name (lowercase).
+    pub name: String,
+    /// Row schema exposed to queries.
+    pub schema: Schema,
+    /// Row count (known at load time for video tables).
+    pub n_rows: u64,
+    /// Name of the backing dataset in the storage engine.
+    pub dataset: String,
+}
+
+/// A registered UDF — the catalog's record of a `CREATE UDF` statement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UdfDef {
+    /// Catalog id.
+    pub id: UdfId,
+    /// UDF name as used in queries (lowercase).
+    pub name: String,
+    /// Input schema (`INPUT = (...)`).
+    pub input: Schema,
+    /// Output schema (`OUTPUT = (...)`).
+    pub output: Schema,
+    /// Implementation identifier (`IMPL = '...'`) — resolved by the UDF
+    /// runtime to a simulated model.
+    pub impl_id: String,
+    /// Logical vision task (`LOGICAL_TYPE = ObjectDetector`), lowercase.
+    pub logical_type: Option<String>,
+    /// Model accuracy (`PROPERTIES = ('ACCURACY' = '...')`).
+    pub accuracy: AccuracyLevel,
+    /// Profiled per-tuple evaluation cost in milliseconds. `None` until the
+    /// profiler has run; the optimizer treats unprofiled UDFs as expensive.
+    pub cost_ms: Option<f64>,
+    /// Whether results run on the GPU (reporting only; cost_ms already
+    /// reflects the device).
+    pub gpu: bool,
+}
+
+impl UdfDef {
+    /// Is this UDF expensive enough to be a materialization candidate?
+    /// The paper's optimizer "filters out inexpensive UDFs like AREA" using
+    /// profiled cost (§3.1 step ①).
+    pub fn is_materialization_candidate(&self, threshold_ms: f64) -> bool {
+        match self.cost_ms {
+            Some(c) => c >= threshold_ms,
+            None => true, // unprofiled: assume expensive
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eva_common::{DataType, Field};
+
+    fn def(cost: Option<f64>) -> UdfDef {
+        UdfDef {
+            id: UdfId(1),
+            name: "area".into(),
+            input: Schema::new(vec![Field::new("bbox", DataType::BBox)]).unwrap(),
+            output: Schema::new(vec![Field::new("area", DataType::Float)]).unwrap(),
+            impl_id: "builtin/area".into(),
+            logical_type: None,
+            accuracy: AccuracyLevel::High,
+            cost_ms: cost,
+            gpu: false,
+        }
+    }
+
+    #[test]
+    fn materialization_candidate_threshold() {
+        assert!(!def(Some(0.01)).is_materialization_candidate(1.0));
+        assert!(def(Some(5.0)).is_materialization_candidate(1.0));
+        assert!(def(None).is_materialization_candidate(1.0));
+    }
+}

@@ -1,0 +1,141 @@
+//! Row batches — the unit of data flow between physical operators.
+//!
+//! EVA's execution engine processes video tuples in batches (the paper uses
+//! GPU batch size 20 and a 200 MiB materialization batch). A [`Batch`] pairs
+//! a shared [`Schema`] with a vector of rows.
+
+use crate::error::{EvaError, Result};
+use crate::schema::Schema;
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// A single tuple.
+pub type Row = Vec<Value>;
+
+/// A batch of rows sharing one schema.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Batch {
+    schema: Arc<Schema>,
+    rows: Vec<Row>,
+}
+
+impl Batch {
+    /// Create a batch. In debug builds, every row is validated against the
+    /// schema arity.
+    pub fn new(schema: Arc<Schema>, rows: Vec<Row>) -> Self {
+        debug_assert!(
+            rows.iter().all(|r| r.len() == schema.len()),
+            "row arity mismatch with schema {schema}"
+        );
+        Batch { schema, rows }
+    }
+
+    /// An empty batch with the given schema.
+    pub fn empty(schema: Arc<Schema>) -> Self {
+        Batch {
+            schema,
+            rows: Vec::new(),
+        }
+    }
+
+    /// The schema shared by all rows.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// The rows.
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// Mutable access to rows (used by operators that edit in place).
+    pub fn rows_mut(&mut self) -> &mut Vec<Row> {
+        &mut self.rows
+    }
+
+    /// Consume into rows.
+    pub fn into_rows(self) -> Vec<Row> {
+        self.rows
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Value at `(row, column-name)`.
+    pub fn value(&self, row: usize, col: &str) -> Result<&Value> {
+        let idx = self
+            .schema
+            .index_of(col)
+            .ok_or_else(|| EvaError::Binder(format!("unknown column '{col}'")))?;
+        self.rows
+            .get(row)
+            .map(|r| &r[idx])
+            .ok_or_else(|| EvaError::Exec(format!("row index {row} out of bounds")))
+    }
+
+    /// Append all rows from another batch (schemas must match).
+    pub fn extend(&mut self, other: Batch) -> Result<()> {
+        if *other.schema != *self.schema {
+            return Err(EvaError::Exec(format!(
+                "cannot extend batch {} with batch {}",
+                self.schema, other.schema
+            )));
+        }
+        self.rows.extend(other.rows);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{DataType, Field};
+
+    fn schema() -> Arc<Schema> {
+        Arc::new(
+            Schema::new(vec![
+                Field::new("id", DataType::Int),
+                Field::new("label", DataType::Str),
+            ])
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn value_lookup() {
+        let b = Batch::new(
+            schema(),
+            vec![vec![Value::Int(1), Value::from("car")]],
+        );
+        assert_eq!(b.value(0, "label").unwrap(), &Value::from("car"));
+        assert!(b.value(0, "nope").is_err());
+        assert!(b.value(5, "id").is_err());
+    }
+
+    #[test]
+    fn extend_checks_schema() {
+        let mut a = Batch::new(schema(), vec![vec![Value::Int(1), Value::from("x")]]);
+        let b = Batch::new(schema(), vec![vec![Value::Int(2), Value::from("y")]]);
+        a.extend(b).unwrap();
+        assert_eq!(a.len(), 2);
+
+        let other = Arc::new(Schema::new(vec![Field::new("z", DataType::Int)]).unwrap());
+        let c = Batch::new(other, vec![vec![Value::Int(3)]]);
+        assert!(a.extend(c).is_err());
+    }
+
+    #[test]
+    fn empty_batch() {
+        let b = Batch::empty(schema());
+        assert!(b.is_empty());
+        assert_eq!(b.len(), 0);
+    }
+}

@@ -1,0 +1,119 @@
+//! Workspace-wide error type.
+
+use std::fmt;
+
+/// Convenience alias used across all EVA-RS crates.
+pub type Result<T, E = EvaError> = std::result::Result<T, E>;
+
+/// The error type shared by every EVA-RS subsystem.
+///
+/// Variants are grouped by the pipeline stage that raises them so callers can
+/// report *where* a query failed (parse vs. plan vs. execute), mirroring the
+/// lifecycle in Fig. 1 of the paper.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EvaError {
+    /// Lexing or parsing failure, with a position-annotated message.
+    Parse(String),
+    /// Semantic analysis failure (unknown table/column/UDF, arity mismatch…).
+    Binder(String),
+    /// Catalog-level failure (duplicate table, missing UDF definition…).
+    Catalog(String),
+    /// Query optimizer failure (no implementation rule fired, bad memo state…).
+    Plan(String),
+    /// Runtime failure inside the execution engine.
+    Exec(String),
+    /// Storage engine failure (missing view, corrupt segment…).
+    Storage(String),
+    /// Type error when evaluating an expression over a tuple.
+    Type(String),
+    /// Underlying IO error (persistence paths).
+    Io(String),
+    /// Invalid configuration or API misuse.
+    Config(String),
+}
+
+impl EvaError {
+    /// Stage label used in error displays and logs.
+    pub fn stage(&self) -> &'static str {
+        match self {
+            EvaError::Parse(_) => "parse",
+            EvaError::Binder(_) => "bind",
+            EvaError::Catalog(_) => "catalog",
+            EvaError::Plan(_) => "plan",
+            EvaError::Exec(_) => "exec",
+            EvaError::Storage(_) => "storage",
+            EvaError::Type(_) => "type",
+            EvaError::Io(_) => "io",
+            EvaError::Config(_) => "config",
+        }
+    }
+
+    /// The human-readable message without the stage prefix.
+    pub fn message(&self) -> &str {
+        match self {
+            EvaError::Parse(m)
+            | EvaError::Binder(m)
+            | EvaError::Catalog(m)
+            | EvaError::Plan(m)
+            | EvaError::Exec(m)
+            | EvaError::Storage(m)
+            | EvaError::Type(m)
+            | EvaError::Io(m)
+            | EvaError::Config(m) => m,
+        }
+    }
+}
+
+impl fmt::Display for EvaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.stage(), self.message())
+    }
+}
+
+impl std::error::Error for EvaError {}
+
+impl From<std::io::Error> for EvaError {
+    fn from(e: std::io::Error) -> Self {
+        EvaError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_stage_and_message() {
+        let e = EvaError::Parse("unexpected token ';'".into());
+        assert_eq!(e.to_string(), "[parse] unexpected token ';'");
+        assert_eq!(e.stage(), "parse");
+        assert_eq!(e.message(), "unexpected token ';'");
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: EvaError = io.into();
+        assert_eq!(e.stage(), "io");
+        assert!(e.message().contains("gone"));
+    }
+
+    #[test]
+    fn stage_labels_are_distinct() {
+        let all = [
+            EvaError::Parse(String::new()),
+            EvaError::Binder(String::new()),
+            EvaError::Catalog(String::new()),
+            EvaError::Plan(String::new()),
+            EvaError::Exec(String::new()),
+            EvaError::Storage(String::new()),
+            EvaError::Type(String::new()),
+            EvaError::Io(String::new()),
+            EvaError::Config(String::new()),
+        ];
+        let mut labels: Vec<_> = all.iter().map(|e| e.stage()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), all.len());
+    }
+}

@@ -1,0 +1,86 @@
+//! Strongly-typed identifiers.
+//!
+//! Using newtypes instead of bare integers keeps frame ids, UDF ids, view ids
+//! and query ids from being mixed up across crate boundaries.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(pub u64);
+
+        impl $name {
+            /// Raw numeric value.
+            #[inline]
+            pub fn raw(self) -> u64 {
+                self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u64> for $name {
+            fn from(v: u64) -> Self {
+                $name(v)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifies a frame within a video table. Frame ids are dense and
+    /// ordered by time (the paper's queries predicate on `id` directly).
+    FrameId,
+    "f"
+);
+id_type!(
+    /// Identifies a registered UDF *definition* in the catalog.
+    UdfId,
+    "udf"
+);
+id_type!(
+    /// Identifies a materialized view owned by the UDF manager.
+    ViewId,
+    "v"
+);
+id_type!(
+    /// Identifies a query within a session (used for metrics attribution).
+    QueryId,
+    "q"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_has_prefix() {
+        assert_eq!(FrameId(7).to_string(), "f7");
+        assert_eq!(UdfId(1).to_string(), "udf1");
+        assert_eq!(ViewId(2).to_string(), "v2");
+        assert_eq!(QueryId(3).to_string(), "q3");
+    }
+
+    #[test]
+    fn ordering_follows_raw() {
+        assert!(FrameId(1) < FrameId(2));
+        assert_eq!(FrameId::from(9).raw(), 9);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let id = ViewId(42);
+        let s = serde_json::to_string(&id).unwrap();
+        let back: ViewId = serde_json::from_str(&s).unwrap();
+        assert_eq!(id, back);
+    }
+}

@@ -1,0 +1,31 @@
+//! # eva-common
+//!
+//! Shared kernel for the EVA-RS video database management system — a Rust
+//! reproduction of *"EVA: A Symbolic Approach to Accelerating Exploratory
+//! Video Analytics with Materialized Views"* (SIGMOD 2022).
+//!
+//! This crate holds the vocabulary types every other subsystem speaks:
+//!
+//! * [`Value`] — the dynamically-typed datum flowing through the engine,
+//! * [`Schema`]/[`Field`]/[`DataType`] — relation schemas,
+//! * [`BBox`] — bounding boxes produced by object detectors,
+//! * [`SimClock`] — the virtual clock that charges simulated UDF/IO cost so
+//!   experiments reproduce the paper's cost ratios deterministically,
+//! * [`EvaError`] — the error type of the whole workspace,
+//! * [`hash::xxhash64`] — the fast hash used by the FunCache baseline.
+
+pub mod batch;
+pub mod clock;
+pub mod error;
+pub mod hash;
+pub mod ids;
+pub mod schema;
+pub mod table_fmt;
+pub mod value;
+
+pub use batch::{Batch, Row};
+pub use clock::{CostBreakdown, CostCategory, SimClock};
+pub use error::{EvaError, Result};
+pub use ids::{FrameId, QueryId, UdfId, ViewId};
+pub use schema::{DataType, Field, Schema};
+pub use value::{BBox, Value};

@@ -1,0 +1,233 @@
+//! Relation schemas.
+
+use crate::error::{EvaError, Result};
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Data types known to the engine. Matches the surface of EVA-QL's
+/// `CREATE UDF … INPUT/OUTPUT` declarations plus the column types of video
+/// tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataType {
+    /// Boolean.
+    Bool,
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit float.
+    Float,
+    /// UTF-8 string.
+    Str,
+    /// Bounding box.
+    BBox,
+    /// Opaque frame payload (the `frame NDARRAY UINT8(3, ANYDIM, ANYDIM)` of
+    /// Listing 2). Carried by reference — the engine never inspects pixels.
+    Frame,
+}
+
+impl DataType {
+    /// Whether a [`Value`] inhabits this type (NULL inhabits every type).
+    pub fn admits(&self, v: &Value) -> bool {
+        matches!(
+            (self, v),
+            (_, Value::Null)
+                | (DataType::Bool, Value::Bool(_))
+                | (DataType::Int, Value::Int(_))
+                | (DataType::Float, Value::Float(_))
+                | (DataType::Float, Value::Int(_))
+                | (DataType::Str, Value::Str(_))
+                | (DataType::BBox, Value::Box(_))
+                | (DataType::Frame, Value::Int(_))
+        )
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataType::Bool => "BOOL",
+            DataType::Int => "INT",
+            DataType::Float => "FLOAT",
+            DataType::Str => "STRING",
+            DataType::BBox => "BBOX",
+            DataType::Frame => "FRAME",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A named, typed column.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Field {
+    /// Column name (lower-cased at construction; EVA-QL is case-insensitive).
+    pub name: String,
+    /// Column type.
+    pub dtype: DataType,
+}
+
+impl Field {
+    /// Create a field, normalizing the name to lowercase.
+    pub fn new(name: impl Into<String>, dtype: DataType) -> Self {
+        Field {
+            name: name.into().to_ascii_lowercase(),
+            dtype,
+        }
+    }
+}
+
+/// An ordered list of fields describing the rows an operator produces.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Schema {
+    fields: Vec<Field>,
+}
+
+impl Schema {
+    /// Build a schema from fields; duplicate names are rejected.
+    pub fn new(fields: Vec<Field>) -> Result<Self> {
+        for (i, f) in fields.iter().enumerate() {
+            if fields[..i].iter().any(|g| g.name == f.name) {
+                return Err(EvaError::Catalog(format!(
+                    "duplicate column name '{}' in schema",
+                    f.name
+                )));
+            }
+        }
+        Ok(Schema { fields })
+    }
+
+    /// Empty schema.
+    pub fn empty() -> Self {
+        Schema::default()
+    }
+
+    /// The fields, in order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// True if there are no columns.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Index of a column by (case-insensitive) name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        let lname = name.to_ascii_lowercase();
+        self.fields.iter().position(|f| f.name == lname)
+    }
+
+    /// Field by name.
+    pub fn field(&self, name: &str) -> Option<&Field> {
+        self.index_of(name).map(|i| &self.fields[i])
+    }
+
+    /// Concatenate two schemas (the shape produced by APPLY/JOIN). Columns of
+    /// `other` that collide with existing names are suffixed `_r`, mirroring
+    /// how planners disambiguate join outputs.
+    pub fn join(&self, other: &Schema) -> Schema {
+        let mut fields = self.fields.clone();
+        for f in &other.fields {
+            let mut name = f.name.clone();
+            if fields.iter().any(|g| g.name == name) {
+                name.push_str("_r");
+            }
+            fields.push(Field {
+                name,
+                dtype: f.dtype,
+            });
+        }
+        Schema { fields }
+    }
+
+    /// Project a subset of columns by name.
+    pub fn project(&self, names: &[&str]) -> Result<Schema> {
+        let mut fields = Vec::with_capacity(names.len());
+        for n in names {
+            let f = self
+                .field(n)
+                .ok_or_else(|| EvaError::Binder(format!("unknown column '{n}'")))?;
+            fields.push(f.clone());
+        }
+        Ok(Schema { fields })
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, fld) in self.fields.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{} {}", fld.name, fld.dtype)?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> Schema {
+        Schema::new(vec![
+            Field::new("id", DataType::Int),
+            Field::new("label", DataType::Str),
+            Field::new("bbox", DataType::BBox),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn duplicate_columns_rejected() {
+        let err = Schema::new(vec![
+            Field::new("id", DataType::Int),
+            Field::new("ID", DataType::Str),
+        ])
+        .unwrap_err();
+        assert_eq!(err.stage(), "catalog");
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        let s = demo();
+        assert_eq!(s.index_of("LABEL"), Some(1));
+        assert_eq!(s.field("Bbox").unwrap().dtype, DataType::BBox);
+        assert_eq!(s.index_of("missing"), None);
+    }
+
+    #[test]
+    fn join_disambiguates_collisions() {
+        let s = demo();
+        let joined = s.join(&demo());
+        assert_eq!(joined.len(), 6);
+        assert!(joined.index_of("id_r").is_some());
+        assert_eq!(joined.index_of("id"), Some(0));
+    }
+
+    #[test]
+    fn project_selects_in_order() {
+        let s = demo();
+        let p = s.project(&["label", "id"]).unwrap();
+        assert_eq!(p.fields()[0].name, "label");
+        assert_eq!(p.fields()[1].name, "id");
+        assert!(s.project(&["nope"]).is_err());
+    }
+
+    #[test]
+    fn admits_matches_types() {
+        assert!(DataType::Float.admits(&Value::Int(1)));
+        assert!(DataType::Int.admits(&Value::Null));
+        assert!(!DataType::Int.admits(&Value::from("x")));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        assert_eq!(demo().to_string(), "(id INT, label STRING, bbox BBOX)");
+    }
+}

@@ -1,0 +1,125 @@
+//! Plain-text table rendering for experiment output.
+//!
+//! Every experiment binary prints paper-style tables; this tiny formatter
+//! keeps them aligned and consistent without pulling a dependency.
+
+/// A simple aligned-text table builder.
+#[derive(Debug, Default, Clone)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Start a table with the given column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        TextTable {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row. Rows shorter than the header are right-padded with
+    /// empty cells; longer rows extend the header with blanks.
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        let mut cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        while self.header.len() < cells.len() {
+            self.header.push(String::new());
+        }
+        while cells.len() < self.header.len() {
+            cells.push(String::new());
+        }
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Render the table with a header separator.
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths = vec![0usize; ncols];
+        for (i, h) in self.header.iter().enumerate() {
+            widths[i] = widths[i].max(h.chars().count());
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let render_row = |out: &mut String, cells: &[String]| {
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                out.push_str(c);
+                for _ in c.chars().count()..widths[i] {
+                    out.push(' ');
+                }
+            }
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        render_row(&mut out, &self.header);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols.saturating_sub(1));
+        out.push_str(&"-".repeat(total.max(1)));
+        out.push('\n');
+        for row in &self.rows {
+            render_row(&mut out, row);
+        }
+        out
+    }
+}
+
+/// Format a float with a fixed number of decimals, trimming `-0.0`.
+pub fn fmt_f(v: f64, decimals: usize) -> String {
+    let v = if v == 0.0 { 0.0 } else { v };
+    format!("{v:.decimals$}")
+}
+
+/// Format a ratio as e.g. `4.11x`.
+pub fn fmt_x(v: f64) -> String {
+    format!("{v:.2}x")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = TextTable::new(vec!["name", "value"]);
+        t.row(vec!["a", "1"]).row(vec!["longer", "22"]);
+        let r = t.render();
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].starts_with("---"));
+        assert!(lines[2].starts_with("a"));
+        // Columns align: "value" column starts at the same offset in all rows.
+        let col = lines[0].find("value").unwrap();
+        assert_eq!(&lines[3][col..col + 2], "22");
+    }
+
+    #[test]
+    fn ragged_rows_are_padded() {
+        let mut t = TextTable::new(vec!["a"]);
+        t.row(vec!["1", "2", "3"]);
+        assert_eq!(t.n_rows(), 1);
+        let r = t.render();
+        assert!(r.contains('3'));
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fmt_f(1.23456, 2), "1.23");
+        assert_eq!(fmt_f(-0.0, 1), "0.0");
+        assert_eq!(fmt_x(4.114), "4.11x");
+    }
+}

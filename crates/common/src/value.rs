@@ -1,0 +1,372 @@
+//! The dynamically-typed datum and bounding-box types.
+
+use crate::error::{EvaError, Result};
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// An axis-aligned bounding box in *relative* coordinates (fractions of the
+/// frame, each in `[0, 1]`), matching how the paper's `AREA(bbox)` predicate
+/// compares against constants like `0.3`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BBox {
+    /// Left edge (relative).
+    pub x1: f32,
+    /// Top edge (relative).
+    pub y1: f32,
+    /// Right edge (relative).
+    pub x2: f32,
+    /// Bottom edge (relative).
+    pub y2: f32,
+}
+
+impl BBox {
+    /// Create a box, normalizing so `x1 <= x2` and `y1 <= y2`.
+    pub fn new(x1: f32, y1: f32, x2: f32, y2: f32) -> Self {
+        BBox {
+            x1: x1.min(x2),
+            y1: y1.min(y2),
+            x2: x1.max(x2),
+            y2: y1.max(y2),
+        }
+    }
+
+    /// Relative area of the box — the quantity the `Area` UDF computes.
+    pub fn area(&self) -> f32 {
+        (self.x2 - self.x1).max(0.0) * (self.y2 - self.y1).max(0.0)
+    }
+
+    /// Intersection-over-union with another box; used by fuzzy matching and
+    /// by tests validating detector noise.
+    pub fn iou(&self, other: &BBox) -> f32 {
+        let ix1 = self.x1.max(other.x1);
+        let iy1 = self.y1.max(other.y1);
+        let ix2 = self.x2.min(other.x2);
+        let iy2 = self.y2.min(other.y2);
+        let inter = (ix2 - ix1).max(0.0) * (iy2 - iy1).max(0.0);
+        let union = self.area() + other.area() - inter;
+        if union <= 0.0 {
+            0.0
+        } else {
+            inter / union
+        }
+    }
+
+    /// A stable quantized key for this box, so views keyed by
+    /// `(frame, bbox)` match boxes byte-exactly after storage round trips.
+    /// Quantizes each coordinate to 1/10000 of the frame.
+    pub fn key(&self) -> [u16; 4] {
+        let q = |v: f32| (v.clamp(0.0, 1.0) * 10_000.0).round() as u16;
+        [q(self.x1), q(self.y1), q(self.x2), q(self.y2)]
+    }
+
+    /// Clamp all coordinates into the unit square.
+    pub fn clamped(&self) -> BBox {
+        BBox {
+            x1: self.x1.clamp(0.0, 1.0),
+            y1: self.y1.clamp(0.0, 1.0),
+            x2: self.x2.clamp(0.0, 1.0),
+            y2: self.y2.clamp(0.0, 1.0),
+        }
+    }
+}
+
+impl fmt::Display for BBox {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{:.3},{:.3},{:.3},{:.3}]",
+            self.x1, self.y1, self.x2, self.y2
+        )
+    }
+}
+
+/// A dynamically-typed value flowing through the execution engine.
+///
+/// The engine is row-oriented over small schemas (video analytics tuples are
+/// frames and detections, not wide OLAP rows), so a compact enum is the right
+/// representation.
+#[derive(Debug, Clone, Serialize, Deserialize, Default)]
+pub enum Value {
+    /// SQL NULL. Produced by the left-outer join in the
+    /// materialization-aware transformation rule to mark missing view rows.
+    #[default]
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// 64-bit integer (frame ids, timestamps, counts).
+    Int(i64),
+    /// 64-bit float (areas, scores).
+    Float(f64),
+    /// UTF-8 string (labels, colors, vehicle types, license plates).
+    Str(String),
+    /// A bounding box.
+    Box(BBox),
+}
+
+impl Value {
+    /// True iff this is [`Value::Null`].
+    #[inline]
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Extract a bool, erroring on other types.
+    pub fn as_bool(&self) -> Result<bool> {
+        match self {
+            Value::Bool(b) => Ok(*b),
+            other => Err(EvaError::Type(format!("expected BOOL, got {other}"))),
+        }
+    }
+
+    /// Extract an integer, erroring on other types.
+    pub fn as_int(&self) -> Result<i64> {
+        match self {
+            Value::Int(i) => Ok(*i),
+            other => Err(EvaError::Type(format!("expected INT, got {other}"))),
+        }
+    }
+
+    /// Extract a float; integers widen losslessly.
+    pub fn as_float(&self) -> Result<f64> {
+        match self {
+            Value::Float(f) => Ok(*f),
+            Value::Int(i) => Ok(*i as f64),
+            other => Err(EvaError::Type(format!("expected FLOAT, got {other}"))),
+        }
+    }
+
+    /// Extract a string slice, erroring on other types.
+    pub fn as_str(&self) -> Result<&str> {
+        match self {
+            Value::Str(s) => Ok(s),
+            other => Err(EvaError::Type(format!("expected STRING, got {other}"))),
+        }
+    }
+
+    /// Extract a bounding box, erroring on other types.
+    pub fn as_bbox(&self) -> Result<BBox> {
+        match self {
+            Value::Box(b) => Ok(*b),
+            other => Err(EvaError::Type(format!("expected BBOX, got {other}"))),
+        }
+    }
+
+    /// Numeric view used by comparison operators: Int and Float compare as
+    /// numbers (SQL-style), everything else is non-numeric.
+    fn as_number(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// SQL three-valued comparison. Returns `None` when either side is NULL
+    /// or the types are incomparable.
+    pub fn sql_cmp(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => None,
+            (Value::Bool(a), Value::Bool(b)) => Some(a.cmp(b)),
+            (Value::Str(a), Value::Str(b)) => Some(a.cmp(b)),
+            (Value::Box(a), Value::Box(b)) => {
+                if a == b {
+                    Some(Ordering::Equal)
+                } else {
+                    a.key().partial_cmp(&b.key())
+                }
+            }
+            _ => {
+                let (a, b) = (self.as_number()?, other.as_number()?);
+                a.partial_cmp(&b)
+            }
+        }
+    }
+
+    /// Equality with SQL NULL semantics folded to plain bool for hashing
+    /// contexts (NULL == NULL here, unlike `sql_cmp`).
+    pub fn strict_eq(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Null, Value::Null) => true,
+            _ => self.sql_cmp(other) == Some(Ordering::Equal),
+        }
+    }
+
+    /// Byte encoding used for hashing values (FunCache keys, group-by keys).
+    /// Stable across runs.
+    pub fn write_bytes(&self, out: &mut Vec<u8>) {
+        match self {
+            Value::Null => out.push(0),
+            Value::Bool(b) => {
+                out.push(1);
+                out.push(*b as u8);
+            }
+            Value::Int(i) => {
+                out.push(2);
+                out.extend_from_slice(&i.to_le_bytes());
+            }
+            Value::Float(f) => {
+                out.push(3);
+                out.extend_from_slice(&f.to_le_bytes());
+            }
+            Value::Str(s) => {
+                out.push(4);
+                out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+                out.extend_from_slice(s.as_bytes());
+            }
+            Value::Box(b) => {
+                out.push(5);
+                for k in b.key() {
+                    out.extend_from_slice(&k.to_le_bytes());
+                }
+            }
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.strict_eq(other)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+impl From<BBox> for Value {
+    fn from(v: BBox) -> Self {
+        Value::Box(v)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "'{s}'"),
+            Value::Box(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bbox_area_and_normalization() {
+        let b = BBox::new(0.5, 0.6, 0.1, 0.2);
+        assert_eq!(b.x1, 0.1);
+        assert_eq!(b.y1, 0.2);
+        assert!((b.area() - 0.16).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bbox_iou_identical_is_one() {
+        let b = BBox::new(0.1, 0.1, 0.4, 0.4);
+        assert!((b.iou(&b) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bbox_iou_disjoint_is_zero() {
+        let a = BBox::new(0.0, 0.0, 0.1, 0.1);
+        let b = BBox::new(0.5, 0.5, 0.9, 0.9);
+        assert_eq!(a.iou(&b), 0.0);
+    }
+
+    #[test]
+    fn bbox_key_is_quantized_and_stable() {
+        let a = BBox::new(0.12341, 0.2, 0.3, 0.4);
+        let b = BBox::new(0.12344, 0.2, 0.3, 0.4);
+        // Both quantize to 1234 at 1/10000 resolution.
+        assert_eq!(a.key(), b.key());
+    }
+
+    #[test]
+    fn null_comparisons_are_unknown() {
+        assert_eq!(Value::Null.sql_cmp(&Value::Int(1)), None);
+        assert_eq!(Value::Int(1).sql_cmp(&Value::Null), None);
+        assert!(Value::Null.strict_eq(&Value::Null));
+    }
+
+    #[test]
+    fn numeric_cross_type_comparison() {
+        assert_eq!(
+            Value::Int(2).sql_cmp(&Value::Float(2.0)),
+            Some(Ordering::Equal)
+        );
+        assert_eq!(
+            Value::Float(1.5).sql_cmp(&Value::Int(2)),
+            Some(Ordering::Less)
+        );
+    }
+
+    #[test]
+    fn string_comparison_lexicographic() {
+        assert_eq!(
+            Value::from("car").sql_cmp(&Value::from("truck")),
+            Some(Ordering::Less)
+        );
+    }
+
+    #[test]
+    fn incomparable_types_return_none() {
+        assert_eq!(Value::from("x").sql_cmp(&Value::Int(1)), None);
+        assert_eq!(Value::Bool(true).sql_cmp(&Value::Int(1)), None);
+    }
+
+    #[test]
+    fn accessors_enforce_types() {
+        assert!(Value::Int(1).as_bool().is_err());
+        assert_eq!(Value::Int(3).as_float().unwrap(), 3.0);
+        assert_eq!(Value::from("a").as_str().unwrap(), "a");
+        assert!(Value::from("a").as_bbox().is_err());
+    }
+
+    #[test]
+    fn byte_encoding_distinguishes_types_and_values() {
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        Value::Int(1).write_bytes(&mut a);
+        Value::Float(1.0).write_bytes(&mut b);
+        assert_ne!(a, b, "Int(1) and Float(1.0) must hash differently");
+
+        let mut c = Vec::new();
+        let mut d = Vec::new();
+        Value::from("ab").write_bytes(&mut c);
+        Value::from("ab").write_bytes(&mut d);
+        assert_eq!(c, d);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::from("red").to_string(), "'red'");
+        assert_eq!(Value::Int(-3).to_string(), "-3");
+    }
+}

@@ -1,0 +1,83 @@
+//! Property-based tests for the common kernel: hashing, values, boxes.
+
+use proptest::prelude::*;
+
+use eva_common::hash::{xxhash128, xxhash64};
+use eva_common::{BBox, Value};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn xxhash_is_deterministic(data in prop::collection::vec(any::<u8>(), 0..200), seed in any::<u64>()) {
+        prop_assert_eq!(xxhash64(&data, seed), xxhash64(&data, seed));
+    }
+
+    #[test]
+    fn xxhash_single_bit_flip_changes_hash(
+        mut data in prop::collection::vec(any::<u8>(), 1..200),
+        idx in any::<prop::sample::Index>(),
+        bit in 0u8..8,
+    ) {
+        let h1 = xxhash64(&data, 0);
+        let i = idx.index(data.len());
+        data[i] ^= 1 << bit;
+        let h2 = xxhash64(&data, 0);
+        prop_assert_ne!(h1, h2);
+    }
+
+    #[test]
+    fn xxhash128_halves_are_independent_streams(data in prop::collection::vec(any::<u8>(), 0..64)) {
+        let (lo, hi) = xxhash128(&data);
+        prop_assert_eq!(lo, xxhash64(&data, 0));
+        prop_assert_ne!(lo, hi);
+    }
+
+    #[test]
+    fn value_byte_encoding_is_injective_on_samples(
+        a in -1000i64..1000,
+        b in -1000i64..1000,
+    ) {
+        let mut ba = Vec::new();
+        let mut bb = Vec::new();
+        Value::Int(a).write_bytes(&mut ba);
+        Value::Int(b).write_bytes(&mut bb);
+        prop_assert_eq!(a == b, ba == bb);
+    }
+
+    #[test]
+    fn bbox_normalization_and_area(x1 in 0.0f32..1.0, y1 in 0.0f32..1.0, x2 in 0.0f32..1.0, y2 in 0.0f32..1.0) {
+        let b = BBox::new(x1, y1, x2, y2);
+        prop_assert!(b.x1 <= b.x2 && b.y1 <= b.y2);
+        prop_assert!(b.area() >= 0.0 && b.area() <= 1.0 + 1e-6);
+        // IoU is symmetric and bounded.
+        let c = BBox::new(y1, x1, y2, x2);
+        let iou = b.iou(&c);
+        prop_assert!((0.0..=1.0 + 1e-6).contains(&iou));
+        prop_assert!((iou - c.iou(&b)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bbox_key_is_stable_under_tiny_noise(x1 in 0.0f32..0.9, y1 in 0.0f32..0.9) {
+        let b1 = BBox::new(x1, y1, x1 + 0.05, y1 + 0.05);
+        let b2 = BBox::new(x1 + 1e-6, y1, x1 + 0.05, y1 + 0.05);
+        // Quantization at 1/10000 absorbs sub-resolution jitter almost
+        // always; equality of keys implies equality of quantized corners.
+        if b1.key() != b2.key() {
+            // Allowed only at a quantization boundary.
+            let d = (b1.key()[0] as i32 - b2.key()[0] as i32).abs();
+            prop_assert!(d <= 1);
+        }
+    }
+
+    #[test]
+    fn sql_cmp_is_antisymmetric_for_ints(a in any::<i32>(), b in any::<i32>()) {
+        use std::cmp::Ordering;
+        let va = Value::Int(a as i64);
+        let vb = Value::Int(b as i64);
+        let ab = va.sql_cmp(&vb).unwrap();
+        let ba = vb.sql_cmp(&va).unwrap();
+        prop_assert_eq!(ab, ba.reverse());
+        prop_assert_eq!(ab == Ordering::Equal, a == b);
+    }
+}

@@ -1,0 +1,136 @@
+//! An interactive EVA-QL shell.
+//!
+//! ```sh
+//! cargo run --release -p eva-core --bin eva_repl
+//! ```
+//!
+//! Meta commands: `\strategy eva|noreuse|hashstash|funcache`, `\explain
+//! <query>`, `\stats`, `\views`, `\reset`, `\help`, `\quit`. Everything else
+//! is parsed as EVA-QL (`LOAD VIDEO 'medium_ua_detrac' INTO video;` first).
+
+use std::io::{BufRead, Write};
+
+use eva_core::{EvaDb, SessionConfig, StatementResult};
+use eva_planner::ReuseStrategy;
+
+fn main() {
+    let mut db = EvaDb::eva().expect("session");
+    println!("EVA-RS interactive shell — \\help for commands.");
+    println!("Try: LOAD VIDEO 'short_ua_detrac' INTO video;");
+    let stdin = std::io::stdin();
+    let mut line = String::new();
+    loop {
+        print!("eva> ");
+        std::io::stdout().flush().ok();
+        line.clear();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("read error: {e}");
+                break;
+            }
+        }
+        let input = line.trim();
+        if input.is_empty() {
+            continue;
+        }
+        if let Some(cmd) = input.strip_prefix('\\') {
+            if !meta_command(&mut db, cmd) {
+                break;
+            }
+            continue;
+        }
+        match db.execute_sql(input) {
+            Ok(StatementResult::Ack(msg)) => println!("ok: {msg}"),
+            Ok(StatementResult::Rows(out)) => {
+                let schema = out.batch.schema().clone();
+                let header: Vec<String> =
+                    schema.fields().iter().map(|f| f.name.clone()).collect();
+                println!("{}", header.join(" | "));
+                for row in out.batch.rows().iter().take(20) {
+                    let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+                    println!("{}", cells.join(" | "));
+                }
+                if out.n_rows() > 20 {
+                    println!("… ({} rows total)", out.n_rows());
+                }
+                println!(
+                    "[{} rows, {:.1}s simulated, {:.0}ms wall]",
+                    out.n_rows(),
+                    out.sim_secs(),
+                    out.wall_ms
+                );
+            }
+            Err(e) => eprintln!("error: {e}"),
+        }
+    }
+}
+
+/// Returns false to quit.
+fn meta_command(db: &mut EvaDb, cmd: &str) -> bool {
+    let mut parts = cmd.split_whitespace();
+    match parts.next().unwrap_or("") {
+        "q" | "quit" | "exit" => return false,
+        "help" => {
+            println!("\\strategy eva|noreuse|hashstash|funcache — switch reuse strategy");
+            println!("\\explain <select…> — show the physical plan");
+            println!("\\stats — per-UDF invocation statistics");
+            println!("\\views — materialized view inventory");
+            println!("\\reset — drop all reuse state");
+            println!("\\quit — leave");
+        }
+        "strategy" => {
+            let strategy = match parts.next().unwrap_or("") {
+                "eva" => Some(ReuseStrategy::Eva),
+                "noreuse" => Some(ReuseStrategy::NoReuse),
+                "hashstash" => Some(ReuseStrategy::HashStash),
+                "funcache" => Some(ReuseStrategy::FunCache),
+                other => {
+                    eprintln!("unknown strategy '{other}'");
+                    None
+                }
+            };
+            if let Some(s) = strategy {
+                db.set_config(SessionConfig::for_strategy(s));
+                println!("strategy set to {s:?}");
+            }
+        }
+        "explain" => {
+            let rest: Vec<&str> = parts.collect();
+            match db.explain(&rest.join(" ")) {
+                Ok(plan) => println!("{plan}"),
+                Err(e) => eprintln!("error: {e}"),
+            }
+        }
+        "stats" => {
+            for (name, c) in db.invocation_stats().all() {
+                println!(
+                    "{name}: total={} distinct={} reused={} eval={:.1}s",
+                    c.total_invocations,
+                    c.distinct_inputs,
+                    c.reused_invocations,
+                    c.eval_ms / 1000.0
+                );
+            }
+            println!("hit rate: {:.1}%", db.invocation_stats().hit_percentage());
+            println!("simulated cost: {}", db.cost_snapshot());
+        }
+        "views" => {
+            for def in db.storage().view_defs() {
+                let keys = db.storage().view_n_keys(def.id).unwrap_or(0);
+                println!("{} {} [{:?}] keys={keys}", def.id, def.name, def.key_kind);
+            }
+            println!(
+                "total {:.2} MiB",
+                db.storage().total_view_bytes() as f64 / (1024.0 * 1024.0)
+            );
+        }
+        "reset" => {
+            db.reset_reuse_state();
+            println!("reuse state cleared");
+        }
+        other => eprintln!("unknown command '\\{other}' (\\help)"),
+    }
+    true
+}

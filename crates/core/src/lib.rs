@@ -1,0 +1,20 @@
+//! # eva-core
+//!
+//! The EVA-RS façade: [`EvaDb`] wires the parser, binder, optimizer,
+//! execution engine, catalog, storage, UDF manager and statistics into one
+//! session object implementing the query lifecycle of Fig. 1:
+//!
+//! ```text
+//! EVA-QL ──parse──▶ AST ──bind──▶ logical plan ──optimize──▶ physical plan
+//!        ──execute──▶ rows + per-category simulated-time breakdown
+//! ```
+//!
+//! Sessions are parameterized by a [`SessionConfig`] selecting the reuse
+//! strategy (EVA / No-Reuse / HashStash / FunCache) and the ranking function,
+//! which is how the evaluation's systems-under-test are instantiated.
+
+pub mod analyze;
+pub mod session;
+
+pub use analyze::build_stats;
+pub use session::{EvaDb, SessionConfig, StatementResult};

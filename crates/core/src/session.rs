@@ -1,0 +1,473 @@
+//! The [`EvaDb`] session.
+
+
+use eva_catalog::{AccuracyLevel, Catalog, TableDef, UdfDef};
+use eva_common::{
+    CostBreakdown, DataType, EvaError, Field, Result, Schema, SimClock, UdfId,
+};
+use eva_exec::{execute, ExecConfig, FunCacheTable, QueryOutput};
+use eva_parser::{parse, CreateUdfStmt, SelectStmt, Statement};
+use eva_planner::{Binder, Optimizer, PhysPlan, PlannerConfig, ReuseStrategy};
+use eva_storage::StorageEngine;
+use eva_symbolic::StatsCatalog;
+use eva_udf::registry::install_standard_zoo;
+use eva_udf::{InvocationStats, UdfManager, UdfRegistry};
+use eva_video::{jackson, ua_detrac, UaDetracSize, VideoDataset};
+
+/// Session configuration: planner strategy + executor tunables.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SessionConfig {
+    /// Planner configuration (reuse strategy, ranking, materialization).
+    pub planner: PlannerConfig,
+    /// Executor configuration.
+    pub exec: ExecConfig,
+}
+
+impl SessionConfig {
+    /// Configuration for one of the evaluation's systems-under-test.
+    pub fn for_strategy(strategy: ReuseStrategy) -> SessionConfig {
+        SessionConfig {
+            planner: PlannerConfig::for_strategy(strategy),
+            exec: ExecConfig::default(),
+        }
+    }
+}
+
+/// Result of executing one statement.
+#[derive(Debug, Clone)]
+pub enum StatementResult {
+    /// SELECT output.
+    Rows(QueryOutput),
+    /// DDL acknowledgement.
+    Ack(String),
+}
+
+impl StatementResult {
+    /// The query output, erroring for DDL.
+    pub fn rows(self) -> Result<QueryOutput> {
+        match self {
+            StatementResult::Rows(q) => Ok(q),
+            StatementResult::Ack(a) => Err(EvaError::Exec(format!(
+                "statement produced no rows ({a})"
+            ))),
+        }
+    }
+}
+
+/// One EVA-RS session: the full VDBMS of Fig. 1.
+pub struct EvaDb {
+    catalog: Catalog,
+    storage: StorageEngine,
+    registry: UdfRegistry,
+    manager: UdfManager,
+    stats: InvocationStats,
+    stats_catalog: StatsCatalog,
+    clock: SimClock,
+    funcache: FunCacheTable,
+    config: SessionConfig,
+}
+
+impl EvaDb {
+    /// Create a session with the paper's standard model zoo installed.
+    pub fn new(config: SessionConfig) -> Result<EvaDb> {
+        let catalog = Catalog::new();
+        let registry = UdfRegistry::new();
+        install_standard_zoo(&registry, &catalog)?;
+        let storage = StorageEngine::new();
+        let manager = UdfManager::new(storage.clone());
+        Ok(EvaDb {
+            catalog,
+            storage,
+            registry,
+            manager,
+            stats: InvocationStats::new(),
+            stats_catalog: StatsCatalog::new(),
+            clock: SimClock::new(),
+            funcache: FunCacheTable::new(),
+            config,
+        })
+    }
+
+    /// Shorthand: a session running the full EVA reuse algorithm.
+    pub fn eva() -> Result<EvaDb> {
+        EvaDb::new(SessionConfig::for_strategy(ReuseStrategy::Eva))
+    }
+
+    // -- component access -----------------------------------------------------
+
+    /// The catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The storage engine.
+    pub fn storage(&self) -> &StorageEngine {
+        &self.storage
+    }
+
+    /// The UDF manager.
+    pub fn manager(&self) -> &UdfManager {
+        &self.manager
+    }
+
+    /// Invocation statistics (hit percentages, Table 2/3).
+    pub fn invocation_stats(&self) -> &InvocationStats {
+        &self.stats
+    }
+
+    /// The histogram statistics catalog.
+    pub fn stats_catalog(&self) -> &StatsCatalog {
+        &self.stats_catalog
+    }
+
+    /// The session's virtual clock.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// Simulated-cost snapshot since session start (or last reset).
+    pub fn cost_snapshot(&self) -> CostBreakdown {
+        self.clock.snapshot()
+    }
+
+    /// Session configuration.
+    pub fn config(&self) -> SessionConfig {
+        self.config
+    }
+
+    /// Change strategy/config between workloads.
+    pub fn set_config(&mut self, config: SessionConfig) {
+        self.config = config;
+    }
+
+    // -- data loading ----------------------------------------------------------
+
+    /// Load a generated dataset under a table name, building statistics.
+    pub fn load_video(&mut self, dataset: VideoDataset, table: &str) -> Result<()> {
+        let n_rows = dataset.len();
+        crate::analyze::build_stats(&dataset, &mut self.stats_catalog);
+        let ds_name = dataset.name().to_string();
+        self.storage.load_dataset(dataset);
+        self.catalog.create_table(TableDef {
+            name: table.to_string(),
+            schema: video_table_schema(),
+            n_rows,
+            dataset: ds_name,
+        })?;
+        Ok(())
+    }
+
+    // -- lifecycle --------------------------------------------------------------
+
+    /// Parse, bind, optimize and execute one EVA-QL statement.
+    pub fn execute_sql(&mut self, sql: &str) -> Result<StatementResult> {
+        match parse(sql)? {
+            Statement::Select(stmt) => {
+                Ok(StatementResult::Rows(self.execute_select(&stmt)?))
+            }
+            Statement::CreateUdf(stmt) => self.create_udf(&stmt),
+            Statement::LoadVideo(stmt) => {
+                let dataset = self.resolve_dataset(&stmt.dataset)?;
+                self.load_video(dataset, &stmt.table)?;
+                Ok(StatementResult::Ack(format!(
+                    "loaded '{}' into table '{}'",
+                    stmt.dataset, stmt.table
+                )))
+            }
+            Statement::ShowUdfs => {
+                let names: Vec<String> =
+                    self.catalog.udfs().into_iter().map(|u| u.name).collect();
+                Ok(StatementResult::Ack(names.join(", ")))
+            }
+            Statement::ShowTables => {
+                Ok(StatementResult::Ack(self.catalog.table_names().join(", ")))
+            }
+            Statement::DropUdf(name) => {
+                self.catalog.drop_udf(&name)?;
+                Ok(StatementResult::Ack(format!("dropped UDF '{name}'")))
+            }
+            Statement::DropTable(name) => {
+                self.catalog.drop_table(&name)?;
+                Ok(StatementResult::Ack(format!("dropped table '{name}'")))
+            }
+        }
+    }
+
+    /// Execute a bound SELECT.
+    pub fn execute_select(&mut self, stmt: &SelectStmt) -> Result<QueryOutput> {
+        let plan = self.plan_select(stmt)?;
+        execute(
+            &plan,
+            &self.storage,
+            &self.registry,
+            &self.stats,
+            &self.clock,
+            &self.funcache,
+            self.config.exec,
+        )
+    }
+
+    /// Produce the physical plan for a SELECT without executing it.
+    pub fn plan_select(&self, stmt: &SelectStmt) -> Result<PhysPlan> {
+        let logical = Binder::new(&self.catalog).bind_select(stmt)?;
+        let optimizer = Optimizer {
+            catalog: &self.catalog,
+            manager: &self.manager,
+            stats: &self.stats_catalog,
+            config: self.config.planner,
+        };
+        optimizer.optimize(&logical, &self.clock)
+    }
+
+    /// EXPLAIN: the physical plan text for a SELECT statement.
+    pub fn explain(&self, sql: &str) -> Result<String> {
+        match parse(sql)? {
+            Statement::Select(stmt) => Ok(self.plan_select(&stmt)?.explain()),
+            other => Err(EvaError::Plan(format!("cannot explain {other:?}"))),
+        }
+    }
+
+    /// Reset all reuse state — views, aggregated predicates, caches,
+    /// counters and the clock — so a workload starts clean (§5.1: "We
+    /// evaluate every workload from a clean state").
+    pub fn reset_reuse_state(&self) {
+        self.storage.clear_views();
+        self.manager.reset();
+        self.funcache.clear();
+        self.stats.reset();
+        self.clock.reset();
+    }
+
+    /// Persist the session's reuse state — materialized views plus the UDF
+    /// manager's aggregated predicates — to a directory.
+    pub fn save_state(&self, dir: &std::path::Path) -> Result<()> {
+        self.storage.save_views(dir)?;
+        self.manager.save(dir)
+    }
+
+    /// Restore reuse state saved with [`EvaDb::save_state`]. Subsequent
+    /// queries immediately reuse the restored views.
+    pub fn load_state(&self, dir: &std::path::Path) -> Result<()> {
+        self.storage.load_views(dir)?;
+        self.manager.load(dir)
+    }
+
+    // -- helpers -----------------------------------------------------------------
+
+    fn create_udf(&mut self, stmt: &CreateUdfStmt) -> Result<StatementResult> {
+        // IMPL must resolve to a registered simulated model.
+        let sim = self.registry.get(&stmt.impl_id)?;
+        let accuracy = stmt
+            .properties
+            .iter()
+            .find(|(k, _)| k == "ACCURACY")
+            .map(|(_, v)| AccuracyLevel::parse(v))
+            .transpose()?
+            .unwrap_or(AccuracyLevel::Medium);
+        let input = Schema::new(
+            stmt.input
+                .iter()
+                .map(|(n, t)| Field::new(n.clone(), *t))
+                .collect(),
+        )?;
+        let output = if stmt.output.is_empty() {
+            (*sim.output_schema()).clone()
+        } else {
+            Schema::new(
+                stmt.output
+                    .iter()
+                    .map(|(n, t)| Field::new(n.clone(), *t))
+                    .collect(),
+            )?
+        };
+        self.catalog.create_udf(
+            UdfDef {
+                id: UdfId(0),
+                name: stmt.name.clone(),
+                input,
+                output,
+                impl_id: stmt.impl_id.clone(),
+                logical_type: stmt.logical_type.clone(),
+                accuracy,
+                cost_ms: Some(sim.cost_ms()),
+                gpu: sim.gpu(),
+            },
+            stmt.or_replace,
+        )?;
+        Ok(StatementResult::Ack(format!("created UDF '{}'", stmt.name)))
+    }
+
+    /// Resolve a dataset name: already-loaded datasets win; otherwise the
+    /// well-known synthetic datasets are generated on demand (seed 7).
+    fn resolve_dataset(&self, name: &str) -> Result<VideoDataset> {
+        if let Ok(ds) = self.storage.dataset(name) {
+            return Ok((*ds).clone());
+        }
+        const SEED: u64 = 7;
+        match name {
+            "short_ua_detrac" => Ok(ua_detrac(UaDetracSize::Short, SEED)),
+            "medium_ua_detrac" => Ok(ua_detrac(UaDetracSize::Medium, SEED)),
+            "long_ua_detrac" => Ok(ua_detrac(UaDetracSize::Long, SEED)),
+            "jackson" => Ok(jackson(SEED)),
+            other => Err(EvaError::Storage(format!(
+                "unknown dataset '{other}' (known: short/medium/long_ua_detrac, jackson)"
+            ))),
+        }
+    }
+}
+
+fn video_table_schema() -> Schema {
+    Schema::new(vec![
+        Field::new("id", DataType::Int),
+        Field::new("timestamp", DataType::Int),
+        Field::new("frame", DataType::Frame),
+    ])
+    .expect("static schema is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eva_video::generator::generate;
+    use eva_video::VideoConfig;
+
+    fn tiny() -> VideoDataset {
+        generate(VideoConfig {
+            name: "tiny".into(),
+            n_frames: 240,
+            width: 96,
+            height: 54,
+            fps: 25.0,
+            target_density: 8.0,
+            person_fraction: 0.0,
+            seed: 11,
+        })
+    }
+
+    fn session(strategy: ReuseStrategy) -> EvaDb {
+        let mut db = EvaDb::new(SessionConfig::for_strategy(strategy)).unwrap();
+        db.load_video(tiny(), "video").unwrap();
+        db
+    }
+
+    const Q: &str = "SELECT id, bbox FROM video CROSS APPLY \
+                     fasterrcnn_resnet50(frame) WHERE id < 120 AND label = 'car' \
+                     AND cartype(frame, bbox) = 'Nissan'";
+
+    #[test]
+    fn end_to_end_select() {
+        let mut db = session(ReuseStrategy::Eva);
+        let out = db.execute_sql(Q).unwrap().rows().unwrap();
+        assert!(out.n_rows() > 0, "expected some Nissans");
+        // Detector cost dominates the breakdown.
+        let udf_ms = out.breakdown.get(eva_common::CostCategory::Udf);
+        assert!(udf_ms > 120.0 * 99.0 * 0.5, "udf_ms={udf_ms}");
+    }
+
+    #[test]
+    fn reuse_accelerates_second_run_and_preserves_results() {
+        let mut db = session(ReuseStrategy::Eva);
+        let first = db.execute_sql(Q).unwrap().rows().unwrap();
+        let second = db.execute_sql(Q).unwrap().rows().unwrap();
+        assert_eq!(first.batch.rows(), second.batch.rows(), "same results");
+        assert!(
+            second.sim_secs() < first.sim_secs() * 0.2,
+            "second run should be ≥5x faster: {} vs {}",
+            first.sim_secs(),
+            second.sim_secs()
+        );
+        assert!(db.invocation_stats().hit_percentage() > 0.0);
+    }
+
+    #[test]
+    fn no_reuse_never_accelerates() {
+        let mut db = session(ReuseStrategy::NoReuse);
+        let first = db.execute_sql(Q).unwrap().rows().unwrap();
+        let second = db.execute_sql(Q).unwrap().rows().unwrap();
+        let ratio = second.sim_secs() / first.sim_secs();
+        assert!(
+            (0.95..1.05).contains(&ratio),
+            "no-reuse runs should cost the same, ratio={ratio}"
+        );
+        assert_eq!(db.invocation_stats().hit_percentage(), 0.0);
+    }
+
+    #[test]
+    fn strategies_agree_on_results() {
+        let mut reference: Option<Vec<eva_common::Row>> = None;
+        for strategy in [
+            ReuseStrategy::NoReuse,
+            ReuseStrategy::Eva,
+            ReuseStrategy::HashStash,
+            ReuseStrategy::FunCache,
+        ] {
+            let mut db = session(strategy);
+            let mut out = db.execute_sql(Q).unwrap().rows().unwrap();
+            let mut rows = std::mem::take(out.batch.rows_mut());
+            rows.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+            match &reference {
+                Some(r) => assert_eq!(r, &rows, "strategy {strategy:?} differs"),
+                None => reference = Some(rows),
+            }
+        }
+    }
+
+    #[test]
+    fn ddl_round_trip() {
+        let mut db = session(ReuseStrategy::Eva);
+        let r = db.execute_sql("SHOW TABLES").unwrap();
+        assert!(matches!(r, StatementResult::Ack(ref s) if s.contains("video")));
+        db.execute_sql(
+            "CREATE UDF my_yolo INPUT = (frame FRAME) OUTPUT = (label STR, bbox BBOX, \
+             score FLOAT) IMPL = 'sim/yolo_tiny' LOGICAL_TYPE = objectdetector \
+             PROPERTIES = ('ACCURACY' = 'LOW')",
+        )
+        .unwrap();
+        assert!(db.catalog().has_udf("my_yolo"));
+        db.execute_sql("DROP UDF my_yolo").unwrap();
+        assert!(!db.catalog().has_udf("my_yolo"));
+        // Unknown impl rejected.
+        assert!(db
+            .execute_sql("CREATE UDF bad INPUT = (frame FRAME) OUTPUT = (x STR) IMPL = 'nope'")
+            .is_err());
+    }
+
+    #[test]
+    fn explain_shows_reuse_decorations() {
+        let mut db = session(ReuseStrategy::Eva);
+        db.execute_sql(Q).unwrap().rows().unwrap();
+        let text = db.explain(Q).unwrap();
+        assert!(text.contains("ScanFrames video [0, 120)"), "{text}");
+        assert!(text.contains("+view"), "{text}");
+    }
+
+    #[test]
+    fn reset_restores_clean_state() {
+        let mut db = session(ReuseStrategy::Eva);
+        db.execute_sql(Q).unwrap().rows().unwrap();
+        assert!(db.storage().total_view_bytes() > 0);
+        db.reset_reuse_state();
+        assert_eq!(db.storage().total_view_bytes(), 0);
+        assert_eq!(db.invocation_stats().hit_percentage(), 0.0);
+        assert_eq!(db.cost_snapshot().total_ms(), 0.0);
+    }
+
+    #[test]
+    fn group_by_count() {
+        let mut db = session(ReuseStrategy::Eva);
+        let out = db
+            .execute_sql(
+                "SELECT label, COUNT(*) AS n FROM video CROSS APPLY \
+                 fasterrcnn_resnet50(frame) WHERE id < 30 GROUP BY label",
+            )
+            .unwrap()
+            .rows()
+            .unwrap();
+        assert!(out.n_rows() >= 1);
+        let schema = out.batch.schema().clone();
+        assert_eq!(schema.fields()[0].name, "label");
+        assert_eq!(schema.fields()[1].name, "n");
+        let n = out.batch.value(0, "n").unwrap().as_int().unwrap();
+        assert!(n > 0);
+    }
+}

@@ -1,0 +1,29 @@
+//! Execution context threaded through operators.
+
+use std::sync::Arc;
+
+use eva_common::SimClock;
+use eva_storage::StorageEngine;
+use eva_udf::{InvocationStats, UdfRegistry};
+use eva_video::VideoDataset;
+
+use crate::config::ExecConfig;
+use crate::funcache::FunCacheTable;
+
+/// Everything an operator needs at run time.
+pub struct ExecCtx<'a> {
+    /// Storage engine (scans, view probes, STORE appends).
+    pub storage: &'a StorageEngine,
+    /// Simulated-model registry.
+    pub registry: &'a UdfRegistry,
+    /// Invocation statistics (Table 2/3 accounting).
+    pub stats: &'a InvocationStats,
+    /// The virtual clock.
+    pub clock: &'a SimClock,
+    /// The dataset backing the query's table (single-table queries).
+    pub dataset: Arc<VideoDataset>,
+    /// FunCache baseline table (unused under other strategies).
+    pub funcache: &'a FunCacheTable,
+    /// Tunables.
+    pub config: ExecConfig,
+}

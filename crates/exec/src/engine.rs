@@ -1,0 +1,133 @@
+//! Plan building and execution driver.
+
+use std::sync::Arc;
+
+use eva_common::{Batch, CostBreakdown, EvaError, Result, SimClock};
+use eva_planner::PhysPlan;
+use eva_storage::StorageEngine;
+use eva_udf::{InvocationStats, UdfRegistry};
+
+use crate::config::ExecConfig;
+use crate::context::ExecCtx;
+use crate::funcache::FunCacheTable;
+use crate::ops::aggregate::AggregateOp;
+use crate::ops::apply::ApplyOp;
+use crate::ops::filter::FilterOp;
+use crate::ops::project::ProjectOp;
+use crate::ops::scan::ScanFramesOp;
+use crate::ops::sort_limit::{LimitOp, SortOp};
+use crate::ops::BoxedOp;
+
+/// The result of one query execution.
+#[derive(Debug, Clone)]
+pub struct QueryOutput {
+    /// All result rows in one batch.
+    pub batch: Batch,
+    /// Simulated-cost delta attributable to this query (per category).
+    pub breakdown: CostBreakdown,
+    /// Real wall-clock milliseconds spent executing.
+    pub wall_ms: f64,
+}
+
+impl QueryOutput {
+    /// Number of result rows.
+    pub fn n_rows(&self) -> usize {
+        self.batch.len()
+    }
+
+    /// Total simulated seconds.
+    pub fn sim_secs(&self) -> f64 {
+        self.breakdown.total_secs()
+    }
+}
+
+/// Build the operator tree for a physical plan.
+fn build(plan: &PhysPlan) -> Result<BoxedOp> {
+    Ok(match plan {
+        PhysPlan::ScanFrames {
+            dataset,
+            range,
+            schema,
+            ..
+        } => Box::new(ScanFramesOp::new(dataset.clone(), *range, Arc::clone(schema))),
+        PhysPlan::Filter { input, predicate } => {
+            Box::new(FilterOp::new(build(input)?, predicate.clone()))
+        }
+        PhysPlan::Apply {
+            input,
+            spec,
+            schema,
+        } => Box::new(ApplyOp::new(build(input)?, spec.clone(), Arc::clone(schema))?),
+        PhysPlan::Project {
+            input,
+            items,
+            schema,
+        } => Box::new(ProjectOp::new(
+            build(input)?,
+            items.clone(),
+            Arc::clone(schema),
+        )),
+        PhysPlan::Aggregate {
+            input,
+            group_by,
+            aggs,
+            schema,
+        } => Box::new(AggregateOp::new(
+            build(input)?,
+            group_by.clone(),
+            aggs.clone(),
+            Arc::clone(schema),
+        )),
+        PhysPlan::Sort { input, keys } => Box::new(SortOp::new(build(input)?, keys.clone())),
+        PhysPlan::Limit { input, n } => Box::new(LimitOp::new(build(input)?, *n)),
+    })
+}
+
+fn dataset_of(plan: &PhysPlan) -> Result<&str> {
+    let mut node = plan;
+    loop {
+        if let PhysPlan::ScanFrames { dataset, .. } = node {
+            return Ok(dataset);
+        }
+        node = node
+            .input()
+            .ok_or_else(|| EvaError::Exec("plan has no scan".into()))?;
+    }
+}
+
+/// Execute a physical plan to completion.
+#[allow(clippy::too_many_arguments)]
+pub fn execute(
+    plan: &PhysPlan,
+    storage: &StorageEngine,
+    registry: &UdfRegistry,
+    stats: &InvocationStats,
+    clock: &SimClock,
+    funcache: &FunCacheTable,
+    config: ExecConfig,
+) -> Result<QueryOutput> {
+    let started = std::time::Instant::now();
+    let before = clock.snapshot();
+    let dataset = storage.dataset(dataset_of(plan)?)?;
+    let ctx = ExecCtx {
+        storage,
+        registry,
+        stats,
+        clock,
+        dataset,
+        funcache,
+        config,
+    };
+    let mut root = build(plan)?;
+    let schema = root.schema();
+    let mut out = Batch::empty(schema);
+    while let Some(batch) = root.next(&ctx)? {
+        out.extend(batch)?;
+    }
+    let breakdown = clock.snapshot().since(&before);
+    Ok(QueryOutput {
+        batch: out,
+        breakdown,
+        wall_ms: started.elapsed().as_secs_f64() * 1000.0,
+    })
+}

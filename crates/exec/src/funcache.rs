@@ -1,0 +1,84 @@
+//! The FunCache baseline's tuple-level function cache (§5.1).
+//!
+//! An in-memory hash table mapping `(udf name, 128-bit xxHash of the input
+//! arguments)` to the UDF's output rows. The defining overhead of this
+//! approach — hashing the raw frame bytes on **every** invocation, hit or
+//! miss — is charged to the virtual clock by the apply operator.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use eva_common::hash::xxhash128;
+use eva_common::Row;
+
+/// Shared tuple-level cache. Cheap to clone; contents live for a workload.
+#[derive(Debug, Clone, Default)]
+pub struct FunCacheTable {
+    inner: Arc<Mutex<HashMap<(String, u64, u64), Vec<Row>>>>,
+}
+
+impl FunCacheTable {
+    /// Fresh empty cache.
+    pub fn new() -> FunCacheTable {
+        FunCacheTable::default()
+    }
+
+    /// Compute the cache key for raw argument bytes.
+    pub fn key(udf: &str, arg_bytes: &[u8]) -> (String, u64, u64) {
+        let (lo, hi) = xxhash128(arg_bytes);
+        (udf.to_string(), lo, hi)
+    }
+
+    /// Look up previously cached results.
+    pub fn get(&self, key: &(String, u64, u64)) -> Option<Vec<Row>> {
+        self.inner.lock().get(key).cloned()
+    }
+
+    /// Insert results for a key.
+    pub fn insert(&self, key: (String, u64, u64), rows: Vec<Row>) {
+        self.inner.lock().insert(key, rows);
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// Is the cache empty?
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+
+    /// Drop everything (workload restart).
+    pub fn clear(&self) {
+        self.inner.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eva_common::Value;
+
+    #[test]
+    fn round_trip() {
+        let c = FunCacheTable::new();
+        let k = FunCacheTable::key("det", b"frame-0-bytes");
+        assert!(c.get(&k).is_none());
+        c.insert(k.clone(), vec![vec![Value::Int(1)]]);
+        assert_eq!(c.get(&k).unwrap()[0][0], Value::Int(1));
+        assert_eq!(c.len(), 1);
+        c.clear();
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn keys_distinguish_udf_and_bytes() {
+        let a = FunCacheTable::key("det", b"x");
+        let b = FunCacheTable::key("det", b"y");
+        let c = FunCacheTable::key("other", b"x");
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+}

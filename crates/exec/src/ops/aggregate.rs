@@ -1,0 +1,204 @@
+//! Hash aggregation (GROUP BY).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use eva_common::{Batch, EvaError, Result, Row, Schema, Value};
+use eva_expr::eval::NoUdfs;
+use eva_expr::{AggFunc, Expr, RowContext};
+
+use crate::context::ExecCtx;
+use crate::ops::{BoxedOp, Operator};
+
+/// One aggregate's running state.
+#[derive(Debug, Clone)]
+enum AggState {
+    Count(i64),
+    Sum(f64),
+    Min(Option<Value>),
+    Max(Option<Value>),
+    Avg { sum: f64, n: u64 },
+}
+
+impl AggState {
+    fn new(func: AggFunc) -> AggState {
+        match func {
+            AggFunc::Count => AggState::Count(0),
+            AggFunc::Sum => AggState::Sum(0.0),
+            AggFunc::Min => AggState::Min(None),
+            AggFunc::Max => AggState::Max(None),
+            AggFunc::Avg => AggState::Avg { sum: 0.0, n: 0 },
+        }
+    }
+
+    fn update(&mut self, v: Option<&Value>) -> Result<()> {
+        match self {
+            AggState::Count(c) => {
+                // COUNT(*) counts rows; COUNT(expr) counts non-null values.
+                match v {
+                    None => *c += 1,
+                    Some(val) if !val.is_null() => *c += 1,
+                    _ => {}
+                }
+            }
+            AggState::Sum(s) => {
+                if let Some(val) = v {
+                    if !val.is_null() {
+                        *s += val.as_float()?;
+                    }
+                }
+            }
+            AggState::Min(m) => {
+                if let Some(val) = v {
+                    if !val.is_null() {
+                        let replace = match m {
+                            Some(cur) => {
+                                val.sql_cmp(cur) == Some(std::cmp::Ordering::Less)
+                            }
+                            None => true,
+                        };
+                        if replace {
+                            *m = Some(val.clone());
+                        }
+                    }
+                }
+            }
+            AggState::Max(m) => {
+                if let Some(val) = v {
+                    if !val.is_null() {
+                        let replace = match m {
+                            Some(cur) => {
+                                val.sql_cmp(cur) == Some(std::cmp::Ordering::Greater)
+                            }
+                            None => true,
+                        };
+                        if replace {
+                            *m = Some(val.clone());
+                        }
+                    }
+                }
+            }
+            AggState::Avg { sum, n } => {
+                if let Some(val) = v {
+                    if !val.is_null() {
+                        *sum += val.as_float()?;
+                        *n += 1;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(self) -> Value {
+        match self {
+            AggState::Count(c) => Value::Int(c),
+            AggState::Sum(s) => Value::Float(s),
+            AggState::Min(m) => m.unwrap_or(Value::Null),
+            AggState::Max(m) => m.unwrap_or(Value::Null),
+            AggState::Avg { sum, n } => {
+                if n == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(sum / n as f64)
+                }
+            }
+        }
+    }
+}
+
+/// Blocking hash aggregation: drains its input, then emits one batch of
+/// groups (key order deterministic by first appearance, then sorted by key
+/// bytes for reproducibility).
+pub struct AggregateOp {
+    input: BoxedOp,
+    group_by: Vec<String>,
+    aggs: Vec<(AggFunc, Option<Expr>, String)>,
+    schema: Arc<Schema>,
+    done: bool,
+}
+
+impl AggregateOp {
+    /// New aggregation.
+    pub fn new(
+        input: BoxedOp,
+        group_by: Vec<String>,
+        aggs: Vec<(AggFunc, Option<Expr>, String)>,
+        schema: Arc<Schema>,
+    ) -> AggregateOp {
+        AggregateOp {
+            input,
+            group_by,
+            aggs,
+            schema,
+            done: false,
+        }
+    }
+}
+
+impl Operator for AggregateOp {
+    fn schema(&self) -> Arc<Schema> {
+        Arc::clone(&self.schema)
+    }
+
+    fn next(&mut self, ctx: &ExecCtx<'_>) -> Result<Option<Batch>> {
+        if self.done {
+            return Ok(None);
+        }
+        self.done = true;
+
+        let in_schema = self.input.schema();
+        let key_idx: Vec<usize> = self
+            .group_by
+            .iter()
+            .map(|g| {
+                in_schema
+                    .index_of(g)
+                    .ok_or_else(|| EvaError::Exec(format!("unknown group column '{g}'")))
+            })
+            .collect::<Result<_>>()?;
+
+        let mut groups: HashMap<Vec<u8>, (Row, Vec<AggState>)> = HashMap::new();
+        while let Some(batch) = self.input.next(ctx)? {
+            for row in batch.rows() {
+                let mut key = Vec::new();
+                for &i in &key_idx {
+                    row[i].write_bytes(&mut key);
+                }
+                let entry = groups.entry(key).or_insert_with(|| {
+                    let key_row: Row = key_idx.iter().map(|&i| row[i].clone()).collect();
+                    let states = self
+                        .aggs
+                        .iter()
+                        .map(|(f, _, _)| AggState::new(*f))
+                        .collect();
+                    (key_row, states)
+                });
+                for ((_, arg, _), state) in self.aggs.iter().zip(entry.1.iter_mut()) {
+                    let v = match arg {
+                        Some(e) => {
+                            let rc = RowContext::new(&in_schema, row, &NoUdfs);
+                            Some(e.eval(&rc)?)
+                        }
+                        None => None,
+                    };
+                    state.update(v.as_ref())?;
+                }
+            }
+        }
+
+        let mut out: Vec<(Vec<u8>, Row)> = groups
+            .into_iter()
+            .map(|(key, (key_row, states))| {
+                let mut row = key_row;
+                for s in states {
+                    row.push(s.finish());
+                }
+                (key, row)
+            })
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        let rows: Vec<Row> = out.into_iter().map(|(_, r)| r).collect();
+        Ok(Some(Batch::new(Arc::clone(&self.schema), rows)))
+    }
+}

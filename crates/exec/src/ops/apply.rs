@@ -1,0 +1,346 @@
+//! The fused apply operator — the heart of the execution engine.
+//!
+//! Implements the paper's two transformation rules at run time:
+//!
+//! * **Rule I** (Fig. 3): the operator appends UDF output columns to each
+//!   input row (cross-apply semantics: a detector's k detections fan a frame
+//!   out into k rows; zero detections drop the frame).
+//! * **Rule II** (Fig. 4): for each input tuple the operator walks the
+//!   reuse *segments* — probing materialized views first (the LEFT OUTER
+//!   JOIN read), then evaluating the fallback model only for tuples whose
+//!   probe came back NULL (the conditional APPLY's pass-through guard), and
+//!   finally appending fresh results to the fallback's view (STORE).
+//!
+//! The FunCache baseline routes through the same operator with a hash-keyed
+//! in-memory cache instead of views, paying the per-invocation hashing cost.
+
+use std::sync::Arc;
+
+use eva_common::{
+    Batch, BBox, CostCategory, EvaError, FrameId, Result, Row, Schema,
+};
+use eva_expr::Expr;
+use eva_planner::{ApplyReuse, ApplySpec, Segment};
+use eva_storage::ViewKey;
+use eva_udf::{SimUdf, UdfEvalContext};
+
+use crate::context::ExecCtx;
+use crate::funcache::FunCacheTable;
+use crate::ops::{BoxedOp, Operator};
+
+/// The fused probe/evaluate/store apply.
+pub struct ApplyOp {
+    input: BoxedOp,
+    spec: ApplySpec,
+    schema: Arc<Schema>,
+    frame_idx: usize,
+    bbox_idx: Option<usize>,
+}
+
+impl ApplyOp {
+    /// Build, resolving argument columns against the input schema.
+    pub fn new(input: BoxedOp, spec: ApplySpec, schema: Arc<Schema>) -> Result<ApplyOp> {
+        let in_schema = input.schema();
+        let col_idx = |e: &Expr| -> Result<usize> {
+            match e {
+                Expr::Column(c) => in_schema
+                    .index_of(c)
+                    .ok_or_else(|| EvaError::Exec(format!("unknown apply argument '{c}'"))),
+                other => Err(EvaError::Exec(format!(
+                    "apply arguments must be columns, got '{other}'"
+                ))),
+            }
+        };
+        let frame_idx = col_idx(
+            spec.args
+                .first()
+                .ok_or_else(|| EvaError::Exec("apply needs a frame argument".into()))?,
+        )?;
+        let bbox_idx = match spec.args.get(1) {
+            Some(e) => Some(col_idx(e)?),
+            None => None,
+        };
+        Ok(ApplyOp {
+            input,
+            spec,
+            schema,
+            frame_idx,
+            bbox_idx,
+        })
+    }
+
+    fn key_of(&self, row: &Row) -> Result<(FrameId, Option<BBox>, ViewKey)> {
+        let frame = FrameId(row[self.frame_idx].as_int()? as u64);
+        match self.bbox_idx {
+            Some(i) => {
+                let b = row[i].as_bbox()?;
+                Ok((frame, Some(b), ViewKey::frame_box(frame, &b)))
+            }
+            None => Ok((frame, None, ViewKey::frame(frame))),
+        }
+    }
+
+    /// Evaluate the model on the rows at `miss_idx`, possibly on worker
+    /// threads; charges the simulated cost and stats on the caller's thread
+    /// to keep the clock deterministic.
+    fn eval_rows(
+        &self,
+        ctx: &ExecCtx<'_>,
+        udf: &Arc<dyn SimUdf>,
+        inputs: &[(usize, FrameId, Option<BBox>)],
+    ) -> Result<Vec<(usize, Vec<Row>)>> {
+        let dataset = &ctx.dataset;
+        let run = |chunk: &[(usize, FrameId, Option<BBox>)]| -> Result<Vec<(usize, Vec<Row>)>> {
+            let mut out = Vec::with_capacity(chunk.len());
+            for (idx, frame, bbox) in chunk {
+                let rows = udf.eval(&UdfEvalContext {
+                    dataset,
+                    frame: *frame,
+                    bbox: *bbox,
+                })?;
+                out.push((*idx, rows));
+            }
+            Ok(out)
+        };
+        let threshold = ctx.config.parallel_eval_threshold;
+        if threshold == 0 || inputs.len() < threshold {
+            return run(inputs);
+        }
+        // Parallel wall-clock evaluation; results are merged in input order
+        // so downstream bookkeeping stays deterministic.
+        let n_threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .min(8)
+            .max(2);
+        let chunk_size = inputs.len().div_ceil(n_threads);
+        let results = crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for chunk in inputs.chunks(chunk_size) {
+                handles.push(scope.spawn(move |_| run(chunk)));
+            }
+            let mut merged = Vec::with_capacity(inputs.len());
+            for h in handles {
+                merged.extend(h.join().expect("eval worker panicked")?);
+            }
+            Ok::<_, EvaError>(merged)
+        })
+        .expect("crossbeam scope panicked")?;
+        Ok(results)
+    }
+
+    fn process_views(
+        &self,
+        ctx: &ExecCtx<'_>,
+        batch: &Batch,
+        segments: &[Segment],
+        store: bool,
+    ) -> Result<Vec<Option<Vec<Row>>>> {
+        let n = batch.len();
+        let mut results: Vec<Option<Vec<Row>>> = vec![None; n];
+        let mut keys = Vec::with_capacity(n);
+        for row in batch.rows() {
+            keys.push(self.key_of(row)?);
+        }
+
+        let mut unresolved: Vec<usize> = (0..n).collect();
+        for seg in segments {
+            if unresolved.is_empty() {
+                break;
+            }
+            // Probe this segment's view for unresolved rows.
+            if let Some(view) = seg.view {
+                let probe_keys: Vec<ViewKey> =
+                    unresolved.iter().map(|&i| keys[i].2).collect();
+                let probed = ctx.storage.view_probe(view, &probe_keys, ctx.clock)?;
+                let mut still = Vec::with_capacity(unresolved.len());
+                for (pos, &i) in unresolved.iter().enumerate() {
+                    match &probed[pos] {
+                        Some(rows) => {
+                            ctx.stats.record_reuse(
+                                &seg.udf.name,
+                                keys[i].2,
+                                seg.udf.cost_ms.unwrap_or(0.0),
+                            );
+                            results[i] = Some(rows.clone());
+                        }
+                        None => still.push(i),
+                    }
+                }
+                // §6 future work: fuzzy bbox matching — an exact-key miss
+                // may still reuse the result of a near-identical stored box
+                // (opt-in; trades exactness for more reuse).
+                if let (Some(min_iou), true) = (ctx.config.fuzzy_box_iou, self.bbox_idx.is_some())
+                {
+                    let mut misses = Vec::with_capacity(still.len());
+                    for &i in &still {
+                        let (frame, bbox, vkey) = keys[i];
+                        let hit = match bbox {
+                            Some(b) => ctx
+                                .storage
+                                .view_probe_fuzzy(view, frame, &b, min_iou, ctx.clock)?,
+                            None => None,
+                        };
+                        match hit {
+                            Some(rows) => {
+                                ctx.stats.record_reuse(
+                                    &seg.udf.name,
+                                    vkey,
+                                    seg.udf.cost_ms.unwrap_or(0.0),
+                                );
+                                results[i] = Some(rows);
+                            }
+                            None => misses.push(i),
+                        }
+                    }
+                    still = misses;
+                }
+                unresolved = still;
+            }
+            // Evaluate the fallback for the rest.
+            if seg.eval && !unresolved.is_empty() {
+                let udf = ctx.registry.get(&seg.udf.impl_id)?;
+                let inputs: Vec<(usize, FrameId, Option<BBox>)> = unresolved
+                    .iter()
+                    .map(|&i| (i, keys[i].0, keys[i].1))
+                    .collect();
+                let evaluated = self.eval_rows(ctx, &udf, &inputs)?;
+                let mut appends = Vec::with_capacity(evaluated.len());
+                for (i, rows) in evaluated {
+                    ctx.clock.charge(CostCategory::Udf, udf.cost_ms());
+                    ctx.stats.record_eval(&seg.udf.name, keys[i].2, udf.cost_ms());
+                    if store && seg.view.is_some() {
+                        appends.push((keys[i].2, rows.clone()));
+                    }
+                    results[i] = Some(rows);
+                }
+                if store && !appends.is_empty() {
+                    if let Some(view) = seg.view {
+                        ctx.storage.view_append(view, appends, ctx.clock)?;
+                    }
+                }
+                unresolved.clear();
+            }
+        }
+        debug_assert!(unresolved.is_empty(), "apply left rows unresolved");
+        Ok(results)
+    }
+
+    fn process_funcache(
+        &self,
+        ctx: &ExecCtx<'_>,
+        batch: &Batch,
+        udf_def: &eva_catalog::UdfDef,
+    ) -> Result<Vec<Option<Vec<Row>>>> {
+        let udf = ctx.registry.get(&udf_def.impl_id)?;
+        let frame_bytes = ctx.dataset.frame_bytes();
+        let mut results = Vec::with_capacity(batch.len());
+        for row in batch.rows() {
+            let (frame, bbox, vkey) = self.key_of(row)?;
+            // Hash the input arguments — charged for the full frame payload
+            // on every invocation, the baseline's defining overhead.
+            let digest = ctx.dataset.frame_digest(frame);
+            let mut arg_bytes = Vec::with_capacity(digest.len() + 16);
+            arg_bytes.extend_from_slice(&digest);
+            let mut hashed = frame_bytes;
+            if let Some(b) = bbox {
+                for k in b.key() {
+                    arg_bytes.extend_from_slice(&k.to_le_bytes());
+                }
+                hashed += 8;
+            }
+            ctx.clock.charge(
+                CostCategory::HashInput,
+                ctx.storage.cost_model().hash_cost_ms(hashed),
+            );
+            let key = FunCacheTable::key(&udf_def.name, &arg_bytes);
+            match ctx.funcache.get(&key) {
+                Some(rows) => {
+                    ctx.stats.record_reuse(&udf_def.name, vkey, udf.cost_ms());
+                    results.push(Some(rows));
+                }
+                None => {
+                    let rows = udf.eval(&UdfEvalContext {
+                        dataset: &ctx.dataset,
+                        frame,
+                        bbox,
+                    })?;
+                    ctx.clock.charge(CostCategory::Udf, udf.cost_ms());
+                    ctx.stats.record_eval(&udf_def.name, vkey, udf.cost_ms());
+                    ctx.funcache.insert(key, rows.clone());
+                    results.push(Some(rows));
+                }
+            }
+        }
+        Ok(results)
+    }
+
+    fn process_plain(
+        &self,
+        ctx: &ExecCtx<'_>,
+        batch: &Batch,
+    ) -> Result<Vec<Option<Vec<Row>>>> {
+        let udf_def = self
+            .spec
+            .fallback_udf()
+            .cloned()
+            .ok_or_else(|| EvaError::Exec("apply without a UDF".into()))?;
+        let udf = ctx.registry.get(&udf_def.impl_id)?;
+        let mut inputs = Vec::with_capacity(batch.len());
+        let mut keys = Vec::with_capacity(batch.len());
+        for (i, row) in batch.rows().iter().enumerate() {
+            let (frame, bbox, vkey) = self.key_of(row)?;
+            inputs.push((i, frame, bbox));
+            keys.push(vkey);
+        }
+        let evaluated = self.eval_rows(ctx, &udf, &inputs)?;
+        let mut results: Vec<Option<Vec<Row>>> = vec![None; batch.len()];
+        for (i, rows) in evaluated {
+            ctx.clock.charge(CostCategory::Udf, udf.cost_ms());
+            ctx.stats.record_eval(&udf_def.name, keys[i], udf.cost_ms());
+            results[i] = Some(rows);
+        }
+        Ok(results)
+    }
+}
+
+impl Operator for ApplyOp {
+    fn schema(&self) -> Arc<Schema> {
+        Arc::clone(&self.schema)
+    }
+
+    fn next(&mut self, ctx: &ExecCtx<'_>) -> Result<Option<Batch>> {
+        loop {
+            let Some(batch) = self.input.next(ctx)? else {
+                return Ok(None);
+            };
+            ctx.clock.charge(
+                CostCategory::Apply,
+                ctx.config.apply_overhead_ms * batch.len() as f64,
+            );
+            let results = match &self.spec.reuse {
+                ApplyReuse::None { .. } => self.process_plain(ctx, &batch)?,
+                ApplyReuse::FunCache { udf } => self.process_funcache(ctx, &batch, udf)?,
+                ApplyReuse::Views { segments, store } => {
+                    self.process_views(ctx, &batch, segments, *store)?
+                }
+            };
+            // Cross-apply join: input row × each output row.
+            let n_out_cols = self.spec.output.len();
+            let mut out_rows: Vec<Row> = Vec::new();
+            for (row, result) in batch.rows().iter().zip(results) {
+                let Some(udf_rows) = result else { continue };
+                for udf_row in udf_rows {
+                    debug_assert_eq!(udf_row.len(), n_out_cols);
+                    let mut joined = Vec::with_capacity(row.len() + n_out_cols);
+                    joined.extend(row.iter().cloned());
+                    joined.extend(udf_row);
+                    out_rows.push(joined);
+                }
+            }
+            if !out_rows.is_empty() {
+                return Ok(Some(Batch::new(Arc::clone(&self.schema), out_rows)));
+            }
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! Selection over UDF-free predicates.
+
+use std::sync::Arc;
+
+use eva_common::{Batch, Result, Schema};
+use eva_expr::eval::NoUdfs;
+use eva_expr::{Expr, RowContext};
+
+use crate::context::ExecCtx;
+use crate::ops::{BoxedOp, Operator};
+
+/// Filters rows by a predicate. The optimizer guarantees no UDF calls
+/// remain in post-rewrite predicates (they were lowered to applies).
+pub struct FilterOp {
+    input: BoxedOp,
+    predicate: Expr,
+}
+
+impl FilterOp {
+    /// New filter.
+    pub fn new(input: BoxedOp, predicate: Expr) -> FilterOp {
+        FilterOp { input, predicate }
+    }
+}
+
+impl Operator for FilterOp {
+    fn schema(&self) -> Arc<Schema> {
+        self.input.schema()
+    }
+
+    fn next(&mut self, ctx: &ExecCtx<'_>) -> Result<Option<Batch>> {
+        loop {
+            let Some(batch) = self.input.next(ctx)? else {
+                return Ok(None);
+            };
+            let schema = batch.schema().clone();
+            let mut kept = Vec::new();
+            for row in batch.into_rows() {
+                let rc = RowContext::new(&schema, &row, &NoUdfs);
+                if self.predicate.eval_predicate(&rc)? {
+                    kept.push(row);
+                }
+            }
+            // Skip empty batches but keep pulling (don't signal end early).
+            if !kept.is_empty() {
+                return Ok(Some(Batch::new(schema, kept)));
+            }
+        }
+    }
+}

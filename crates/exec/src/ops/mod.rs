@@ -1,0 +1,24 @@
+//! Physical operators.
+
+pub mod aggregate;
+pub mod apply;
+pub mod filter;
+pub mod project;
+pub mod scan;
+pub mod sort_limit;
+
+use eva_common::{Batch, Result, Schema};
+use std::sync::Arc;
+
+use crate::context::ExecCtx;
+
+/// A pull-based operator producing batches until exhausted.
+pub trait Operator {
+    /// Output schema.
+    fn schema(&self) -> Arc<Schema>;
+    /// Produce the next batch, or `None` when done.
+    fn next(&mut self, ctx: &ExecCtx<'_>) -> Result<Option<Batch>>;
+}
+
+/// Boxed operator alias.
+pub type BoxedOp = Box<dyn Operator>;

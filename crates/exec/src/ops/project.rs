@@ -1,0 +1,51 @@
+//! Projection.
+
+use std::sync::Arc;
+
+use eva_common::{Batch, Result, Row, Schema};
+use eva_expr::eval::NoUdfs;
+use eva_expr::{Expr, RowContext};
+
+use crate::context::ExecCtx;
+use crate::ops::{BoxedOp, Operator};
+
+/// Evaluates projection expressions per row.
+pub struct ProjectOp {
+    input: BoxedOp,
+    items: Vec<(Expr, String)>,
+    schema: Arc<Schema>,
+}
+
+impl ProjectOp {
+    /// New projection.
+    pub fn new(input: BoxedOp, items: Vec<(Expr, String)>, schema: Arc<Schema>) -> ProjectOp {
+        ProjectOp {
+            input,
+            items,
+            schema,
+        }
+    }
+}
+
+impl Operator for ProjectOp {
+    fn schema(&self) -> Arc<Schema> {
+        Arc::clone(&self.schema)
+    }
+
+    fn next(&mut self, ctx: &ExecCtx<'_>) -> Result<Option<Batch>> {
+        let Some(batch) = self.input.next(ctx)? else {
+            return Ok(None);
+        };
+        let in_schema = batch.schema().clone();
+        let mut rows = Vec::with_capacity(batch.len());
+        for row in batch.rows() {
+            let rc = RowContext::new(&in_schema, row, &NoUdfs);
+            let mut out: Row = Vec::with_capacity(self.items.len());
+            for (expr, _) in &self.items {
+                out.push(expr.eval(&rc)?);
+            }
+            rows.push(out);
+        }
+        Ok(Some(Batch::new(Arc::clone(&self.schema), rows)))
+    }
+}

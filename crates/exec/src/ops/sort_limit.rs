@@ -1,0 +1,107 @@
+//! Sort and limit.
+
+use std::sync::Arc;
+
+use eva_common::{Batch, EvaError, Result, Row, Schema};
+
+use crate::context::ExecCtx;
+use crate::ops::{BoxedOp, Operator};
+
+/// Blocking sort by column keys.
+pub struct SortOp {
+    input: BoxedOp,
+    keys: Vec<(String, bool)>,
+    done: bool,
+}
+
+impl SortOp {
+    /// New sort (`(column, descending)` keys).
+    pub fn new(input: BoxedOp, keys: Vec<(String, bool)>) -> SortOp {
+        SortOp {
+            input,
+            keys,
+            done: false,
+        }
+    }
+}
+
+impl Operator for SortOp {
+    fn schema(&self) -> Arc<Schema> {
+        self.input.schema()
+    }
+
+    fn next(&mut self, ctx: &ExecCtx<'_>) -> Result<Option<Batch>> {
+        if self.done {
+            return Ok(None);
+        }
+        self.done = true;
+        let schema = self.input.schema();
+        let key_idx: Vec<(usize, bool)> = self
+            .keys
+            .iter()
+            .map(|(c, d)| {
+                schema
+                    .index_of(c)
+                    .map(|i| (i, *d))
+                    .ok_or_else(|| EvaError::Exec(format!("unknown sort column '{c}'")))
+            })
+            .collect::<Result<_>>()?;
+        let mut rows: Vec<Row> = Vec::new();
+        while let Some(batch) = self.input.next(ctx)? {
+            rows.extend(batch.into_rows());
+        }
+        rows.sort_by(|a, b| {
+            for &(i, desc) in &key_idx {
+                let ord = a[i]
+                    .sql_cmp(&b[i])
+                    .unwrap_or(std::cmp::Ordering::Equal);
+                let ord = if desc { ord.reverse() } else { ord };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        Ok(Some(Batch::new(schema, rows)))
+    }
+}
+
+/// Streaming limit.
+pub struct LimitOp {
+    input: BoxedOp,
+    remaining: u64,
+}
+
+impl LimitOp {
+    /// New limit.
+    pub fn new(input: BoxedOp, n: u64) -> LimitOp {
+        LimitOp {
+            input,
+            remaining: n,
+        }
+    }
+}
+
+impl Operator for LimitOp {
+    fn schema(&self) -> Arc<Schema> {
+        self.input.schema()
+    }
+
+    fn next(&mut self, ctx: &ExecCtx<'_>) -> Result<Option<Batch>> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        let Some(batch) = self.input.next(ctx)? else {
+            return Ok(None);
+        };
+        let take = (self.remaining as usize).min(batch.len());
+        self.remaining -= take as u64;
+        if take == batch.len() {
+            Ok(Some(batch))
+        } else {
+            let schema = batch.schema().clone();
+            let rows: Vec<Row> = batch.into_rows().into_iter().take(take).collect();
+            Ok(Some(Batch::new(schema, rows)))
+        }
+    }
+}

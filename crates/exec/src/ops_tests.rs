@@ -1,0 +1,400 @@
+//! Unit tests for the physical operators.
+#![cfg(test)]
+
+use std::sync::Arc;
+
+use eva_common::{CostCategory, DataType, Field, FrameId, Schema, Value};
+use eva_expr::{AggFunc, Expr};
+use eva_planner::{ApplyReuse, ApplySpec, Segment};
+use eva_storage::{ViewKey, ViewKeyKind};
+
+use crate::ops::aggregate::AggregateOp;
+use crate::ops::apply::ApplyOp;
+use crate::ops::filter::FilterOp;
+use crate::ops::project::ProjectOp;
+use crate::ops::scan::ScanFramesOp;
+use crate::ops::sort_limit::{LimitOp, SortOp};
+use crate::testing::{TestEnv, ValuesOp};
+
+fn int_schema() -> Arc<Schema> {
+    Arc::new(
+        Schema::new(vec![
+            Field::new("a", DataType::Int),
+            Field::new("b", DataType::Str),
+        ])
+        .unwrap(),
+    )
+}
+
+fn values(rows: Vec<(i64, &str)>) -> ValuesOp {
+    ValuesOp::new(
+        int_schema(),
+        rows.into_iter()
+            .map(|(a, b)| vec![Value::Int(a), Value::from(b)])
+            .collect(),
+    )
+}
+
+#[test]
+fn scan_batches_and_charges() {
+    let env = TestEnv::new(1, 50);
+    let scan = ScanFramesOp::new(
+        "t".into(),
+        (5, 45),
+        Arc::new(eva_storage::engine::video_table_schema()),
+    );
+    let out = env.drain(Box::new(scan)).unwrap();
+    assert_eq!(out.len(), 40);
+    assert_eq!(out.value(0, "id").unwrap(), &Value::Int(5));
+    let read = env.clock.snapshot().get(CostCategory::ReadVideo);
+    assert!((read - 40.0 * 1.8).abs() < 1e-9);
+}
+
+#[test]
+fn filter_keeps_matching_rows_only() {
+    let env = TestEnv::new(2, 10);
+    let src = values(vec![(1, "x"), (5, "y"), (9, "x")]);
+    let op = FilterOp::new(Box::new(src), Expr::col("b").eq_val("x"));
+    let out = env.drain(Box::new(op)).unwrap();
+    assert_eq!(out.len(), 2);
+    assert!(out.rows().iter().all(|r| r[1] == Value::from("x")));
+}
+
+#[test]
+fn project_computes_expressions() {
+    let env = TestEnv::new(3, 10);
+    let src = values(vec![(2, "x"), (7, "y")]);
+    let schema = Arc::new(
+        Schema::new(vec![
+            Field::new("is_small", DataType::Bool),
+            Field::new("b", DataType::Str),
+        ])
+        .unwrap(),
+    );
+    let op = ProjectOp::new(
+        Box::new(src),
+        vec![
+            (Expr::col("a").lt(5), "is_small".into()),
+            (Expr::col("b"), "b".into()),
+        ],
+        schema,
+    );
+    let out = env.drain(Box::new(op)).unwrap();
+    assert_eq!(out.value(0, "is_small").unwrap(), &Value::Bool(true));
+    assert_eq!(out.value(1, "is_small").unwrap(), &Value::Bool(false));
+}
+
+#[test]
+fn aggregate_group_count_sum_min_max_avg() {
+    let env = TestEnv::new(4, 10);
+    let src = values(vec![(1, "x"), (3, "x"), (10, "y")]);
+    let schema = Arc::new(
+        Schema::new(vec![
+            Field::new("b", DataType::Str),
+            Field::new("n", DataType::Int),
+            Field::new("s", DataType::Float),
+            Field::new("mn", DataType::Float),
+            Field::new("mx", DataType::Float),
+            Field::new("av", DataType::Float),
+        ])
+        .unwrap(),
+    );
+    let op = AggregateOp::new(
+        Box::new(src),
+        vec!["b".into()],
+        vec![
+            (AggFunc::Count, None, "n".into()),
+            (AggFunc::Sum, Some(Expr::col("a")), "s".into()),
+            (AggFunc::Min, Some(Expr::col("a")), "mn".into()),
+            (AggFunc::Max, Some(Expr::col("a")), "mx".into()),
+            (AggFunc::Avg, Some(Expr::col("a")), "av".into()),
+        ],
+        schema,
+    );
+    let out = env.drain(Box::new(op)).unwrap();
+    assert_eq!(out.len(), 2);
+    // Groups sorted by key bytes: "x" < "y".
+    assert_eq!(out.value(0, "b").unwrap(), &Value::from("x"));
+    assert_eq!(out.value(0, "n").unwrap(), &Value::Int(2));
+    assert_eq!(out.value(0, "s").unwrap(), &Value::Float(4.0));
+    assert_eq!(out.value(0, "mn").unwrap(), &Value::Int(1));
+    assert_eq!(out.value(0, "mx").unwrap(), &Value::Int(3));
+    assert_eq!(out.value(0, "av").unwrap(), &Value::Float(2.0));
+    assert_eq!(out.value(1, "n").unwrap(), &Value::Int(1));
+}
+
+#[test]
+fn aggregate_without_groups_yields_single_row() {
+    let env = TestEnv::new(5, 10);
+    let src = values(vec![(1, "x"), (2, "y")]);
+    let schema = Arc::new(Schema::new(vec![Field::new("n", DataType::Int)]).unwrap());
+    let op = AggregateOp::new(
+        Box::new(src),
+        vec![],
+        vec![(AggFunc::Count, None, "n".into())],
+        schema,
+    );
+    let out = env.drain(Box::new(op)).unwrap();
+    assert_eq!(out.len(), 1);
+    assert_eq!(out.value(0, "n").unwrap(), &Value::Int(2));
+}
+
+#[test]
+fn sort_and_limit() {
+    let env = TestEnv::new(6, 10);
+    let src = values(vec![(5, "c"), (1, "a"), (9, "b")]);
+    let sorted = SortOp::new(Box::new(src), vec![("a".into(), true)]);
+    let limited = LimitOp::new(Box::new(sorted), 2);
+    let out = env.drain(Box::new(limited)).unwrap();
+    assert_eq!(out.len(), 2);
+    assert_eq!(out.value(0, "a").unwrap(), &Value::Int(9));
+    assert_eq!(out.value(1, "a").unwrap(), &Value::Int(5));
+}
+
+// ---------------------------------------------------------------------------
+// The fused apply operator
+// ---------------------------------------------------------------------------
+
+fn frame_source(env: &TestEnv, n: u64) -> Box<ScanFramesOp> {
+    let _ = env;
+    Box::new(ScanFramesOp::new(
+        "t".into(),
+        (0, n),
+        Arc::new(eva_storage::engine::video_table_schema()),
+    ))
+}
+
+fn detector_spec(env: &TestEnv, reuse: ApplyReuse) -> ApplySpec {
+    let def = env.catalog.udf("fasterrcnn_resnet50").unwrap();
+    ApplySpec {
+        display_name: def.name.clone(),
+        args: vec![Expr::col("frame")],
+        reuse,
+        output: Arc::new(def.output.clone()),
+    }
+}
+
+fn apply_schema(env: &TestEnv) -> Arc<Schema> {
+    let def = env.catalog.udf("fasterrcnn_resnet50").unwrap();
+    Arc::new(eva_storage::engine::video_table_schema().join(&def.output))
+}
+
+#[test]
+fn apply_plain_mode_fans_out_detections() {
+    let env = TestEnv::new(7, 20);
+    let def = env.catalog.udf("fasterrcnn_resnet50").unwrap();
+    let spec = detector_spec(&env, ApplyReuse::None { udf: def.clone() });
+    let op = ApplyOp::new(frame_source(&env, 20), spec, apply_schema(&env)).unwrap();
+    let out = env.drain(Box::new(op)).unwrap();
+    assert!(out.len() > 20, "multiple detections per frame expected");
+    // Every output row carries the original frame columns plus outputs.
+    assert_eq!(out.schema().len(), 6);
+    let counters = env.stats.get("fasterrcnn_resnet50");
+    assert_eq!(counters.total_invocations, 20);
+    assert_eq!(counters.reused_invocations, 0);
+    let udf_ms = env.clock.snapshot().get(CostCategory::Udf);
+    assert!((udf_ms - 20.0 * 99.0).abs() < 1e-6);
+}
+
+#[test]
+fn apply_views_mode_probes_then_stores() {
+    let env = TestEnv::new(8, 20);
+    let def = env.catalog.udf("fasterrcnn_resnet50").unwrap();
+    let view = env.storage.create_view(
+        "det",
+        ViewKeyKind::Frame,
+        Arc::new(def.output.clone()),
+    );
+    // Pre-materialize frames 0..10 with sentinel rows.
+    let entries: Vec<_> = (0..10u64)
+        .map(|i| {
+            (
+                ViewKey::frame(FrameId(i)),
+                vec![vec![
+                    Value::from("sentinel"),
+                    Value::from(eva_common::BBox::new(0.0, 0.0, 0.5, 0.5)),
+                    Value::Float(1.0),
+                ]],
+            )
+        })
+        .collect();
+    env.storage.view_append(view, entries, &env.clock).unwrap();
+
+    let spec = detector_spec(
+        &env,
+        ApplyReuse::Views {
+            segments: vec![Segment {
+                udf: def.clone(),
+                view: Some(view),
+                eval: true,
+            }],
+            store: true,
+        },
+    );
+    let op = ApplyOp::new(frame_source(&env, 20), spec, apply_schema(&env)).unwrap();
+    let out = env.drain(Box::new(op)).unwrap();
+
+    // Frames 0..10 produced the sentinel; 10..20 fresh detections.
+    let sentinels = out
+        .rows()
+        .iter()
+        .filter(|r| r[3] == Value::from("sentinel"))
+        .count();
+    assert_eq!(sentinels, 10);
+    let counters = env.stats.get("fasterrcnn_resnet50");
+    assert_eq!(counters.reused_invocations, 10);
+    assert_eq!(counters.total_invocations, 20);
+    // STORE appended the fresh frames: the view now covers all 20.
+    assert_eq!(env.storage.view_n_keys(view).unwrap(), 20);
+    // Re-running reuses everything.
+    let spec = detector_spec(
+        &env,
+        ApplyReuse::Views {
+            segments: vec![Segment {
+                udf: def,
+                view: Some(view),
+                eval: true,
+            }],
+            store: true,
+        },
+    );
+    let op = ApplyOp::new(frame_source(&env, 20), spec, apply_schema(&env)).unwrap();
+    env.drain(Box::new(op)).unwrap();
+    let counters = env.stats.get("fasterrcnn_resnet50");
+    assert_eq!(counters.reused_invocations, 30);
+}
+
+#[test]
+fn apply_multi_segment_probes_in_order() {
+    let env = TestEnv::new(9, 12);
+    let rcnn101 = env.catalog.udf("fasterrcnn_resnet101").unwrap();
+    let yolo = env.catalog.udf("yolo_tiny").unwrap();
+    let schema_out = Arc::new(rcnn101.output.clone());
+    let v101 = env
+        .storage
+        .create_view("rcnn101", ViewKeyKind::Frame, Arc::clone(&schema_out));
+    // rcnn101 view covers frames 0..6.
+    let entries: Vec<_> = (0..6u64)
+        .map(|i| {
+            (
+                ViewKey::frame(FrameId(i)),
+                vec![vec![
+                    Value::from("from101"),
+                    Value::from(eva_common::BBox::new(0.0, 0.0, 0.2, 0.2)),
+                    Value::Float(0.9),
+                ]],
+            )
+        })
+        .collect();
+    env.storage.view_append(v101, entries, &env.clock).unwrap();
+    let vy = env
+        .storage
+        .create_view("yolo", ViewKeyKind::Frame, Arc::clone(&schema_out));
+
+    let spec = ApplySpec {
+        display_name: "objectdetector".into(),
+        args: vec![Expr::col("frame")],
+        reuse: ApplyReuse::Views {
+            segments: vec![
+                Segment {
+                    udf: rcnn101.clone(),
+                    view: Some(v101),
+                    eval: false, // view-only (Algorithm 2 ReadView choice)
+                },
+                Segment {
+                    udf: yolo.clone(),
+                    view: Some(vy),
+                    eval: true, // fallback
+                },
+            ],
+            store: true,
+        },
+        output: Arc::clone(&schema_out),
+    };
+    let op = ApplyOp::new(frame_source(&env, 12), spec, apply_schema(&env)).unwrap();
+    let out = env.drain(Box::new(op)).unwrap();
+    let from101 = out
+        .rows()
+        .iter()
+        .filter(|r| r[3] == Value::from("from101"))
+        .count();
+    assert_eq!(from101, 6, "covered frames come from the 101 view");
+    assert_eq!(env.stats.get("fasterrcnn_resnet101").reused_invocations, 6);
+    let y = env.stats.get("yolo_tiny");
+    assert_eq!(y.total_invocations - y.reused_invocations, 6);
+    // Fresh yolo results stored into yolo's own view, not rcnn101's.
+    assert_eq!(env.storage.view_n_keys(vy).unwrap(), 6);
+    assert_eq!(env.storage.view_n_keys(v101).unwrap(), 6);
+}
+
+#[test]
+fn apply_funcache_mode_hits_and_charges_hash() {
+    let env = TestEnv::new(10, 10);
+    let def = env.catalog.udf("fasterrcnn_resnet50").unwrap();
+    let spec = detector_spec(&env, ApplyReuse::FunCache { udf: def });
+    let op = ApplyOp::new(frame_source(&env, 10), spec.clone(), apply_schema(&env)).unwrap();
+    env.drain(Box::new(op)).unwrap();
+    let hash1 = env.clock.snapshot().get(CostCategory::HashInput);
+    assert!(hash1 > 0.0);
+    assert_eq!(env.funcache.len(), 10);
+
+    let op = ApplyOp::new(frame_source(&env, 10), spec, apply_schema(&env)).unwrap();
+    env.drain(Box::new(op)).unwrap();
+    let c = env.stats.get("fasterrcnn_resnet50");
+    assert_eq!(c.reused_invocations, 10);
+    // Hashing is paid again on the hit path.
+    let hash2 = env.clock.snapshot().get(CostCategory::HashInput);
+    assert!((hash2 - 2.0 * hash1).abs() < 1e-6);
+}
+
+#[test]
+fn apply_box_level_uses_frame_box_keys() {
+    let env = TestEnv::new(11, 6);
+    let det = env.catalog.udf("fasterrcnn_resnet50").unwrap();
+    let ct = env.catalog.udf("cartype").unwrap();
+    // Build detector rows first (plain), then cartype with views+store.
+    let det_spec = detector_spec(&env, ApplyReuse::None { udf: det });
+    let det_op = ApplyOp::new(frame_source(&env, 6), det_spec, apply_schema(&env)).unwrap();
+
+    let view = env.storage.create_view(
+        "cartype",
+        ViewKeyKind::FrameBox,
+        Arc::new(ct.output.clone()),
+    );
+    let ct_schema = Arc::new(apply_schema(&env).join(&ct.output));
+    let ct_spec = ApplySpec {
+        display_name: "cartype".into(),
+        args: vec![Expr::col("frame"), Expr::col("bbox")],
+        reuse: ApplyReuse::Views {
+            segments: vec![Segment {
+                udf: ct,
+                view: Some(view),
+                eval: true,
+            }],
+            store: true,
+        },
+        output: Arc::new(env.catalog.udf("cartype").unwrap().output.clone()),
+    };
+    let ct_op = ApplyOp::new(Box::new(det_op), ct_spec, ct_schema).unwrap();
+    let out = env.drain(Box::new(ct_op)).unwrap();
+    assert!(!out.is_empty());
+    let c = env.stats.get("cartype");
+    assert_eq!(c.reused_invocations, 0);
+    assert_eq!(env.storage.view_n_keys(view).unwrap(), c.distinct_inputs);
+    // Output column present and populated.
+    let idx = out.schema().index_of("cartype").unwrap();
+    assert!(out.rows().iter().all(|r| matches!(&r[idx], Value::Str(_))));
+}
+
+#[test]
+fn apply_rejects_non_column_args() {
+    let env = TestEnv::new(12, 5);
+    let def = env.catalog.udf("fasterrcnn_resnet50").unwrap();
+    let spec = ApplySpec {
+        display_name: "bad".into(),
+        args: vec![Expr::lit(1)],
+        reuse: ApplyReuse::None { udf: def },
+        output: Arc::new(Schema::empty()),
+    };
+    assert!(ApplyOp::new(frame_source(&env, 5), spec, apply_schema(&env)).is_err());
+}

@@ -1,0 +1,106 @@
+//! Shared fixtures for operator unit tests.
+#![cfg(test)]
+
+use std::sync::Arc;
+
+use eva_common::{Batch, Result, Schema, SimClock, Value};
+use eva_storage::StorageEngine;
+use eva_udf::registry::install_standard_zoo;
+use eva_udf::{InvocationStats, UdfRegistry};
+use eva_video::generator::generate;
+use eva_video::{VideoConfig, VideoDataset};
+
+use crate::config::ExecConfig;
+use crate::context::ExecCtx;
+use crate::funcache::FunCacheTable;
+use crate::ops::{BoxedOp, Operator};
+
+/// Everything an operator test needs, with owned lifetimes.
+pub struct TestEnv {
+    pub storage: StorageEngine,
+    pub registry: UdfRegistry,
+    pub stats: InvocationStats,
+    pub clock: SimClock,
+    pub dataset: Arc<VideoDataset>,
+    pub funcache: FunCacheTable,
+    pub catalog: eva_catalog::Catalog,
+}
+
+impl TestEnv {
+    pub fn new(seed: u64, n_frames: u64) -> TestEnv {
+        let storage = StorageEngine::new();
+        let registry = UdfRegistry::new();
+        let catalog = eva_catalog::Catalog::new();
+        install_standard_zoo(&registry, &catalog).expect("zoo install");
+        let dataset = storage.load_dataset(generate(VideoConfig {
+            name: "t".into(),
+            n_frames,
+            width: 100,
+            height: 60,
+            fps: 25.0,
+            target_density: 3.0,
+            person_fraction: 0.0,
+            seed,
+        }));
+        TestEnv {
+            storage,
+            registry,
+            stats: InvocationStats::new(),
+            clock: SimClock::new(),
+            dataset,
+            funcache: FunCacheTable::new(),
+            catalog,
+        }
+    }
+
+    pub fn ctx(&self) -> ExecCtx<'_> {
+        ExecCtx {
+            storage: &self.storage,
+            registry: &self.registry,
+            stats: &self.stats,
+            clock: &self.clock,
+            dataset: Arc::clone(&self.dataset),
+            funcache: &self.funcache,
+            config: ExecConfig {
+                batch_size: 16,
+                ..ExecConfig::default()
+            },
+        }
+    }
+
+    /// Drain an operator to completion.
+    pub fn drain(&self, mut op: BoxedOp) -> Result<Batch> {
+        let ctx = self.ctx();
+        let mut out = Batch::empty(op.schema());
+        while let Some(b) = op.next(&ctx)? {
+            out.extend(b)?;
+        }
+        Ok(out)
+    }
+}
+
+/// A static in-memory source operator for testing downstream operators.
+pub struct ValuesOp {
+    schema: Arc<Schema>,
+    batches: Vec<Batch>,
+}
+
+impl ValuesOp {
+    pub fn new(schema: Arc<Schema>, rows: Vec<Vec<Value>>) -> ValuesOp {
+        let batch = Batch::new(Arc::clone(&schema), rows);
+        ValuesOp {
+            schema,
+            batches: vec![batch],
+        }
+    }
+}
+
+impl Operator for ValuesOp {
+    fn schema(&self) -> Arc<Schema> {
+        Arc::clone(&self.schema)
+    }
+
+    fn next(&mut self, _ctx: &ExecCtx<'_>) -> Result<Option<Batch>> {
+        Ok(self.batches.pop())
+    }
+}

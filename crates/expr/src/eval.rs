@@ -1,0 +1,289 @@
+//! SQL three-valued evaluation of expressions over rows.
+
+use eva_common::{EvaError, Result, Row, Schema, Value};
+
+use crate::expr::Expr;
+
+/// Callback through which scalar UDF calls inside expressions are evaluated.
+///
+/// The planner normally rewrites UDF calls into APPLY operators before
+/// execution, but inline evaluation is needed by (a) the FunCache baseline,
+/// which memoizes at the call site, and (b) tests.
+pub trait UdfDispatch {
+    /// Evaluate the named UDF over already-evaluated argument values.
+    fn call_udf(&self, name: &str, accuracy: Option<&str>, args: &[Value]) -> Result<Value>;
+}
+
+/// A dispatch that rejects every UDF call — used wherever the plan guarantees
+/// no UDF remains in the expression.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoUdfs;
+
+impl UdfDispatch for NoUdfs {
+    fn call_udf(&self, name: &str, _accuracy: Option<&str>, _args: &[Value]) -> Result<Value> {
+        Err(EvaError::Exec(format!(
+            "unexpected UDF call '{name}' in post-rewrite expression"
+        )))
+    }
+}
+
+/// Everything needed to evaluate an expression against one tuple.
+pub trait EvalContext {
+    /// Resolve a column reference.
+    fn column(&self, name: &str) -> Result<Value>;
+    /// Dispatch a scalar UDF call.
+    fn udf(&self, name: &str, accuracy: Option<&str>, args: &[Value]) -> Result<Value>;
+}
+
+/// The standard [`EvalContext`]: a row + schema + UDF dispatch.
+pub struct RowContext<'a, D: UdfDispatch> {
+    schema: &'a Schema,
+    row: &'a Row,
+    dispatch: &'a D,
+}
+
+impl<'a, D: UdfDispatch> RowContext<'a, D> {
+    /// Bundle a row with its schema and a UDF dispatcher.
+    pub fn new(schema: &'a Schema, row: &'a Row, dispatch: &'a D) -> Self {
+        RowContext {
+            schema,
+            row,
+            dispatch,
+        }
+    }
+}
+
+impl<'a, D: UdfDispatch> EvalContext for RowContext<'a, D> {
+    fn column(&self, name: &str) -> Result<Value> {
+        let idx = self
+            .schema
+            .index_of(name)
+            .ok_or_else(|| EvaError::Binder(format!("unknown column '{name}'")))?;
+        Ok(self.row[idx].clone())
+    }
+
+    fn udf(&self, name: &str, accuracy: Option<&str>, args: &[Value]) -> Result<Value> {
+        self.dispatch.call_udf(name, accuracy, args)
+    }
+}
+
+impl Expr {
+    /// Evaluate to a [`Value`] under SQL semantics. Boolean connectives use
+    /// three-valued logic with [`Value::Null`] as UNKNOWN.
+    pub fn eval<C: EvalContext>(&self, ctx: &C) -> Result<Value> {
+        match self {
+            Expr::Column(c) => ctx.column(c),
+            Expr::Literal(v) => Ok(v.clone()),
+            Expr::Udf(u) => {
+                let mut args = Vec::with_capacity(u.args.len());
+                for a in &u.args {
+                    args.push(a.eval(ctx)?);
+                }
+                ctx.udf(&u.name, u.accuracy.as_deref(), &args)
+            }
+            Expr::Cmp { op, lhs, rhs } => {
+                let l = lhs.eval(ctx)?;
+                let r = rhs.eval(ctx)?;
+                Ok(match op.test(l.sql_cmp(&r)) {
+                    Some(b) => Value::Bool(b),
+                    None => Value::Null,
+                })
+            }
+            Expr::And(a, b) => {
+                let l = to_tristate(a.eval(ctx)?)?;
+                // Short circuit: FALSE AND x = FALSE without evaluating x.
+                if l == Some(false) {
+                    return Ok(Value::Bool(false));
+                }
+                let r = to_tristate(b.eval(ctx)?)?;
+                Ok(match (l, r) {
+                    (_, Some(false)) => Value::Bool(false),
+                    (Some(true), Some(true)) => Value::Bool(true),
+                    _ => Value::Null,
+                })
+            }
+            Expr::Or(a, b) => {
+                let l = to_tristate(a.eval(ctx)?)?;
+                if l == Some(true) {
+                    return Ok(Value::Bool(true));
+                }
+                let r = to_tristate(b.eval(ctx)?)?;
+                Ok(match (l, r) {
+                    (_, Some(true)) => Value::Bool(true),
+                    (Some(false), Some(false)) => Value::Bool(false),
+                    _ => Value::Null,
+                })
+            }
+            Expr::Not(e) => Ok(match to_tristate(e.eval(ctx)?)? {
+                Some(b) => Value::Bool(!b),
+                None => Value::Null,
+            }),
+            Expr::Agg { .. } => Err(EvaError::Exec(
+                "aggregate expression evaluated outside GROUP BY operator".into(),
+            )),
+            Expr::IsNull { expr, negated } => {
+                let v = expr.eval(ctx)?;
+                Ok(Value::Bool(v.is_null() != *negated))
+            }
+        }
+    }
+
+    /// Evaluate as a filter predicate: NULL (UNKNOWN) rejects the tuple,
+    /// matching SQL `WHERE` semantics.
+    pub fn eval_predicate<C: EvalContext>(&self, ctx: &C) -> Result<bool> {
+        Ok(match self.eval(ctx)? {
+            Value::Bool(b) => b,
+            Value::Null => false,
+            other => {
+                return Err(EvaError::Type(format!(
+                    "predicate evaluated to non-boolean {other}"
+                )))
+            }
+        })
+    }
+}
+
+fn to_tristate(v: Value) -> Result<Option<bool>> {
+    match v {
+        Value::Bool(b) => Ok(Some(b)),
+        Value::Null => Ok(None),
+        other => Err(EvaError::Type(format!(
+            "expected boolean operand, got {other}"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{CmpOp, UdfCall};
+    use eva_common::{DataType, Field};
+
+    fn ctx_for(row: Row) -> (Schema, Row) {
+        let schema = Schema::new(vec![
+            Field::new("id", DataType::Int),
+            Field::new("label", DataType::Str),
+            Field::new("area", DataType::Float),
+        ])
+        .unwrap();
+        (schema, row)
+    }
+
+    fn eval(e: &Expr, row: Row) -> Value {
+        let (schema, row) = ctx_for(row);
+        let ctx = RowContext::new(&schema, &row, &NoUdfs);
+        e.eval(&ctx).unwrap()
+    }
+
+    fn sample_row() -> Row {
+        vec![Value::Int(5), Value::from("car"), Value::Float(0.4)]
+    }
+
+    #[test]
+    fn comparisons() {
+        assert_eq!(eval(&Expr::col("id").lt(10), sample_row()), Value::Bool(true));
+        assert_eq!(
+            eval(&Expr::col("label").eq_val("car"), sample_row()),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            eval(&Expr::col("area").gt(0.5), sample_row()),
+            Value::Bool(false)
+        );
+    }
+
+    #[test]
+    fn null_propagation_three_valued() {
+        let row = vec![Value::Null, Value::from("car"), Value::Float(0.4)];
+        // NULL < 10 → NULL
+        assert_eq!(eval(&Expr::col("id").lt(10), row.clone()), Value::Null);
+        // NULL AND FALSE → FALSE
+        let e = Expr::col("id").lt(10).and(Expr::false_());
+        assert_eq!(eval(&e, row.clone()), Value::Bool(false));
+        // NULL OR TRUE → TRUE
+        let e = Expr::col("id").lt(10).or(Expr::true_());
+        assert_eq!(eval(&e, row.clone()), Value::Bool(true));
+        // NOT NULL → NULL
+        let e = Expr::col("id").lt(10).not();
+        assert_eq!(eval(&e, row.clone()), Value::Null);
+        // predicate semantics: NULL rejects
+        let (schema, row) = ctx_for(row);
+        let ctx = RowContext::new(&schema, &row, &NoUdfs);
+        assert!(!Expr::col("id").lt(10).eval_predicate(&ctx).unwrap());
+    }
+
+    #[test]
+    fn short_circuit_does_not_hide_errors_on_true_path() {
+        // FALSE AND <error> must not error (short circuit)…
+        let bad = Expr::cmp(Expr::col("missing"), CmpOp::Eq, Expr::lit(1));
+        let e = Expr::false_().and(bad.clone());
+        assert_eq!(eval(&e, sample_row()), Value::Bool(false));
+        // …but TRUE AND <error> must surface the error.
+        let (schema, row) = ctx_for(sample_row());
+        let ctx = RowContext::new(&schema, &row, &NoUdfs);
+        assert!(Expr::true_().and(bad).eval(&ctx).is_err());
+    }
+
+    #[test]
+    fn is_null_checks() {
+        let row = vec![Value::Null, Value::from("car"), Value::Float(0.4)];
+        let e = Expr::IsNull {
+            expr: Box::new(Expr::col("id")),
+            negated: false,
+        };
+        assert_eq!(eval(&e, row.clone()), Value::Bool(true));
+        let e = Expr::IsNull {
+            expr: Box::new(Expr::col("label")),
+            negated: true,
+        };
+        assert_eq!(eval(&e, row), Value::Bool(true));
+    }
+
+    struct ConstUdf(Value);
+    impl UdfDispatch for ConstUdf {
+        fn call_udf(&self, _n: &str, _a: Option<&str>, _args: &[Value]) -> Result<Value> {
+            Ok(self.0.clone())
+        }
+    }
+
+    #[test]
+    fn udf_dispatch_is_invoked() {
+        let (schema, row) = ctx_for(sample_row());
+        let d = ConstUdf(Value::from("Nissan"));
+        let ctx = RowContext::new(&schema, &row, &d);
+        let e = Expr::cmp(
+            Expr::Udf(UdfCall::new("CarType", vec![Expr::col("id")])),
+            CmpOp::Eq,
+            Expr::lit("Nissan"),
+        );
+        assert_eq!(e.eval(&ctx).unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn no_udfs_dispatch_rejects() {
+        let (schema, row) = ctx_for(sample_row());
+        let ctx = RowContext::new(&schema, &row, &NoUdfs);
+        let e = Expr::Udf(UdfCall::new("x", vec![]));
+        assert!(e.eval(&ctx).is_err());
+    }
+
+    #[test]
+    fn aggregates_do_not_eval_inline() {
+        let (schema, row) = ctx_for(sample_row());
+        let ctx = RowContext::new(&schema, &row, &NoUdfs);
+        let e = Expr::Agg {
+            func: crate::expr::AggFunc::Count,
+            arg: None,
+        };
+        assert!(e.eval(&ctx).is_err());
+    }
+
+    #[test]
+    fn type_errors_surface() {
+        let (schema, row) = ctx_for(sample_row());
+        let ctx = RowContext::new(&schema, &row, &NoUdfs);
+        // label AND true → type error (string operand)
+        let e = Expr::col("label").and(Expr::true_());
+        assert!(e.eval(&ctx).is_err());
+    }
+}

@@ -1,0 +1,446 @@
+//! The expression AST.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use eva_common::Value;
+
+/// Comparison operators of the EVA-QL predicate grammar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `!=` / `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// The operator with sides swapped (`a < b` ⇔ `b > a`), used to
+    /// normalize atoms into `column op constant` form.
+    pub fn flipped(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Ne => CmpOp::Ne,
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+        }
+    }
+
+    /// Logical negation (`NOT (a < b)` ⇔ `a >= b`).
+    pub fn negated(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Ne,
+            CmpOp::Ne => CmpOp::Eq,
+            CmpOp::Lt => CmpOp::Ge,
+            CmpOp::Le => CmpOp::Gt,
+            CmpOp::Gt => CmpOp::Le,
+            CmpOp::Ge => CmpOp::Lt,
+        }
+    }
+
+    /// Evaluate against a three-valued comparison result.
+    pub fn test(self, ord: Option<std::cmp::Ordering>) -> Option<bool> {
+        use std::cmp::Ordering::*;
+        let ord = ord?;
+        Some(match self {
+            CmpOp::Eq => ord == Equal,
+            CmpOp::Ne => ord != Equal,
+            CmpOp::Lt => ord == Less,
+            CmpOp::Le => ord != Greater,
+            CmpOp::Gt => ord == Greater,
+            CmpOp::Ge => ord != Less,
+        })
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Aggregate functions supported in projection lists (`Q4` of the paper uses
+/// `COUNT(*) … GROUP BY timestamp`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AggFunc {
+    /// `COUNT(*)` or `COUNT(expr)` (non-null count).
+    Count,
+    /// `SUM(expr)`.
+    Sum,
+    /// `MIN(expr)`.
+    Min,
+    /// `MAX(expr)`.
+    Max,
+    /// `AVG(expr)`.
+    Avg,
+}
+
+impl fmt::Display for AggFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AggFunc::Count => "COUNT",
+            AggFunc::Sum => "SUM",
+            AggFunc::Min => "MIN",
+            AggFunc::Max => "MAX",
+            AggFunc::Avg => "AVG",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A UDF invocation appearing inside an expression, e.g.
+/// `VEHICLE_COLOR(bbox, frame)` or `OBJECT_DETECTOR(frame) ACCURACY 'HIGH'`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UdfCall {
+    /// UDF name, lower-cased.
+    pub name: String,
+    /// Argument expressions (columns in practice).
+    pub args: Vec<Expr>,
+    /// Optional `ACCURACY '<level>'` constraint (logical UDFs, §4.3).
+    pub accuracy: Option<String>,
+}
+
+impl UdfCall {
+    /// Construct with normalized (lowercase) name and accuracy.
+    pub fn new(name: impl Into<String>, args: Vec<Expr>) -> Self {
+        UdfCall {
+            name: name.into().to_ascii_lowercase(),
+            args,
+            accuracy: None,
+        }
+    }
+
+    /// Attach an accuracy constraint.
+    pub fn with_accuracy(mut self, acc: impl Into<String>) -> Self {
+        self.accuracy = Some(acc.into().to_ascii_uppercase());
+        self
+    }
+}
+
+impl fmt::Display for UdfCall {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.name.to_ascii_uppercase())?;
+        for (i, a) in self.args.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, ")")?;
+        if let Some(acc) = &self.accuracy {
+            write!(f, " ACCURACY '{acc}'")?;
+        }
+        Ok(())
+    }
+}
+
+/// An expression tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Expr {
+    /// Column reference by (case-normalized) name.
+    Column(String),
+    /// Literal constant.
+    Literal(Value),
+    /// Scalar UDF call.
+    Udf(UdfCall),
+    /// Comparison of two sub-expressions.
+    Cmp {
+        /// Operator.
+        op: CmpOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Conjunction.
+    And(Box<Expr>, Box<Expr>),
+    /// Disjunction.
+    Or(Box<Expr>, Box<Expr>),
+    /// Negation.
+    Not(Box<Expr>),
+    /// Aggregate call (projection lists only).
+    Agg {
+        /// Aggregate function.
+        func: AggFunc,
+        /// Argument; `None` means `*` (only valid for COUNT).
+        arg: Option<Box<Expr>>,
+    },
+    /// `expr IS NULL` / `expr IS NOT NULL` — needed by the conditional-APPLY
+    /// NULL guard in the materialization-aware transformation rule.
+    IsNull {
+        /// Operand.
+        expr: Box<Expr>,
+        /// True for `IS NOT NULL`.
+        negated: bool,
+    },
+}
+
+impl Expr {
+    /// Column reference helper.
+    pub fn col(name: impl Into<String>) -> Expr {
+        Expr::Column(name.into().to_ascii_lowercase())
+    }
+
+    /// Literal helper.
+    pub fn lit(v: impl Into<Value>) -> Expr {
+        Expr::Literal(v.into())
+    }
+
+    /// Comparison helper.
+    pub fn cmp(lhs: Expr, op: CmpOp, rhs: Expr) -> Expr {
+        Expr::Cmp {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        }
+    }
+
+    /// `self AND other`.
+    pub fn and(self, other: Expr) -> Expr {
+        Expr::And(Box::new(self), Box::new(other))
+    }
+
+    /// `self OR other`.
+    pub fn or(self, other: Expr) -> Expr {
+        Expr::Or(Box::new(self), Box::new(other))
+    }
+
+    /// `NOT self`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Expr {
+        Expr::Not(Box::new(self))
+    }
+
+    /// The constant `TRUE`.
+    pub fn true_() -> Expr {
+        Expr::Literal(Value::Bool(true))
+    }
+
+    /// The constant `FALSE`.
+    pub fn false_() -> Expr {
+        Expr::Literal(Value::Bool(false))
+    }
+
+    /// Is this exactly the literal TRUE?
+    pub fn is_true_lit(&self) -> bool {
+        matches!(self, Expr::Literal(Value::Bool(true)))
+    }
+
+    /// Is this exactly the literal FALSE?
+    pub fn is_false_lit(&self) -> bool {
+        matches!(self, Expr::Literal(Value::Bool(false)))
+    }
+
+    /// Does the subtree contain any UDF call?
+    pub fn contains_udf(&self) -> bool {
+        let mut found = false;
+        self.visit(&mut |e| {
+            if matches!(e, Expr::Udf(_)) {
+                found = true;
+            }
+        });
+        found
+    }
+
+    /// Pre-order visit of the tree.
+    pub fn visit<F: FnMut(&Expr)>(&self, f: &mut F) {
+        f(self);
+        match self {
+            Expr::Column(_) | Expr::Literal(_) => {}
+            Expr::Udf(u) => {
+                for a in &u.args {
+                    a.visit(f);
+                }
+            }
+            Expr::Cmp { lhs, rhs, .. } => {
+                lhs.visit(f);
+                rhs.visit(f);
+            }
+            Expr::And(a, b) | Expr::Or(a, b) => {
+                a.visit(f);
+                b.visit(f);
+            }
+            Expr::Not(e) => e.visit(f),
+            Expr::Agg { arg, .. } => {
+                if let Some(a) = arg {
+                    a.visit(f);
+                }
+            }
+            Expr::IsNull { expr, .. } => expr.visit(f),
+        }
+    }
+
+    /// Bottom-up rewrite of the tree.
+    pub fn transform<F: FnMut(Expr) -> Expr>(self, f: &mut F) -> Expr {
+        let rebuilt = match self {
+            Expr::Column(_) | Expr::Literal(_) => self,
+            Expr::Udf(u) => Expr::Udf(UdfCall {
+                name: u.name,
+                args: u.args.into_iter().map(|a| a.transform(f)).collect(),
+                accuracy: u.accuracy,
+            }),
+            Expr::Cmp { op, lhs, rhs } => Expr::Cmp {
+                op,
+                lhs: Box::new(lhs.transform(f)),
+                rhs: Box::new(rhs.transform(f)),
+            },
+            Expr::And(a, b) => Expr::And(
+                Box::new(a.transform(f)),
+                Box::new(b.transform(f)),
+            ),
+            Expr::Or(a, b) => Expr::Or(
+                Box::new(a.transform(f)),
+                Box::new(b.transform(f)),
+            ),
+            Expr::Not(e) => Expr::Not(Box::new(e.transform(f))),
+            Expr::Agg { func, arg } => Expr::Agg {
+                func,
+                arg: arg.map(|a| Box::new(a.transform(f))),
+            },
+            Expr::IsNull { expr, negated } => Expr::IsNull {
+                expr: Box::new(expr.transform(f)),
+                negated,
+            },
+        };
+        f(rebuilt)
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Column(c) => f.write_str(c),
+            Expr::Literal(v) => write!(f, "{v}"),
+            Expr::Udf(u) => write!(f, "{u}"),
+            Expr::Cmp { op, lhs, rhs } => write!(f, "{lhs} {op} {rhs}"),
+            Expr::And(a, b) => write!(f, "({a} AND {b})"),
+            Expr::Or(a, b) => write!(f, "({a} OR {b})"),
+            Expr::Not(e) => write!(f, "NOT ({e})"),
+            Expr::Agg { func, arg } => match arg {
+                Some(a) => write!(f, "{func}({a})"),
+                None => write!(f, "{func}(*)"),
+            },
+            Expr::IsNull { expr, negated } => {
+                if *negated {
+                    write!(f, "{expr} IS NOT NULL")
+                } else {
+                    write!(f, "{expr} IS NULL")
+                }
+            }
+        }
+    }
+}
+
+/// Ergonomic comparison builders used widely in tests and the vbench
+/// generator (`Expr::col("id").lt(10_000)`).
+impl Expr {
+    /// `self < v`.
+    pub fn lt(self, v: impl Into<Value>) -> Expr {
+        Expr::cmp(self, CmpOp::Lt, Expr::Literal(v.into()))
+    }
+    /// `self <= v`.
+    pub fn le(self, v: impl Into<Value>) -> Expr {
+        Expr::cmp(self, CmpOp::Le, Expr::Literal(v.into()))
+    }
+    /// `self > v`.
+    pub fn gt(self, v: impl Into<Value>) -> Expr {
+        Expr::cmp(self, CmpOp::Gt, Expr::Literal(v.into()))
+    }
+    /// `self >= v`.
+    pub fn ge(self, v: impl Into<Value>) -> Expr {
+        Expr::cmp(self, CmpOp::Ge, Expr::Literal(v.into()))
+    }
+    /// `self = v`.
+    pub fn eq_val(self, v: impl Into<Value>) -> Expr {
+        Expr::cmp(self, CmpOp::Eq, Expr::Literal(v.into()))
+    }
+    /// `self != v`.
+    pub fn ne_val(self, v: impl Into<Value>) -> Expr {
+        Expr::cmp(self, CmpOp::Ne, Expr::Literal(v.into()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cmp::Ordering;
+
+    #[test]
+    fn cmp_op_algebra() {
+        assert_eq!(CmpOp::Lt.flipped(), CmpOp::Gt);
+        assert_eq!(CmpOp::Lt.negated(), CmpOp::Ge);
+        assert_eq!(CmpOp::Eq.flipped(), CmpOp::Eq);
+        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+            assert_eq!(op.negated().negated(), op);
+            assert_eq!(op.flipped().flipped(), op);
+        }
+    }
+
+    #[test]
+    fn cmp_op_test_semantics() {
+        assert_eq!(CmpOp::Le.test(Some(Ordering::Equal)), Some(true));
+        assert_eq!(CmpOp::Lt.test(Some(Ordering::Equal)), Some(false));
+        assert_eq!(CmpOp::Ne.test(None), None, "NULL propagates");
+    }
+
+    #[test]
+    fn builders_and_display() {
+        let e = Expr::col("ID")
+            .lt(10_000)
+            .and(Expr::cmp(Expr::col("label"), CmpOp::Eq, Expr::lit("car")));
+        let s = e.to_string();
+        assert!(s.contains("id < 10000"), "{s}");
+        assert!(s.contains("label = 'car'"), "{s}");
+    }
+
+    #[test]
+    fn visit_finds_udfs() {
+        let udf = Expr::Udf(UdfCall::new("CarType", vec![Expr::col("frame"), Expr::col("bbox")]));
+        let e = Expr::cmp(udf, CmpOp::Eq, Expr::lit("Nissan"));
+        assert!(e.contains_udf());
+        assert!(!Expr::col("id").contains_udf());
+    }
+
+    #[test]
+    fn transform_rewrites_bottom_up() {
+        let e = Expr::col("a").and(Expr::col("b"));
+        let rewritten = e.transform(&mut |x| match x {
+            Expr::Column(c) if c == "a" => Expr::col("z"),
+            other => other,
+        });
+        assert_eq!(rewritten.to_string(), "(z AND b)");
+    }
+
+    #[test]
+    fn udf_call_display_with_accuracy() {
+        let u = UdfCall::new("Object_Detector", vec![Expr::col("frame")]).with_accuracy("high");
+        assert_eq!(u.to_string(), "OBJECT_DETECTOR(frame) ACCURACY 'HIGH'");
+    }
+
+    #[test]
+    fn is_null_display() {
+        let e = Expr::IsNull {
+            expr: Box::new(Expr::col("label")),
+            negated: true,
+        };
+        assert_eq!(e.to_string(), "label IS NOT NULL");
+    }
+}

@@ -1,0 +1,24 @@
+//! # eva-expr
+//!
+//! Expression AST and evaluation for EVA-RS.
+//!
+//! The paper's predicate grammar (§4.1) is:
+//!
+//! ```text
+//! p     ::= expr cp expr | p logic p | NOT p
+//! cp    ::= > | < | = | ≠ | ≤ | ≥
+//! logic ::= AND | OR
+//! ```
+//!
+//! where `expr` is a column, a constant, or a UDF call. This crate provides
+//! [`Expr`] (that grammar plus projection-side helpers such as `COUNT(*)`),
+//! SQL three-valued evaluation over rows, and the analysis utilities the
+//! optimizer needs (conjunct splitting, UDF-call collection, substitution).
+
+pub mod eval;
+pub mod expr;
+pub mod util;
+
+pub use eval::{EvalContext, RowContext, UdfDispatch};
+pub use expr::{AggFunc, CmpOp, Expr, UdfCall};
+pub use util::{collect_udf_calls, conjoin, conjuncts, disjoin, referenced_columns};

@@ -1,0 +1,199 @@
+//! Expression analysis utilities used by the optimizer.
+
+use std::collections::BTreeSet;
+
+use crate::expr::{Expr, UdfCall};
+
+/// Split a predicate into its top-level conjuncts:
+/// `a AND (b AND c)` → `[a, b, c]`. A literal TRUE disappears.
+pub fn conjuncts(e: &Expr) -> Vec<Expr> {
+    let mut out = Vec::new();
+    fn walk(e: &Expr, out: &mut Vec<Expr>) {
+        match e {
+            Expr::And(a, b) => {
+                walk(a, out);
+                walk(b, out);
+            }
+            other if other.is_true_lit() => {}
+            other => out.push(other.clone()),
+        }
+    }
+    walk(e, &mut out);
+    out
+}
+
+/// Combine a list of predicates with AND. Empty list → TRUE.
+pub fn conjoin(mut parts: Vec<Expr>) -> Expr {
+    match parts.len() {
+        0 => Expr::true_(),
+        1 => parts.pop().unwrap(),
+        _ => {
+            let mut it = parts.into_iter();
+            let first = it.next().unwrap();
+            it.fold(first, |acc, e| acc.and(e))
+        }
+    }
+}
+
+/// Combine a list of predicates with OR. Empty list → FALSE.
+pub fn disjoin(mut parts: Vec<Expr>) -> Expr {
+    match parts.len() {
+        0 => Expr::false_(),
+        1 => parts.pop().unwrap(),
+        _ => {
+            let mut it = parts.into_iter();
+            let first = it.next().unwrap();
+            it.fold(first, |acc, e| acc.or(e))
+        }
+    }
+}
+
+/// Collect every UDF call in the expression, in pre-order, deduplicated by
+/// structural equality.
+pub fn collect_udf_calls(e: &Expr) -> Vec<UdfCall> {
+    let mut out: Vec<UdfCall> = Vec::new();
+    e.visit(&mut |node| {
+        if let Expr::Udf(u) = node {
+            if !out.contains(u) {
+                out.push(u.clone());
+            }
+        }
+    });
+    out
+}
+
+/// Names of all columns referenced by the expression (sorted, deduplicated).
+pub fn referenced_columns(e: &Expr) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    e.visit(&mut |node| {
+        if let Expr::Column(c) = node {
+            out.insert(c.clone());
+        }
+    });
+    out
+}
+
+/// Replace every occurrence of `target` UDF call with `replacement`
+/// expression (used when rewriting predicates to read view output columns).
+pub fn substitute_udf(e: Expr, target: &UdfCall, replacement: &Expr) -> Expr {
+    e.transform(&mut |node| match &node {
+        Expr::Udf(u) if u == target => replacement.clone(),
+        _ => node,
+    })
+}
+
+/// Structural constant folding of boolean connectives:
+/// `TRUE AND p → p`, `FALSE OR p → p`, `NOT TRUE → FALSE`, etc.
+pub fn fold_constants(e: Expr) -> Expr {
+    e.transform(&mut |node| match node {
+        Expr::And(a, b) => {
+            if a.is_false_lit() || b.is_false_lit() {
+                Expr::false_()
+            } else if a.is_true_lit() {
+                *b
+            } else if b.is_true_lit() {
+                *a
+            } else {
+                Expr::And(a, b)
+            }
+        }
+        Expr::Or(a, b) => {
+            if a.is_true_lit() || b.is_true_lit() {
+                Expr::true_()
+            } else if a.is_false_lit() {
+                *b
+            } else if b.is_false_lit() {
+                *a
+            } else {
+                Expr::Or(a, b)
+            }
+        }
+        Expr::Not(inner) => {
+            if inner.is_true_lit() {
+                Expr::false_()
+            } else if inner.is_false_lit() {
+                Expr::true_()
+            } else {
+                Expr::Not(inner)
+            }
+        }
+        other => other,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::CmpOp;
+
+    #[test]
+    fn conjuncts_flatten_nested_ands() {
+        let e = Expr::col("a")
+            .lt(1)
+            .and(Expr::col("b").gt(2).and(Expr::col("c").eq_val("x")));
+        let cs = conjuncts(&e);
+        assert_eq!(cs.len(), 3);
+        // Re-conjoining may re-associate but must preserve the conjunct set.
+        assert_eq!(conjuncts(&conjoin(cs.clone())), cs);
+    }
+
+    #[test]
+    fn conjuncts_drop_true() {
+        let e = Expr::true_().and(Expr::col("a").lt(1));
+        assert_eq!(conjuncts(&e).len(), 1);
+    }
+
+    #[test]
+    fn conjoin_empty_is_true_disjoin_empty_is_false() {
+        assert!(conjoin(vec![]).is_true_lit());
+        assert!(disjoin(vec![]).is_false_lit());
+    }
+
+    #[test]
+    fn collect_dedups_udf_calls() {
+        let u = UdfCall::new("ct", vec![Expr::col("frame")]);
+        let e = Expr::cmp(Expr::Udf(u.clone()), CmpOp::Eq, Expr::lit("a"))
+            .and(Expr::cmp(Expr::Udf(u.clone()), CmpOp::Ne, Expr::lit("b")));
+        let calls = collect_udf_calls(&e);
+        assert_eq!(calls, vec![u]);
+    }
+
+    #[test]
+    fn referenced_columns_sorted_unique() {
+        let e = Expr::col("b").lt(1).and(Expr::col("a").gt(2)).and(Expr::col("b").lt(3));
+        let cols: Vec<String> = referenced_columns(&e).into_iter().collect();
+        assert_eq!(cols, vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn substitute_replaces_udf_with_column() {
+        let u = UdfCall::new("ct", vec![Expr::col("frame")]);
+        let e = Expr::cmp(Expr::Udf(u.clone()), CmpOp::Eq, Expr::lit("Nissan"));
+        let out = substitute_udf(e, &u, &Expr::col("ct_out"));
+        assert_eq!(out.to_string(), "ct_out = 'Nissan'");
+    }
+
+    #[test]
+    fn substitution_only_matches_exact_call() {
+        let u1 = UdfCall::new("ct", vec![Expr::col("frame")]);
+        let u2 = UdfCall::new("ct", vec![Expr::col("other")]);
+        let e = Expr::Udf(u2.clone());
+        let out = substitute_udf(e.clone(), &u1, &Expr::col("x"));
+        assert_eq!(out, e);
+    }
+
+    #[test]
+    fn constant_folding() {
+        let e = Expr::true_().and(Expr::col("a").lt(1));
+        assert_eq!(fold_constants(e).to_string(), "a < 1");
+        let e = Expr::false_().and(Expr::col("a").lt(1));
+        assert!(fold_constants(e).is_false_lit());
+        let e = Expr::false_().or(Expr::col("a").lt(1));
+        assert_eq!(fold_constants(e).to_string(), "a < 1");
+        let e = Expr::true_().not();
+        assert!(fold_constants(e).is_false_lit());
+        // Nested: (TRUE AND a) OR FALSE → a
+        let e = Expr::true_().and(Expr::col("a").lt(1)).or(Expr::false_());
+        assert_eq!(fold_constants(e).to_string(), "a < 1");
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based tests for expression utilities: constant folding and
+//! conjunct splitting must preserve three-valued evaluation.
+
+use proptest::prelude::*;
+
+use eva_common::{DataType, Field, Row, Schema, Value};
+use eva_expr::eval::NoUdfs;
+use eva_expr::{conjoin, conjuncts, util::fold_constants, CmpOp, Expr, RowContext};
+
+fn arb_leaf() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        Just(Expr::true_()),
+        Just(Expr::false_()),
+        (0i64..10).prop_map(|v| Expr::col("a").lt(v)),
+        (0i64..10).prop_map(|v| Expr::col("b").ge(v)),
+        prop::sample::select(vec!["x", "y"])
+            .prop_map(|s| Expr::cmp(Expr::col("s"), CmpOp::Eq, Expr::lit(s))),
+    ]
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    arb_leaf().prop_recursive(4, 32, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+            inner.prop_map(|e| e.not()),
+        ]
+    })
+}
+
+fn arb_row() -> impl Strategy<Value = Row> {
+    (0i64..10, 0i64..10, prop::sample::select(vec!["x", "y", "z"]), any::<bool>()).prop_map(
+        |(a, b, s, null_a)| {
+            vec![
+                if null_a { Value::Null } else { Value::Int(a) },
+                Value::Int(b),
+                Value::from(s),
+            ]
+        },
+    )
+}
+
+fn schema() -> Schema {
+    Schema::new(vec![
+        Field::new("a", DataType::Int),
+        Field::new("b", DataType::Int),
+        Field::new("s", DataType::Str),
+    ])
+    .unwrap()
+}
+
+fn eval(e: &Expr, row: &Row) -> Value {
+    let schema = schema();
+    let ctx = RowContext::new(&schema, row, &NoUdfs);
+    e.eval(&ctx).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn fold_constants_preserves_eval(e in arb_expr(), rows in prop::collection::vec(arb_row(), 4)) {
+        let folded = fold_constants(e.clone());
+        for row in &rows {
+            prop_assert_eq!(eval(&e, row), eval(&folded, row), "expr {}", e);
+        }
+    }
+
+    #[test]
+    fn conjuncts_round_trip_eval(e in arb_expr(), rows in prop::collection::vec(arb_row(), 4)) {
+        let parts = conjuncts(&e);
+        let rebuilt = conjoin(parts);
+        for row in &rows {
+            // AND-split and re-conjoin preserves *predicate* semantics
+            // (NULL folds to reject in WHERE position).
+            let schema = schema();
+            let ctx = RowContext::new(&schema, row, &NoUdfs);
+            prop_assert_eq!(
+                e.eval_predicate(&ctx).unwrap(),
+                rebuilt.eval_predicate(&ctx).unwrap(),
+                "expr {}",
+                e
+            );
+        }
+    }
+
+    #[test]
+    fn negation_is_involutive_for_predicates(e in arb_expr(), rows in prop::collection::vec(arb_row(), 4)) {
+        let double_neg = e.clone().not().not();
+        for row in &rows {
+            prop_assert_eq!(eval(&e, row), eval(&double_neg, row));
+        }
+    }
+
+    #[test]
+    fn cmp_op_negation_flips_predicate(op in prop::sample::select(vec![
+        CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge,
+    ]), v in 0i64..10, rows in prop::collection::vec(arb_row(), 4)) {
+        let atom = Expr::cmp(Expr::col("b"), op, Expr::lit(v));
+        let negated = Expr::cmp(Expr::col("b"), op.negated(), Expr::lit(v));
+        for row in &rows {
+            // b is never NULL in arb_row, so two-valued logic applies.
+            let a = eval(&atom, row).as_bool().unwrap();
+            let n = eval(&negated, row).as_bool().unwrap();
+            prop_assert_ne!(a, n);
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! EVA-QL statement AST.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use eva_common::DataType;
+use eva_expr::{Expr, UdfCall};
+
+/// A parsed EVA-QL statement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Statement {
+    /// `SELECT … FROM … [CROSS APPLY …] [WHERE …] …`
+    Select(SelectStmt),
+    /// `CREATE [OR REPLACE] UDF …` (Listing 2 of the paper).
+    CreateUdf(CreateUdfStmt),
+    /// `LOAD VIDEO '<dataset>' INTO <table>`.
+    LoadVideo(LoadVideoStmt),
+    /// `SHOW UDFS`.
+    ShowUdfs,
+    /// `SHOW TABLES`.
+    ShowTables,
+    /// `DROP UDF <name>`.
+    DropUdf(String),
+    /// `DROP TABLE <name>`.
+    DropTable(String),
+}
+
+/// One projection item.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SelectItem {
+    /// `*`
+    Wildcard,
+    /// An expression with an optional alias.
+    Expr {
+        /// The projected expression.
+        expr: Expr,
+        /// `AS alias`.
+        alias: Option<String>,
+    },
+}
+
+/// `CROSS APPLY <udf>(args) [ACCURACY '<level>']`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ApplyClause {
+    /// The applied table-valued UDF.
+    pub udf: UdfCall,
+}
+
+/// Sort direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SortOrder {
+    /// Ascending (default).
+    Asc,
+    /// Descending.
+    Desc,
+}
+
+/// A SELECT statement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SelectStmt {
+    /// Projection list.
+    pub projection: Vec<SelectItem>,
+    /// Source table name (lowercase).
+    pub from: String,
+    /// CROSS APPLY chain, in syntactic order.
+    pub applies: Vec<ApplyClause>,
+    /// WHERE predicate.
+    pub where_clause: Option<Expr>,
+    /// GROUP BY columns (lowercase).
+    pub group_by: Vec<String>,
+    /// ORDER BY (column, direction) pairs.
+    pub order_by: Vec<(String, SortOrder)>,
+    /// LIMIT.
+    pub limit: Option<u64>,
+}
+
+/// `CREATE [OR REPLACE] UDF` statement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CreateUdfStmt {
+    /// `OR REPLACE` present.
+    pub or_replace: bool,
+    /// UDF name.
+    pub name: String,
+    /// `INPUT = (name TYPE, …)`.
+    pub input: Vec<(String, DataType)>,
+    /// `OUTPUT = (name TYPE, …)`.
+    pub output: Vec<(String, DataType)>,
+    /// `IMPL = '<id>'`.
+    pub impl_id: String,
+    /// `LOGICAL_TYPE = <ident>`.
+    pub logical_type: Option<String>,
+    /// `PROPERTIES = ('K' = 'V', …)`.
+    pub properties: Vec<(String, String)>,
+}
+
+/// `LOAD VIDEO '<dataset>' INTO <table>`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoadVideoStmt {
+    /// Dataset name in the storage engine.
+    pub dataset: String,
+    /// Table name to register.
+    pub table: String,
+}
+
+impl fmt::Display for SelectStmt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SELECT ")?;
+        for (i, item) in self.projection.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            match item {
+                SelectItem::Wildcard => write!(f, "*")?,
+                SelectItem::Expr { expr, alias } => {
+                    write!(f, "{expr}")?;
+                    if let Some(a) = alias {
+                        write!(f, " AS {a}")?;
+                    }
+                }
+            }
+        }
+        write!(f, " FROM {}", self.from)?;
+        for a in &self.applies {
+            write!(f, " CROSS APPLY {}", a.udf)?;
+        }
+        if let Some(w) = &self.where_clause {
+            write!(f, " WHERE {w}")?;
+        }
+        if !self.group_by.is_empty() {
+            write!(f, " GROUP BY {}", self.group_by.join(", "))?;
+        }
+        if !self.order_by.is_empty() {
+            write!(f, " ORDER BY ")?;
+            for (i, (c, o)) in self.order_by.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{c}{}", if *o == SortOrder::Desc { " DESC" } else { "" })?;
+            }
+        }
+        if let Some(l) = self.limit {
+            write!(f, " LIMIT {l}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn select_display_round_readable() {
+        let s = SelectStmt {
+            projection: vec![
+                SelectItem::Expr {
+                    expr: Expr::col("id"),
+                    alias: None,
+                },
+                SelectItem::Expr {
+                    expr: Expr::col("bbox"),
+                    alias: Some("b".into()),
+                },
+            ],
+            from: "video".into(),
+            applies: vec![ApplyClause {
+                udf: UdfCall::new("ObjectDetector", vec![Expr::col("frame")])
+                    .with_accuracy("HIGH"),
+            }],
+            where_clause: Some(Expr::col("id").lt(100)),
+            group_by: vec![],
+            order_by: vec![("id".into(), SortOrder::Desc)],
+            limit: Some(10),
+        };
+        let text = s.to_string();
+        assert!(text.contains("SELECT id, bbox AS b FROM video"));
+        assert!(text.contains("CROSS APPLY OBJECTDETECTOR(frame) ACCURACY 'HIGH'"));
+        assert!(text.contains("WHERE id < 100"));
+        assert!(text.contains("ORDER BY id DESC LIMIT 10"));
+    }
+}

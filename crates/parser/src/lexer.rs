@@ -1,0 +1,325 @@
+//! Hand-written lexer for EVA-QL.
+
+use eva_common::{EvaError, Result};
+use std::fmt;
+
+/// A lexical token with its source offset (for error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Token kind + payload.
+    pub kind: TokenKind,
+    /// Byte offset in the source.
+    pub offset: usize,
+}
+
+/// Token kinds. Keywords are recognized case-insensitively and carried
+/// upper-cased in `Keyword`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Reserved word (SELECT, FROM, WHERE, …).
+    Keyword(String),
+    /// Identifier (table/column/UDF name), original case preserved.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Single-quoted string literal (unescaped content).
+    Str(String),
+    /// Punctuation / operator.
+    Symbol(Symbol),
+    /// End of input.
+    Eof,
+}
+
+/// Punctuation and operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Symbol {
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `;`
+    Semicolon,
+    /// `*`
+    Star,
+    /// `=`
+    Eq,
+    /// `!=` or `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `.`
+    Dot,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Keyword(k) => write!(f, "keyword {k}"),
+            TokenKind::Ident(i) => write!(f, "identifier '{i}'"),
+            TokenKind::Int(v) => write!(f, "integer {v}"),
+            TokenKind::Float(v) => write!(f, "float {v}"),
+            TokenKind::Str(s) => write!(f, "string '{s}'"),
+            TokenKind::Symbol(s) => write!(f, "symbol {s:?}"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// Reserved words of EVA-QL.
+const KEYWORDS: &[&str] = &[
+    "SELECT", "FROM", "WHERE", "CROSS", "APPLY", "ACCURACY", "AND", "OR", "NOT", "GROUP", "BY",
+    "ORDER", "LIMIT", "ASC", "DESC", "AS", "CREATE", "REPLACE", "UDF", "INPUT", "OUTPUT", "IMPL",
+    "LOGICAL_TYPE", "PROPERTIES", "LOAD", "VIDEO", "INTO", "SHOW", "UDFS", "TABLES", "DROP",
+    "TABLE", "TRUE", "FALSE", "IS", "NULL", "COUNT", "SUM", "MIN", "MAX", "AVG",
+];
+
+/// Tokenize EVA-QL source.
+pub fn tokenize(src: &str) -> Result<Vec<Token>> {
+    let bytes = src.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '-' if bytes.get(i + 1) == Some(&b'-') => {
+                // Line comment.
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                tokens.push(Token { kind: TokenKind::Symbol(Symbol::LParen), offset: i });
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token { kind: TokenKind::Symbol(Symbol::RParen), offset: i });
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token { kind: TokenKind::Symbol(Symbol::Comma), offset: i });
+                i += 1;
+            }
+            ';' => {
+                tokens.push(Token { kind: TokenKind::Symbol(Symbol::Semicolon), offset: i });
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token { kind: TokenKind::Symbol(Symbol::Star), offset: i });
+                i += 1;
+            }
+            '.' => {
+                tokens.push(Token { kind: TokenKind::Symbol(Symbol::Dot), offset: i });
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token { kind: TokenKind::Symbol(Symbol::Eq), offset: i });
+                i += 1;
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { kind: TokenKind::Symbol(Symbol::Ne), offset: i });
+                    i += 2;
+                } else {
+                    return Err(EvaError::Parse(format!("unexpected '!' at offset {i}")));
+                }
+            }
+            '<' => match bytes.get(i + 1) {
+                Some(b'=') => {
+                    tokens.push(Token { kind: TokenKind::Symbol(Symbol::Le), offset: i });
+                    i += 2;
+                }
+                Some(b'>') => {
+                    tokens.push(Token { kind: TokenKind::Symbol(Symbol::Ne), offset: i });
+                    i += 2;
+                }
+                _ => {
+                    tokens.push(Token { kind: TokenKind::Symbol(Symbol::Lt), offset: i });
+                    i += 1;
+                }
+            },
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { kind: TokenKind::Symbol(Symbol::Ge), offset: i });
+                    i += 2;
+                } else {
+                    tokens.push(Token { kind: TokenKind::Symbol(Symbol::Gt), offset: i });
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let start = i + 1;
+                let mut j = start;
+                let mut content = String::new();
+                loop {
+                    if j >= bytes.len() {
+                        return Err(EvaError::Parse(format!(
+                            "unterminated string starting at offset {i}"
+                        )));
+                    }
+                    if bytes[j] == b'\'' {
+                        // '' escapes a quote.
+                        if bytes.get(j + 1) == Some(&b'\'') {
+                            content.push('\'');
+                            j += 2;
+                            continue;
+                        }
+                        break;
+                    }
+                    content.push(bytes[j] as char);
+                    j += 1;
+                }
+                tokens.push(Token { kind: TokenKind::Str(content), offset: i });
+                i = j + 1;
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                let mut j = i;
+                let mut is_float = false;
+                while j < bytes.len()
+                    && ((bytes[j] as char).is_ascii_digit()
+                        || (bytes[j] == b'.' && !is_float
+                            && bytes.get(j + 1).map(|b| b.is_ascii_digit()).unwrap_or(false)))
+                {
+                    if bytes[j] == b'.' {
+                        is_float = true;
+                    }
+                    j += 1;
+                }
+                let text = &src[start..j];
+                let kind = if is_float {
+                    TokenKind::Float(text.parse().map_err(|_| {
+                        EvaError::Parse(format!("invalid float literal '{text}'"))
+                    })?)
+                } else {
+                    TokenKind::Int(text.parse().map_err(|_| {
+                        EvaError::Parse(format!("invalid integer literal '{text}'"))
+                    })?)
+                };
+                tokens.push(Token { kind, offset: start });
+                i = j;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                let mut j = i;
+                while j < bytes.len()
+                    && ((bytes[j] as char).is_ascii_alphanumeric() || bytes[j] == b'_')
+                {
+                    j += 1;
+                }
+                let text = &src[start..j];
+                let upper = text.to_ascii_uppercase();
+                let kind = if KEYWORDS.contains(&upper.as_str()) {
+                    TokenKind::Keyword(upper)
+                } else {
+                    TokenKind::Ident(text.to_string())
+                };
+                tokens.push(Token { kind, offset: start });
+                i = j;
+            }
+            other => {
+                return Err(EvaError::Parse(format!(
+                    "unexpected character '{other}' at offset {i}"
+                )))
+            }
+        }
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        offset: src.len(),
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        let ks = kinds("select FROM WhErE");
+        assert_eq!(
+            ks[..3],
+            [
+                TokenKind::Keyword("SELECT".into()),
+                TokenKind::Keyword("FROM".into()),
+                TokenKind::Keyword("WHERE".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn identifiers_keep_case() {
+        let ks = kinds("CarType my_video");
+        assert_eq!(ks[0], TokenKind::Ident("CarType".into()));
+        assert_eq!(ks[1], TokenKind::Ident("my_video".into()));
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(kinds("42")[0], TokenKind::Int(42));
+        assert_eq!(kinds("0.3")[0], TokenKind::Float(0.3));
+        assert_eq!(kinds("10000")[0], TokenKind::Int(10000));
+        // "1.x" lexes as Int(1), Dot, Ident(x) rather than a malformed float.
+        let ks = kinds("1.x");
+        assert_eq!(ks[0], TokenKind::Int(1));
+        assert_eq!(ks[1], TokenKind::Symbol(Symbol::Dot));
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(kinds("'car'")[0], TokenKind::Str("car".into()));
+        assert_eq!(kinds("'it''s'")[0], TokenKind::Str("it's".into()));
+        assert!(tokenize("'unterminated").is_err());
+    }
+
+    #[test]
+    fn comparison_operators() {
+        let ks = kinds("< <= > >= = != <>");
+        let expect = [
+            Symbol::Lt,
+            Symbol::Le,
+            Symbol::Gt,
+            Symbol::Ge,
+            Symbol::Eq,
+            Symbol::Ne,
+            Symbol::Ne,
+        ];
+        for (k, e) in ks.iter().zip(expect) {
+            assert_eq!(*k, TokenKind::Symbol(e));
+        }
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let ks = kinds("SELECT -- the projection\n1");
+        assert_eq!(ks.len(), 3); // SELECT, 1, EOF
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(tokenize("SELECT #").is_err());
+        assert!(tokenize("a ! b").is_err());
+    }
+
+    #[test]
+    fn offsets_recorded() {
+        let ts = tokenize("SELECT id").unwrap();
+        assert_eq!(ts[0].offset, 0);
+        assert_eq!(ts[1].offset, 7);
+    }
+}

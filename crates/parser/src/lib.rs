@@ -1,0 +1,16 @@
+//! # eva-parser
+//!
+//! Hand-written lexer and recursive-descent parser for **EVA-QL**, the
+//! declarative query language of the paper (§3.3): `SELECT … FROM … CROSS
+//! APPLY <udf>(…) [ACCURACY '<level>'] WHERE …`, `CREATE [OR REPLACE] UDF`
+//! (Listing 2), `LOAD VIDEO`, `SHOW`, and `DROP`. The paper uses Antlr; this
+//! implementation is dependency-free and error-reports with byte offsets.
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::{
+    ApplyClause, CreateUdfStmt, LoadVideoStmt, SelectItem, SelectStmt, SortOrder, Statement,
+};
+pub use parser::{parse, parse_many};

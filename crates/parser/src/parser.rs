@@ -1,0 +1,669 @@
+//! Recursive-descent parser for EVA-QL.
+
+use eva_common::{DataType, EvaError, Result, Value};
+use eva_expr::{AggFunc, CmpOp, Expr, UdfCall};
+
+use crate::ast::{
+    ApplyClause, CreateUdfStmt, LoadVideoStmt, SelectItem, SelectStmt, SortOrder, Statement,
+};
+use crate::lexer::{tokenize, Symbol, Token, TokenKind};
+
+/// Parse a single EVA-QL statement (a trailing `;` is optional).
+pub fn parse(src: &str) -> Result<Statement> {
+    let mut stmts = parse_many(src)?;
+    match stmts.len() {
+        1 => Ok(stmts.pop().expect("len checked")),
+        0 => Err(EvaError::Parse("empty input".into())),
+        n => Err(EvaError::Parse(format!("expected one statement, found {n}"))),
+    }
+}
+
+/// Parse a `;`-separated script.
+pub fn parse_many(src: &str) -> Result<Vec<Statement>> {
+    let tokens = tokenize(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let mut out = Vec::new();
+    loop {
+        while p.eat_symbol(Symbol::Semicolon) {}
+        if p.at_eof() {
+            break;
+        }
+        out.push(p.statement()?);
+    }
+    Ok(out)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn at_eof(&self) -> bool {
+        matches!(self.peek(), TokenKind::Eof)
+    }
+
+    fn advance(&mut self) -> TokenKind {
+        let t = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error(&self, msg: &str) -> EvaError {
+        EvaError::Parse(format!(
+            "{msg}, found {} at offset {}",
+            self.peek(),
+            self.tokens[self.pos].offset
+        ))
+    }
+
+    fn is_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), TokenKind::Keyword(k) if k == kw)
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.is_keyword(kw) {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<()> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected {kw}")))
+        }
+    }
+
+    fn eat_symbol(&mut self, s: Symbol) -> bool {
+        if matches!(self.peek(), TokenKind::Symbol(x) if *x == s) {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_symbol(&mut self, s: Symbol) -> Result<()> {
+        if self.eat_symbol(s) {
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected {s:?}")))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.peek().clone() {
+            TokenKind::Ident(name) => {
+                self.advance();
+                Ok(name)
+            }
+            // Allow non-reserved-sounding keywords as identifiers where
+            // unambiguous (e.g. a column named `video`).
+            TokenKind::Keyword(k)
+                if matches!(k.as_str(), "VIDEO" | "INPUT" | "OUTPUT" | "IMPL") =>
+            {
+                self.advance();
+                Ok(k.to_ascii_lowercase())
+            }
+            _ => Err(self.error("expected identifier")),
+        }
+    }
+
+    fn string(&mut self) -> Result<String> {
+        match self.peek().clone() {
+            TokenKind::Str(s) => {
+                self.advance();
+                Ok(s)
+            }
+            _ => Err(self.error("expected string literal")),
+        }
+    }
+
+    fn statement(&mut self) -> Result<Statement> {
+        if self.is_keyword("SELECT") {
+            return Ok(Statement::Select(self.select()?));
+        }
+        if self.eat_keyword("CREATE") {
+            let or_replace = if self.eat_keyword("OR") {
+                self.expect_keyword("REPLACE")?;
+                true
+            } else {
+                false
+            };
+            self.expect_keyword("UDF")?;
+            return self.create_udf(or_replace);
+        }
+        if self.eat_keyword("LOAD") {
+            self.expect_keyword("VIDEO")?;
+            let dataset = self.string()?;
+            self.expect_keyword("INTO")?;
+            let table = self.ident()?.to_ascii_lowercase();
+            return Ok(Statement::LoadVideo(LoadVideoStmt { dataset, table }));
+        }
+        if self.eat_keyword("SHOW") {
+            if self.eat_keyword("UDFS") {
+                return Ok(Statement::ShowUdfs);
+            }
+            if self.eat_keyword("TABLES") {
+                return Ok(Statement::ShowTables);
+            }
+            return Err(self.error("expected UDFS or TABLES"));
+        }
+        if self.eat_keyword("DROP") {
+            if self.eat_keyword("UDF") {
+                return Ok(Statement::DropUdf(self.ident()?.to_ascii_lowercase()));
+            }
+            if self.eat_keyword("TABLE") {
+                return Ok(Statement::DropTable(self.ident()?.to_ascii_lowercase()));
+            }
+            return Err(self.error("expected UDF or TABLE"));
+        }
+        Err(self.error("expected a statement"))
+    }
+
+    fn select(&mut self) -> Result<SelectStmt> {
+        self.expect_keyword("SELECT")?;
+        let mut projection = vec![self.select_item()?];
+        while self.eat_symbol(Symbol::Comma) {
+            projection.push(self.select_item()?);
+        }
+        self.expect_keyword("FROM")?;
+        let from = self.ident()?.to_ascii_lowercase();
+        let mut applies = Vec::new();
+        while self.eat_keyword("CROSS") {
+            self.expect_keyword("APPLY")?;
+            let udf = self.udf_call()?;
+            applies.push(ApplyClause { udf });
+        }
+        let where_clause = if self.eat_keyword("WHERE") {
+            Some(self.predicate()?)
+        } else {
+            None
+        };
+        let mut group_by = Vec::new();
+        if self.eat_keyword("GROUP") {
+            self.expect_keyword("BY")?;
+            group_by.push(self.ident()?.to_ascii_lowercase());
+            while self.eat_symbol(Symbol::Comma) {
+                group_by.push(self.ident()?.to_ascii_lowercase());
+            }
+        }
+        let mut order_by = Vec::new();
+        if self.eat_keyword("ORDER") {
+            self.expect_keyword("BY")?;
+            loop {
+                let col = self.ident()?.to_ascii_lowercase();
+                let dir = if self.eat_keyword("DESC") {
+                    SortOrder::Desc
+                } else {
+                    self.eat_keyword("ASC");
+                    SortOrder::Asc
+                };
+                order_by.push((col, dir));
+                if !self.eat_symbol(Symbol::Comma) {
+                    break;
+                }
+            }
+        }
+        let limit = if self.eat_keyword("LIMIT") {
+            match self.advance() {
+                TokenKind::Int(v) if v >= 0 => Some(v as u64),
+                _ => return Err(self.error("expected a non-negative LIMIT")),
+            }
+        } else {
+            None
+        };
+        Ok(SelectStmt {
+            projection,
+            from,
+            applies,
+            where_clause,
+            group_by,
+            order_by,
+            limit,
+        })
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem> {
+        if self.eat_symbol(Symbol::Star) {
+            return Ok(SelectItem::Wildcard);
+        }
+        let expr = self.predicate_or_value()?;
+        let alias = if self.eat_keyword("AS") {
+            Some(self.ident()?.to_ascii_lowercase())
+        } else {
+            None
+        };
+        Ok(SelectItem::Expr { expr, alias })
+    }
+
+    fn udf_call(&mut self) -> Result<UdfCall> {
+        let name = self.ident()?;
+        self.expect_symbol(Symbol::LParen)?;
+        let mut args = Vec::new();
+        if !self.eat_symbol(Symbol::RParen) {
+            loop {
+                args.push(self.value_expr()?);
+                if self.eat_symbol(Symbol::RParen) {
+                    break;
+                }
+                self.expect_symbol(Symbol::Comma)?;
+            }
+        }
+        let mut call = UdfCall::new(name, args);
+        if self.eat_keyword("ACCURACY") {
+            call = call.with_accuracy(self.string()?);
+        }
+        Ok(call)
+    }
+
+    /// Boolean predicate grammar (§4.1): OR < AND < NOT < comparison.
+    fn predicate(&mut self) -> Result<Expr> {
+        let mut lhs = self.and_expr()?;
+        while self.eat_keyword("OR") {
+            let rhs = self.and_expr()?;
+            lhs = lhs.or(rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.not_expr()?;
+        while self.eat_keyword("AND") {
+            let rhs = self.not_expr()?;
+            lhs = lhs.and(rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr> {
+        if self.eat_keyword("NOT") {
+            return Ok(self.not_expr()?.not());
+        }
+        self.comparison()
+    }
+
+    fn comparison(&mut self) -> Result<Expr> {
+        // Parenthesized sub-predicate vs parenthesized value: parse as a
+        // predicate when '(' is followed by NOT or nested structure; the
+        // value grammar has no parens, so '(' always means a sub-predicate.
+        if matches!(self.peek(), TokenKind::Symbol(Symbol::LParen)) {
+            self.advance();
+            let inner = self.predicate()?;
+            self.expect_symbol(Symbol::RParen)?;
+            return Ok(inner);
+        }
+        let lhs = self.value_expr()?;
+        // IS [NOT] NULL
+        if self.eat_keyword("IS") {
+            let negated = self.eat_keyword("NOT");
+            self.expect_keyword("NULL")?;
+            return Ok(Expr::IsNull {
+                expr: Box::new(lhs),
+                negated,
+            });
+        }
+        let op = match self.peek() {
+            TokenKind::Symbol(Symbol::Eq) => CmpOp::Eq,
+            TokenKind::Symbol(Symbol::Ne) => CmpOp::Ne,
+            TokenKind::Symbol(Symbol::Lt) => CmpOp::Lt,
+            TokenKind::Symbol(Symbol::Le) => CmpOp::Le,
+            TokenKind::Symbol(Symbol::Gt) => CmpOp::Gt,
+            TokenKind::Symbol(Symbol::Ge) => CmpOp::Ge,
+            _ => return Ok(lhs), // bare value (e.g. projection item)
+        };
+        self.advance();
+        let rhs = self.value_expr()?;
+        Ok(Expr::cmp(lhs, op, rhs))
+    }
+
+    /// A projection item may be either a comparison/boolean expression or a
+    /// bare value; reuse the predicate grammar which degrades gracefully.
+    fn predicate_or_value(&mut self) -> Result<Expr> {
+        self.predicate()
+    }
+
+    /// Value grammar: literal | aggregate | UDF call | column.
+    fn value_expr(&mut self) -> Result<Expr> {
+        match self.peek().clone() {
+            TokenKind::Int(v) => {
+                self.advance();
+                Ok(Expr::Literal(Value::Int(v)))
+            }
+            TokenKind::Float(v) => {
+                self.advance();
+                Ok(Expr::Literal(Value::Float(v)))
+            }
+            TokenKind::Str(s) => {
+                self.advance();
+                Ok(Expr::Literal(Value::Str(s)))
+            }
+            TokenKind::Keyword(k) if k == "TRUE" => {
+                self.advance();
+                Ok(Expr::true_())
+            }
+            TokenKind::Keyword(k) if k == "FALSE" => {
+                self.advance();
+                Ok(Expr::false_())
+            }
+            TokenKind::Keyword(k)
+                if matches!(k.as_str(), "COUNT" | "SUM" | "MIN" | "MAX" | "AVG") =>
+            {
+                self.advance();
+                let func = match k.as_str() {
+                    "COUNT" => AggFunc::Count,
+                    "SUM" => AggFunc::Sum,
+                    "MIN" => AggFunc::Min,
+                    "MAX" => AggFunc::Max,
+                    _ => AggFunc::Avg,
+                };
+                self.expect_symbol(Symbol::LParen)?;
+                let arg = if self.eat_symbol(Symbol::Star) {
+                    None
+                } else {
+                    Some(Box::new(self.value_expr()?))
+                };
+                self.expect_symbol(Symbol::RParen)?;
+                if arg.is_none() && func != AggFunc::Count {
+                    return Err(self.error("only COUNT may take *"));
+                }
+                Ok(Expr::Agg { func, arg })
+            }
+            TokenKind::Ident(_) | TokenKind::Keyword(_) => {
+                let name = self.ident()?;
+                if matches!(self.peek(), TokenKind::Symbol(Symbol::LParen)) {
+                    // UDF call.
+                    self.expect_symbol(Symbol::LParen)?;
+                    let mut args = Vec::new();
+                    if !self.eat_symbol(Symbol::RParen) {
+                        loop {
+                            args.push(self.value_expr()?);
+                            if self.eat_symbol(Symbol::RParen) {
+                                break;
+                            }
+                            self.expect_symbol(Symbol::Comma)?;
+                        }
+                    }
+                    let mut call = UdfCall::new(name, args);
+                    if self.eat_keyword("ACCURACY") {
+                        call = call.with_accuracy(self.string()?);
+                    }
+                    Ok(Expr::Udf(call))
+                } else {
+                    Ok(Expr::col(name))
+                }
+            }
+            _ => Err(self.error("expected a value expression")),
+        }
+    }
+
+    fn create_udf(&mut self, or_replace: bool) -> Result<Statement> {
+        let name = self.ident()?.to_ascii_lowercase();
+        let mut input = Vec::new();
+        let mut output = Vec::new();
+        let mut impl_id = None;
+        let mut logical_type = None;
+        let mut properties = Vec::new();
+        loop {
+            if self.eat_keyword("INPUT") {
+                self.expect_symbol(Symbol::Eq)?;
+                input = self.field_list()?;
+            } else if self.eat_keyword("OUTPUT") {
+                self.expect_symbol(Symbol::Eq)?;
+                output = self.field_list()?;
+            } else if self.eat_keyword("IMPL") {
+                self.expect_symbol(Symbol::Eq)?;
+                impl_id = Some(self.string()?);
+            } else if self.eat_keyword("LOGICAL_TYPE") {
+                self.expect_symbol(Symbol::Eq)?;
+                logical_type = Some(self.ident()?.to_ascii_lowercase());
+            } else if self.eat_keyword("PROPERTIES") {
+                self.expect_symbol(Symbol::Eq)?;
+                self.expect_symbol(Symbol::LParen)?;
+                loop {
+                    let k = self.string()?;
+                    self.expect_symbol(Symbol::Eq)?;
+                    let v = self.string()?;
+                    properties.push((k.to_ascii_uppercase(), v));
+                    if self.eat_symbol(Symbol::RParen) {
+                        break;
+                    }
+                    self.expect_symbol(Symbol::Comma)?;
+                }
+            } else {
+                break;
+            }
+        }
+        let impl_id = impl_id.ok_or_else(|| self.error("CREATE UDF requires IMPL"))?;
+        Ok(Statement::CreateUdf(CreateUdfStmt {
+            or_replace,
+            name,
+            input,
+            output,
+            impl_id,
+            logical_type,
+            properties,
+        }))
+    }
+
+    fn field_list(&mut self) -> Result<Vec<(String, DataType)>> {
+        self.expect_symbol(Symbol::LParen)?;
+        let mut out = Vec::new();
+        loop {
+            let name = self.ident()?.to_ascii_lowercase();
+            let ty = self.data_type()?;
+            out.push((name, ty));
+            if self.eat_symbol(Symbol::RParen) {
+                break;
+            }
+            self.expect_symbol(Symbol::Comma)?;
+        }
+        Ok(out)
+    }
+
+    fn data_type(&mut self) -> Result<DataType> {
+        let name = self.ident()?.to_ascii_uppercase();
+        match name.as_str() {
+            "INT" | "INTEGER" => Ok(DataType::Int),
+            "FLOAT" | "FLOAT32" | "FLOAT64" | "DOUBLE" => Ok(DataType::Float),
+            "STR" | "STRING" | "TEXT" => Ok(DataType::Str),
+            "BOOL" | "BOOLEAN" => Ok(DataType::Bool),
+            "BBOX" => Ok(DataType::BBox),
+            "FRAME" | "NDARRAY" => {
+                // Tolerate the paper's `NDARRAY UINT8(3, ANYDIM, ANYDIM)`
+                // syntax by skipping a parenthesized/shape suffix.
+                if let TokenKind::Ident(_) = self.peek() {
+                    self.advance(); // element type, e.g. UINT8
+                }
+                if self.eat_symbol(Symbol::LParen) {
+                    let mut depth = 1;
+                    while depth > 0 {
+                        match self.advance() {
+                            TokenKind::Symbol(Symbol::LParen) => depth += 1,
+                            TokenKind::Symbol(Symbol::RParen) => depth -= 1,
+                            TokenKind::Eof => {
+                                return Err(self.error("unterminated NDARRAY shape"))
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+                Ok(DataType::Frame)
+            }
+            other => Err(self.error(&format!("unknown data type '{other}'"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sel(src: &str) -> SelectStmt {
+        match parse(src).unwrap() {
+            Statement::Select(s) => s,
+            other => panic!("expected SELECT, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn listing1_q1_shape() {
+        let s = sel("SELECT timestamp, bbox, VEHICLE_COLOR(bbox, frame) FROM VIDEO CROSS APPLY \
+             OBJECT_DETECTOR(frame) ACCURACY 'HIGH' \
+             WHERE timestamp > 18 AND label = 'car' \
+             AND AREA(bbox) > 0.3 AND VEHICLE_MODEL(bbox, frame) = 'SUV'");
+        assert_eq!(s.from, "video");
+        assert_eq!(s.applies.len(), 1);
+        assert_eq!(s.applies[0].udf.name, "object_detector");
+        assert_eq!(s.applies[0].udf.accuracy.as_deref(), Some("HIGH"));
+        assert_eq!(s.projection.len(), 3);
+        let w = s.where_clause.unwrap();
+        let udfs = eva_expr::collect_udf_calls(&w);
+        assert_eq!(udfs.len(), 2); // AREA, VEHICLE_MODEL
+    }
+
+    #[test]
+    fn listing1_q4_group_by() {
+        let s = sel(
+            "SELECT timestamp, COUNT(*) FROM VIDEO CROSS APPLY \
+             OBJECT_DETECTOR(frame) ACCURACY 'LOW' WHERE label = 'car' \
+             AND AREA(bbox) > 0.15 GROUP BY timestamp;",
+        );
+        assert_eq!(s.group_by, vec!["timestamp".to_string()]);
+        assert!(matches!(
+            s.projection[1],
+            SelectItem::Expr {
+                expr: Expr::Agg { func: AggFunc::Count, arg: None },
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn operator_precedence_or_and_not() {
+        let s = sel("SELECT * FROM t WHERE a = 1 OR b = 2 AND NOT c = 3");
+        let w = s.where_clause.unwrap().to_string();
+        // AND binds tighter than OR; NOT tighter than AND.
+        assert_eq!(w, "(a = 1 OR (b = 2 AND NOT (c = 3)))");
+    }
+
+    #[test]
+    fn parenthesized_predicates() {
+        let s = sel("SELECT * FROM t WHERE (a = 1 OR b = 2) AND c = 3");
+        let w = s.where_clause.unwrap().to_string();
+        assert_eq!(w, "((a = 1 OR b = 2) AND c = 3)");
+    }
+
+    #[test]
+    fn order_limit() {
+        let s = sel("SELECT id FROM t ORDER BY id DESC, x LIMIT 5");
+        assert_eq!(
+            s.order_by,
+            vec![("id".into(), SortOrder::Desc), ("x".into(), SortOrder::Asc)]
+        );
+        assert_eq!(s.limit, Some(5));
+    }
+
+    #[test]
+    fn is_null_predicate() {
+        let s = sel("SELECT * FROM t WHERE label IS NOT NULL AND x IS NULL");
+        let w = s.where_clause.unwrap().to_string();
+        assert!(w.contains("label IS NOT NULL"));
+        assert!(w.contains("x IS NULL"));
+    }
+
+    #[test]
+    fn create_udf_listing2() {
+        let stmt = parse(
+            "CREATE OR REPLACE UDF YOLO \
+             INPUT = (frame NDARRAY UINT8(3, ANYDIM, ANYDIM)) \
+             OUTPUT = (labels STR, bboxes BBOX) \
+             IMPL = 'udfs/yolo.py' \
+             LOGICAL_TYPE = ObjectDetector \
+             PROPERTIES = ('ACCURACY' = 'HIGH')",
+        )
+        .unwrap();
+        match stmt {
+            Statement::CreateUdf(c) => {
+                assert!(c.or_replace);
+                assert_eq!(c.name, "yolo");
+                assert_eq!(c.input, vec![("frame".into(), DataType::Frame)]);
+                assert_eq!(c.output.len(), 2);
+                assert_eq!(c.impl_id, "udfs/yolo.py");
+                assert_eq!(c.logical_type.as_deref(), Some("objectdetector"));
+                assert_eq!(c.properties, vec![("ACCURACY".into(), "HIGH".into())]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn create_udf_requires_impl() {
+        assert!(parse("CREATE UDF x INPUT = (a INT) OUTPUT = (b INT)").is_err());
+    }
+
+    #[test]
+    fn load_show_drop() {
+        assert_eq!(
+            parse("LOAD VIDEO 'medium_ua_detrac' INTO video").unwrap(),
+            Statement::LoadVideo(LoadVideoStmt {
+                dataset: "medium_ua_detrac".into(),
+                table: "video".into()
+            })
+        );
+        assert_eq!(parse("SHOW UDFS;").unwrap(), Statement::ShowUdfs);
+        assert_eq!(parse("SHOW TABLES").unwrap(), Statement::ShowTables);
+        assert_eq!(parse("DROP UDF yolo").unwrap(), Statement::DropUdf("yolo".into()));
+        assert_eq!(
+            parse("DROP TABLE video").unwrap(),
+            Statement::DropTable("video".into())
+        );
+    }
+
+    #[test]
+    fn parse_many_script() {
+        let stmts = parse_many(
+            "LOAD VIDEO 'a' INTO v; SELECT * FROM v; -- trailing comment\n SHOW TABLES;",
+        )
+        .unwrap();
+        assert_eq!(stmts.len(), 3);
+    }
+
+    #[test]
+    fn errors_carry_offsets() {
+        let err = parse("SELECT FROM").unwrap_err();
+        assert_eq!(err.stage(), "parse");
+        assert!(err.message().contains("offset"));
+        assert!(parse("SELECT * FROM t WHERE").is_err());
+        assert!(parse("").is_err());
+        assert!(parse("SELECT * FROM t; SELECT * FROM t").is_err(), "parse() wants one stmt");
+    }
+
+    #[test]
+    fn multiple_cross_applies() {
+        let s = sel("SELECT * FROM v CROSS APPLY det(frame) CROSS APPLY crop(frame, bbox)");
+        assert_eq!(s.applies.len(), 2);
+        assert_eq!(s.applies[1].udf.name, "crop");
+        assert_eq!(s.applies[1].udf.args.len(), 2);
+    }
+
+    #[test]
+    fn display_round_trip() {
+        let src = "SELECT id, CARTYPE(frame, bbox) FROM video CROSS APPLY \
+                   FASTERRCNN_RESNET50(frame) WHERE id < 10000 AND label = 'car' \
+                   AND AREA(frame, bbox) > 0.3 GROUP BY id LIMIT 7";
+        let s1 = sel(src);
+        let s2 = sel(&s1.to_string());
+        assert_eq!(s1, s2, "print→parse is a fixed point");
+    }
+}

@@ -1,0 +1,65 @@
+//! Property-based parser tests: printing a parsed statement and re-parsing
+//! it must reach a fixed point, and random predicate strings built from the
+//! grammar must parse.
+
+use proptest::prelude::*;
+
+use eva_parser::{parse, Statement};
+
+fn arb_pred_text() -> impl Strategy<Value = String> {
+    let atom = prop_oneof![
+        (prop::sample::select(vec!["id", "timestamp"]), 0u32..10_000, prop::sample::select(vec!["<", "<=", ">", ">=", "=", "!="]))
+            .prop_map(|(c, v, op)| format!("{c} {op} {v}")),
+        prop::sample::select(vec!["label", "color"]).prop_flat_map(|c| {
+            prop::sample::select(vec!["car", "bus", "red"])
+                .prop_map(move |v| format!("{c} = '{v}'"))
+        }),
+        (0u32..100).prop_map(|v| format!("area(frame, bbox) > 0.{v:02}")),
+    ];
+    atom.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} AND {b})")),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} OR {b})")),
+            inner.prop_map(|a| format!("NOT ({a})")),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn random_predicates_parse(pred in arb_pred_text()) {
+        let sql = format!(
+            "SELECT id FROM video CROSS APPLY det(frame) WHERE {pred}"
+        );
+        let stmt = parse(&sql);
+        prop_assert!(stmt.is_ok(), "failed on {sql}: {:?}", stmt.err());
+    }
+
+    #[test]
+    fn print_parse_fixed_point(pred in arb_pred_text(), limit in proptest::option::of(0u64..100)) {
+        let mut sql = format!(
+            "SELECT id, bbox FROM video CROSS APPLY det(frame) ACCURACY 'HIGH' WHERE {pred}"
+        );
+        if let Some(l) = limit {
+            sql.push_str(&format!(" LIMIT {l}"));
+        }
+        let s1 = match parse(&sql).unwrap() {
+            Statement::Select(s) => s,
+            other => panic!("unexpected {other:?}"),
+        };
+        let printed = s1.to_string();
+        let s2 = match parse(&printed).unwrap() {
+            Statement::Select(s) => s,
+            other => panic!("unexpected {other:?}"),
+        };
+        prop_assert_eq!(s1, s2, "printed: {}", printed);
+    }
+
+    #[test]
+    fn garbage_suffix_is_rejected(pred in arb_pred_text()) {
+        let sql = format!("SELECT id FROM t WHERE {pred} EXTRA tokens");
+        prop_assert!(parse(&sql).is_err());
+    }
+}

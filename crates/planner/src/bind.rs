@@ -1,0 +1,461 @@
+//! The binder: EVA-QL AST → logical plan.
+
+use std::sync::Arc;
+
+use eva_catalog::{AccuracyLevel, Catalog};
+use eva_common::{EvaError, Result, Schema};
+use eva_expr::{collect_udf_calls, util::substitute_udf, AggFunc, Expr, UdfCall};
+use eva_parser::{SelectItem, SelectStmt};
+use eva_symbolic::udf_dim;
+
+use crate::plan::LogicalPlan;
+
+/// Binds parsed statements against the catalog.
+#[derive(Debug, Clone, Copy)]
+pub struct Binder<'a> {
+    catalog: &'a Catalog,
+}
+
+impl<'a> Binder<'a> {
+    /// New binder over a catalog.
+    pub fn new(catalog: &'a Catalog) -> Binder<'a> {
+        Binder { catalog }
+    }
+
+    /// Bind a SELECT statement to a logical plan.
+    pub fn bind_select(&self, stmt: &SelectStmt) -> Result<LogicalPlan> {
+        let table = self.catalog.table(&stmt.from)?;
+        let mut plan = LogicalPlan::Scan {
+            table: table.name.clone(),
+            dataset: table.dataset.clone(),
+            n_rows: table.n_rows,
+            schema: Arc::new(table.schema.clone()),
+        };
+
+        // CROSS APPLY chain.
+        for clause in &stmt.applies {
+            plan = self.bind_apply(plan, &clause.udf, true)?;
+        }
+
+        // WHERE: validate column references against the post-apply schema.
+        if let Some(w) = &stmt.where_clause {
+            self.validate_columns(w, &plan.schema())?;
+            plan = LogicalPlan::Filter {
+                input: Box::new(plan),
+                predicate: w.clone(),
+            };
+        }
+
+        // Extract scalar UDF calls from the projection into applies above
+        // the filter (they run only on surviving rows).
+        let mut items: Vec<(Expr, Option<String>)> = Vec::new();
+        let mut wildcard = false;
+        for item in &stmt.projection {
+            match item {
+                SelectItem::Wildcard => wildcard = true,
+                SelectItem::Expr { expr, alias } => items.push((expr.clone(), alias.clone())),
+            }
+        }
+        let mut extracted: Vec<UdfCall> = Vec::new();
+        for (expr, _) in &items {
+            for call in collect_udf_calls(expr) {
+                if !extracted
+                    .iter()
+                    .any(|c| udf_dim(c) == udf_dim(&call))
+                {
+                    extracted.push(call);
+                }
+            }
+        }
+        for call in &extracted {
+            plan = self.bind_apply(plan, call, false)?;
+            let out_col = self.output_column(call)?;
+            for (expr, _) in items.iter_mut() {
+                *expr = substitute_udf(expr.clone(), call, &Expr::col(out_col.clone()));
+            }
+        }
+
+        // Aggregation vs plain projection.
+        let has_aggs = items
+            .iter()
+            .any(|(e, _)| matches!(e, Expr::Agg { .. }));
+        if has_aggs || !stmt.group_by.is_empty() {
+            plan = self.bind_aggregate(plan, &stmt.group_by, &items)?;
+        } else {
+            plan = self.bind_project(plan, wildcard, &items)?;
+        }
+
+        if !stmt.order_by.is_empty() {
+            let schema = plan.schema();
+            let mut keys = Vec::with_capacity(stmt.order_by.len());
+            for (col, ord) in &stmt.order_by {
+                if schema.index_of(col).is_none() {
+                    return Err(EvaError::Binder(format!(
+                        "ORDER BY column '{col}' is not in the output"
+                    )));
+                }
+                keys.push((col.clone(), *ord == eva_parser::SortOrder::Desc));
+            }
+            plan = LogicalPlan::Sort {
+                input: Box::new(plan),
+                keys,
+            };
+        }
+        if let Some(n) = stmt.limit {
+            plan = LogicalPlan::Limit {
+                input: Box::new(plan),
+                n,
+            };
+        }
+        Ok(plan)
+    }
+
+    /// Bind one table-valued UDF application, resolving logical names.
+    fn bind_apply(
+        &self,
+        input: LogicalPlan,
+        call: &UdfCall,
+        from_cross_apply: bool,
+    ) -> Result<LogicalPlan> {
+        // Args must reference existing columns.
+        for a in &call.args {
+            self.validate_columns(a, &input.schema())?;
+        }
+        let (output, logical) = if self.catalog.has_udf(&call.name) {
+            (self.catalog.udf(&call.name)?.output, false)
+        } else {
+            // A logical vision task: all physical UDFs of the type share an
+            // output schema; use the least accurate as the representative.
+            let phys = self
+                .catalog
+                .physical_udfs(&call.name, AccuracyLevel::Low);
+            match phys.first() {
+                Some(d) => (d.output.clone(), true),
+                None => {
+                    return Err(EvaError::Binder(format!(
+                        "unknown UDF or logical type '{}'",
+                        call.name
+                    )))
+                }
+            }
+        };
+        let schema = Arc::new(input.schema().join(&output));
+        Ok(LogicalPlan::Apply {
+            input: Box::new(input),
+            call: call.clone(),
+            logical,
+            from_cross_apply,
+            schema,
+        })
+    }
+
+    /// The single output column name of a scalar (box-level) UDF.
+    fn output_column(&self, call: &UdfCall) -> Result<String> {
+        let def = self.catalog.udf(&call.name)?;
+        if def.output.len() != 1 {
+            return Err(EvaError::Binder(format!(
+                "UDF '{}' used as a scalar must have exactly one output column",
+                call.name
+            )));
+        }
+        Ok(def.output.fields()[0].name.clone())
+    }
+
+    fn bind_project(
+        &self,
+        input: LogicalPlan,
+        wildcard: bool,
+        items: &[(Expr, Option<String>)],
+    ) -> Result<LogicalPlan> {
+        let in_schema = input.schema();
+        let mut out_items: Vec<(Expr, String)> = Vec::new();
+        if wildcard {
+            for f in in_schema.fields() {
+                out_items.push((Expr::col(f.name.clone()), f.name.clone()));
+            }
+        }
+        for (i, (expr, alias)) in items.iter().enumerate() {
+            self.validate_columns(expr, &in_schema)?;
+            let name = alias.clone().unwrap_or_else(|| match expr {
+                Expr::Column(c) => c.clone(),
+                _ => format!("col{i}"),
+            });
+            out_items.push((expr.clone(), name));
+        }
+        if out_items.is_empty() {
+            return Err(EvaError::Binder("empty projection".into()));
+        }
+        let schema = project_schema(&in_schema, &out_items)?;
+        Ok(LogicalPlan::Project {
+            input: Box::new(input),
+            items: out_items,
+            schema: Arc::new(schema),
+        })
+    }
+
+    fn bind_aggregate(
+        &self,
+        input: LogicalPlan,
+        group_by: &[String],
+        items: &[(Expr, Option<String>)],
+    ) -> Result<LogicalPlan> {
+        let in_schema = input.schema();
+        for g in group_by {
+            if in_schema.index_of(g).is_none() {
+                return Err(EvaError::Binder(format!("unknown GROUP BY column '{g}'")));
+            }
+        }
+        let mut aggs: Vec<(AggFunc, Option<Expr>, String)> = Vec::new();
+        for (i, (expr, alias)) in items.iter().enumerate() {
+            match expr {
+                Expr::Agg { func, arg } => {
+                    if let Some(a) = arg {
+                        self.validate_columns(a, &in_schema)?;
+                    }
+                    let name = alias
+                        .clone()
+                        .unwrap_or_else(|| format!("{}_{i}", func.to_string().to_lowercase()));
+                    aggs.push((*func, arg.as_deref().cloned(), name));
+                }
+                Expr::Column(c) if group_by.contains(c) => {
+                    // Group columns pass through implicitly.
+                }
+                other => {
+                    return Err(EvaError::Binder(format!(
+                        "projection item '{other}' must be an aggregate or a GROUP BY column"
+                    )))
+                }
+            }
+        }
+        // Schema: group columns then aggregates.
+        let mut fields = Vec::new();
+        for g in group_by {
+            fields.push(in_schema.field(g).expect("validated above").clone());
+        }
+        for (func, _, name) in &aggs {
+            let dtype = match func {
+                AggFunc::Count => eva_common::DataType::Int,
+                _ => eva_common::DataType::Float,
+            };
+            fields.push(eva_common::Field::new(name.clone(), dtype));
+        }
+        let schema = Schema::new(fields).map_err(|e| EvaError::Binder(e.to_string()))?;
+        Ok(LogicalPlan::Aggregate {
+            input: Box::new(input),
+            group_by: group_by.to_vec(),
+            aggs,
+            schema: Arc::new(schema),
+        })
+    }
+
+    /// Ensure every column reference resolves in `schema`.
+    fn validate_columns(&self, e: &Expr, schema: &Schema) -> Result<()> {
+        let mut missing: Option<String> = None;
+        e.visit(&mut |node| {
+            if let Expr::Column(c) = node {
+                if schema.index_of(c).is_none() && missing.is_none() {
+                    missing = Some(c.clone());
+                }
+            }
+        });
+        match missing {
+            Some(c) => Err(EvaError::Binder(format!(
+                "unknown column '{c}' (schema: {schema})"
+            ))),
+            None => Ok(()),
+        }
+    }
+}
+
+fn project_schema(input: &Schema, items: &[(Expr, String)]) -> Result<Schema> {
+    let mut fields = Vec::with_capacity(items.len());
+    for (expr, name) in items {
+        let dtype = match expr {
+            Expr::Column(c) => input
+                .field(c)
+                .map(|f| f.dtype)
+                .unwrap_or(eva_common::DataType::Str),
+            Expr::Literal(eva_common::Value::Int(_)) => eva_common::DataType::Int,
+            Expr::Literal(eva_common::Value::Float(_)) => eva_common::DataType::Float,
+            Expr::Literal(eva_common::Value::Str(_)) => eva_common::DataType::Str,
+            Expr::Cmp { .. } | Expr::And(..) | Expr::Or(..) | Expr::Not(_) => {
+                eva_common::DataType::Bool
+            }
+            _ => eva_common::DataType::Str,
+        };
+        fields.push(eva_common::Field::new(name.clone(), dtype));
+    }
+    Schema::new(fields).map_err(|e| EvaError::Binder(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eva_catalog::TableDef;
+    use eva_common::{DataType, Field, UdfId};
+
+    fn setup() -> Catalog {
+        let cat = Catalog::new();
+        cat.create_table(TableDef {
+            name: "video".into(),
+            schema: Schema::new(vec![
+                Field::new("id", DataType::Int),
+                Field::new("timestamp", DataType::Int),
+                Field::new("frame", DataType::Frame),
+            ])
+            .unwrap(),
+            n_rows: 1000,
+            dataset: "ds".into(),
+        })
+        .unwrap();
+        let det_out = Schema::new(vec![
+            Field::new("label", DataType::Str),
+            Field::new("bbox", DataType::BBox),
+            Field::new("score", DataType::Float),
+        ])
+        .unwrap();
+        for (name, acc) in [
+            ("yolo_tiny", AccuracyLevel::Low),
+            ("fasterrcnn_resnet50", AccuracyLevel::Medium),
+        ] {
+            cat.create_udf(
+                eva_catalog::UdfDef {
+                    id: UdfId(0),
+                    name: name.into(),
+                    input: Schema::new(vec![Field::new("frame", DataType::Frame)]).unwrap(),
+                    output: det_out.clone(),
+                    impl_id: format!("sim/{name}"),
+                    logical_type: Some("objectdetector".into()),
+                    accuracy: acc,
+                    cost_ms: Some(9.0),
+                    gpu: true,
+                },
+                false,
+            )
+            .unwrap();
+        }
+        cat.create_udf(
+            eva_catalog::UdfDef {
+                id: UdfId(0),
+                name: "cartype".into(),
+                input: Schema::new(vec![
+                    Field::new("frame", DataType::Frame),
+                    Field::new("bbox", DataType::BBox),
+                ])
+                .unwrap(),
+                output: Schema::new(vec![Field::new("cartype", DataType::Str)]).unwrap(),
+                impl_id: "sim/cartype".into(),
+                logical_type: None,
+                accuracy: AccuracyLevel::High,
+                cost_ms: Some(6.0),
+                gpu: true,
+            },
+            false,
+        )
+        .unwrap();
+        cat
+    }
+
+    fn bind(cat: &Catalog, sql: &str) -> Result<LogicalPlan> {
+        match eva_parser::parse(sql)? {
+            eva_parser::Statement::Select(s) => Binder::new(cat).bind_select(&s),
+            other => panic!("expected select, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn binds_cross_apply_and_filter() {
+        let cat = setup();
+        let plan = bind(
+            &cat,
+            "SELECT id, bbox FROM video CROSS APPLY fasterrcnn_resnet50(frame) \
+             WHERE id < 100 AND label = 'car'",
+        )
+        .unwrap();
+        let text = plan.explain();
+        assert!(text.contains("Apply FASTERRCNN_RESNET50(frame)"));
+        assert!(text.contains("Filter"));
+        assert!(text.contains("Project id AS id, bbox AS bbox"));
+        // Detector output columns are visible post-apply.
+        assert!(plan.schema().index_of("bbox").is_some());
+    }
+
+    #[test]
+    fn logical_type_resolution() {
+        let cat = setup();
+        let plan = bind(
+            &cat,
+            "SELECT id FROM video CROSS APPLY objectdetector(frame) ACCURACY 'LOW' WHERE label='car'",
+        )
+        .unwrap();
+        assert!(plan.explain().contains("LogicalApply"));
+    }
+
+    #[test]
+    fn projection_udf_extracted_above_filter() {
+        let cat = setup();
+        let plan = bind(
+            &cat,
+            "SELECT id, cartype(frame, bbox) FROM video CROSS APPLY \
+             fasterrcnn_resnet50(frame) WHERE label = 'car'",
+        )
+        .unwrap();
+        let text = plan.explain();
+        // The cartype apply sits above the filter.
+        let apply_pos = text.find("Apply CARTYPE").unwrap();
+        let filter_pos = text.find("Filter").unwrap();
+        assert!(apply_pos < filter_pos, "{text}");
+        // Projection references the output column.
+        assert!(text.contains("cartype AS"));
+    }
+
+    #[test]
+    fn group_by_binds_aggregate() {
+        let cat = setup();
+        let plan = bind(
+            &cat,
+            "SELECT timestamp, COUNT(*) FROM video CROSS APPLY \
+             fasterrcnn_resnet50(frame) WHERE label = 'car' GROUP BY timestamp",
+        )
+        .unwrap();
+        assert!(plan.explain().contains("Aggregate group_by=[timestamp]"));
+        assert_eq!(plan.schema().fields()[0].name, "timestamp");
+    }
+
+    #[test]
+    fn binder_errors() {
+        let cat = setup();
+        // Unknown table.
+        assert!(bind(&cat, "SELECT * FROM nope").is_err());
+        // Unknown column in WHERE.
+        assert!(bind(&cat, "SELECT id FROM video WHERE wrong = 1").is_err());
+        // Detector columns unavailable without apply.
+        assert!(bind(&cat, "SELECT id FROM video WHERE label = 'car'").is_err());
+        // Unknown UDF.
+        assert!(bind(&cat, "SELECT id FROM video CROSS APPLY nothere(frame) WHERE id<1").is_err());
+        // Non-aggregate projection with GROUP BY.
+        assert!(bind(
+            &cat,
+            "SELECT id, COUNT(*) FROM video CROSS APPLY fasterrcnn_resnet50(frame) GROUP BY timestamp"
+        )
+        .is_err());
+        // ORDER BY a non-output column.
+        assert!(bind(&cat, "SELECT id FROM video ORDER BY timestamp").is_err());
+    }
+
+    #[test]
+    fn wildcard_projects_everything() {
+        let cat = setup();
+        let plan = bind(&cat, "SELECT * FROM video").unwrap();
+        assert_eq!(plan.schema().len(), 3);
+    }
+
+    #[test]
+    fn sort_and_limit() {
+        let cat = setup();
+        let plan = bind(&cat, "SELECT id FROM video ORDER BY id DESC LIMIT 3").unwrap();
+        let text = plan.explain();
+        assert!(text.contains("Limit 3"));
+        assert!(text.contains("Sort id DESC"));
+    }
+}

@@ -1,0 +1,118 @@
+//! The materialization-aware cost model (paper §4.2, Eqs. 2–4).
+
+/// Parameters of one UDF-based predicate for ranking purposes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PredicateProfile {
+    /// Selectivity `s` of the predicate itself.
+    pub selectivity: f64,
+    /// Per-tuple UDF evaluation cost `c_e` in milliseconds.
+    pub eval_cost_ms: f64,
+    /// Selectivity `s_{p₋}` of the difference predicate — the fraction of
+    /// incoming tuples whose results are *not* materialized (1.0 when no
+    /// view exists).
+    pub diff_selectivity: f64,
+    /// Per-tuple view/join read cost `c_r` in milliseconds.
+    pub read_cost_ms: f64,
+}
+
+/// The canonical ranking function of Hellerstein-style predicate ordering
+/// (Eq. 2): `r = (s − 1) / c`. Smaller ranks run earlier.
+pub fn rank_canonical(p: &PredicateProfile) -> f64 {
+    (p.selectivity - 1.0) / p.eval_cost_ms.max(f64::MIN_POSITIVE)
+}
+
+/// EVA's materialization-aware ranking function (Eq. 4):
+/// `r = (s − 1) / (s_{p₋}·c_e + c_r)` — the effective per-tuple cost shrinks
+/// by the fraction of tuples already materialized.
+pub fn rank_materialization_aware(p: &PredicateProfile) -> f64 {
+    let denom = p.diff_selectivity * p.eval_cost_ms + p.read_cost_ms;
+    (p.selectivity - 1.0) / denom.max(f64::MIN_POSITIVE)
+}
+
+/// Expected cost of evaluating a UDF-based predicate over `n_rows` input
+/// tuples (Eq. 3): `T(σ,|R|) = 3·C_M + |R|·c_r + |R|·s_{p₋}·c_e`, with the
+/// `3·C_M` join term folded into `read_cost_ms` per tuple (the paper notes
+/// it is negligible and chargeable per-tuple).
+pub fn predicate_eval_cost_ms(p: &PredicateProfile, n_rows: f64) -> f64 {
+    n_rows * (p.read_cost_ms + p.diff_selectivity * p.eval_cost_ms)
+}
+
+/// Expected cost of evaluating an *ordering* of predicates over `n_rows`
+/// tuples: each predicate sees the input shrunk by the selectivities of its
+/// predecessors (the expansion of `T(O, |R|)` in the proof of Theorem 4.1).
+pub fn ordering_cost_ms(profiles: &[PredicateProfile], n_rows: f64) -> f64 {
+    let mut rows = n_rows;
+    let mut total = 0.0;
+    for p in profiles {
+        total += predicate_eval_cost_ms(p, rows);
+        rows *= p.selectivity;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile(s: f64, ce: f64, sdiff: f64) -> PredicateProfile {
+        PredicateProfile {
+            selectivity: s,
+            eval_cost_ms: ce,
+            diff_selectivity: sdiff,
+            read_cost_ms: 0.15,
+        }
+    }
+
+    #[test]
+    fn ranks_are_negative_and_ordered() {
+        // Selective & cheap ⇒ very negative rank (runs first).
+        let cheap_selective = profile(0.1, 1.0, 1.0);
+        let costly_loose = profile(0.9, 100.0, 1.0);
+        assert!(rank_canonical(&cheap_selective) < rank_canonical(&costly_loose));
+        assert!(rank_canonical(&cheap_selective) < 0.0);
+    }
+
+    #[test]
+    fn materialization_discounts_cost() {
+        // Same predicate; one fully materialized (s_diff = 0).
+        let cold = profile(0.5, 100.0, 1.0);
+        let hot = profile(0.5, 100.0, 0.0);
+        assert!(
+            rank_materialization_aware(&hot) < rank_materialization_aware(&cold),
+            "materialized predicate should rank earlier"
+        );
+        // Canonical ranking cannot tell them apart.
+        assert_eq!(rank_canonical(&hot), rank_canonical(&cold));
+    }
+
+    #[test]
+    fn paper_example_order_flip() {
+        // VehicleModel (fully reused) vs VehicleColor (not computed yet):
+        // canonical ranks them by raw cost; materialization-aware puts the
+        // reused one first even when raw costs favour the other.
+        let model = profile(0.2, 6.0, 0.0); // reused
+        let color = profile(0.2, 5.0, 1.0); // must evaluate
+        assert!(rank_canonical(&color) < rank_canonical(&model));
+        assert!(rank_materialization_aware(&model) < rank_materialization_aware(&color));
+    }
+
+    #[test]
+    fn ordering_cost_shrinks_with_selectivity() {
+        let a = profile(0.1, 10.0, 1.0);
+        let b = profile(0.9, 100.0, 1.0);
+        let good = ordering_cost_ms(&[a, b], 1000.0);
+        let bad = ordering_cost_ms(&[b, a], 1000.0);
+        assert!(good < bad, "selective-first must be cheaper: {good} vs {bad}");
+    }
+
+    #[test]
+    fn eval_cost_scales_linearly() {
+        let p = profile(0.5, 10.0, 0.5);
+        let c1 = predicate_eval_cost_ms(&p, 100.0);
+        let c2 = predicate_eval_cost_ms(&p, 200.0);
+        assert!((c2 - 2.0 * c1).abs() < 1e-9);
+        // Fully materialized: only read cost remains.
+        let hot = profile(0.5, 10.0, 0.0);
+        assert!((predicate_eval_cost_ms(&hot, 100.0) - 15.0).abs() < 1e-9);
+    }
+}

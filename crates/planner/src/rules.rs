@@ -1,0 +1,247 @@
+//! Canonical transformation rules: constant folding, conjunct
+//! classification (predicate pushdown), and scan-range extraction.
+//!
+//! These are the "canonical optimization algorithms" the paper applies
+//! before the semantic-reuse pass (§3.1): a WHERE clause is split into
+//! conjuncts, UDF-free conjuncts are pushed as close to the scan as their
+//! column references allow, and frame-id bounds are folded into the scan
+//! range (using the symbolic engine's interval algebra rather than ad-hoc
+//! bound juggling).
+
+use eva_common::Schema;
+use eva_expr::{collect_udf_calls, conjuncts, Expr};
+use eva_symbolic::{to_dnf, Conjunct, Constraint};
+
+/// Classification of a WHERE clause's conjuncts relative to the plan shape
+/// `Scan → Detector-APPLY* → σ`.
+#[derive(Debug, Clone, Default)]
+pub struct ClassifiedPredicates {
+    /// UDF-free conjuncts referencing only scan columns — pushed below the
+    /// detector applies (and into the scan range where possible).
+    pub scan: Vec<Expr>,
+    /// UDF-free conjuncts referencing detector outputs — evaluated right
+    /// after the detector.
+    pub post_detector: Vec<Expr>,
+    /// Single-UDF comparison atoms (`CarType(frame,bbox) = 'Nissan'`) — the
+    /// reorderable UDF-based predicates of §4.2.
+    pub udf_atoms: Vec<Expr>,
+    /// Anything else containing UDF calls (disjunctions across UDFs etc.) —
+    /// evaluated last, after every referenced UDF has been applied.
+    pub complex: Vec<Expr>,
+}
+
+/// Split and classify a predicate. `scan_schema` is the base table schema.
+pub fn classify_predicates(predicate: &Expr, scan_schema: &Schema) -> ClassifiedPredicates {
+    let folded = eva_expr::util::fold_constants(predicate.clone());
+    let mut out = ClassifiedPredicates::default();
+    for c in conjuncts(&folded) {
+        let udfs = collect_udf_calls(&c);
+        if udfs.is_empty() {
+            let cols = eva_expr::referenced_columns(&c);
+            if cols.iter().all(|col| scan_schema.index_of(col).is_some()) {
+                out.scan.push(c);
+            } else {
+                out.post_detector.push(c);
+            }
+        } else if udfs.len() == 1 && is_udf_atom(&c) {
+            out.udf_atoms.push(c);
+        } else {
+            out.complex.push(c);
+        }
+    }
+    out
+}
+
+/// Is this conjunct a single comparison `UDF(args) op literal` (possibly
+/// flipped)? These are the predicates the ranking function reorders.
+pub fn is_udf_atom(e: &Expr) -> bool {
+    match e {
+        Expr::Cmp { lhs, rhs, .. } => matches!(
+            (&**lhs, &**rhs),
+            (Expr::Udf(_), Expr::Literal(_)) | (Expr::Literal(_), Expr::Udf(_))
+        ),
+        _ => false,
+    }
+}
+
+/// Derive a frame-id scan range `[from, to)` from scan-level conjuncts by
+/// converting them to DNF and bounding the `id` dimension. Conservative:
+/// failures fall back to the full range; the residual filter keeps
+/// exactness either way.
+pub fn extract_scan_range(scan_preds: &[Expr], n_rows: u64) -> (u64, u64) {
+    let full = (0u64, n_rows);
+    if scan_preds.is_empty() {
+        return full;
+    }
+    let combined = eva_expr::conjoin(scan_preds.to_vec());
+    let dnf = match to_dnf(&combined) {
+        Ok(d) => d.reduced(),
+        Err(_) => return full,
+    };
+    if dnf.is_false() {
+        return (0, 0);
+    }
+    if dnf.is_true() {
+        return full;
+    }
+    // Bound `id` across all conjuncts: the scan must cover the union, so
+    // take the global min/max of the id constraint.
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    let mut hi_open = true;
+    for c in dnf.conjuncts() {
+        match id_bounds(c) {
+            Some((l, h, h_open)) => {
+                lo = lo.min(l);
+                if h > hi {
+                    hi = h;
+                    hi_open = h_open;
+                } else if h == hi {
+                    hi_open = hi_open && h_open;
+                }
+            }
+            // A conjunct without an id constraint admits every frame.
+            None => return full,
+        }
+    }
+    if !lo.is_finite() && !hi.is_finite() {
+        return full;
+    }
+    let from = if lo.is_finite() {
+        lo.floor().max(0.0) as u64
+    } else {
+        0
+    };
+    let to = if hi.is_finite() {
+        // Frame ids are integers: `id < 10000` (open) excludes 10000 itself;
+        // `id ≤ 99` (closed) includes 99, so scan through 100.
+        let bound = if hi_open && hi.fract() == 0.0 {
+            hi as u64
+        } else {
+            (hi.floor() as u64).saturating_add(1)
+        };
+        bound.min(n_rows)
+    } else {
+        n_rows
+    };
+    (from.min(n_rows), to.max(from))
+}
+
+fn id_bounds(c: &Conjunct) -> Option<(f64, f64, bool)> {
+    match c.constraint("id") {
+        Some(Constraint::Num(set)) if !set.is_full() => {
+            let lo = set.intervals().first().map(|i| i.lo)?;
+            let last = set.intervals().last()?;
+            Some((lo, last.hi, last.hi_open))
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eva_common::{DataType, Field};
+    use eva_expr::{CmpOp, UdfCall};
+
+    fn scan_schema() -> Schema {
+        Schema::new(vec![
+            Field::new("id", DataType::Int),
+            Field::new("timestamp", DataType::Int),
+            Field::new("frame", DataType::Frame),
+        ])
+        .unwrap()
+    }
+
+    fn cartype_atom() -> Expr {
+        Expr::cmp(
+            Expr::Udf(UdfCall::new("cartype", vec![Expr::col("frame"), Expr::col("bbox")])),
+            CmpOp::Eq,
+            Expr::lit("Nissan"),
+        )
+    }
+
+    #[test]
+    fn classification_buckets() {
+        let pred = Expr::col("id")
+            .lt(10_000)
+            .and(Expr::col("label").eq_val("car"))
+            .and(cartype_atom())
+            .and(Expr::col("timestamp").gt(0));
+        let c = classify_predicates(&pred, &scan_schema());
+        assert_eq!(c.scan.len(), 2); // id, timestamp
+        assert_eq!(c.post_detector.len(), 1); // label
+        assert_eq!(c.udf_atoms.len(), 1);
+        assert!(c.complex.is_empty());
+    }
+
+    #[test]
+    fn disjunction_over_udfs_is_complex() {
+        let pred = cartype_atom().or(Expr::col("label").eq_val("bus"));
+        let c = classify_predicates(&pred, &scan_schema());
+        assert_eq!(c.complex.len(), 1);
+        assert!(c.udf_atoms.is_empty());
+    }
+
+    #[test]
+    fn constant_folding_applies_first() {
+        let pred = Expr::true_().and(Expr::col("id").lt(5));
+        let c = classify_predicates(&pred, &scan_schema());
+        assert_eq!(c.scan.len(), 1);
+        assert_eq!(c.scan[0].to_string(), "id < 5");
+    }
+
+    #[test]
+    fn udf_atom_detection() {
+        assert!(is_udf_atom(&cartype_atom()));
+        // Flipped literal side.
+        let flipped = Expr::cmp(
+            Expr::lit("Nissan"),
+            CmpOp::Eq,
+            Expr::Udf(UdfCall::new("cartype", vec![Expr::col("frame")])),
+        );
+        assert!(is_udf_atom(&flipped));
+        assert!(!is_udf_atom(&Expr::col("id").lt(5)));
+        assert!(!is_udf_atom(&cartype_atom().and(Expr::true_())));
+    }
+
+    #[test]
+    fn scan_range_simple_upper_bound() {
+        let preds = vec![Expr::col("id").lt(10_000)];
+        assert_eq!(extract_scan_range(&preds, 14_000), (0, 10_000));
+    }
+
+    #[test]
+    fn scan_range_window() {
+        let preds = vec![Expr::col("id").ge(2_000), Expr::col("id").lt(5_000)];
+        assert_eq!(extract_scan_range(&preds, 14_000), (2_000, 5_000));
+    }
+
+    #[test]
+    fn scan_range_union_covers_both() {
+        let preds = vec![Expr::col("id").lt(100).or(Expr::col("id").gt(900))];
+        let (lo, hi) = extract_scan_range(&preds, 1_000);
+        assert_eq!((lo, hi), (0, 1_000));
+    }
+
+    #[test]
+    fn scan_range_without_id_is_full() {
+        let preds = vec![Expr::col("timestamp").gt(5)];
+        assert_eq!(extract_scan_range(&preds, 500), (0, 500));
+        assert_eq!(extract_scan_range(&[], 500), (0, 500));
+    }
+
+    #[test]
+    fn contradictory_range_is_empty() {
+        let preds = vec![Expr::col("id").lt(10), Expr::col("id").gt(20)];
+        assert_eq!(extract_scan_range(&preds, 500), (0, 0));
+    }
+
+    #[test]
+    fn inclusive_bounds_rounded_outward() {
+        let preds = vec![Expr::col("id").le(99)];
+        let (lo, hi) = extract_scan_range(&preds, 500);
+        assert_eq!(lo, 0);
+        assert!(hi >= 100, "id ≤ 99 must include frame 99, got hi={hi}");
+    }
+}

@@ -1,0 +1,76 @@
+//! Simulated IO cost constants.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-operation simulated IO costs, in milliseconds.
+///
+/// Defaults are derived from the paper's profiled numbers: frame reads cost
+/// `c_r = 1.8 ms` per tuple (§4.2's FasterRCNN profile discussion); view rows
+/// are lightweight structured metadata, far cheaper to read and write than
+/// frames; the `3·C_M` hash-join factor of Eq. 3 is applied by the join
+/// operator through [`IoCostModel::view_join_factor`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IoCostModel {
+    /// Reading one frame tuple from the video table.
+    pub frame_read_ms: f64,
+    /// Reading one materialized-view row.
+    pub view_row_read_ms: f64,
+    /// Appending one row to a materialized view (batched in practice; this
+    /// is the amortized per-row cost).
+    pub view_row_write_ms: f64,
+    /// Hash-join IO amplification on view reads (build + spill + probe ⇒ 3
+    /// IOs in the worst case, per Eq. 3).
+    pub view_join_factor: f64,
+    /// Hashing cost charged by the FunCache baseline, in milliseconds per
+    /// megabyte of hashed input. Raw xxHash runs at ~10 GB/s, but the
+    /// paper's measured FunCache overhead (a 0.95× *slowdown* on VBENCH-LOW)
+    /// implies a few ms per frame-sized argument — the hash plus argument
+    /// marshalling through the UDF boundary. 2 ms/MB reproduces that.
+    pub hash_ms_per_mb: f64,
+    /// Fixed per-call overhead of the FunCache lookup path (argument
+    /// marshalling into hashable form), independent of size.
+    pub hash_fixed_ms: f64,
+}
+
+impl Default for IoCostModel {
+    fn default() -> Self {
+        IoCostModel {
+            frame_read_ms: 1.8,
+            view_row_read_ms: 0.05,
+            view_row_write_ms: 0.02,
+            view_join_factor: 3.0,
+            hash_ms_per_mb: 2.0,
+            hash_fixed_ms: 3.0,
+        }
+    }
+}
+
+impl IoCostModel {
+    /// Cost of hashing `bytes` of UDF input (FunCache): fixed marshalling
+    /// plus throughput-proportional hashing.
+    pub fn hash_cost_ms(&self, bytes: u64) -> f64 {
+        self.hash_fixed_ms + self.hash_ms_per_mb * bytes as f64 / (1024.0 * 1024.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_profile() {
+        let m = IoCostModel::default();
+        assert_eq!(m.frame_read_ms, 1.8);
+        assert_eq!(m.view_join_factor, 3.0);
+        assert!(m.view_row_read_ms < m.frame_read_ms);
+    }
+
+    #[test]
+    fn hash_cost_scales_with_bytes() {
+        let m = IoCostModel::default();
+        let one_mb = m.hash_cost_ms(1024 * 1024);
+        assert!((one_mb - 5.0).abs() < 1e-9, "3ms fixed + 2ms/MB");
+        assert!((m.hash_cost_ms(2 * 1024 * 1024) - 7.0).abs() < 1e-9);
+        assert_eq!(m.hash_cost_ms(0), 3.0, "fixed marshalling only");
+    }
+}

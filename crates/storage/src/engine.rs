@@ -1,0 +1,436 @@
+//! The storage engine: datasets, video tables, and the view store.
+
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::sync::Arc;
+
+use eva_common::{
+    Batch, CostCategory, DataType, EvaError, Field, FrameId, Result, Row, Schema, SimClock,
+    Value, ViewId,
+};
+use eva_video::VideoDataset;
+
+use crate::cost::IoCostModel;
+use crate::view::{MaterializedView, ViewDef, ViewKey, ViewKeyKind};
+
+/// The schema every loaded video table exposes:
+/// `(id INT, timestamp INT, frame FRAME)`.
+pub fn video_table_schema() -> Schema {
+    Schema::new(vec![
+        Field::new("id", DataType::Int),
+        Field::new("timestamp", DataType::Int),
+        Field::new("frame", DataType::Frame),
+    ])
+    .expect("static schema is valid")
+}
+
+/// Thread-safe storage engine. Cheap to clone (shared state).
+#[derive(Debug, Clone, Default)]
+pub struct StorageEngine {
+    inner: Arc<RwLock<Inner>>,
+    cost: IoCostModel,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    datasets: BTreeMap<String, Arc<VideoDataset>>,
+    views: BTreeMap<ViewId, MaterializedView>,
+    next_view_id: u64,
+}
+
+impl StorageEngine {
+    /// New engine with the default IO cost model.
+    pub fn new() -> StorageEngine {
+        StorageEngine::default()
+    }
+
+    /// New engine with a custom IO cost model.
+    pub fn with_cost_model(cost: IoCostModel) -> StorageEngine {
+        StorageEngine {
+            inner: Arc::default(),
+            cost,
+        }
+    }
+
+    /// The IO cost model in effect.
+    pub fn cost_model(&self) -> &IoCostModel {
+        &self.cost
+    }
+
+    /// Register a synthetic video dataset (the `LOAD VIDEO` path).
+    pub fn load_dataset(&self, dataset: VideoDataset) -> Arc<VideoDataset> {
+        let ds = Arc::new(dataset);
+        self.inner
+            .write()
+            .datasets
+            .insert(ds.name().to_string(), Arc::clone(&ds));
+        ds
+    }
+
+    /// Fetch a dataset by name.
+    pub fn dataset(&self, name: &str) -> Result<Arc<VideoDataset>> {
+        self.inner
+            .read()
+            .datasets
+            .get(name)
+            .cloned()
+            .ok_or_else(|| EvaError::Storage(format!("unknown dataset '{name}'")))
+    }
+
+    /// Scan a contiguous frame-id range `[from, to)` of a dataset into a
+    /// batch of `(id, timestamp, frame)` rows, charging frame-read IO.
+    pub fn scan_frames(
+        &self,
+        dataset: &str,
+        from: u64,
+        to: u64,
+        clock: &SimClock,
+    ) -> Result<Batch> {
+        let ds = self.dataset(dataset)?;
+        let to = to.min(ds.len());
+        let schema = Arc::new(video_table_schema());
+        if from >= to {
+            return Ok(Batch::empty(schema));
+        }
+        let mut rows: Vec<Row> = Vec::with_capacity((to - from) as usize);
+        for id in from..to {
+            let f = ds
+                .frame(FrameId(id))
+                .ok_or_else(|| EvaError::Storage(format!("missing frame {id}")))?;
+            rows.push(vec![
+                Value::Int(id as i64),
+                Value::Int(f.timestamp_ms),
+                Value::Int(id as i64), // frame payload carried by reference
+            ]);
+        }
+        clock.charge(
+            CostCategory::ReadVideo,
+            self.cost.frame_read_ms * rows.len() as f64,
+        );
+        Ok(Batch::new(schema, rows))
+    }
+
+    /// Create a new, empty materialized view.
+    pub fn create_view(
+        &self,
+        name: impl Into<String>,
+        key_kind: ViewKeyKind,
+        output_schema: Arc<Schema>,
+    ) -> ViewId {
+        let mut inner = self.inner.write();
+        inner.next_view_id += 1;
+        let id = ViewId(inner.next_view_id);
+        let def = ViewDef {
+            id,
+            name: name.into(),
+            key_kind,
+            output_schema,
+        };
+        inner.views.insert(id, MaterializedView::new(def));
+        id
+    }
+
+    /// View metadata.
+    pub fn view_def(&self, id: ViewId) -> Result<ViewDef> {
+        let inner = self.inner.read();
+        inner
+            .views
+            .get(&id)
+            .map(|v| v.def().clone())
+            .ok_or_else(|| EvaError::Storage(format!("unknown view {id}")))
+    }
+
+    /// Number of materialized keys in a view.
+    pub fn view_n_keys(&self, id: ViewId) -> Result<u64> {
+        let inner = self.inner.read();
+        inner
+            .views
+            .get(&id)
+            .map(|v| v.n_keys())
+            .ok_or_else(|| EvaError::Storage(format!("unknown view {id}")))
+    }
+
+    /// Total output rows in a view.
+    pub fn view_n_rows(&self, id: ViewId) -> Result<u64> {
+        let inner = self.inner.read();
+        inner
+            .views
+            .get(&id)
+            .map(|v| v.n_rows())
+            .ok_or_else(|| EvaError::Storage(format!("unknown view {id}")))
+    }
+
+    /// Append result rows for a batch of keys (STORE operator), charging
+    /// materialization IO.
+    pub fn view_append(
+        &self,
+        id: ViewId,
+        entries: Vec<(ViewKey, Vec<Row>)>,
+        clock: &SimClock,
+    ) -> Result<()> {
+        let mut inner = self.inner.write();
+        let view = inner
+            .views
+            .get_mut(&id)
+            .ok_or_else(|| EvaError::Storage(format!("unknown view {id}")))?;
+        let mut written = 0usize;
+        for (k, rows) in entries {
+            written += rows.len().max(1);
+            view.append(k, rows)?;
+        }
+        clock.charge(
+            CostCategory::Materialize,
+            self.cost.view_row_write_ms * written as f64,
+        );
+        Ok(())
+    }
+
+    /// Probe a batch of keys against a view (the LEFT OUTER JOIN read path),
+    /// charging `view_join_factor ×` the per-row read cost for probed keys,
+    /// per Eq. 3's `3·C_M` model.
+    ///
+    /// Returns, per key, `Some(rows)` when materialized and `None` when
+    /// missing (the conditional-APPLY guard then fires).
+    #[allow(clippy::type_complexity)]
+    pub fn view_probe(
+        &self,
+        id: ViewId,
+        keys: &[ViewKey],
+        clock: &SimClock,
+    ) -> Result<Vec<Option<Vec<Row>>>> {
+        let inner = self.inner.read();
+        let view = inner
+            .views
+            .get(&id)
+            .ok_or_else(|| EvaError::Storage(format!("unknown view {id}")))?;
+        let mut out = Vec::with_capacity(keys.len());
+        let mut rows_read = 0usize;
+        for k in keys {
+            match view.get(k) {
+                Some(rows) => {
+                    rows_read += rows.len().max(1);
+                    out.push(Some(rows.to_vec()));
+                }
+                None => out.push(None),
+            }
+        }
+        clock.charge(
+            CostCategory::ReadView,
+            self.cost.view_join_factor * self.cost.view_row_read_ms * rows_read as f64,
+        );
+        Ok(out)
+    }
+
+    /// Fuzzy probe of a box-level view (§6 future work): highest-IoU stored
+    /// box on the same frame. Charges view-read IO for the candidates
+    /// scanned plus the matched rows.
+    pub fn view_probe_fuzzy(
+        &self,
+        id: ViewId,
+        frame: FrameId,
+        bbox: &eva_common::BBox,
+        min_iou: f32,
+        clock: &SimClock,
+    ) -> Result<Option<Vec<Row>>> {
+        let inner = self.inner.read();
+        let view = inner
+            .views
+            .get(&id)
+            .ok_or_else(|| EvaError::Storage(format!("unknown view {id}")))?;
+        let (rows, scanned) = view.fuzzy_get(frame, bbox, min_iou);
+        let read = scanned + rows.map(|r| r.len()).unwrap_or(0);
+        clock.charge(
+            CostCategory::ReadView,
+            self.cost.view_row_read_ms * read as f64,
+        );
+        Ok(rows.map(|r| r.to_vec()))
+    }
+
+    /// Does the view contain the key? (No IO charge — membership is answered
+    /// by the in-memory hash/index.)
+    pub fn view_contains(&self, id: ViewId, key: &ViewKey) -> Result<bool> {
+        let inner = self.inner.read();
+        inner
+            .views
+            .get(&id)
+            .map(|v| v.contains(key))
+            .ok_or_else(|| EvaError::Storage(format!("unknown view {id}")))
+    }
+
+    /// Total approximate bytes across all views (the storage-footprint
+    /// metric of §5.2).
+    pub fn total_view_bytes(&self) -> u64 {
+        self.inner.read().views.values().map(|v| v.approx_bytes()).sum()
+    }
+
+    /// Snapshot of all view definitions.
+    pub fn view_defs(&self) -> Vec<ViewDef> {
+        self.inner
+            .read()
+            .views
+            .values()
+            .map(|v| v.def().clone())
+            .collect()
+    }
+
+    /// Drop every view (clean-state workload restarts).
+    pub fn clear_views(&self) {
+        let mut inner = self.inner.write();
+        inner.views.clear();
+    }
+
+    /// Persist all views to a directory (one JSON file per view plus an
+    /// index). Datasets are *not* persisted — they regenerate from seeds.
+    pub fn save_views(&self, dir: &Path) -> Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let inner = self.inner.read();
+        let mut index = Vec::new();
+        for (id, view) in &inner.views {
+            let file = dir.join(format!("view_{}.json", id.raw()));
+            let json = serde_json::to_string(view)
+                .map_err(|e| EvaError::Io(format!("serialize view: {e}")))?;
+            std::fs::write(&file, json)?;
+            index.push(id.raw());
+        }
+        let idx_json = serde_json::to_string(&(inner.next_view_id, index))
+            .map_err(|e| EvaError::Io(format!("serialize index: {e}")))?;
+        std::fs::write(dir.join("views_index.json"), idx_json)?;
+        Ok(())
+    }
+
+    /// Load views previously saved with [`StorageEngine::save_views`].
+    pub fn load_views(&self, dir: &Path) -> Result<()> {
+        let idx_raw = std::fs::read_to_string(dir.join("views_index.json"))?;
+        let (next_id, ids): (u64, Vec<u64>) = serde_json::from_str(&idx_raw)
+            .map_err(|e| EvaError::Io(format!("parse index: {e}")))?;
+        let mut inner = self.inner.write();
+        inner.next_view_id = inner.next_view_id.max(next_id);
+        for raw in ids {
+            let file = dir.join(format!("view_{raw}.json"));
+            let json = std::fs::read_to_string(&file)?;
+            let view: MaterializedView = serde_json::from_str(&json)
+                .map_err(|e| EvaError::Io(format!("parse view {raw}: {e}")))?;
+            inner.views.insert(ViewId(raw), view);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eva_video::generator::generate;
+    use eva_video::VideoConfig;
+
+    fn tiny_dataset(name: &str) -> VideoDataset {
+        generate(VideoConfig {
+            name: name.into(),
+            n_frames: 100,
+            width: 100,
+            height: 100,
+            fps: 25.0,
+            target_density: 2.0,
+            person_fraction: 0.0,
+            seed: 5,
+        })
+    }
+
+    fn out_schema() -> Arc<Schema> {
+        Arc::new(Schema::new(vec![Field::new("label", DataType::Str)]).unwrap())
+    }
+
+    #[test]
+    fn scan_charges_read_cost() {
+        let eng = StorageEngine::new();
+        eng.load_dataset(tiny_dataset("v"));
+        let clock = SimClock::new();
+        let b = eng.scan_frames("v", 10, 20, &clock).unwrap();
+        assert_eq!(b.len(), 10);
+        assert_eq!(b.value(0, "id").unwrap(), &Value::Int(10));
+        assert!((clock.snapshot().get(CostCategory::ReadVideo) - 18.0).abs() < 1e-9);
+        // Out-of-range scans clamp.
+        let b = eng.scan_frames("v", 95, 200, &clock).unwrap();
+        assert_eq!(b.len(), 5);
+        let b = eng.scan_frames("v", 300, 400, &clock).unwrap();
+        assert!(b.is_empty());
+        assert!(eng.scan_frames("missing", 0, 1, &clock).is_err());
+    }
+
+    #[test]
+    fn view_lifecycle_and_probe_costs() {
+        let eng = StorageEngine::new();
+        let clock = SimClock::new();
+        let id = eng.create_view("det", ViewKeyKind::Frame, out_schema());
+        let k0 = ViewKey::frame(FrameId(0));
+        let k1 = ViewKey::frame(FrameId(1));
+        eng.view_append(id, vec![(k0, vec![vec![Value::from("car")]])], &clock)
+            .unwrap();
+        assert_eq!(eng.view_n_keys(id).unwrap(), 1);
+        assert_eq!(eng.view_n_rows(id).unwrap(), 1);
+
+        let probed = eng.view_probe(id, &[k0, k1], &clock).unwrap();
+        assert!(probed[0].is_some());
+        assert!(probed[1].is_none());
+        let s = clock.snapshot();
+        assert!(s.get(CostCategory::Materialize) > 0.0);
+        assert!(s.get(CostCategory::ReadView) > 0.0);
+        // Join factor of 3 applied to one row read at 0.05ms.
+        assert!((s.get(CostCategory::ReadView) - 0.15).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unknown_view_errors() {
+        let eng = StorageEngine::new();
+        let clock = SimClock::new();
+        assert!(eng.view_probe(ViewId(99), &[], &clock).is_err());
+        assert!(eng.view_n_keys(ViewId(99)).is_err());
+        assert!(eng
+            .view_append(ViewId(99), vec![], &clock)
+            .is_err());
+    }
+
+    #[test]
+    fn footprint_accumulates_across_views() {
+        let eng = StorageEngine::new();
+        let clock = SimClock::new();
+        let a = eng.create_view("a", ViewKeyKind::Frame, out_schema());
+        let b = eng.create_view("b", ViewKeyKind::Frame, out_schema());
+        eng.view_append(a, vec![(ViewKey::frame(FrameId(0)), vec![vec![Value::from("car")]])], &clock)
+            .unwrap();
+        eng.view_append(b, vec![(ViewKey::frame(FrameId(0)), vec![vec![Value::from("bus")]])], &clock)
+            .unwrap();
+        assert!(eng.total_view_bytes() > 0);
+        assert_eq!(eng.view_defs().len(), 2);
+        eng.clear_views();
+        assert_eq!(eng.total_view_bytes(), 0);
+    }
+
+    #[test]
+    fn persistence_round_trip() {
+        let dir = std::env::temp_dir().join(format!("eva_views_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let eng = StorageEngine::new();
+        let clock = SimClock::new();
+        let id = eng.create_view("det", ViewKeyKind::Frame, out_schema());
+        eng.view_append(
+            id,
+            vec![(ViewKey::frame(FrameId(7)), vec![vec![Value::from("car")]])],
+            &clock,
+        )
+        .unwrap();
+        eng.save_views(&dir).unwrap();
+
+        let eng2 = StorageEngine::new();
+        eng2.load_views(&dir).unwrap();
+        assert_eq!(eng2.view_n_keys(id).unwrap(), 1);
+        let probed = eng2
+            .view_probe(id, &[ViewKey::frame(FrameId(7))], &clock)
+            .unwrap();
+        assert_eq!(probed[0].as_ref().unwrap()[0][0], Value::from("car"));
+        // New views get fresh ids after load.
+        let id2 = eng2.create_view("x", ViewKeyKind::Frame, out_schema());
+        assert!(id2.raw() > id.raw());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

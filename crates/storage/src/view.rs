@@ -1,0 +1,337 @@
+//! Materialized views of UDF results.
+//!
+//! A view is keyed by the identity of the UDF's input tuple:
+//! * frame-level UDFs (object detectors) key on the frame id;
+//! * box-level UDFs (CarType, ColorDet, License, Area) key on
+//!   `(frame id, quantized bbox)` — two different detectors produce
+//!   different boxes, so their downstream results do not collide.
+//!
+//! Each key maps to the *list* of output rows the UDF produced for that
+//! input (a detector emits one row per detected object, possibly zero —
+//! which still records "this frame was processed").
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use eva_common::{BBox, EvaError, FrameId, Result, Row, Schema, ViewId};
+
+/// The kind of key a view uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ViewKeyKind {
+    /// Keyed by frame id (frame-level UDFs).
+    Frame,
+    /// Keyed by (frame id, quantized bbox) (box-level UDFs).
+    FrameBox,
+}
+
+/// A concrete view key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ViewKey {
+    /// Frame-level key.
+    Frame(u64),
+    /// Box-level key (frame id + quantized box corners).
+    FrameBox(u64, [u16; 4]),
+}
+
+impl ViewKey {
+    /// Build a frame key.
+    pub fn frame(id: FrameId) -> ViewKey {
+        ViewKey::Frame(id.raw())
+    }
+
+    /// Build a frame+box key (box is quantized via [`BBox::key`]).
+    pub fn frame_box(id: FrameId, bbox: &BBox) -> ViewKey {
+        ViewKey::FrameBox(id.raw(), bbox.key())
+    }
+
+    /// Which kind of key this is.
+    pub fn kind(&self) -> ViewKeyKind {
+        match self {
+            ViewKey::Frame(_) => ViewKeyKind::Frame,
+            ViewKey::FrameBox(..) => ViewKeyKind::FrameBox,
+        }
+    }
+
+    /// The frame id component.
+    pub fn frame_id(&self) -> FrameId {
+        match self {
+            ViewKey::Frame(f) | ViewKey::FrameBox(f, _) => FrameId(*f),
+        }
+    }
+}
+
+/// View metadata.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ViewDef {
+    /// View id assigned by the storage engine.
+    pub id: ViewId,
+    /// Owner UDF signature rendering (for introspection).
+    pub name: String,
+    /// Key kind.
+    pub key_kind: ViewKeyKind,
+    /// Schema of the stored output rows.
+    pub output_schema: Arc<Schema>,
+}
+
+/// A materialized view: key → output rows.
+///
+/// Serialized through [`ViewSnapshot`] because JSON object keys must be
+/// strings while view keys are structured.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(into = "ViewSnapshot", from = "ViewSnapshot")]
+pub struct MaterializedView {
+    def: ViewDef,
+    data: BTreeMap<ViewKey, Vec<Row>>,
+    total_rows: u64,
+}
+
+/// Flat, JSON-friendly encoding of a [`MaterializedView`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ViewSnapshot {
+    def: ViewDef,
+    entries: Vec<(ViewKey, Vec<Row>)>,
+}
+
+impl From<MaterializedView> for ViewSnapshot {
+    fn from(v: MaterializedView) -> ViewSnapshot {
+        ViewSnapshot {
+            def: v.def,
+            entries: v.data.into_iter().collect(),
+        }
+    }
+}
+
+impl From<ViewSnapshot> for MaterializedView {
+    fn from(s: ViewSnapshot) -> MaterializedView {
+        let total_rows = s.entries.iter().map(|(_, rows)| rows.len() as u64).sum();
+        MaterializedView {
+            def: s.def,
+            data: s.entries.into_iter().collect(),
+            total_rows,
+        }
+    }
+}
+
+impl MaterializedView {
+    /// New empty view.
+    pub fn new(def: ViewDef) -> MaterializedView {
+        MaterializedView {
+            def,
+            data: BTreeMap::new(),
+            total_rows: 0,
+        }
+    }
+
+    /// View metadata.
+    pub fn def(&self) -> &ViewDef {
+        &self.def
+    }
+
+    /// Number of distinct keys materialized.
+    pub fn n_keys(&self) -> u64 {
+        self.data.len() as u64
+    }
+
+    /// Total stored output rows.
+    pub fn n_rows(&self) -> u64 {
+        self.total_rows
+    }
+
+    /// Is the key materialized? (Zero output rows still counts: the UDF ran
+    /// and produced nothing.)
+    pub fn contains(&self, key: &ViewKey) -> bool {
+        self.data.contains_key(key)
+    }
+
+    /// Output rows for a key, if materialized.
+    pub fn get(&self, key: &ViewKey) -> Option<&[Row]> {
+        self.data.get(key).map(|v| v.as_slice())
+    }
+
+    /// Record the UDF's output rows for a key. Re-appending an existing key
+    /// is a no-op (results are deterministic per input), which makes STORE
+    /// idempotent under plan retries.
+    pub fn append(&mut self, key: ViewKey, rows: Vec<Row>) -> Result<()> {
+        if key.kind() != self.def.key_kind {
+            return Err(EvaError::Storage(format!(
+                "key kind mismatch appending to view '{}'",
+                self.def.name
+            )));
+        }
+        debug_assert!(
+            rows.iter().all(|r| r.len() == self.def.output_schema.len()),
+            "row arity mismatch in view '{}'",
+            self.def.name
+        );
+        if let std::collections::btree_map::Entry::Vacant(e) = self.data.entry(key) {
+            self.total_rows += rows.len() as u64;
+            e.insert(rows);
+        }
+        Ok(())
+    }
+
+    /// Iterate all entries in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&ViewKey, &Vec<Row>)> {
+        self.data.iter()
+    }
+
+    /// Fuzzy lookup for box-level views (§6 future work): find the stored
+    /// box on the same frame with the highest IoU against `bbox`, if it
+    /// clears `min_iou`. Returns the matched rows and the number of
+    /// candidate keys scanned (for IO accounting).
+    pub fn fuzzy_get(&self, frame: FrameId, bbox: &BBox, min_iou: f32) -> (Option<&[Row]>, usize) {
+        debug_assert_eq!(self.def.key_kind, ViewKeyKind::FrameBox);
+        let lo = ViewKey::FrameBox(frame.raw(), [0; 4]);
+        let hi = ViewKey::FrameBox(frame.raw(), [u16::MAX; 4]);
+        let mut best: Option<(&Vec<Row>, f32)> = None;
+        let mut scanned = 0usize;
+        for (key, rows) in self.data.range(lo..=hi) {
+            scanned += 1;
+            let ViewKey::FrameBox(_, corners) = key else { continue };
+            let stored = BBox::new(
+                corners[0] as f32 / 10_000.0,
+                corners[1] as f32 / 10_000.0,
+                corners[2] as f32 / 10_000.0,
+                corners[3] as f32 / 10_000.0,
+            );
+            let iou = stored.iou(bbox);
+            if iou >= min_iou && best.map(|(_, b)| iou > b).unwrap_or(true) {
+                best = Some((rows, iou));
+            }
+        }
+        (best.map(|(r, _)| r.as_slice()), scanned)
+    }
+
+    /// Approximate storage footprint in bytes (the Table "storage overhead"
+    /// metric): serialized key + values.
+    pub fn approx_bytes(&self) -> u64 {
+        let mut total = 0u64;
+        for (k, rows) in &self.data {
+            total += match k {
+                ViewKey::Frame(_) => 8,
+                ViewKey::FrameBox(..) => 16,
+            };
+            for row in rows {
+                for v in row {
+                    let mut buf = Vec::new();
+                    v.write_bytes(&mut buf);
+                    total += buf.len() as u64;
+                }
+            }
+        }
+        total
+    }
+
+    /// Remove everything (used when workloads restart from a clean state).
+    pub fn clear(&mut self) {
+        self.data.clear();
+        self.total_rows = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eva_common::{DataType, Field, Value};
+
+    fn demo_view(kind: ViewKeyKind) -> MaterializedView {
+        MaterializedView::new(ViewDef {
+            id: ViewId(1),
+            name: "objectdetector(frame)".into(),
+            key_kind: kind,
+            output_schema: Arc::new(
+                Schema::new(vec![
+                    Field::new("label", DataType::Str),
+                    Field::new("score", DataType::Float),
+                ])
+                .unwrap(),
+            ),
+        })
+    }
+
+    #[test]
+    fn append_and_get() {
+        let mut v = demo_view(ViewKeyKind::Frame);
+        let key = ViewKey::frame(FrameId(3));
+        v.append(key, vec![vec![Value::from("car"), Value::Float(0.9)]])
+            .unwrap();
+        assert!(v.contains(&key));
+        assert_eq!(v.get(&key).unwrap().len(), 1);
+        assert_eq!(v.n_keys(), 1);
+        assert_eq!(v.n_rows(), 1);
+        assert!(!v.contains(&ViewKey::frame(FrameId(4))));
+    }
+
+    #[test]
+    fn empty_result_still_marks_processed() {
+        let mut v = demo_view(ViewKeyKind::Frame);
+        let key = ViewKey::frame(FrameId(9));
+        v.append(key, vec![]).unwrap();
+        assert!(v.contains(&key));
+        assert_eq!(v.get(&key).unwrap().len(), 0);
+        assert_eq!(v.n_rows(), 0);
+    }
+
+    #[test]
+    fn reappend_is_idempotent() {
+        let mut v = demo_view(ViewKeyKind::Frame);
+        let key = ViewKey::frame(FrameId(1));
+        v.append(key, vec![vec![Value::from("car"), Value::Float(0.9)]])
+            .unwrap();
+        v.append(key, vec![vec![Value::from("bus"), Value::Float(0.5)]])
+            .unwrap();
+        assert_eq!(v.n_rows(), 1);
+        assert_eq!(v.get(&key).unwrap()[0][0], Value::from("car"));
+    }
+
+    #[test]
+    fn key_kind_enforced() {
+        let mut v = demo_view(ViewKeyKind::Frame);
+        let bad = ViewKey::frame_box(FrameId(0), &BBox::new(0.0, 0.0, 0.1, 0.1));
+        assert!(v.append(bad, vec![]).is_err());
+    }
+
+    #[test]
+    fn frame_box_keys_distinguish_boxes() {
+        let mut v = demo_view(ViewKeyKind::FrameBox);
+        let b1 = BBox::new(0.0, 0.0, 0.1, 0.1);
+        let b2 = BBox::new(0.5, 0.5, 0.9, 0.9);
+        v.append(ViewKey::frame_box(FrameId(0), &b1), vec![]).unwrap();
+        assert!(v.contains(&ViewKey::frame_box(FrameId(0), &b1)));
+        assert!(!v.contains(&ViewKey::frame_box(FrameId(0), &b2)));
+        assert!(!v.contains(&ViewKey::frame_box(FrameId(1), &b1)));
+    }
+
+    #[test]
+    fn approx_bytes_grows() {
+        let mut v = demo_view(ViewKeyKind::Frame);
+        let before = v.approx_bytes();
+        v.append(
+            ViewKey::frame(FrameId(0)),
+            vec![vec![Value::from("car"), Value::Float(0.9)]],
+        )
+        .unwrap();
+        assert!(v.approx_bytes() > before);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut v = demo_view(ViewKeyKind::Frame);
+        v.append(ViewKey::frame(FrameId(0)), vec![]).unwrap();
+        v.clear();
+        assert_eq!(v.n_keys(), 0);
+        assert_eq!(v.n_rows(), 0);
+    }
+
+    #[test]
+    fn key_ordering_by_frame() {
+        let k1 = ViewKey::frame(FrameId(1));
+        let k2 = ViewKey::frame(FrameId(2));
+        assert!(k1 < k2);
+        assert_eq!(k1.frame_id(), FrameId(1));
+        let kb = ViewKey::frame_box(FrameId(7), &BBox::new(0.0, 0.0, 0.1, 0.1));
+        assert_eq!(kb.frame_id(), FrameId(7));
+        assert_eq!(kb.kind(), ViewKeyKind::FrameBox);
+    }
+}

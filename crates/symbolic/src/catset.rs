@@ -1,0 +1,226 @@
+//! Categorical constraint sets.
+//!
+//! String-valued dimensions (`label`, `VehicleColor(...)`, `CarType(...)`)
+//! take values from an unbounded domain, so a constraint is either a finite
+//! *include* set (`label = 'car'`, `color IN ('red','gray')`) or a cofinite
+//! *exclude* set (`label != 'car'`). Both are closed under union,
+//! intersection and complement, which keeps the symbolic algebra exact.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A set of category values: finite (`In`) or cofinite (`NotIn`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CatSet {
+    /// Exactly these values.
+    In(BTreeSet<String>),
+    /// Every value except these. `NotIn(∅)` is the full domain.
+    NotIn(BTreeSet<String>),
+}
+
+impl CatSet {
+    /// The empty set.
+    pub fn empty() -> CatSet {
+        CatSet::In(BTreeSet::new())
+    }
+
+    /// The full domain.
+    pub fn full() -> CatSet {
+        CatSet::NotIn(BTreeSet::new())
+    }
+
+    /// `{v}`.
+    pub fn only(v: impl Into<String>) -> CatSet {
+        let mut s = BTreeSet::new();
+        s.insert(v.into());
+        CatSet::In(s)
+    }
+
+    /// Everything except `{v}`.
+    pub fn except(v: impl Into<String>) -> CatSet {
+        let mut s = BTreeSet::new();
+        s.insert(v.into());
+        CatSet::NotIn(s)
+    }
+
+    /// Finite include set from values.
+    pub fn of<I: IntoIterator<Item = S>, S: Into<String>>(vals: I) -> CatSet {
+        CatSet::In(vals.into_iter().map(Into::into).collect())
+    }
+
+    /// Is the set empty?
+    pub fn is_empty(&self) -> bool {
+        matches!(self, CatSet::In(s) if s.is_empty())
+    }
+
+    /// Is the set the full domain?
+    pub fn is_full(&self) -> bool {
+        matches!(self, CatSet::NotIn(s) if s.is_empty())
+    }
+
+    /// Membership test.
+    pub fn contains(&self, v: &str) -> bool {
+        match self {
+            CatSet::In(s) => s.contains(v),
+            CatSet::NotIn(s) => !s.contains(v),
+        }
+    }
+
+    /// Set complement.
+    pub fn complement(&self) -> CatSet {
+        match self {
+            CatSet::In(s) => CatSet::NotIn(s.clone()),
+            CatSet::NotIn(s) => CatSet::In(s.clone()),
+        }
+    }
+
+    /// Set union.
+    pub fn union(&self, other: &CatSet) -> CatSet {
+        match (self, other) {
+            (CatSet::In(a), CatSet::In(b)) => CatSet::In(a.union(b).cloned().collect()),
+            (CatSet::NotIn(a), CatSet::NotIn(b)) => {
+                CatSet::NotIn(a.intersection(b).cloned().collect())
+            }
+            (CatSet::In(inc), CatSet::NotIn(exc)) | (CatSet::NotIn(exc), CatSet::In(inc)) => {
+                // NotIn(exc) ∪ In(inc) = NotIn(exc \ inc)
+                CatSet::NotIn(exc.difference(inc).cloned().collect())
+            }
+        }
+    }
+
+    /// Set intersection.
+    pub fn intersect(&self, other: &CatSet) -> CatSet {
+        match (self, other) {
+            (CatSet::In(a), CatSet::In(b)) => CatSet::In(a.intersection(b).cloned().collect()),
+            (CatSet::NotIn(a), CatSet::NotIn(b)) => {
+                CatSet::NotIn(a.union(b).cloned().collect())
+            }
+            (CatSet::In(inc), CatSet::NotIn(exc)) | (CatSet::NotIn(exc), CatSet::In(inc)) => {
+                CatSet::In(inc.difference(exc).cloned().collect())
+            }
+        }
+    }
+
+    /// `self \ other`.
+    pub fn difference(&self, other: &CatSet) -> CatSet {
+        self.intersect(&other.complement())
+    }
+
+    /// Is `self ⊆ other`?
+    pub fn is_subset(&self, other: &CatSet) -> bool {
+        self.difference(other).is_empty()
+    }
+
+    /// Number of atomic equality/inequality formulas needed to express the
+    /// set (`In{a,b}` → 2 equalities; `NotIn{a}` → 1 inequality; full → 0).
+    pub fn atom_count(&self) -> usize {
+        match self {
+            CatSet::In(s) => s.len(),
+            CatSet::NotIn(s) => s.len(),
+        }
+    }
+}
+
+impl fmt::Display for CatSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (neg, s) = match self {
+            CatSet::In(s) => ("", s),
+            CatSet::NotIn(s) => ("¬", s),
+        };
+        write!(f, "{neg}{{")?;
+        for (i, v) in s.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_membership() {
+        let s = CatSet::of(["car", "truck"]);
+        assert!(s.contains("car"));
+        assert!(!s.contains("bus"));
+        let n = CatSet::except("car");
+        assert!(!n.contains("car"));
+        assert!(n.contains("bus"));
+    }
+
+    #[test]
+    fn union_all_cases() {
+        let a = CatSet::of(["car"]);
+        let b = CatSet::of(["truck"]);
+        assert_eq!(a.union(&b), CatSet::of(["car", "truck"]));
+
+        let na = CatSet::NotIn(["car", "bus"].iter().map(|s| s.to_string()).collect());
+        let nb = CatSet::NotIn(["car", "truck"].iter().map(|s| s.to_string()).collect());
+        // complement sets intersect: NotIn({car})
+        assert_eq!(na.union(&nb), CatSet::except("car"));
+
+        // NotIn{car,bus} ∪ In{car} = NotIn{bus}
+        assert_eq!(na.union(&a), CatSet::except("bus"));
+    }
+
+    #[test]
+    fn intersect_all_cases() {
+        let a = CatSet::of(["car", "bus"]);
+        let b = CatSet::of(["car", "truck"]);
+        assert_eq!(a.intersect(&b), CatSet::only("car"));
+
+        let na = CatSet::except("car");
+        assert_eq!(a.intersect(&na), CatSet::only("bus"));
+
+        let nb = CatSet::except("bus");
+        assert_eq!(
+            na.intersect(&nb),
+            CatSet::NotIn(["car", "bus"].iter().map(|s| s.to_string()).collect())
+        );
+    }
+
+    #[test]
+    fn complement_involution() {
+        let a = CatSet::of(["car"]);
+        assert_eq!(a.complement().complement(), a);
+        assert!(CatSet::full().complement().is_empty());
+        assert!(CatSet::empty().complement().is_full());
+    }
+
+    #[test]
+    fn subset_checks() {
+        assert!(CatSet::only("car").is_subset(&CatSet::of(["car", "bus"])));
+        assert!(!CatSet::of(["car", "bus"]).is_subset(&CatSet::only("car")));
+        assert!(CatSet::only("car").is_subset(&CatSet::full()));
+        assert!(CatSet::empty().is_subset(&CatSet::only("car")));
+        assert!(CatSet::except("x").is_subset(&CatSet::full()));
+        assert!(!CatSet::except("x").is_subset(&CatSet::of(["a", "b"])));
+    }
+
+    #[test]
+    fn atom_counts() {
+        assert_eq!(CatSet::full().atom_count(), 0);
+        assert_eq!(CatSet::only("a").atom_count(), 1);
+        assert_eq!(CatSet::of(["a", "b"]).atom_count(), 2);
+        assert_eq!(CatSet::except("a").atom_count(), 1);
+    }
+
+    #[test]
+    fn demorgan_laws() {
+        let a = CatSet::of(["x", "y"]);
+        let b = CatSet::except("y");
+        assert_eq!(
+            a.union(&b).complement(),
+            a.complement().intersect(&b.complement())
+        );
+        assert_eq!(
+            a.intersect(&b).complement(),
+            a.complement().union(&b.complement())
+        );
+    }
+}

@@ -1,0 +1,491 @@
+//! Conjunctive predicates over named dimensions.
+//!
+//! A [`Conjunct`] is the N-dimensional generalization of the rectangles in
+//! Fig. 2 of the paper: a map from *dimension* (a column such as `id`, or a
+//! UDF-output symbol such as `cartype(frame,bbox)`) to a constraint set on
+//! that dimension. Numeric dimensions carry an [`IntervalSet`]; categorical
+//! dimensions carry a [`CatSet`]. A conjunct denotes the product of its
+//! per-dimension sets; unconstrained dimensions are implicitly full.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+use eva_common::Value;
+
+use crate::catset::CatSet;
+use crate::interval::IntervalSet;
+
+/// Constraint on a single dimension.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Constraint {
+    /// Numeric dimension: a union of intervals.
+    Num(IntervalSet),
+    /// Categorical dimension: a (co)finite value set.
+    Cat(CatSet),
+}
+
+impl Constraint {
+    /// Is the constraint unsatisfiable?
+    pub fn is_empty(&self) -> bool {
+        match self {
+            Constraint::Num(s) => s.is_empty(),
+            Constraint::Cat(s) => s.is_empty(),
+        }
+    }
+
+    /// Does it admit every value?
+    pub fn is_full(&self) -> bool {
+        match self {
+            Constraint::Num(s) => s.is_full(),
+            Constraint::Cat(s) => s.is_full(),
+        }
+    }
+
+    /// Set union; `None` when the two constraints have mismatched kinds
+    /// (which indicates a binder bug — a dimension cannot be both numeric
+    /// and categorical).
+    pub fn union(&self, other: &Constraint) -> Option<Constraint> {
+        match (self, other) {
+            (Constraint::Num(a), Constraint::Num(b)) => Some(Constraint::Num(a.union(b))),
+            (Constraint::Cat(a), Constraint::Cat(b)) => Some(Constraint::Cat(a.union(b))),
+            _ => None,
+        }
+    }
+
+    /// Set intersection (same kind rules as [`Constraint::union`]).
+    pub fn intersect(&self, other: &Constraint) -> Option<Constraint> {
+        match (self, other) {
+            (Constraint::Num(a), Constraint::Num(b)) => Some(Constraint::Num(a.intersect(b))),
+            (Constraint::Cat(a), Constraint::Cat(b)) => Some(Constraint::Cat(a.intersect(b))),
+            _ => None,
+        }
+    }
+
+    /// Set complement.
+    pub fn complement(&self) -> Constraint {
+        match self {
+            Constraint::Num(s) => Constraint::Num(s.complement()),
+            Constraint::Cat(s) => Constraint::Cat(s.complement()),
+        }
+    }
+
+    /// `self \ other` (same-kind only).
+    pub fn difference(&self, other: &Constraint) -> Option<Constraint> {
+        self.intersect(&other.complement())
+    }
+
+    /// Is `self ⊆ other`? Mismatched kinds report `false` (conservative).
+    pub fn is_subset(&self, other: &Constraint) -> bool {
+        match (self, other) {
+            (Constraint::Num(a), Constraint::Num(b)) => a.is_subset(b),
+            (Constraint::Cat(a), Constraint::Cat(b)) => a.is_subset(b),
+            _ => false,
+        }
+    }
+
+    /// Membership of a concrete value. Type mismatches report `false`.
+    pub fn contains(&self, v: &Value) -> bool {
+        match (self, v) {
+            (Constraint::Num(s), Value::Int(i)) => s.contains(*i as f64),
+            (Constraint::Num(s), Value::Float(f)) => s.contains(*f),
+            (Constraint::Cat(s), Value::Str(x)) => s.contains(x),
+            (Constraint::Cat(s), Value::Bool(b)) => s.contains(if *b { "true" } else { "false" }),
+            _ => false,
+        }
+    }
+
+    /// Atomic formula count.
+    pub fn atom_count(&self) -> usize {
+        match self {
+            Constraint::Num(s) => s.atom_count(),
+            Constraint::Cat(s) => s.atom_count(),
+        }
+    }
+}
+
+impl fmt::Display for Constraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Constraint::Num(s) => write!(f, "{s}"),
+            Constraint::Cat(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// A satisfiable-or-empty conjunction of per-dimension constraints.
+///
+/// Invariants (maintained by every constructor):
+/// * no stored constraint is full (full ⇒ the dimension is dropped),
+/// * `Conjunct::empty()` is the canonical unsatisfiable conjunct, represented
+///   by a private flag rather than an arbitrary empty constraint.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Conjunct {
+    dims: BTreeMap<String, Constraint>,
+    unsat: bool,
+}
+
+impl Conjunct {
+    /// The universal conjunct (TRUE).
+    pub fn universal() -> Conjunct {
+        Conjunct::default()
+    }
+
+    /// The unsatisfiable conjunct (FALSE).
+    pub fn unsat() -> Conjunct {
+        Conjunct {
+            dims: BTreeMap::new(),
+            unsat: true,
+        }
+    }
+
+    /// Build from dimension constraints, normalizing.
+    pub fn from_dims<I: IntoIterator<Item = (String, Constraint)>>(dims: I) -> Conjunct {
+        let mut c = Conjunct::universal();
+        for (d, k) in dims {
+            c = c.constrain(&d, k);
+            if c.unsat {
+                break;
+            }
+        }
+        c
+    }
+
+    /// Intersect one dimension with an additional constraint.
+    #[must_use]
+    pub fn constrain(mut self, dim: &str, k: Constraint) -> Conjunct {
+        if self.unsat {
+            return self;
+        }
+        let merged = match self.dims.get(dim) {
+            Some(existing) => match existing.intersect(&k) {
+                Some(m) => m,
+                // Kind mismatch: treat as unsatisfiable (a dim cannot hold
+                // both a number and a string at once).
+                None => return Conjunct::unsat(),
+            },
+            None => k,
+        };
+        if merged.is_empty() {
+            return Conjunct::unsat();
+        }
+        if merged.is_full() {
+            self.dims.remove(dim);
+        } else {
+            self.dims.insert(dim.to_string(), merged);
+        }
+        self
+    }
+
+    /// Is this the FALSE conjunct?
+    pub fn is_unsat(&self) -> bool {
+        self.unsat
+    }
+
+    /// Is this the TRUE conjunct?
+    pub fn is_universal(&self) -> bool {
+        !self.unsat && self.dims.is_empty()
+    }
+
+    /// The constrained dimensions.
+    pub fn dims(&self) -> &BTreeMap<String, Constraint> {
+        &self.dims
+    }
+
+    /// Constraint on `dim` (full when unconstrained, empty when unsat).
+    pub fn constraint(&self, dim: &str) -> Option<&Constraint> {
+        self.dims.get(dim)
+    }
+
+    /// Conjunct intersection (product of per-dim intersections).
+    pub fn intersect(&self, other: &Conjunct) -> Conjunct {
+        if self.unsat || other.unsat {
+            return Conjunct::unsat();
+        }
+        let mut out = self.clone();
+        for (d, k) in &other.dims {
+            out = out.constrain(d, k.clone());
+            if out.unsat {
+                return out;
+            }
+        }
+        out
+    }
+
+    /// Is `self ⊆ other` (as point sets)? Exact for product sets: every
+    /// dimension constrained by `other` must contain `self`'s projection.
+    pub fn is_subset(&self, other: &Conjunct) -> bool {
+        if self.unsat {
+            return true;
+        }
+        if other.unsat {
+            return false;
+        }
+        other.dims.iter().all(|(d, ok)| match self.dims.get(d) {
+            Some(sk) => sk.is_subset(ok),
+            None => ok.is_full(), // unconstrained self-projection is ℝ/Σ*
+        })
+    }
+
+    /// Complement as a disjunction of single-dimension conjuncts
+    /// (¬(A∧B) = ¬A ∨ ¬B).
+    pub fn complement(&self) -> Vec<Conjunct> {
+        if self.unsat {
+            return vec![Conjunct::universal()];
+        }
+        if self.dims.is_empty() {
+            return Vec::new(); // ¬TRUE = FALSE
+        }
+        self.dims
+            .iter()
+            .map(|(d, k)| {
+                Conjunct::universal().constrain(d, k.complement())
+            })
+            .filter(|c| !c.is_unsat())
+            .collect()
+    }
+
+    /// Complement as a *pairwise-disjoint* union (the staircase
+    /// decomposition): for dims d₁…dₖ the i-th cell keeps d₁…dᵢ₋₁ inside the
+    /// conjunct and negates dᵢ. Larger than [`Conjunct::complement`] but
+    /// disjoint, which additive selectivity estimation requires.
+    pub fn complement_disjoint(&self) -> Vec<Conjunct> {
+        if self.unsat {
+            return vec![Conjunct::universal()];
+        }
+        let mut out = Vec::with_capacity(self.dims.len());
+        let mut prefix = Conjunct::universal();
+        for (d, k) in &self.dims {
+            let cell = prefix.clone().constrain(d, k.complement());
+            if !cell.is_unsat() {
+                out.push(cell);
+            }
+            prefix = prefix.constrain(d, k.clone());
+        }
+        out
+    }
+
+    /// Membership of a concrete point (map dim → value). Dimensions missing
+    /// from the point are treated as *not satisfying* non-full constraints.
+    pub fn contains_point(&self, point: &BTreeMap<String, Value>) -> bool {
+        if self.unsat {
+            return false;
+        }
+        self.dims.iter().all(|(d, k)| {
+            point.get(d).map(|v| k.contains(v)).unwrap_or(false)
+        })
+    }
+
+    /// Total atomic formulas across dimensions (≥1 for non-universal
+    /// conjuncts).
+    pub fn atom_count(&self) -> usize {
+        if self.unsat {
+            return 1; // the literal FALSE
+        }
+        self.dims.values().map(Constraint::atom_count).sum()
+    }
+
+    /// Dimensions where the two conjuncts differ (missing = full).
+    pub fn differing_dims(&self, other: &Conjunct) -> Vec<String> {
+        let mut out = Vec::new();
+        for d in self.dims.keys().chain(other.dims.keys()) {
+            if out.iter().any(|x: &String| x == d) {
+                continue;
+            }
+            let a = self.dims.get(d);
+            let b = other.dims.get(d);
+            let equal = match (a, b) {
+                (Some(x), Some(y)) => x == y,
+                (None, None) => true,
+                _ => false,
+            };
+            if !equal {
+                out.push(d.clone());
+            }
+        }
+        out
+    }
+
+    /// Replace one dimension's constraint wholesale (dropping it when full,
+    /// collapsing to unsat when empty).
+    #[must_use]
+    pub fn with_dim(mut self, dim: &str, k: Constraint) -> Conjunct {
+        if self.unsat {
+            return self;
+        }
+        if k.is_empty() {
+            return Conjunct::unsat();
+        }
+        if k.is_full() {
+            self.dims.remove(dim);
+        } else {
+            self.dims.insert(dim.to_string(), k);
+        }
+        self
+    }
+}
+
+impl fmt::Display for Conjunct {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.unsat {
+            return write!(f, "FALSE");
+        }
+        if self.dims.is_empty() {
+            return write!(f, "TRUE");
+        }
+        for (i, (d, k)) in self.dims.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∧ ")?;
+            }
+            write!(f, "{d}∈{k}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn num(lo: f64, hi: f64) -> Constraint {
+        Constraint::Num(IntervalSet::interval(lo, false, hi, false))
+    }
+
+    fn cat(v: &str) -> Constraint {
+        Constraint::Cat(CatSet::only(v))
+    }
+
+    fn point(entries: &[(&str, Value)]) -> BTreeMap<String, Value> {
+        entries
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect()
+    }
+
+    #[test]
+    fn constrain_intersects() {
+        let c = Conjunct::universal()
+            .constrain("id", num(0.0, 100.0))
+            .constrain("id", num(50.0, 200.0));
+        assert_eq!(c.constraint("id"), Some(&num(50.0, 100.0)));
+    }
+
+    #[test]
+    fn contradiction_collapses_to_unsat() {
+        let c = Conjunct::universal()
+            .constrain("label", cat("car"))
+            .constrain("label", cat("bus"));
+        assert!(c.is_unsat());
+        // Kind mismatch also collapses.
+        let c = Conjunct::universal()
+            .constrain("x", num(0.0, 1.0))
+            .constrain("x", cat("a"));
+        assert!(c.is_unsat());
+    }
+
+    #[test]
+    fn full_constraints_are_dropped() {
+        let c = Conjunct::universal().constrain("id", Constraint::Num(IntervalSet::full()));
+        assert!(c.is_universal());
+    }
+
+    #[test]
+    fn subset_semantics() {
+        let small = Conjunct::universal()
+            .constrain("id", num(10.0, 20.0))
+            .constrain("label", cat("car"));
+        let big = Conjunct::universal().constrain("id", num(0.0, 100.0));
+        assert!(small.is_subset(&big));
+        assert!(!big.is_subset(&small));
+        assert!(Conjunct::unsat().is_subset(&small));
+        assert!(small.is_subset(&Conjunct::universal()));
+        assert!(!Conjunct::universal().is_subset(&small));
+    }
+
+    #[test]
+    fn intersect_products() {
+        let a = Conjunct::universal().constrain("id", num(0.0, 10.0));
+        let b = Conjunct::universal().constrain("label", cat("car"));
+        let i = a.intersect(&b);
+        assert_eq!(i.dims().len(), 2);
+        assert!(!i.is_unsat());
+        let disjoint = Conjunct::universal().constrain("id", num(20.0, 30.0));
+        assert!(a.intersect(&disjoint).is_unsat());
+    }
+
+    #[test]
+    fn complement_is_disjunction_of_negated_dims() {
+        let c = Conjunct::universal()
+            .constrain("id", num(0.0, 10.0))
+            .constrain("label", cat("car"));
+        let neg = c.complement();
+        assert_eq!(neg.len(), 2);
+        // A point outside id range satisfies the id-negation conjunct.
+        let p = point(&[("id", Value::Float(50.0)), ("label", Value::from("car"))]);
+        assert!(neg.iter().any(|n| n.contains_point(&p)));
+        assert!(!c.contains_point(&p));
+        // A point inside c satisfies no negation conjunct.
+        let p = point(&[("id", Value::Float(5.0)), ("label", Value::from("car"))]);
+        assert!(!neg.iter().any(|n| n.contains_point(&p)));
+    }
+
+    #[test]
+    fn complement_of_true_and_false() {
+        assert!(Conjunct::universal().complement().is_empty());
+        let neg = Conjunct::unsat().complement();
+        assert_eq!(neg.len(), 1);
+        assert!(neg[0].is_universal());
+    }
+
+    #[test]
+    fn contains_point_checks_all_dims() {
+        let c = Conjunct::universal()
+            .constrain("id", num(0.0, 10.0))
+            .constrain("label", cat("car"));
+        assert!(c.contains_point(&point(&[
+            ("id", Value::Int(5)),
+            ("label", Value::from("car"))
+        ])));
+        assert!(!c.contains_point(&point(&[
+            ("id", Value::Int(5)),
+            ("label", Value::from("bus"))
+        ])));
+        // Missing dim → not contained.
+        assert!(!c.contains_point(&point(&[("id", Value::Int(5))])));
+    }
+
+    #[test]
+    fn differing_dims() {
+        let a = Conjunct::universal()
+            .constrain("id", num(0.0, 10.0))
+            .constrain("label", cat("car"));
+        let b = Conjunct::universal()
+            .constrain("id", num(0.0, 10.0))
+            .constrain("label", cat("bus"));
+        assert_eq!(a.differing_dims(&b), vec!["label".to_string()]);
+        let c = Conjunct::universal().constrain("id", num(0.0, 10.0));
+        assert_eq!(a.differing_dims(&c), vec!["label".to_string()]);
+        assert!(a.differing_dims(&a).is_empty());
+    }
+
+    #[test]
+    fn atom_count() {
+        let c = Conjunct::universal()
+            .constrain("id", num(0.0, 10.0)) // 2 atoms
+            .constrain("label", cat("car")); // 1 atom
+        assert_eq!(c.atom_count(), 3);
+        assert_eq!(Conjunct::universal().atom_count(), 0);
+        assert_eq!(Conjunct::unsat().atom_count(), 1);
+    }
+
+    #[test]
+    fn with_dim_replaces() {
+        let c = Conjunct::universal().constrain("id", num(0.0, 10.0));
+        let c2 = c.clone().with_dim("id", num(5.0, 6.0));
+        assert_eq!(c2.constraint("id"), Some(&num(5.0, 6.0)));
+        let c3 = c.clone().with_dim("id", Constraint::Num(IntervalSet::full()));
+        assert!(c3.is_universal());
+        let c4 = c.with_dim("id", Constraint::Num(IntervalSet::empty()));
+        assert!(c4.is_unsat());
+    }
+}

@@ -1,0 +1,339 @@
+//! Conversion between [`Expr`] predicates and symbolic [`Dnf`] form.
+//!
+//! The optimizer analyzes predicates symbolically ([`to_dnf`]) and turns the
+//! derived predicates back into executable filters ([`dnf_to_expr`]). A
+//! predicate dimension is either a plain column (`id`, `label`, `area`) or a
+//! *UDF output symbol* — the canonical rendering of a UDF call such as
+//! `cartype(frame, bbox)` — so predicates over UDF results participate in the
+//! same algebra as column predicates.
+
+use eva_common::{EvaError, Result, Value};
+use eva_expr::{CmpOp, Expr, UdfCall};
+
+use crate::catset::CatSet;
+use crate::conjunct::{Conjunct, Constraint};
+use crate::dnf::Dnf;
+use crate::interval::IntervalSet;
+
+/// Canonical dimension name for a UDF call: lowercase name + *sorted*
+/// argument renderings, so `CarType(frame, bbox)` and `CarType(bbox, frame)`
+/// name the same dimension (the paper's queries use both orders — Listing 1
+/// writes `VEHICLE_COLOR(bbox, frame)`). Accuracy constraints are
+/// deliberately *excluded* — the logical task defines the dimension;
+/// physical model choice happens later (§4.3).
+pub fn udf_dim(call: &UdfCall) -> String {
+    let mut args: Vec<String> = call.args.iter().map(|a| a.to_string()).collect();
+    args.sort_unstable();
+    format!("{}({})", call.name, args.join(","))
+}
+
+/// The dimension denoted by one side of a comparison, if any.
+fn dim_of(e: &Expr) -> Option<String> {
+    match e {
+        Expr::Column(c) => Some(c.clone()),
+        Expr::Udf(u) => Some(udf_dim(u)),
+        _ => None,
+    }
+}
+
+fn constraint_for(op: CmpOp, lit: &Value) -> Result<Constraint> {
+    match lit {
+        Value::Int(_) | Value::Float(_) => {
+            let v = lit.as_float()?;
+            let set = match op {
+                CmpOp::Eq => IntervalSet::point(v),
+                CmpOp::Ne => IntervalSet::not_equal(v),
+                CmpOp::Lt => IntervalSet::less_than(v, false),
+                CmpOp::Le => IntervalSet::less_than(v, true),
+                CmpOp::Gt => IntervalSet::greater_than(v, false),
+                CmpOp::Ge => IntervalSet::greater_than(v, true),
+            };
+            Ok(Constraint::Num(set))
+        }
+        Value::Str(s) => match op {
+            CmpOp::Eq => Ok(Constraint::Cat(CatSet::only(s.clone()))),
+            CmpOp::Ne => Ok(Constraint::Cat(CatSet::except(s.clone()))),
+            _ => Err(EvaError::Plan(format!(
+                "unsupported string comparison '{op}' in symbolic analysis"
+            ))),
+        },
+        Value::Bool(b) => {
+            let name = if *b { "true" } else { "false" };
+            match op {
+                CmpOp::Eq => Ok(Constraint::Cat(CatSet::only(name))),
+                CmpOp::Ne => Ok(Constraint::Cat(CatSet::except(name))),
+                _ => Err(EvaError::Plan(
+                    "unsupported boolean comparison in symbolic analysis".into(),
+                )),
+            }
+        }
+        other => Err(EvaError::Plan(format!(
+            "unsupported literal {other} in symbolic analysis"
+        ))),
+    }
+}
+
+/// Convert a predicate to DNF. Errors on constructs outside the supported
+/// grammar (column-to-column comparisons, IS NULL, aggregates); callers fall
+/// back to "no symbolic analysis" — reuse still works through the runtime
+/// NULL guard, just without cost-model help.
+pub fn to_dnf(expr: &Expr) -> Result<Dnf> {
+    to_dnf_inner(expr, false)
+}
+
+fn to_dnf_inner(expr: &Expr, negated: bool) -> Result<Dnf> {
+    match expr {
+        Expr::Literal(Value::Bool(b)) => {
+            if *b != negated {
+                Ok(Dnf::true_())
+            } else {
+                Ok(Dnf::false_())
+            }
+        }
+        Expr::Not(inner) => to_dnf_inner(inner, !negated),
+        Expr::And(a, b) => {
+            let (da, db) = (to_dnf_inner(a, negated)?, to_dnf_inner(b, negated)?);
+            Ok(if negated { da.or(&db) } else { da.and(&db) })
+        }
+        Expr::Or(a, b) => {
+            let (da, db) = (to_dnf_inner(a, negated)?, to_dnf_inner(b, negated)?);
+            Ok(if negated { da.and(&db) } else { da.or(&db) })
+        }
+        Expr::Cmp { op, lhs, rhs } => {
+            let op = if negated { op.negated() } else { *op };
+            // Normalize to `dim op literal`.
+            let (dim, op, lit) = match (dim_of(lhs), &**rhs) {
+                (Some(d), Expr::Literal(v)) => (d, op, v),
+                _ => match (dim_of(rhs), &**lhs) {
+                    (Some(d), Expr::Literal(v)) => (d, op.flipped(), v),
+                    _ => {
+                        return Err(EvaError::Plan(format!(
+                            "unsupported comparison '{expr}' in symbolic analysis"
+                        )))
+                    }
+                },
+            };
+            let k = constraint_for(op, lit)?;
+            Ok(Dnf::conjunct(Conjunct::universal().constrain(&dim, k)))
+        }
+        other => Err(EvaError::Plan(format!(
+            "unsupported predicate '{other}' in symbolic analysis"
+        ))),
+    }
+}
+
+/// Render a constraint on `dim_expr` back into an executable predicate.
+fn constraint_to_expr(dim_expr: &Expr, k: &Constraint) -> Expr {
+    match k {
+        Constraint::Num(set) => {
+            let mut parts = Vec::new();
+            for iv in set.intervals() {
+                let mut conj = Vec::new();
+                if iv.lo == iv.hi {
+                    parts.push(Expr::cmp(
+                        dim_expr.clone(),
+                        CmpOp::Eq,
+                        Expr::lit(iv.lo),
+                    ));
+                    continue;
+                }
+                if iv.lo != f64::NEG_INFINITY {
+                    let op = if iv.lo_open { CmpOp::Gt } else { CmpOp::Ge };
+                    conj.push(Expr::cmp(dim_expr.clone(), op, Expr::lit(iv.lo)));
+                }
+                if iv.hi != f64::INFINITY {
+                    let op = if iv.hi_open { CmpOp::Lt } else { CmpOp::Le };
+                    conj.push(Expr::cmp(dim_expr.clone(), op, Expr::lit(iv.hi)));
+                }
+                parts.push(eva_expr::conjoin(conj));
+            }
+            eva_expr::disjoin(parts)
+        }
+        Constraint::Cat(set) => match set {
+            CatSet::In(vals) => eva_expr::disjoin(
+                vals.iter()
+                    .map(|v| Expr::cmp(dim_expr.clone(), CmpOp::Eq, Expr::lit(v.as_str())))
+                    .collect(),
+            ),
+            CatSet::NotIn(vals) => eva_expr::conjoin(
+                vals.iter()
+                    .map(|v| Expr::cmp(dim_expr.clone(), CmpOp::Ne, Expr::lit(v.as_str())))
+                    .collect(),
+            ),
+        },
+    }
+}
+
+/// Convert a DNF back into an executable [`Expr`]. `resolve` maps each
+/// dimension name to the expression that reads it at run time (usually a
+/// plain column; UDF-output dims map to the view's output column).
+pub fn dnf_to_expr<F: Fn(&str) -> Expr>(dnf: &Dnf, resolve: F) -> Expr {
+    if dnf.is_false() {
+        return Expr::false_();
+    }
+    if dnf.is_true() {
+        return Expr::true_();
+    }
+    let mut disjuncts = Vec::with_capacity(dnf.conjuncts().len());
+    for c in dnf.conjuncts() {
+        let mut parts = Vec::with_capacity(c.dims().len());
+        for (dim, k) in c.dims() {
+            parts.push(constraint_to_expr(&resolve(dim), k));
+        }
+        disjuncts.push(eva_expr::conjoin(parts));
+    }
+    eva_expr::disjoin(disjuncts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eva_common::{DataType, Field, Row, Schema};
+    use eva_expr::eval::NoUdfs;
+    use eva_expr::RowContext;
+    use std::collections::BTreeMap;
+
+    fn round_trip_schema() -> Schema {
+        Schema::new(vec![
+            Field::new("id", DataType::Int),
+            Field::new("area", DataType::Float),
+            Field::new("label", DataType::Str),
+        ])
+        .unwrap()
+    }
+
+    fn eval_expr(e: &Expr, row: &Row, schema: &Schema) -> bool {
+        let ctx = RowContext::new(schema, row, &NoUdfs);
+        e.eval_predicate(&ctx).unwrap()
+    }
+
+    fn point(id: i64, area: f64, label: &str) -> BTreeMap<String, Value> {
+        let mut m = BTreeMap::new();
+        m.insert("id".to_string(), Value::Int(id));
+        m.insert("area".to_string(), Value::Float(area));
+        m.insert("label".to_string(), Value::from(label));
+        m
+    }
+
+    #[test]
+    fn simple_conjunction() {
+        let e = Expr::col("id")
+            .lt(10_000)
+            .and(Expr::col("label").eq_val("car"))
+            .and(Expr::col("area").gt(0.3));
+        let d = to_dnf(&e).unwrap();
+        assert_eq!(d.conjuncts().len(), 1);
+        assert!(d.contains_point(&point(5, 0.4, "car")));
+        assert!(!d.contains_point(&point(5, 0.2, "car")));
+        assert!(!d.contains_point(&point(5, 0.4, "bus")));
+        assert!(!d.contains_point(&point(20_000, 0.4, "car")));
+    }
+
+    #[test]
+    fn negation_pushes_to_atoms() {
+        let e = Expr::col("id").lt(10).and(Expr::col("label").eq_val("car")).not();
+        let d = to_dnf(&e).unwrap();
+        // ¬(id<10 ∧ label=car) = id>=10 ∨ label≠car
+        assert!(d.contains_point(&point(20, 0.0, "car")));
+        assert!(d.contains_point(&point(5, 0.0, "bus")));
+        assert!(!d.contains_point(&point(5, 0.0, "car")));
+    }
+
+    #[test]
+    fn flipped_comparisons_normalize() {
+        // 10 > id  ≡  id < 10
+        let e = Expr::cmp(Expr::lit(10i64), CmpOp::Gt, Expr::col("id"));
+        let d = to_dnf(&e).unwrap();
+        assert!(d.contains_point(&point(5, 0.0, "x")));
+        assert!(!d.contains_point(&point(15, 0.0, "x")));
+    }
+
+    #[test]
+    fn udf_calls_become_dims() {
+        let call = UdfCall::new("CarType", vec![Expr::col("frame"), Expr::col("bbox")]);
+        let e = Expr::cmp(Expr::Udf(call.clone()), CmpOp::Eq, Expr::lit("Nissan"));
+        let d = to_dnf(&e).unwrap();
+        let dims: Vec<String> = d.dims().into_iter().collect();
+        assert_eq!(dims, vec!["cartype(bbox,frame)".to_string()]); // args sorted
+        // Accuracy does not change the dimension.
+        let with_acc = UdfCall::new("CarType", vec![Expr::col("frame"), Expr::col("bbox")])
+            .with_accuracy("HIGH");
+        assert_eq!(udf_dim(&call), udf_dim(&with_acc));
+    }
+
+    #[test]
+    fn unsupported_shapes_error() {
+        // column-to-column comparison
+        let e = Expr::cmp(Expr::col("a"), CmpOp::Eq, Expr::col("b"));
+        assert!(to_dnf(&e).is_err());
+        // string inequality
+        let e = Expr::cmp(Expr::col("label"), CmpOp::Lt, Expr::lit("car"));
+        assert!(to_dnf(&e).is_err());
+        // IS NULL
+        let e = Expr::IsNull {
+            expr: Box::new(Expr::col("a")),
+            negated: false,
+        };
+        assert!(to_dnf(&e).is_err());
+    }
+
+    #[test]
+    fn literal_true_false() {
+        assert!(to_dnf(&Expr::true_()).unwrap().is_true());
+        assert!(to_dnf(&Expr::false_()).unwrap().is_false());
+        assert!(to_dnf(&Expr::true_().not()).unwrap().is_false());
+    }
+
+    #[test]
+    fn dnf_to_expr_round_trip_semantics() {
+        let schema = round_trip_schema();
+        let e = Expr::col("id")
+            .ge(100)
+            .and(Expr::col("id").lt(200))
+            .and(Expr::col("label").eq_val("car"))
+            .or(Expr::col("area").gt(0.5));
+        let d = to_dnf(&e).unwrap();
+        let back = dnf_to_expr(&d, |d| Expr::col(d));
+        for (id, area, label) in [
+            (150i64, 0.1, "car"),
+            (150, 0.1, "bus"),
+            (250, 0.9, "bus"),
+            (250, 0.2, "car"),
+            (100, 0.5, "car"),
+        ] {
+            let row: Row = vec![Value::Int(id), Value::Float(area), Value::from(label)];
+            assert_eq!(
+                eval_expr(&e, &row, &schema),
+                eval_expr(&back, &row, &schema),
+                "row ({id},{area},{label})"
+            );
+        }
+    }
+
+    #[test]
+    fn dnf_to_expr_handles_not_equal_and_points() {
+        let schema = round_trip_schema();
+        let e = Expr::col("id").ne_val(7).and(Expr::col("label").ne_val("bus"));
+        let d = to_dnf(&e).unwrap();
+        let back = dnf_to_expr(&d, |d| Expr::col(d));
+        for (id, label) in [(7i64, "car"), (8, "bus"), (8, "car"), (7, "bus")] {
+            let row: Row = vec![Value::Int(id), Value::Float(0.0), Value::from(label)];
+            assert_eq!(
+                eval_expr(&e, &row, &schema),
+                eval_expr(&back, &row, &schema),
+                "row ({id},{label})"
+            );
+        }
+        // Point equality round trip.
+        let e = Expr::col("id").eq_val(5);
+        let back = dnf_to_expr(&to_dnf(&e).unwrap(), |d| Expr::col(d));
+        let row: Row = vec![Value::Int(5), Value::Float(0.0), Value::from("x")];
+        assert!(eval_expr(&back, &row, &schema));
+    }
+
+    #[test]
+    fn dnf_to_expr_of_true_false() {
+        assert!(dnf_to_expr(&Dnf::true_(), |d| Expr::col(d)).is_true_lit());
+        assert!(dnf_to_expr(&Dnf::false_(), |d| Expr::col(d)).is_false_lit());
+    }
+}

@@ -1,0 +1,628 @@
+//! Disjunctive-normal-form predicates and the paper's Algorithm 1.
+//!
+//! A [`Dnf`] is a union of [`Conjunct`]s. The derived predicates of §4.1 —
+//! [`inter`], [`diff`], [`union`] — and the reduction procedure
+//! [`Dnf::reduce`] (Algorithm 1: per-conjunct normalization plus repeated
+//! `ReduceUnionConjunctives` until a fixpoint or budget exhaustion) are
+//! implemented here.
+//!
+//! All operations are *exact* over the supported predicate grammar, which is
+//! what allows the optimizer to soundly skip UDF evaluation when the
+//! difference predicate reduces to FALSE.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+use std::fmt;
+
+use eva_common::Value;
+
+use crate::conjunct::{Conjunct, Constraint};
+
+/// Budget limiting symbolic work, standing in for the paper's wall-clock
+/// "time budget" with a deterministic step count.
+#[derive(Debug, Clone, Copy)]
+pub struct Budget {
+    /// Remaining pairwise-reduction steps.
+    pub steps: usize,
+    /// Maximum conjuncts allowed in an intermediate DNF before an operation
+    /// gives up (complement/intersection blow-up guard).
+    pub max_conjuncts: usize,
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Budget {
+            steps: 10_000,
+            max_conjuncts: 512,
+        }
+    }
+}
+
+impl Budget {
+    /// A tiny budget for tests exercising the give-up paths.
+    pub fn tiny() -> Budget {
+        Budget {
+            steps: 2,
+            max_conjuncts: 4,
+        }
+    }
+
+    fn step(&mut self) -> bool {
+        if self.steps == 0 {
+            return false;
+        }
+        self.steps -= 1;
+        true
+    }
+}
+
+/// A predicate in disjunctive normal form: the union of its conjuncts.
+/// Empty conjunct list ⇒ FALSE; a universal conjunct ⇒ TRUE.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Dnf {
+    conjuncts: Vec<Conjunct>,
+}
+
+impl Dnf {
+    /// FALSE.
+    pub fn false_() -> Dnf {
+        Dnf::default()
+    }
+
+    /// TRUE.
+    pub fn true_() -> Dnf {
+        Dnf {
+            conjuncts: vec![Conjunct::universal()],
+        }
+    }
+
+    /// From conjuncts, dropping unsatisfiable ones and collapsing to TRUE
+    /// when any conjunct is universal.
+    pub fn from_conjuncts(conjuncts: Vec<Conjunct>) -> Dnf {
+        let mut keep: Vec<Conjunct> = Vec::with_capacity(conjuncts.len());
+        for c in conjuncts {
+            if c.is_unsat() {
+                continue;
+            }
+            if c.is_universal() {
+                return Dnf::true_();
+            }
+            keep.push(c);
+        }
+        Dnf { conjuncts: keep }
+    }
+
+    /// Single-conjunct DNF.
+    pub fn conjunct(c: Conjunct) -> Dnf {
+        Dnf::from_conjuncts(vec![c])
+    }
+
+    /// The conjuncts.
+    pub fn conjuncts(&self) -> &[Conjunct] {
+        &self.conjuncts
+    }
+
+    /// Is this FALSE? Exact because conjunct emptiness is exact.
+    pub fn is_false(&self) -> bool {
+        self.conjuncts.is_empty()
+    }
+
+    /// Is this literally TRUE (a universal conjunct is present)?
+    pub fn is_true(&self) -> bool {
+        self.conjuncts.iter().any(Conjunct::is_universal)
+    }
+
+    /// Union of two predicates (no reduction applied — callers reduce).
+    pub fn or(&self, other: &Dnf) -> Dnf {
+        let mut cs = self.conjuncts.clone();
+        cs.extend(other.conjuncts.iter().cloned());
+        Dnf::from_conjuncts(cs)
+    }
+
+    /// Intersection via pairwise conjunct products.
+    pub fn and(&self, other: &Dnf) -> Dnf {
+        let mut out = Vec::with_capacity(self.conjuncts.len() * other.conjuncts.len());
+        for a in &self.conjuncts {
+            for b in &other.conjuncts {
+                let c = a.intersect(b);
+                if !c.is_unsat() {
+                    out.push(c);
+                }
+            }
+        }
+        Dnf::from_conjuncts(out)
+    }
+
+    /// Complement. Returns `None` if the intermediate DNF exceeds the budget
+    /// (callers treat that as "analysis unavailable" and forgo reuse).
+    pub fn complement(&self, budget: &mut Budget) -> Option<Dnf> {
+        // ¬(C1 ∨ … ∨ Ck) = ¬C1 ∧ … ∧ ¬Ck where each ¬Ci is a small DNF.
+        let mut acc = Dnf::true_();
+        for c in &self.conjuncts {
+            let neg = Dnf::from_conjuncts(c.complement());
+            acc = acc.and(&neg);
+            if acc.conjuncts.len() > budget.max_conjuncts {
+                return None;
+            }
+            acc.reduce(budget);
+        }
+        Some(acc)
+    }
+
+    /// Exact subset test with budgeted complement; `false` on budget blowout
+    /// (the conservative direction — never claims coverage it cannot prove).
+    pub fn is_subset(&self, other: &Dnf) -> bool {
+        let mut budget = Budget::default();
+        match other.complement(&mut budget) {
+            Some(not_other) => self.and(&not_other).is_false(),
+            None => false,
+        }
+    }
+
+    /// Point membership — the semantics oracle used by property tests.
+    pub fn contains_point(&self, point: &BTreeMap<String, Value>) -> bool {
+        self.conjuncts.iter().any(|c| c.contains_point(point))
+    }
+
+    /// Total atomic formulas (the Fig. 7 metric).
+    pub fn atom_count(&self) -> usize {
+        if self.is_false() {
+            return 1; // the literal FALSE
+        }
+        self.conjuncts.iter().map(Conjunct::atom_count).sum()
+    }
+
+    /// All dimensions mentioned anywhere in the predicate.
+    pub fn dims(&self) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        for c in &self.conjuncts {
+            out.extend(c.dims().keys().cloned());
+        }
+        out
+    }
+
+    /// Algorithm 1 of the paper: repeatedly pop pairs of conjuncts and try
+    /// to reduce their union (subset absorption, single-dimension merge, or
+    /// overlap trimming), until no pair changes or the budget runs out.
+    ///
+    /// Per-conjunct reduction (step ② of Algorithm 1) is implicit: the
+    /// interval/category sets inside each conjunct are always canonical.
+    pub fn reduce(&mut self, budget: &mut Budget) {
+        loop {
+            let mut changed = false;
+            'pairs: for i in 0..self.conjuncts.len() {
+                for j in (i + 1)..self.conjuncts.len() {
+                    if !budget.step() {
+                        return;
+                    }
+                    if let Some(repl) = reduce_union_conjunctives(
+                        &self.conjuncts[i],
+                        &self.conjuncts[j],
+                    ) {
+                        // Replace pair (i, j) with the reduction result.
+                        self.conjuncts.swap_remove(j);
+                        self.conjuncts.swap_remove(i);
+                        for c in repl {
+                            if c.is_universal() {
+                                *self = Dnf::true_();
+                                return;
+                            }
+                            if !c.is_unsat() {
+                                self.conjuncts.push(c);
+                            }
+                        }
+                        changed = true;
+                        break 'pairs;
+                    }
+                }
+            }
+            if !changed {
+                return;
+            }
+        }
+    }
+
+    /// Convenience: reduce with a fresh default budget.
+    pub fn reduced(mut self) -> Dnf {
+        let mut b = Budget::default();
+        self.reduce(&mut b);
+        self
+    }
+
+    /// Rewrite into a union of pairwise-disjoint conjuncts by sequential
+    /// subtraction with staircase complements
+    /// ([`Conjunct::complement_disjoint`]); used before additive selectivity
+    /// estimation. Gives up (returns a clone) past the budget.
+    pub fn disjointed(&self, budget: &mut Budget) -> Dnf {
+        let mut out: Vec<Conjunct> = Vec::with_capacity(self.conjuncts.len());
+        for c in &self.conjuncts {
+            // piece = c ∧ ¬(already-emitted cells), built so that every
+            // intermediate stays a disjoint family.
+            let mut piece = vec![c.clone()];
+            for prev in out.clone() {
+                let neg_prev = prev.complement_disjoint();
+                let mut next = Vec::new();
+                for p in &piece {
+                    for n in &neg_prev {
+                        let cell = p.intersect(n);
+                        if !cell.is_unsat() {
+                            next.push(cell);
+                        }
+                    }
+                }
+                piece = next;
+                if piece.len() + out.len() > budget.max_conjuncts {
+                    return self.clone();
+                }
+            }
+            out.extend(piece);
+        }
+        Dnf::from_conjuncts(out)
+    }
+}
+
+impl fmt::Display for Dnf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.conjuncts.is_empty() {
+            return write!(f, "FALSE");
+        }
+        for (i, c) in self.conjuncts.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∨ ")?;
+            }
+            write!(f, "({c})")?;
+        }
+        Ok(())
+    }
+}
+
+/// `ReduceUnionConjunctives` from Algorithm 1, generalized to N dimensions:
+/// if one conjunct is a subset of the other in at least N−1 dimensions the
+/// union can be simplified. Returns `None` when no reduction applies.
+///
+/// Cases (Fig. 2 of the paper):
+/// * **i** — full subset: drop the smaller conjunct.
+/// * **ii** — equal in all dimensions but one: merge by set union on the
+///   remaining dimension (concatenation).
+/// * **iii** — subset in all dimensions but one: trim the overlapping region
+///   out of the smaller conjunct, making the pair disjoint.
+pub fn reduce_union_conjunctives(c1: &Conjunct, c2: &Conjunct) -> Option<Vec<Conjunct>> {
+    // Case i in both directions.
+    if c2.is_subset(c1) {
+        return Some(vec![c1.clone()]);
+    }
+    if c1.is_subset(c2) {
+        return Some(vec![c2.clone()]);
+    }
+
+    // Case ii: identical except one dimension → single merged conjunct.
+    let differing = c1.differing_dims(c2);
+    if differing.len() == 1 {
+        let d = &differing[0];
+        let merged_constraint = union_in_dim(c1, c2, d)?;
+        return Some(vec![c1.clone().with_dim(d, merged_constraint)]);
+    }
+
+    // Case iii: subset in all dims but exactly one → trim overlap.
+    if let Some(out) = trim_overlap(c1, c2) {
+        return Some(out);
+    }
+    if let Some(out) = trim_overlap(c2, c1) {
+        return Some(out.into_iter().rev().collect());
+    }
+    None
+}
+
+/// Union of the two conjuncts' constraints on dimension `d`, treating a
+/// missing constraint as full.
+fn union_in_dim(c1: &Conjunct, c2: &Conjunct, d: &str) -> Option<Constraint> {
+    match (c1.constraint(d), c2.constraint(d)) {
+        (Some(a), Some(b)) => a.union(b),
+        // One side unconstrained ⇒ union is full. Represent via the
+        // complement trick: full = k ∪ ¬k.
+        (Some(a), None) | (None, Some(a)) => a.union(&a.complement()),
+        (None, None) => None,
+    }
+}
+
+/// If `small` ⊆ `big` in every dimension except exactly one, subtract `big`'s
+/// range from `small` on that dimension (Fig. 2 case iii). Returns the
+/// replacement pair `[big, trimmed-small]`, or `[big]` when the trim empties
+/// `small`, or `None` when the precondition fails or nothing would change.
+fn trim_overlap(big: &Conjunct, small: &Conjunct) -> Option<Vec<Conjunct>> {
+    let mut odd_dim: Option<String> = None;
+    let mut all_dims: BTreeSet<&String> = big.dims().keys().collect();
+    all_dims.extend(small.dims().keys());
+    for d in all_dims {
+        let sub = match (small.constraint(d), big.constraint(d)) {
+            (Some(s), Some(b)) => s.is_subset(b),
+            (None, Some(_)) => false, // full ⊄ partial
+            (_, None) => true,        // anything ⊆ full
+        };
+        if !sub {
+            if odd_dim.is_some() {
+                return None; // more than one violating dimension
+            }
+            odd_dim = Some(d.clone());
+        }
+    }
+    let d = odd_dim?; // None ⇒ full subset, handled by case i already
+    let s_k = small.constraint(&d)?.clone();
+    let b_k = big.constraint(&d).cloned().unwrap_or(match &s_k {
+        Constraint::Num(_) => Constraint::Num(crate::interval::IntervalSet::full()),
+        Constraint::Cat(_) => Constraint::Cat(crate::catset::CatSet::full()),
+    });
+    let trimmed = s_k.difference(&b_k)?;
+    if trimmed == s_k {
+        return None; // already disjoint — nothing gained
+    }
+    let new_small = small.clone().with_dim(&d, trimmed);
+    if new_small.is_unsat() {
+        Some(vec![big.clone()])
+    } else {
+        Some(vec![big.clone(), new_small])
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Derived predicates of §4.1.
+// ---------------------------------------------------------------------------
+
+/// `INTER(p1, p2) = p1 ∧ p2` — tuples where the new invocation may reuse.
+pub fn inter(p1: &Dnf, p2: &Dnf) -> Dnf {
+    let mut b = Budget::default();
+    let mut out = p1.and(p2);
+    out.reduce(&mut b);
+    out
+}
+
+/// `DIFF(p1, p2) = ¬p1 ∧ p2` — tuples where the UDF must still run.
+/// Returns TRUE-over-p2 (i.e. `p2` itself) when the complement blows the
+/// budget: conservatively assume nothing is covered.
+pub fn diff(p1: &Dnf, p2: &Dnf) -> Dnf {
+    let mut b = Budget::default();
+    match p1.complement(&mut b) {
+        Some(not_p1) => {
+            let mut out = not_p1.and(p2);
+            out.reduce(&mut b);
+            out
+        }
+        None => p2.clone(),
+    }
+}
+
+/// `UNION(p1, p2) = p1 ∨ p2` — tuples covered after both run.
+pub fn union(p1: &Dnf, p2: &Dnf) -> Dnf {
+    let mut b = Budget::default();
+    let mut out = p1.or(p2);
+    out.reduce(&mut b);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catset::CatSet;
+    use crate::interval::IntervalSet;
+
+    fn range(dim: &str, lo: f64, hi: f64) -> Conjunct {
+        Conjunct::universal().constrain(
+            dim,
+            Constraint::Num(IntervalSet::interval(lo, false, hi, false)),
+        )
+    }
+
+    fn cat(dim: &str, v: &str) -> Conjunct {
+        Conjunct::universal().constrain(dim, Constraint::Cat(CatSet::only(v)))
+    }
+
+    fn pt(entries: &[(&str, Value)]) -> BTreeMap<String, Value> {
+        entries
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect()
+    }
+
+    #[test]
+    fn true_false_identities() {
+        assert!(Dnf::false_().is_false());
+        assert!(Dnf::true_().is_true());
+        let p = Dnf::conjunct(range("x", 0.0, 1.0));
+        assert_eq!(p.or(&Dnf::false_()), p);
+        assert!(p.and(&Dnf::false_()).is_false());
+        assert!(p.or(&Dnf::true_()).is_true());
+        assert_eq!(p.and(&Dnf::true_()), p);
+    }
+
+    #[test]
+    fn case_i_subset_absorbed() {
+        // c2 ⊆ c1 in both dims → union = c1 (Fig. 2 case i).
+        let c1 = range("x", 0.0, 10.0).intersect(&range("y", 0.0, 10.0));
+        let c2 = range("x", 2.0, 5.0).intersect(&range("y", 3.0, 4.0));
+        let u = union(&Dnf::conjunct(c1.clone()), &Dnf::conjunct(c2));
+        assert_eq!(u.conjuncts().len(), 1);
+        assert_eq!(u.conjuncts()[0], c1);
+    }
+
+    #[test]
+    fn case_ii_concatenation() {
+        // Same y range, adjacent x ranges → single merged rectangle.
+        let c1 = range("x", 0.0, 5.0).intersect(&range("y", 0.0, 10.0));
+        let c2 = range("x", 5.0, 9.0).intersect(&range("y", 0.0, 10.0));
+        let u = union(&Dnf::conjunct(c1), &Dnf::conjunct(c2));
+        assert_eq!(u.conjuncts().len(), 1);
+        let merged = &u.conjuncts()[0];
+        assert!(merged.contains_point(&pt(&[
+            ("x", Value::Float(7.0)),
+            ("y", Value::Float(1.0))
+        ])));
+        assert_eq!(u.atom_count(), 4);
+    }
+
+    #[test]
+    fn case_iii_overlap_trim() {
+        // c2 ⊆ c1 in y only; overlapping x → c2 trimmed to disjoint piece.
+        let c1 = range("x", 0.0, 6.0).intersect(&range("y", 0.0, 10.0));
+        let c2 = range("x", 4.0, 9.0).intersect(&range("y", 2.0, 8.0));
+        let u = union(&Dnf::conjunct(c1.clone()), &Dnf::conjunct(c2));
+        assert_eq!(u.conjuncts().len(), 2);
+        // Semantics preserved at sample points.
+        for (x, y, expect) in [
+            (5.0, 5.0, true),  // only in c1∪c2 via both
+            (8.0, 5.0, true),  // in c2 only
+            (8.0, 9.0, false), // outside both (y > 8 for c2, x > 6 for c1)
+            (3.0, 9.5, true),  // c1 only
+        ] {
+            assert_eq!(
+                u.contains_point(&pt(&[("x", Value::Float(x)), ("y", Value::Float(y))])),
+                expect,
+                "point ({x},{y})"
+            );
+        }
+    }
+
+    #[test]
+    fn no_reduction_for_diagonal_rectangles() {
+        // Overlap in both dims with no subset relation in N-1 dims: stays 2.
+        let c1 = range("x", 0.0, 5.0).intersect(&range("y", 0.0, 5.0));
+        let c2 = range("x", 3.0, 9.0).intersect(&range("y", 3.0, 9.0));
+        let u = union(&Dnf::conjunct(c1), &Dnf::conjunct(c2));
+        assert_eq!(u.conjuncts().len(), 2);
+    }
+
+    #[test]
+    fn paper_polyadic_example() {
+        // UNION(5<x ∧ 10<y, 10<x ∧ 15<y) → 5<x ∧ 10<y
+        let c1 = Conjunct::universal()
+            .constrain("x", Constraint::Num(IntervalSet::greater_than(5.0, false)))
+            .constrain("y", Constraint::Num(IntervalSet::greater_than(10.0, false)));
+        let c2 = Conjunct::universal()
+            .constrain("x", Constraint::Num(IntervalSet::greater_than(10.0, false)))
+            .constrain("y", Constraint::Num(IntervalSet::greater_than(15.0, false)));
+        let u = union(&Dnf::conjunct(c1.clone()), &Dnf::conjunct(c2));
+        assert_eq!(u.conjuncts().len(), 1);
+        assert_eq!(u.conjuncts()[0], c1);
+        assert_eq!(u.atom_count(), 2);
+    }
+
+    #[test]
+    fn inter_and_diff_semantics() {
+        let p1 = Dnf::conjunct(range("id", 0.0, 100.0));
+        let p2 = Dnf::conjunct(range("id", 50.0, 150.0));
+        let i = inter(&p1, &p2);
+        let d = diff(&p1, &p2);
+        for v in [25.0, 75.0, 125.0] {
+            let point = pt(&[("id", Value::Float(v))]);
+            let in_p1 = p1.contains_point(&point);
+            let in_p2 = p2.contains_point(&point);
+            assert_eq!(i.contains_point(&point), in_p1 && in_p2, "inter at {v}");
+            assert_eq!(d.contains_point(&point), !in_p1 && in_p2, "diff at {v}");
+        }
+    }
+
+    #[test]
+    fn diff_false_when_fully_covered() {
+        let p1 = Dnf::conjunct(range("id", 0.0, 100.0));
+        let p2 = Dnf::conjunct(range("id", 10.0, 20.0));
+        assert!(diff(&p1, &p2).is_false());
+        // And inter is p2 itself.
+        assert_eq!(inter(&p1, &p2), p2);
+    }
+
+    #[test]
+    fn complement_exact_on_small_predicates() {
+        let p = Dnf::conjunct(range("x", 0.0, 1.0).intersect(&cat("l", "car")));
+        let mut b = Budget::default();
+        let n = p.complement(&mut b).unwrap();
+        for (x, l, inside) in [
+            (0.5, "car", true),
+            (0.5, "bus", false),
+            (2.0, "car", false),
+        ] {
+            let point = pt(&[("x", Value::Float(x)), ("l", Value::from(l))]);
+            assert_eq!(p.contains_point(&point), inside);
+            assert_eq!(n.contains_point(&point), !inside);
+        }
+    }
+
+    #[test]
+    fn subset_test() {
+        let small = Dnf::conjunct(range("x", 2.0, 3.0));
+        let big = Dnf::conjunct(range("x", 0.0, 5.0));
+        assert!(small.is_subset(&big));
+        assert!(!big.is_subset(&small));
+        // Union of pieces covering `small`.
+        let pieces = Dnf::from_conjuncts(vec![range("x", 0.0, 2.5), range("x", 2.5, 5.0)]);
+        assert!(small.is_subset(&pieces));
+    }
+
+    #[test]
+    fn budget_exhaustion_is_conservative() {
+        // With a tiny budget, diff() falls back to p2 (assume nothing reused).
+        let mut cs1 = Vec::new();
+        for i in 0..10 {
+            cs1.push(
+                range("x", i as f64 * 10.0, i as f64 * 10.0 + 5.0)
+                    .intersect(&range("y", 0.0, 1.0)),
+            );
+        }
+        let p1 = Dnf::from_conjuncts(cs1);
+        let _p2 = Dnf::conjunct(range("x", 0.0, 100.0));
+        let mut tiny = Budget::tiny();
+        assert!(p1.complement(&mut tiny).is_none());
+    }
+
+    #[test]
+    fn reduce_handles_repeated_overlaps() {
+        // A chain of overlapping intervals on one dim collapses to one.
+        let mut cs = Vec::new();
+        for i in 0..8 {
+            cs.push(range("id", i as f64 * 10.0, i as f64 * 10.0 + 15.0));
+        }
+        let p = Dnf::from_conjuncts(cs).reduced();
+        assert_eq!(p.conjuncts().len(), 1);
+        assert_eq!(p.atom_count(), 2);
+    }
+
+    #[test]
+    fn disjointed_preserves_semantics() {
+        let p = Dnf::from_conjuncts(vec![
+            range("x", 0.0, 5.0).intersect(&range("y", 0.0, 5.0)),
+            range("x", 3.0, 9.0).intersect(&range("y", 3.0, 9.0)),
+        ]);
+        let mut b = Budget::default();
+        let d = p.disjointed(&mut b);
+        for x in [1.0, 4.0, 8.0] {
+            for y in [1.0, 4.0, 8.0] {
+                let point = pt(&[("x", Value::Float(x)), ("y", Value::Float(y))]);
+                assert_eq!(p.contains_point(&point), d.contains_point(&point));
+            }
+        }
+        // Disjointness: no point should be in two conjuncts.
+        for x in [1.0, 4.0, 8.0] {
+            for y in [1.0, 4.0, 8.0] {
+                let point = pt(&[("x", Value::Float(x)), ("y", Value::Float(y))]);
+                let n = d
+                    .conjuncts()
+                    .iter()
+                    .filter(|c| c.contains_point(&point))
+                    .count();
+                assert!(n <= 1, "point ({x},{y}) in {n} conjuncts");
+            }
+        }
+    }
+
+    #[test]
+    fn atom_count_of_false_is_one() {
+        assert_eq!(Dnf::false_().atom_count(), 1);
+        assert_eq!(Dnf::true_().atom_count(), 0);
+    }
+
+    #[test]
+    fn dims_collects_all() {
+        let p = Dnf::from_conjuncts(vec![range("a", 0.0, 1.0), cat("b", "x")]);
+        let dims: Vec<String> = p.dims().into_iter().collect();
+        assert_eq!(dims, vec!["a".to_string(), "b".to_string()]);
+    }
+}

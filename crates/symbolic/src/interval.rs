@@ -1,0 +1,515 @@
+//! Interval sets over the reals — the numeric workhorse of the symbolic
+//! engine.
+//!
+//! Every numeric atom of the paper's predicate grammar (`id < 10000`,
+//! `area >= 0.3`, `x != 5`…) denotes a union of open/closed intervals. An
+//! [`IntervalSet`] is the canonical form: a sorted vector of disjoint,
+//! non-adjacent intervals. Union / intersection / complement / subset are
+//! exact, which is what lets EVA *prove* reuse coverage (`p₋ = FALSE`)
+//! soundly.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One contiguous interval with independently open/closed endpoints.
+/// `lo = -∞` / `hi = +∞` encode unbounded sides (the open flags of infinite
+/// endpoints are forced to `true` by normalization).
+///
+/// Serialized through [`IntervalRepr`]: JSON has no ±∞, so unbounded sides
+/// persist as `null`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(into = "IntervalRepr", from = "IntervalRepr")]
+pub struct Interval {
+    /// Lower endpoint (may be `f64::NEG_INFINITY`).
+    pub lo: f64,
+    /// Whether the lower endpoint is excluded.
+    pub lo_open: bool,
+    /// Upper endpoint (may be `f64::INFINITY`).
+    pub hi: f64,
+    /// Whether the upper endpoint is excluded.
+    pub hi_open: bool,
+}
+
+impl Interval {
+    /// Construct, returning `None` when the interval is empty.
+    pub fn new(lo: f64, lo_open: bool, hi: f64, hi_open: bool) -> Option<Interval> {
+        let lo_open = lo_open || lo == f64::NEG_INFINITY;
+        let hi_open = hi_open || hi == f64::INFINITY;
+        if lo.is_nan() || hi.is_nan() {
+            return None;
+        }
+        if lo > hi || (lo == hi && (lo_open || hi_open)) {
+            return None;
+        }
+        Some(Interval {
+            lo,
+            lo_open,
+            hi,
+            hi_open,
+        })
+    }
+
+    /// The whole real line.
+    pub fn full() -> Interval {
+        Interval {
+            lo: f64::NEG_INFINITY,
+            lo_open: true,
+            hi: f64::INFINITY,
+            hi_open: true,
+        }
+    }
+
+    /// Single point `[v, v]`.
+    pub fn point(v: f64) -> Interval {
+        Interval {
+            lo: v,
+            lo_open: false,
+            hi: v,
+            hi_open: false,
+        }
+    }
+
+    /// Does the interval contain the point?
+    pub fn contains(&self, v: f64) -> bool {
+        let above_lo = v > self.lo || (v == self.lo && !self.lo_open);
+        let below_hi = v < self.hi || (v == self.hi && !self.hi_open);
+        above_lo && below_hi
+    }
+
+    /// Intersection (None when empty).
+    pub fn intersect(&self, other: &Interval) -> Option<Interval> {
+        let (lo, lo_open) = if self.lo > other.lo {
+            (self.lo, self.lo_open)
+        } else if other.lo > self.lo {
+            (other.lo, other.lo_open)
+        } else {
+            (self.lo, self.lo_open || other.lo_open)
+        };
+        let (hi, hi_open) = if self.hi < other.hi {
+            (self.hi, self.hi_open)
+        } else if other.hi < self.hi {
+            (other.hi, other.hi_open)
+        } else {
+            (self.hi, self.hi_open || other.hi_open)
+        };
+        Interval::new(lo, lo_open, hi, hi_open)
+    }
+
+    /// Do the intervals overlap or touch such that their union is a single
+    /// interval? (`[1,2]` and `(2,3]` touch; `(1,2)` and `(2,3)` do not.)
+    fn merges_with(&self, other: &Interval) -> bool {
+        // Order so self.lo <= other.lo.
+        let (a, b) = if (self.lo, self.lo_open as u8) <= (other.lo, other.lo_open as u8) {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        if b.lo < a.hi {
+            return true;
+        }
+        if b.lo == a.hi {
+            // Touching endpoints merge unless both are open (missing point).
+            return !(a.hi_open && b.lo_open);
+        }
+        false
+    }
+
+    /// How many atomic comparison formulas this interval costs to express:
+    /// `(-∞,∞)`→0, half-bounded→1, point→1, bounded→2.
+    pub fn atom_count(&self) -> usize {
+        let lo_finite = self.lo != f64::NEG_INFINITY;
+        let hi_finite = self.hi != f64::INFINITY;
+        match (lo_finite, hi_finite) {
+            (false, false) => 0,
+            (true, true) if self.lo == self.hi => 1, // x = c
+            (a, b) => a as usize + b as usize,
+        }
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let lo_b = if self.lo_open { '(' } else { '[' };
+        let hi_b = if self.hi_open { ')' } else { ']' };
+        write!(f, "{lo_b}{}, {}{hi_b}", self.lo, self.hi)
+    }
+}
+
+/// JSON-safe encoding of an [`Interval`] (`None` = unbounded side).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct IntervalRepr {
+    lo: Option<f64>,
+    lo_open: bool,
+    hi: Option<f64>,
+    hi_open: bool,
+}
+
+impl From<Interval> for IntervalRepr {
+    fn from(i: Interval) -> IntervalRepr {
+        IntervalRepr {
+            lo: i.lo.is_finite().then_some(i.lo),
+            lo_open: i.lo_open,
+            hi: i.hi.is_finite().then_some(i.hi),
+            hi_open: i.hi_open,
+        }
+    }
+}
+
+impl From<IntervalRepr> for Interval {
+    fn from(r: IntervalRepr) -> Interval {
+        Interval {
+            lo: r.lo.unwrap_or(f64::NEG_INFINITY),
+            lo_open: r.lo_open || r.lo.is_none(),
+            hi: r.hi.unwrap_or(f64::INFINITY),
+            hi_open: r.hi_open || r.hi.is_none(),
+        }
+    }
+}
+
+/// A canonical union of disjoint, non-adjacent intervals, sorted ascending.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct IntervalSet {
+    intervals: Vec<Interval>,
+}
+
+impl IntervalSet {
+    /// The empty set.
+    pub fn empty() -> IntervalSet {
+        IntervalSet::default()
+    }
+
+    /// The whole real line.
+    pub fn full() -> IntervalSet {
+        IntervalSet {
+            intervals: vec![Interval::full()],
+        }
+    }
+
+    /// A set with one interval (empty if the interval is empty).
+    pub fn interval(lo: f64, lo_open: bool, hi: f64, hi_open: bool) -> IntervalSet {
+        match Interval::new(lo, lo_open, hi, hi_open) {
+            Some(i) => IntervalSet { intervals: vec![i] },
+            None => IntervalSet::empty(),
+        }
+    }
+
+    /// `{v}`.
+    pub fn point(v: f64) -> IntervalSet {
+        IntervalSet {
+            intervals: vec![Interval::point(v)],
+        }
+    }
+
+    /// `(-∞, v)` or `(-∞, v]`.
+    pub fn less_than(v: f64, inclusive: bool) -> IntervalSet {
+        IntervalSet::interval(f64::NEG_INFINITY, true, v, !inclusive)
+    }
+
+    /// `(v, ∞)` or `[v, ∞)`.
+    pub fn greater_than(v: f64, inclusive: bool) -> IntervalSet {
+        IntervalSet::interval(v, !inclusive, f64::INFINITY, true)
+    }
+
+    /// `ℝ \ {v}`.
+    pub fn not_equal(v: f64) -> IntervalSet {
+        IntervalSet::point(v).complement()
+    }
+
+    /// Build from arbitrary intervals, normalizing.
+    pub fn from_intervals(intervals: Vec<Interval>) -> IntervalSet {
+        let mut s = IntervalSet { intervals };
+        s.normalize();
+        s
+    }
+
+    /// The canonical intervals.
+    pub fn intervals(&self) -> &[Interval] {
+        &self.intervals
+    }
+
+    /// Is this the empty set?
+    pub fn is_empty(&self) -> bool {
+        self.intervals.is_empty()
+    }
+
+    /// Is this the whole real line?
+    pub fn is_full(&self) -> bool {
+        self.intervals.len() == 1
+            && self.intervals[0].lo == f64::NEG_INFINITY
+            && self.intervals[0].hi == f64::INFINITY
+    }
+
+    /// Membership test.
+    pub fn contains(&self, v: f64) -> bool {
+        // Binary search would work, but sets are tiny (a handful of
+        // intervals); linear scan is faster in practice.
+        self.intervals.iter().any(|i| i.contains(v))
+    }
+
+    fn normalize(&mut self) {
+        self.intervals
+            .sort_by(|a, b| (a.lo, a.lo_open as u8).partial_cmp(&(b.lo, b.lo_open as u8)).unwrap());
+        let mut out: Vec<Interval> = Vec::with_capacity(self.intervals.len());
+        for iv in self.intervals.drain(..) {
+            match out.last_mut() {
+                Some(last) if last.merges_with(&iv) => {
+                    // Extend `last` to cover iv.
+                    if (iv.hi, !iv.hi_open as u8) > (last.hi, !last.hi_open as u8) {
+                        last.hi = iv.hi;
+                        last.hi_open = iv.hi_open;
+                    }
+                    // Lower bound: out is sorted, but equal-lo cases need the
+                    // more inclusive (closed) flag.
+                    if iv.lo == last.lo && !iv.lo_open {
+                        last.lo_open = false;
+                    }
+                }
+                _ => out.push(iv),
+            }
+        }
+        self.intervals = out;
+    }
+
+    /// Set union.
+    pub fn union(&self, other: &IntervalSet) -> IntervalSet {
+        let mut intervals = Vec::with_capacity(self.intervals.len() + other.intervals.len());
+        intervals.extend_from_slice(&self.intervals);
+        intervals.extend_from_slice(&other.intervals);
+        IntervalSet::from_intervals(intervals)
+    }
+
+    /// Set intersection.
+    pub fn intersect(&self, other: &IntervalSet) -> IntervalSet {
+        let mut out = Vec::new();
+        for a in &self.intervals {
+            for b in &other.intervals {
+                if let Some(i) = a.intersect(b) {
+                    out.push(i);
+                }
+            }
+        }
+        IntervalSet::from_intervals(out)
+    }
+
+    /// Set complement.
+    pub fn complement(&self) -> IntervalSet {
+        if self.intervals.is_empty() {
+            return IntervalSet::full();
+        }
+        let mut out = Vec::with_capacity(self.intervals.len() + 1);
+        let mut cursor = f64::NEG_INFINITY;
+        let mut cursor_open = true; // complement's next lo bound openness
+        for iv in &self.intervals {
+            if let Some(gap) = Interval::new(cursor, cursor_open, iv.lo, !iv.lo_open) {
+                out.push(gap);
+            }
+            cursor = iv.hi;
+            cursor_open = !iv.hi_open;
+        }
+        if let Some(tail) = Interval::new(cursor, cursor_open, f64::INFINITY, true) {
+            out.push(tail);
+        }
+        IntervalSet::from_intervals(out)
+    }
+
+    /// Set difference `self \ other`.
+    pub fn difference(&self, other: &IntervalSet) -> IntervalSet {
+        self.intersect(&other.complement())
+    }
+
+    /// Is `self ⊆ other`?
+    pub fn is_subset(&self, other: &IntervalSet) -> bool {
+        self.difference(other).is_empty()
+    }
+
+    /// Number of atomic comparison formulas needed to express this set.
+    pub fn atom_count(&self) -> usize {
+        self.intervals.iter().map(Interval::atom_count).sum()
+    }
+
+    /// Total measure of the set clipped to `[lo, hi]`, as a fraction of
+    /// `hi - lo`. Used by uniform selectivity estimation.
+    pub fn measure_within(&self, lo: f64, hi: f64) -> f64 {
+        if hi <= lo {
+            return if self.contains(lo) { 1.0 } else { 0.0 };
+        }
+        let clip = IntervalSet::interval(lo, false, hi, false);
+        let clipped = self.intersect(&clip);
+        let len: f64 = clipped
+            .intervals
+            .iter()
+            .map(|i| (i.hi.min(hi) - i.lo.max(lo)).max(0.0))
+            .sum();
+        (len / (hi - lo)).clamp(0.0, 1.0)
+    }
+}
+
+impl fmt::Display for IntervalSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.intervals.is_empty() {
+            return write!(f, "∅");
+        }
+        for (i, iv) in self.intervals.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∪ ")?;
+            }
+            write!(f, "{iv}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_interval_constructions() {
+        assert!(Interval::new(5.0, false, 3.0, false).is_none());
+        assert!(Interval::new(5.0, true, 5.0, false).is_none());
+        assert!(Interval::new(5.0, false, 5.0, false).is_some());
+        assert!(Interval::new(f64::NAN, false, 1.0, false).is_none());
+    }
+
+    #[test]
+    fn contains_respects_openness() {
+        let i = Interval::new(1.0, true, 2.0, false).unwrap();
+        assert!(!i.contains(1.0));
+        assert!(i.contains(1.5));
+        assert!(i.contains(2.0));
+        assert!(!i.contains(2.1));
+    }
+
+    #[test]
+    fn union_merges_overlapping() {
+        let a = IntervalSet::interval(1.0, false, 3.0, false);
+        let b = IntervalSet::interval(2.0, false, 5.0, false);
+        let u = a.union(&b);
+        assert_eq!(u.intervals().len(), 1);
+        assert_eq!(u, IntervalSet::interval(1.0, false, 5.0, false));
+    }
+
+    #[test]
+    fn union_merges_touching_when_point_covered() {
+        // [1,2] ∪ (2,3] = [1,3]
+        let a = IntervalSet::interval(1.0, false, 2.0, false);
+        let b = IntervalSet::interval(2.0, true, 3.0, false);
+        assert_eq!(a.union(&b), IntervalSet::interval(1.0, false, 3.0, false));
+        // (1,2) ∪ (2,3) stays split (2 missing)
+        let a = IntervalSet::interval(1.0, true, 2.0, true);
+        let b = IntervalSet::interval(2.0, true, 3.0, true);
+        assert_eq!(a.union(&b).intervals().len(), 2);
+        // (1,2) ∪ [2,3) = (1,3)
+        let b = IntervalSet::interval(2.0, false, 3.0, true);
+        assert_eq!(a.union(&b), IntervalSet::interval(1.0, true, 3.0, true));
+    }
+
+    #[test]
+    fn paper_example_reduction() {
+        // UNION(5 < x ∧ x < 15, 10 < x ∧ x < 20) → 5 < x ∧ x < 20
+        let a = IntervalSet::interval(5.0, true, 15.0, true);
+        let b = IntervalSet::interval(10.0, true, 20.0, true);
+        assert_eq!(a.union(&b), IntervalSet::interval(5.0, true, 20.0, true));
+        // "timestamp > 6pm OR timestamp > 9pm" → "timestamp > 6pm"
+        let p = IntervalSet::greater_than(18.0, false).union(&IntervalSet::greater_than(21.0, false));
+        assert_eq!(p, IntervalSet::greater_than(18.0, false));
+    }
+
+    #[test]
+    fn intersection() {
+        let a = IntervalSet::less_than(10.0, false);
+        let b = IntervalSet::greater_than(5.0, false);
+        let i = a.intersect(&b);
+        assert_eq!(i, IntervalSet::interval(5.0, true, 10.0, true));
+        // (-∞,10) ∩ [10,∞) = ∅, but (-∞,10] ∩ [10,∞) = {10}.
+        assert!(a.intersect(&IntervalSet::greater_than(10.0, true)).is_empty());
+        let a_incl = IntervalSet::less_than(10.0, true);
+        let pt = a_incl.intersect(&IntervalSet::greater_than(10.0, true));
+        assert_eq!(pt, IntervalSet::point(10.0));
+    }
+
+    #[test]
+    fn complement_round_trip() {
+        let a = IntervalSet::interval(1.0, false, 2.0, true)
+            .union(&IntervalSet::interval(5.0, true, 7.0, false));
+        let c = a.complement();
+        assert!(!c.contains(1.0));
+        assert!(!c.contains(1.5));
+        assert!(c.contains(2.0), "open hi endpoint excluded from a");
+        assert!(c.contains(5.0));
+        assert!(!c.contains(6.0));
+        assert_eq!(c.complement(), a, "double complement is identity");
+    }
+
+    #[test]
+    fn complement_of_full_and_empty() {
+        assert!(IntervalSet::full().complement().is_empty());
+        assert!(IntervalSet::empty().complement().is_full());
+    }
+
+    #[test]
+    fn not_equal_shape() {
+        let ne = IntervalSet::not_equal(5.0);
+        assert!(!ne.contains(5.0));
+        assert!(ne.contains(4.999));
+        assert_eq!(ne.intervals().len(), 2);
+        assert_eq!(ne.atom_count(), 2);
+    }
+
+    #[test]
+    fn subset_checks() {
+        let small = IntervalSet::interval(2.0, false, 3.0, false);
+        let big = IntervalSet::interval(1.0, false, 5.0, false);
+        assert!(small.is_subset(&big));
+        assert!(!big.is_subset(&small));
+        assert!(IntervalSet::empty().is_subset(&small));
+        assert!(small.is_subset(&IntervalSet::full()));
+        // Openness matters: [1,2] ⊄ (1,2].
+        let closed = IntervalSet::interval(1.0, false, 2.0, false);
+        let half = IntervalSet::interval(1.0, true, 2.0, false);
+        assert!(half.is_subset(&closed));
+        assert!(!closed.is_subset(&half));
+    }
+
+    #[test]
+    fn atom_counts() {
+        assert_eq!(IntervalSet::full().atom_count(), 0);
+        assert_eq!(IntervalSet::less_than(5.0, false).atom_count(), 1);
+        assert_eq!(IntervalSet::interval(1.0, false, 2.0, false).atom_count(), 2);
+        assert_eq!(IntervalSet::point(3.0).atom_count(), 1);
+        assert_eq!(IntervalSet::empty().atom_count(), 0);
+    }
+
+    #[test]
+    fn difference() {
+        let a = IntervalSet::interval(0.0, false, 10.0, false);
+        let b = IntervalSet::interval(3.0, false, 5.0, false);
+        let d = a.difference(&b);
+        assert!(d.contains(2.0));
+        assert!(!d.contains(4.0));
+        assert!(d.contains(6.0));
+        assert!(!d.contains(3.0));
+        assert!(!d.contains(5.0));
+        assert_eq!(d.intervals().len(), 2);
+    }
+
+    #[test]
+    fn measure_within_uniform() {
+        let a = IntervalSet::interval(0.0, false, 5.0, false);
+        assert!((a.measure_within(0.0, 10.0) - 0.5).abs() < 1e-9);
+        assert!((IntervalSet::full().measure_within(0.0, 10.0) - 1.0).abs() < 1e-9);
+        assert_eq!(IntervalSet::empty().measure_within(0.0, 10.0), 0.0);
+        // Degenerate stats range.
+        assert_eq!(a.measure_within(3.0, 3.0), 1.0);
+        assert_eq!(a.measure_within(7.0, 7.0), 0.0);
+    }
+
+    #[test]
+    fn union_with_duplicate_lo_prefers_closed() {
+        let a = IntervalSet::interval(1.0, true, 2.0, false);
+        let b = IntervalSet::interval(1.0, false, 1.5, false);
+        let u = a.union(&b);
+        assert!(u.contains(1.0));
+        assert_eq!(u.intervals().len(), 1);
+    }
+}

@@ -1,0 +1,32 @@
+//! # eva-symbolic
+//!
+//! The SYMBOLIC ENGINE of EVA-RS (paper §4.1) — the component the paper
+//! delegates to SymPy, rebuilt natively:
+//!
+//! * [`interval::IntervalSet`] / [`catset::CatSet`] — exact set algebra for
+//!   numeric and categorical dimensions,
+//! * [`conjunct::Conjunct`] — N-dimensional product constraints (the
+//!   rectangles of Fig. 2),
+//! * [`dnf::Dnf`] — predicates in disjunctive normal form, with the paper's
+//!   Algorithm 1 ([`dnf::Dnf::reduce`]) and the derived predicates
+//!   [`dnf::inter`] / [`dnf::diff`] / [`dnf::union`],
+//! * [`convert`] — [`eva_expr::Expr`] ⇄ [`dnf::Dnf`] translation,
+//! * [`naive::NaiveDnf`] — the SymPy-`simplify` baseline for Fig. 7,
+//! * [`selectivity::StatsCatalog`] — histogram selectivity estimation
+//!   feeding the materialization-aware cost model (Eq. 3/4).
+
+pub mod catset;
+pub mod conjunct;
+pub mod convert;
+pub mod dnf;
+pub mod interval;
+pub mod naive;
+pub mod selectivity;
+
+pub use catset::CatSet;
+pub use conjunct::{Conjunct, Constraint};
+pub use convert::{dnf_to_expr, to_dnf, udf_dim};
+pub use dnf::{diff, inter, union, Budget, Dnf};
+pub use interval::{Interval, IntervalSet};
+pub use naive::NaiveDnf;
+pub use selectivity::{ColumnStats, StatsCatalog};

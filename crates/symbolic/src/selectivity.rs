@@ -1,0 +1,352 @@
+//! Histogram-based selectivity estimation.
+//!
+//! The paper: "EVA leverages existing histogram-based methods in traditional
+//! database systems to calculate the selectivity of predicates" (§4.2). The
+//! ranking function (Eq. 4) and the set-cover weights (Alg. 2) both consume
+//! selectivities of symbolic predicates; this module supplies them from
+//! per-dimension statistics built by `ANALYZE`-style sampling.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+use crate::catset::CatSet;
+use crate::conjunct::{Conjunct, Constraint};
+use crate::dnf::{Budget, Dnf};
+use crate::interval::IntervalSet;
+
+/// Default selectivity guess for dimensions with no statistics — the
+/// classic System-R style magic constant for equality-ish predicates.
+pub const DEFAULT_UNKNOWN_SELECTIVITY: f64 = 0.3;
+
+/// Statistics for one dimension.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ColumnStats {
+    /// Numeric dimension: equi-width histogram.
+    Numeric {
+        /// Domain minimum observed.
+        min: f64,
+        /// Domain maximum observed.
+        max: f64,
+        /// Fraction of rows per bucket (sums to ~1). Buckets split
+        /// `[min, max]` evenly.
+        buckets: Vec<f64>,
+    },
+    /// Categorical dimension: value frequencies.
+    Categorical {
+        /// Fraction of rows per observed value.
+        freqs: BTreeMap<String, f64>,
+        /// Fraction of rows holding values not listed in `freqs`.
+        other: f64,
+    },
+}
+
+impl ColumnStats {
+    /// Build numeric stats from samples with `n_buckets` equi-width buckets.
+    pub fn numeric_from_samples(samples: &[f64], n_buckets: usize) -> ColumnStats {
+        let n_buckets = n_buckets.max(1);
+        if samples.is_empty() {
+            return ColumnStats::Numeric {
+                min: 0.0,
+                max: 1.0,
+                buckets: vec![0.0; n_buckets],
+            };
+        }
+        let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let width = (max - min).max(f64::MIN_POSITIVE);
+        let mut buckets = vec![0.0; n_buckets];
+        for &s in samples {
+            let i = (((s - min) / width) * n_buckets as f64) as usize;
+            buckets[i.min(n_buckets - 1)] += 1.0;
+        }
+        let total = samples.len() as f64;
+        for b in &mut buckets {
+            *b /= total;
+        }
+        ColumnStats::Numeric { min, max, buckets }
+    }
+
+    /// Build categorical stats from value counts.
+    pub fn categorical_from_counts<I: IntoIterator<Item = (String, u64)>>(
+        counts: I,
+    ) -> ColumnStats {
+        let counts: BTreeMap<String, u64> = counts.into_iter().collect();
+        let total: u64 = counts.values().sum();
+        let total = total.max(1) as f64;
+        ColumnStats::Categorical {
+            freqs: counts
+                .into_iter()
+                .map(|(k, v)| (k, v as f64 / total))
+                .collect(),
+            other: 0.0,
+        }
+    }
+
+    /// Estimated fraction of rows satisfying the constraint.
+    pub fn selectivity(&self, k: &Constraint) -> f64 {
+        match (self, k) {
+            (ColumnStats::Numeric { min, max, buckets }, Constraint::Num(set)) => {
+                numeric_selectivity(*min, *max, buckets, set)
+            }
+            (ColumnStats::Categorical { freqs, other }, Constraint::Cat(set)) => {
+                categorical_selectivity(freqs, *other, set)
+            }
+            // Kind mismatch: the binder got it wrong; fall back to the guess.
+            _ => {
+                if k.is_full() {
+                    1.0
+                } else if k.is_empty() {
+                    0.0
+                } else {
+                    DEFAULT_UNKNOWN_SELECTIVITY
+                }
+            }
+        }
+    }
+}
+
+fn numeric_selectivity(min: f64, max: f64, buckets: &[f64], set: &IntervalSet) -> f64 {
+    if set.is_full() {
+        return 1.0;
+    }
+    if set.is_empty() {
+        return 0.0;
+    }
+    if buckets.is_empty() || max <= min {
+        return if set.contains(min) { 1.0 } else { 0.0 };
+    }
+    let width = (max - min) / buckets.len() as f64;
+    let mut sel = 0.0;
+    for (i, frac) in buckets.iter().enumerate() {
+        let lo = min + width * i as f64;
+        let hi = lo + width;
+        sel += frac * set.measure_within(lo, hi);
+    }
+    sel.clamp(0.0, 1.0)
+}
+
+fn categorical_selectivity(freqs: &BTreeMap<String, f64>, other: f64, set: &CatSet) -> f64 {
+    match set {
+        CatSet::In(vals) => {
+            let mut sel = 0.0;
+            let mut unknown = 0usize;
+            for v in vals {
+                match freqs.get(v) {
+                    Some(f) => sel += f,
+                    None => unknown += 1,
+                }
+            }
+            // Unknown values share the "other" mass uniformly (guess: split
+            // across up to 10 unseen values).
+            if unknown > 0 && other > 0.0 {
+                sel += other * (unknown as f64 / 10.0).min(1.0);
+            }
+            sel.clamp(0.0, 1.0)
+        }
+        CatSet::NotIn(vals) => {
+            let inc = categorical_selectivity(freqs, other, &CatSet::In(vals.clone()));
+            (1.0 - inc).clamp(0.0, 1.0)
+        }
+    }
+}
+
+/// Per-dimension statistics registry used by the optimizer.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct StatsCatalog {
+    stats: BTreeMap<String, ColumnStats>,
+}
+
+impl StatsCatalog {
+    /// Empty catalog (every estimate falls back to defaults).
+    pub fn new() -> StatsCatalog {
+        StatsCatalog::default()
+    }
+
+    /// Register statistics for a dimension.
+    pub fn insert(&mut self, dim: impl Into<String>, stats: ColumnStats) {
+        self.stats.insert(dim.into().to_ascii_lowercase(), stats);
+    }
+
+    /// Stats for a dimension, if known.
+    pub fn get(&self, dim: &str) -> Option<&ColumnStats> {
+        self.stats.get(&dim.to_ascii_lowercase())
+    }
+
+    /// Registered dimension names.
+    pub fn dims(&self) -> impl Iterator<Item = &String> {
+        self.stats.keys()
+    }
+
+    /// Selectivity of one constraint on one dimension.
+    pub fn constraint_selectivity(&self, dim: &str, k: &Constraint) -> f64 {
+        match self.get(dim) {
+            Some(s) => s.selectivity(k),
+            None => {
+                if k.is_full() {
+                    1.0
+                } else if k.is_empty() {
+                    0.0
+                } else {
+                    DEFAULT_UNKNOWN_SELECTIVITY
+                }
+            }
+        }
+    }
+
+    /// Selectivity of a conjunct under the independence assumption the paper
+    /// also adopts (footnote to Theorem 4.1).
+    pub fn conjunct_selectivity(&self, c: &Conjunct) -> f64 {
+        if c.is_unsat() {
+            return 0.0;
+        }
+        c.dims()
+            .iter()
+            .map(|(d, k)| self.constraint_selectivity(d, k))
+            .product()
+    }
+
+    /// Selectivity of a DNF. The predicate is first made disjoint so the
+    /// per-conjunct estimates can be summed; on budget blow-up it falls back
+    /// to the noisy-or combination.
+    pub fn dnf_selectivity(&self, p: &Dnf) -> f64 {
+        if p.is_false() {
+            return 0.0;
+        }
+        if p.is_true() {
+            return 1.0;
+        }
+        let mut budget = Budget::default();
+        let disjoint = p.disjointed(&mut budget);
+        if disjoint != *p || disjoint.conjuncts().len() >= p.conjuncts().len() {
+            let sum: f64 = disjoint
+                .conjuncts()
+                .iter()
+                .map(|c| self.conjunct_selectivity(c))
+                .sum();
+            return sum.clamp(0.0, 1.0);
+        }
+        // Fallback: independence-based noisy-or.
+        let mut not_sel = 1.0;
+        for c in p.conjuncts() {
+            not_sel *= 1.0 - self.conjunct_selectivity(c);
+        }
+        (1.0 - not_sel).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform_int_stats(lo: f64, hi: f64) -> ColumnStats {
+        // 10 equal buckets over [lo, hi].
+        ColumnStats::Numeric {
+            min: lo,
+            max: hi,
+            buckets: vec![0.1; 10],
+        }
+    }
+
+    #[test]
+    fn numeric_range_selectivity_uniform() {
+        let s = uniform_int_stats(0.0, 1000.0);
+        let half = Constraint::Num(IntervalSet::less_than(500.0, false));
+        let sel = s.selectivity(&half);
+        assert!((sel - 0.5).abs() < 0.01, "sel={sel}");
+        let tenth = Constraint::Num(IntervalSet::interval(100.0, false, 200.0, false));
+        assert!((s.selectivity(&tenth) - 0.1).abs() < 0.01);
+    }
+
+    #[test]
+    fn numeric_skewed_histogram() {
+        // 90% of mass in first bucket.
+        let s = ColumnStats::Numeric {
+            min: 0.0,
+            max: 100.0,
+            buckets: vec![0.9, 0.1],
+        };
+        let first_half = Constraint::Num(IntervalSet::less_than(50.0, false));
+        assert!((s.selectivity(&first_half) - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn numeric_from_samples() {
+        let samples: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        let s = ColumnStats::numeric_from_samples(&samples, 20);
+        let sel = s.selectivity(&Constraint::Num(IntervalSet::less_than(250.0, false)));
+        assert!((sel - 0.25).abs() < 0.06, "sel={sel}");
+    }
+
+    #[test]
+    fn categorical_selectivity() {
+        let s = ColumnStats::categorical_from_counts([
+            ("car".to_string(), 80u64),
+            ("bus".to_string(), 20u64),
+        ]);
+        let car = Constraint::Cat(CatSet::only("car"));
+        assert!((s.selectivity(&car) - 0.8).abs() < 1e-9);
+        let not_car = Constraint::Cat(CatSet::except("car"));
+        assert!((s.selectivity(&not_car) - 0.2).abs() < 1e-9);
+        let unseen = Constraint::Cat(CatSet::only("truck"));
+        assert_eq!(s.selectivity(&unseen), 0.0);
+    }
+
+    #[test]
+    fn unknown_dimension_uses_default() {
+        let cat = StatsCatalog::new();
+        let k = Constraint::Cat(CatSet::only("car"));
+        assert_eq!(cat.constraint_selectivity("mystery", &k), DEFAULT_UNKNOWN_SELECTIVITY);
+        assert_eq!(
+            cat.constraint_selectivity("mystery", &Constraint::Cat(CatSet::full())),
+            1.0
+        );
+    }
+
+    #[test]
+    fn conjunct_independence_product() {
+        let mut cat = StatsCatalog::new();
+        cat.insert("id", uniform_int_stats(0.0, 1000.0));
+        cat.insert(
+            "label",
+            ColumnStats::categorical_from_counts([
+                ("car".to_string(), 50u64),
+                ("bus".to_string(), 50u64),
+            ]),
+        );
+        let c = Conjunct::universal()
+            .constrain("id", Constraint::Num(IntervalSet::less_than(500.0, false)))
+            .constrain("label", Constraint::Cat(CatSet::only("car")));
+        let sel = cat.conjunct_selectivity(&c);
+        assert!((sel - 0.25).abs() < 0.01, "sel={sel}");
+        assert_eq!(cat.conjunct_selectivity(&Conjunct::unsat()), 0.0);
+        assert_eq!(cat.conjunct_selectivity(&Conjunct::universal()), 1.0);
+    }
+
+    #[test]
+    fn dnf_selectivity_overlapping_union() {
+        let mut cat = StatsCatalog::new();
+        cat.insert("id", uniform_int_stats(0.0, 1000.0));
+        // [0,500] ∪ [400,600] → exact coverage 0.6
+        let a = Conjunct::universal().constrain(
+            "id",
+            Constraint::Num(IntervalSet::interval(0.0, false, 500.0, false)),
+        );
+        let b = Conjunct::universal().constrain(
+            "id",
+            Constraint::Num(IntervalSet::interval(400.0, false, 600.0, false)),
+        );
+        let p = Dnf::from_conjuncts(vec![a, b]);
+        let sel = cat.dnf_selectivity(&p);
+        assert!((sel - 0.6).abs() < 0.02, "sel={sel}");
+        assert_eq!(cat.dnf_selectivity(&Dnf::false_()), 0.0);
+        assert_eq!(cat.dnf_selectivity(&Dnf::true_()), 1.0);
+    }
+
+    #[test]
+    fn stats_catalog_case_insensitive() {
+        let mut cat = StatsCatalog::new();
+        cat.insert("Label", ColumnStats::categorical_from_counts([("x".to_string(), 1u64)]));
+        assert!(cat.get("label").is_some());
+        assert!(cat.get("LABEL").is_some());
+    }
+}

@@ -1,0 +1,252 @@
+//! Property-based tests for the symbolic engine: every algebraic operation
+//! is checked against the point-membership oracle on randomized inputs.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+use eva_common::Value;
+use eva_expr::{CmpOp, Expr};
+use eva_symbolic::{diff, inter, to_dnf, union, Budget, CatSet, Dnf, IntervalSet};
+
+// ---------------------------------------------------------------------------
+// Interval sets
+// ---------------------------------------------------------------------------
+
+fn arb_interval_set() -> impl Strategy<Value = IntervalSet> {
+    // Up to 4 raw intervals with small-integer endpoints (collisions likely,
+    // which is exactly what stresses open/closed handling).
+    prop::collection::vec(
+        (-10i32..10, -10i32..10, any::<bool>(), any::<bool>()),
+        0..4,
+    )
+    .prop_map(|raw| {
+        let mut acc = IntervalSet::empty();
+        for (a, b, lo_open, hi_open) in raw {
+            let (lo, hi) = (a.min(b) as f64, a.max(b) as f64);
+            acc = acc.union(&IntervalSet::interval(lo, lo_open, hi, hi_open));
+        }
+        acc
+    })
+}
+
+/// Sample points covering integer endpoints and midpoints.
+fn sample_points() -> Vec<f64> {
+    let mut pts = Vec::new();
+    for i in -11..=11 {
+        pts.push(i as f64);
+        pts.push(i as f64 + 0.5);
+    }
+    pts
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn interval_union_matches_oracle(a in arb_interval_set(), b in arb_interval_set()) {
+        let u = a.union(&b);
+        for p in sample_points() {
+            prop_assert_eq!(u.contains(p), a.contains(p) || b.contains(p), "point {}", p);
+        }
+    }
+
+    #[test]
+    fn interval_intersect_matches_oracle(a in arb_interval_set(), b in arb_interval_set()) {
+        let i = a.intersect(&b);
+        for p in sample_points() {
+            prop_assert_eq!(i.contains(p), a.contains(p) && b.contains(p), "point {}", p);
+        }
+    }
+
+    #[test]
+    fn interval_complement_matches_oracle(a in arb_interval_set()) {
+        let c = a.complement();
+        for p in sample_points() {
+            prop_assert_eq!(c.contains(p), !a.contains(p), "point {}", p);
+        }
+        prop_assert_eq!(c.complement(), a.clone(), "double complement");
+    }
+
+    #[test]
+    fn interval_subset_consistent_with_difference(a in arb_interval_set(), b in arb_interval_set()) {
+        prop_assert_eq!(a.is_subset(&b), a.difference(&b).is_empty());
+        prop_assert!(a.is_subset(&a));
+        prop_assert!(a.intersect(&b).is_subset(&a));
+        prop_assert!(a.is_subset(&a.union(&b)));
+    }
+
+    #[test]
+    fn interval_canonical_form_is_minimal(a in arb_interval_set()) {
+        // No two stored intervals may merge — otherwise normalization failed.
+        let ivs = a.intervals();
+        for w in ivs.windows(2) {
+            prop_assert!(w[0].hi <= w[1].lo, "sorted and non-overlapping");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Categorical sets
+// ---------------------------------------------------------------------------
+
+fn arb_catset() -> impl Strategy<Value = CatSet> {
+    let vals = prop::collection::btree_set("[abc]", 0..3);
+    (vals, any::<bool>()).prop_map(|(s, neg)| {
+        let s: std::collections::BTreeSet<String> = s.into_iter().collect();
+        if neg {
+            CatSet::NotIn(s)
+        } else {
+            CatSet::In(s)
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn catset_boolean_algebra(a in arb_catset(), b in arb_catset()) {
+        for v in ["a", "b", "c", "zzz"] {
+            prop_assert_eq!(a.union(&b).contains(v), a.contains(v) || b.contains(v));
+            prop_assert_eq!(a.intersect(&b).contains(v), a.contains(v) && b.contains(v));
+            prop_assert_eq!(a.complement().contains(v), !a.contains(v));
+        }
+        prop_assert_eq!(a.is_subset(&b), a.difference(&b).is_empty());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// DNF predicates end-to-end (Expr → Dnf vs three-valued eval)
+// ---------------------------------------------------------------------------
+
+fn arb_atom() -> impl Strategy<Value = Expr> {
+    let num_dims = prop::sample::select(vec!["x", "y"]);
+    let cat_dims = prop::sample::select(vec!["label", "color"]);
+    let num_atom = (num_dims, 0i64..20, prop::sample::select(vec![
+        CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge, CmpOp::Eq, CmpOp::Ne,
+    ]))
+        .prop_map(|(d, v, op)| Expr::cmp(Expr::col(d), op, Expr::lit(v)));
+    let cat_atom = (cat_dims, prop::sample::select(vec!["car", "bus", "red"]), any::<bool>())
+        .prop_map(|(d, v, ne)| {
+            Expr::cmp(Expr::col(d), if ne { CmpOp::Ne } else { CmpOp::Eq }, Expr::lit(v))
+        });
+    prop_oneof![num_atom, cat_atom]
+}
+
+fn arb_predicate() -> impl Strategy<Value = Expr> {
+    arb_atom().prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+            inner.prop_map(|a| a.not()),
+        ]
+    })
+}
+
+fn arb_point() -> impl Strategy<Value = BTreeMap<String, Value>> {
+    (
+        0i64..20,
+        0i64..20,
+        prop::sample::select(vec!["car", "bus", "zzz"]),
+        prop::sample::select(vec!["red", "car", "blue"]),
+    )
+        .prop_map(|(x, y, l, c)| {
+            let mut m = BTreeMap::new();
+            m.insert("x".to_string(), Value::Int(x));
+            m.insert("y".to_string(), Value::Int(y));
+            m.insert("label".to_string(), Value::from(l));
+            m.insert("color".to_string(), Value::from(c));
+            m
+        })
+}
+
+/// Truth of a predicate at a point, evaluated through the Expr engine (the
+/// independent oracle for the symbolic conversion).
+fn eval_expr_at(e: &Expr, point: &BTreeMap<String, Value>) -> bool {
+    use eva_common::{DataType, Field, Schema};
+    let schema = Schema::new(vec![
+        Field::new("x", DataType::Int),
+        Field::new("y", DataType::Int),
+        Field::new("label", DataType::Str),
+        Field::new("color", DataType::Str),
+    ])
+    .unwrap();
+    let row: Vec<Value> = ["x", "y", "label", "color"]
+        .iter()
+        .map(|d| point[*d].clone())
+        .collect();
+    let ctx = eva_expr::RowContext::new(&schema, &row, &eva_expr::eval::NoUdfs);
+    e.eval_predicate(&ctx).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn to_dnf_preserves_semantics(e in arb_predicate(), pts in prop::collection::vec(arb_point(), 8)) {
+        let d = to_dnf(&e).unwrap();
+        for p in &pts {
+            prop_assert_eq!(d.contains_point(p), eval_expr_at(&e, p), "expr {} at {:?}", e, p);
+        }
+    }
+
+    #[test]
+    fn reduce_preserves_semantics(e in arb_predicate(), pts in prop::collection::vec(arb_point(), 8)) {
+        let d = to_dnf(&e).unwrap();
+        let reduced = d.clone().reduced();
+        // Note: atom counts are not monotone per step — case iii of Fig. 2
+        // trims overlap, which can *split* an interval while making the
+        // conjuncts disjoint. Only semantics preservation is guaranteed.
+        for p in &pts {
+            prop_assert_eq!(reduced.contains_point(p), d.contains_point(p));
+        }
+    }
+
+    #[test]
+    fn derived_predicates_model_identities(
+        e1 in arb_predicate(),
+        e2 in arb_predicate(),
+        pts in prop::collection::vec(arb_point(), 8),
+    ) {
+        let p1 = to_dnf(&e1).unwrap();
+        let p2 = to_dnf(&e2).unwrap();
+        let i = inter(&p1, &p2);
+        let d = diff(&p1, &p2);
+        let u = union(&p1, &p2);
+        for p in &pts {
+            let (a, b) = (p1.contains_point(p), p2.contains_point(p));
+            prop_assert_eq!(i.contains_point(p), a && b, "INTER at {:?}", p);
+            prop_assert_eq!(d.contains_point(p), !a && b, "DIFF at {:?}", p);
+            prop_assert_eq!(u.contains_point(p), a || b, "UNION at {:?}", p);
+        }
+    }
+
+    #[test]
+    fn complement_and_subset_agree(e in arb_predicate(), pts in prop::collection::vec(arb_point(), 8)) {
+        let p = to_dnf(&e).unwrap();
+        let mut budget = Budget::default();
+        if let Some(n) = p.complement(&mut budget) {
+            for pt in &pts {
+                prop_assert_eq!(n.contains_point(pt), !p.contains_point(pt));
+            }
+            prop_assert!(inter(&p, &n).is_false(), "p ∧ ¬p = ⊥");
+        }
+        // p ⊆ p ∨ q for any q.
+        let q = Dnf::true_();
+        prop_assert!(p.is_subset(&q));
+    }
+
+    #[test]
+    fn disjointed_preserves_and_separates(e in arb_predicate(), pts in prop::collection::vec(arb_point(), 8)) {
+        let p = to_dnf(&e).unwrap();
+        let mut budget = Budget::default();
+        let d = p.disjointed(&mut budget);
+        for pt in &pts {
+            prop_assert_eq!(d.contains_point(pt), p.contains_point(pt));
+            let n = d.conjuncts().iter().filter(|c| c.contains_point(pt)).count();
+            if d != p {
+                prop_assert!(n <= 1, "{} conjuncts claim {:?}", n, pt);
+            }
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! Invocation statistics (Table 3) and hit accounting (Table 2).
+//!
+//! The execution engine reports every UDF invocation here: whether it was
+//! *evaluated* (the model ran) or *reused* (satisfied from a materialized
+//! view / cache). Distinct-input counts use the view-key identity.
+
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, HashSet};
+use std::sync::Arc;
+
+use eva_storage::ViewKey;
+
+/// UDFs cheaper than this per call are excluded from hit-percentage and
+/// Eq. 7 accounting, mirroring the paper's Tables 2–3 which only count the
+/// expensive UDFs (FasterRCNN, CarType, ColorDet) and not AREA.
+pub const HIT_COST_THRESHOLD_MS: f64 = 1.0;
+
+/// Per-UDF counters.
+#[derive(Debug, Default, Clone)]
+pub struct UdfCounters {
+    /// Total invocations (`#TI`): evaluated + reused.
+    pub total_invocations: u64,
+    /// Invocations satisfied from materialized results.
+    pub reused_invocations: u64,
+    /// Distinct inputs seen (`#DI`).
+    pub distinct_inputs: u64,
+    /// Simulated milliseconds spent actually evaluating.
+    pub eval_ms: f64,
+    /// Profiled per-call cost (max observed), used to exclude cheap UDFs
+    /// from aggregate metrics.
+    pub per_call_ms: f64,
+}
+
+impl UdfCounters {
+    /// Does this UDF count toward hit-percentage / Eq. 7 metrics?
+    pub fn countable(&self) -> bool {
+        self.per_call_ms >= HIT_COST_THRESHOLD_MS
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    counters: BTreeMap<String, UdfCounters>,
+    distinct: BTreeMap<String, HashSet<ViewKey>>,
+}
+
+/// Thread-safe invocation statistics registry. Cheap to clone.
+#[derive(Debug, Clone, Default)]
+pub struct InvocationStats {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl std::fmt::Debug for Inner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Inner").field("counters", &self.counters).finish()
+    }
+}
+
+impl InvocationStats {
+    /// Fresh registry.
+    pub fn new() -> InvocationStats {
+        InvocationStats::default()
+    }
+
+    /// Record an invocation that ran the model.
+    pub fn record_eval(&self, udf: &str, key: ViewKey, cost_ms: f64) {
+        let mut inner = self.inner.lock();
+        let c = inner.counters.entry(udf.to_string()).or_default();
+        c.total_invocations += 1;
+        c.eval_ms += cost_ms;
+        c.per_call_ms = c.per_call_ms.max(cost_ms);
+        if inner.distinct.entry(udf.to_string()).or_default().insert(key) {
+            inner.counters.get_mut(udf).expect("just inserted").distinct_inputs += 1;
+        }
+    }
+
+    /// Record an invocation satisfied from materialized results.
+    /// `cost_ms` is the cost evaluation *would* have paid.
+    pub fn record_reuse(&self, udf: &str, key: ViewKey, cost_ms: f64) {
+        let mut inner = self.inner.lock();
+        let c = inner.counters.entry(udf.to_string()).or_default();
+        c.total_invocations += 1;
+        c.reused_invocations += 1;
+        c.per_call_ms = c.per_call_ms.max(cost_ms);
+        if inner.distinct.entry(udf.to_string()).or_default().insert(key) {
+            inner.counters.get_mut(udf).expect("just inserted").distinct_inputs += 1;
+        }
+    }
+
+    /// Counters for one UDF.
+    pub fn get(&self, udf: &str) -> UdfCounters {
+        self.inner.lock().counters.get(udf).cloned().unwrap_or_default()
+    }
+
+    /// Snapshot of all counters.
+    pub fn all(&self) -> BTreeMap<String, UdfCounters> {
+        self.inner.lock().counters.clone()
+    }
+
+    /// Aggregate hit percentage across the *expensive* UDFs — Table 2's
+    /// metric: `reused / total × 100` (cheap UDFs like AREA excluded, as in
+    /// the paper's tables).
+    pub fn hit_percentage(&self) -> f64 {
+        let inner = self.inner.lock();
+        let countable = inner.counters.values().filter(|c| c.countable());
+        let (total, reused) = countable.fold((0u64, 0u64), |(t, r), c| {
+            (t + c.total_invocations, r + c.reused_invocations)
+        });
+        if total == 0 {
+            0.0
+        } else {
+            reused as f64 / total as f64 * 100.0
+        }
+    }
+
+    /// The reuse upper bound of Eq. 7's denominator: simulated cost if only
+    /// distinct invocations were evaluated (Σ distinct × per-call cost must
+    /// be supplied by the caller from the catalog).
+    pub fn totals(&self) -> (u64, u64) {
+        let inner = self.inner.lock();
+        let countable: Vec<&UdfCounters> =
+            inner.counters.values().filter(|c| c.countable()).collect();
+        let total: u64 = countable.iter().map(|c| c.total_invocations).sum();
+        let distinct: u64 = countable.iter().map(|c| c.distinct_inputs).sum();
+        (total, distinct)
+    }
+
+    /// Reset all counters (clean workload state).
+    pub fn reset(&self) {
+        let mut inner = self.inner.lock();
+        inner.counters.clear();
+        inner.distinct.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eva_common::FrameId;
+
+    #[test]
+    fn counts_distinct_and_total() {
+        let s = InvocationStats::new();
+        let k0 = ViewKey::frame(FrameId(0));
+        let k1 = ViewKey::frame(FrameId(1));
+        s.record_eval("det", k0, 99.0);
+        s.record_eval("det", k1, 99.0);
+        s.record_reuse("det", k0, 99.0);
+        let c = s.get("det");
+        assert_eq!(c.total_invocations, 3);
+        assert_eq!(c.distinct_inputs, 2);
+        assert_eq!(c.reused_invocations, 1);
+        assert_eq!(c.eval_ms, 198.0);
+    }
+
+    #[test]
+    fn hit_percentage_over_all_udfs() {
+        let s = InvocationStats::new();
+        let k = ViewKey::frame(FrameId(0));
+        s.record_eval("a", k, 1.0);
+        s.record_reuse("a", k, 1.0);
+        s.record_reuse("b", k, 1.0);
+        s.record_eval("b", k, 1.0);
+        assert!((s.hit_percentage() - 50.0).abs() < 1e-9);
+        let (total, distinct) = s.totals();
+        assert_eq!(total, 4);
+        assert_eq!(distinct, 2);
+    }
+
+    #[test]
+    fn empty_and_reset() {
+        let s = InvocationStats::new();
+        assert_eq!(s.hit_percentage(), 0.0);
+        s.record_eval("a", ViewKey::frame(FrameId(0)), 1.0);
+        s.reset();
+        assert_eq!(s.get("a").total_invocations, 0);
+        assert!(s.all().is_empty());
+    }
+}

@@ -1,0 +1,72 @@
+//! UDF signatures (§3.1 step ②).
+//!
+//! A signature `S_u = [N_u; I_u]` is the fingerprint under which results are
+//! shared across queries: the (physical) UDF name plus the sources it reads.
+//! Two invocations with the same signature compute the same function over
+//! the same inputs, so their results are interchangeable.
+//!
+//! Box-level UDFs (CarType, ColorDet…) take `(frame, bbox)` arguments; their
+//! views key on `(frame, bbox)`, so the signature records the *source table*
+//! and argument shape but not the upstream detector — results transfer
+//! across detectors automatically when (and only when) the boxes coincide.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A UDF signature: physical UDF name + canonical input rendering.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct UdfSignature {
+    /// Physical UDF name (lowercase).
+    pub name: String,
+    /// Canonical rendering of the inputs `I_u` — the source table plus the
+    /// argument columns.
+    pub inputs: String,
+}
+
+impl UdfSignature {
+    /// Build a signature from the UDF name, the source table, and the
+    /// argument column names.
+    pub fn new(name: &str, table: &str, args: &[&str]) -> UdfSignature {
+        UdfSignature {
+            name: name.to_ascii_lowercase(),
+            inputs: format!(
+                "{}({})",
+                table.to_ascii_lowercase(),
+                args.join(",").to_ascii_lowercase()
+            ),
+        }
+    }
+}
+
+impl fmt::Display for UdfSignature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}", self.name, self.inputs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signatures_normalize_case() {
+        let a = UdfSignature::new("CarType", "Video", &["frame", "bbox"]);
+        let b = UdfSignature::new("cartype", "video", &["FRAME", "BBOX"]);
+        assert_eq!(a, b);
+        assert_eq!(a.to_string(), "cartype@video(frame,bbox)");
+    }
+
+    #[test]
+    fn different_tables_differ() {
+        let a = UdfSignature::new("det", "video1", &["frame"]);
+        let b = UdfSignature::new("det", "video2", &["frame"]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn different_names_differ() {
+        let a = UdfSignature::new("yolo", "v", &["frame"]);
+        let b = UdfSignature::new("rcnn", "v", &["frame"]);
+        assert_ne!(a, b);
+    }
+}

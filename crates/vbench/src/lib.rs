@@ -1,0 +1,23 @@
+//! # eva-vbench
+//!
+//! The vBENCH benchmark of the paper (§5.1): query sets with low and high
+//! reuse potential over the synthetic UA-DETRAC / Jackson datasets, workload
+//! execution with full metric capture, and the derived quantities the
+//! evaluation reports (hit percentage, workload speedup, Eq. 7 upper bound,
+//! per-query time breakdowns).
+//!
+//! * **VBENCH-HIGH** — 8 queries iteratively refining one part of the video
+//!   (zoom in / zoom out / shift, Table 1); consecutive frame overlap ≈ 50%.
+//! * **VBENCH-LOW** — 8 queries skimming disjoint parts; overlap ≈ 4.5%.
+//!
+//! Each query has up to five predicate clauses — three on direct columns
+//! (`id`, `label`, `score`) and up to two on UDFs (vehicle type, color) —
+//! plus the detector CROSS APPLY.
+
+pub mod metrics;
+pub mod queries;
+pub mod workload;
+
+pub use metrics::{eq7_upper_bound, frame_overlap};
+pub use queries::{vbench_high, vbench_low, DetectorKind, QuerySpec};
+pub use workload::{run_workload, QueryReport, Workload, WorkloadReport};

@@ -1,0 +1,112 @@
+//! Derived benchmark metrics.
+
+use std::collections::BTreeMap;
+
+use eva_core::EvaDb;
+
+use crate::queries::QuerySpec;
+
+/// Average frame overlap between consecutive queries: the statistic vBENCH
+/// uses to characterize reuse potential (4.5% for LOW, 50% for HIGH).
+/// Overlap of two windows is |A ∩ B| / |A ∪ B|.
+pub fn frame_overlap(queries: &[QuerySpec]) -> f64 {
+    if queries.len() < 2 {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for w in queries.windows(2) {
+        let (a, b) = (w[0].window, w[1].window);
+        let inter = (a.1.min(b.1) - a.0.max(b.0)).max(0.0);
+        let union = (a.1.max(b.1) - a.0.min(b.0)).max(f64::MIN_POSITIVE);
+        total += inter / union;
+    }
+    total / (queries.len() - 1) as f64
+}
+
+/// The Eq. 7 upper bound on workload speedup:
+///
+/// ```text
+///            Σ_{all invocations} C_u
+/// speedup ≤ ──────────────────────────
+///            Σ_{distinct invocations} C_u
+/// ```
+///
+/// computed from the session's invocation statistics and catalog costs after
+/// a workload ran.
+pub fn eq7_upper_bound(db: &EvaDb) -> f64 {
+    let mut num = 0.0;
+    let mut den = 0.0;
+    let costs: BTreeMap<String, f64> = db
+        .catalog()
+        .udfs()
+        .into_iter()
+        .filter_map(|u| u.cost_ms.map(|c| (u.name, c)))
+        .collect();
+    for (name, counters) in db.invocation_stats().all() {
+        let c = costs.get(&name).copied().unwrap_or(0.0);
+        num += counters.total_invocations as f64 * c;
+        den += counters.distinct_inputs as f64 * c;
+    }
+    if den <= 0.0 {
+        1.0
+    } else {
+        num / den
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queries::{vbench_high, vbench_low, DetectorKind};
+
+    #[test]
+    fn overlap_of_identical_windows_is_one() {
+        let qs = vec![
+            QuerySpec {
+                name: "a".into(),
+                window: (0.0, 0.5),
+                sql: String::new(),
+                n_udf_preds: 0,
+                accuracy: "HIGH",
+            },
+            QuerySpec {
+                name: "b".into(),
+                window: (0.0, 0.5),
+                sql: String::new(),
+                n_udf_preds: 0,
+                accuracy: "HIGH",
+            },
+        ];
+        assert!((frame_overlap(&qs) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overlap_of_disjoint_windows_is_zero() {
+        let qs = vec![
+            QuerySpec {
+                name: "a".into(),
+                window: (0.0, 0.3),
+                sql: String::new(),
+                n_udf_preds: 0,
+                accuracy: "HIGH",
+            },
+            QuerySpec {
+                name: "b".into(),
+                window: (0.5, 0.9),
+                sql: String::new(),
+                n_udf_preds: 0,
+                accuracy: "HIGH",
+            },
+        ];
+        assert_eq!(frame_overlap(&qs), 0.0);
+        assert_eq!(frame_overlap(&qs[..1]), 0.0);
+    }
+
+    #[test]
+    fn benchmark_sets_hit_their_targets() {
+        let det = DetectorKind::Physical("fasterrcnn_resnet50");
+        let high = frame_overlap(&vbench_high(14_000, det.clone(), false));
+        let low = frame_overlap(&vbench_low(14_000, det, false));
+        assert!(high > 4.0 * low, "high={high}, low={low}");
+    }
+}

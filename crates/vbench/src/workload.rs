@@ -1,0 +1,168 @@
+//! Workload execution and reporting.
+
+use serde::Serialize;
+
+use eva_common::{CostBreakdown, Result};
+use eva_core::EvaDb;
+
+use crate::queries::QuerySpec;
+
+/// A named list of queries run back-to-back from a clean state.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Workload label (e.g. `vbench-high`).
+    pub name: String,
+    /// Queries in execution order.
+    pub queries: Vec<QuerySpec>,
+}
+
+impl Workload {
+    /// Construct from a query set.
+    pub fn new(name: impl Into<String>, queries: Vec<QuerySpec>) -> Workload {
+        Workload {
+            name: name.into(),
+            queries,
+        }
+    }
+}
+
+/// Per-query outcome.
+#[derive(Debug, Clone, Serialize)]
+pub struct QueryReport {
+    /// Query label.
+    pub name: String,
+    /// Result row count (used to validate result equivalence across
+    /// strategies).
+    pub n_rows: usize,
+    /// Simulated seconds spent on this query.
+    pub sim_secs: f64,
+    /// Per-category breakdown (Fig. 6a / Table 4).
+    pub breakdown: CostBreakdown,
+    /// Wall-clock milliseconds actually spent.
+    pub wall_ms: f64,
+}
+
+/// Whole-workload outcome.
+#[derive(Debug, Clone, Serialize)]
+pub struct WorkloadReport {
+    /// Workload label.
+    pub workload: String,
+    /// Per-query reports in execution order.
+    pub per_query: Vec<QueryReport>,
+    /// Total simulated seconds.
+    pub total_sim_secs: f64,
+    /// Aggregate hit percentage (Table 2).
+    pub hit_percentage: f64,
+    /// Total materialized-view bytes at the end (§5.2 storage footprint).
+    pub view_bytes: u64,
+    /// Total / distinct UDF invocation counts (Eq. 7 inputs).
+    pub total_invocations: u64,
+    /// Distinct UDF invocations.
+    pub distinct_invocations: u64,
+}
+
+/// Run a workload from a clean reuse state, capturing all metrics. The
+/// session's strategy determines which system under test this measures.
+pub fn run_workload(db: &mut EvaDb, workload: &Workload) -> Result<WorkloadReport> {
+    db.reset_reuse_state();
+    let mut per_query = Vec::with_capacity(workload.queries.len());
+    for q in &workload.queries {
+        let out = db.execute_sql(&q.sql)?.rows()?;
+        per_query.push(QueryReport {
+            name: q.name.clone(),
+            n_rows: out.n_rows(),
+            sim_secs: out.sim_secs(),
+            breakdown: out.breakdown,
+            wall_ms: out.wall_ms,
+        });
+    }
+    let (total_invocations, distinct_invocations) = db.invocation_stats().totals();
+    Ok(WorkloadReport {
+        workload: workload.name.clone(),
+        per_query,
+        total_sim_secs: db.cost_snapshot().total_secs(),
+        hit_percentage: db.invocation_stats().hit_percentage(),
+        view_bytes: db.storage().total_view_bytes(),
+        total_invocations,
+        distinct_invocations,
+    })
+}
+
+impl WorkloadReport {
+    /// Speedup of this report relative to a reference (No-Reuse) report.
+    pub fn speedup_over(&self, reference: &WorkloadReport) -> f64 {
+        if self.total_sim_secs <= 0.0 {
+            return 1.0;
+        }
+        reference.total_sim_secs / self.total_sim_secs
+    }
+
+    /// Result-cardinality fingerprint for cross-strategy validation.
+    pub fn row_counts(&self) -> Vec<usize> {
+        self.per_query.iter().map(|q| q.n_rows).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queries::{vbench_high, DetectorKind};
+    use eva_core::SessionConfig;
+    use eva_baselines::ReuseStrategy;
+    use eva_video::generator::generate;
+    use eva_video::VideoConfig;
+
+    fn tiny_db(strategy: ReuseStrategy) -> EvaDb {
+        let mut db = EvaDb::new(SessionConfig::for_strategy(strategy)).unwrap();
+        db.load_video(
+            generate(VideoConfig {
+                name: "v".into(),
+                n_frames: 200,
+                width: 96,
+                height: 54,
+                fps: 25.0,
+                target_density: 6.0,
+                person_fraction: 0.0,
+                seed: 9,
+            }),
+            "video",
+        )
+        .unwrap();
+        db
+    }
+
+    fn tiny_workload() -> Workload {
+        Workload::new(
+            "tiny-high",
+            vbench_high(200, DetectorKind::Physical("fasterrcnn_resnet50"), false),
+        )
+    }
+
+    #[test]
+    fn eva_beats_no_reuse_on_high_overlap() {
+        let w = tiny_workload();
+        let mut no = tiny_db(ReuseStrategy::NoReuse);
+        let r_no = run_workload(&mut no, &w).unwrap();
+        let mut eva = tiny_db(ReuseStrategy::Eva);
+        let r_eva = run_workload(&mut eva, &w).unwrap();
+        assert_eq!(
+            r_no.row_counts(),
+            r_eva.row_counts(),
+            "strategies must agree on results"
+        );
+        let speedup = r_eva.speedup_over(&r_no);
+        assert!(speedup > 2.0, "EVA speedup on high-reuse: {speedup}");
+        assert!(r_eva.hit_percentage > 30.0);
+        assert_eq!(r_no.hit_percentage, 0.0);
+        assert!(r_eva.view_bytes > 0);
+    }
+
+    #[test]
+    fn report_is_serializable() {
+        let w = Workload::new("w", vec![]);
+        let mut db = tiny_db(ReuseStrategy::NoReuse);
+        let r = run_workload(&mut db, &w).unwrap();
+        let json = serde_json::to_string(&r).unwrap();
+        assert!(json.contains("\"workload\":\"w\""));
+    }
+}

@@ -1,0 +1,128 @@
+//! Ground-truth object and frame metadata types.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use eva_common::{BBox, FrameId};
+
+/// Object classes present in the synthetic videos. Mirrors the label set the
+/// paper's detectors produce over traffic footage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ObjectClass {
+    /// Passenger car (the class every benchmark query filters on).
+    Car,
+    /// Bus.
+    Bus,
+    /// Truck.
+    Truck,
+    /// Motorbike.
+    Motorbike,
+    /// Pedestrian.
+    Person,
+}
+
+impl ObjectClass {
+    /// The label string detectors emit for this class.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ObjectClass::Car => "car",
+            ObjectClass::Bus => "bus",
+            ObjectClass::Truck => "truck",
+            ObjectClass::Motorbike => "motorbike",
+            ObjectClass::Person => "person",
+        }
+    }
+
+    /// All classes.
+    pub const ALL: [ObjectClass; 5] = [
+        ObjectClass::Car,
+        ObjectClass::Bus,
+        ObjectClass::Truck,
+        ObjectClass::Motorbike,
+        ObjectClass::Person,
+    ];
+}
+
+impl fmt::Display for ObjectClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Vehicle makes recognized by the CarType UDF.
+pub const CAR_TYPES: [&str; 6] = ["Nissan", "Toyota", "Honda", "Ford", "BMW", "Chevrolet"];
+
+/// Vehicle colors recognized by the ColorDet UDF.
+pub const COLORS: [&str; 6] = ["Gray", "Red", "Black", "White", "Blue", "Silver"];
+
+/// One ground-truth object instance in one frame. The same `track_id`
+/// appears across consecutive frames with a smoothly moving bounding box.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrackedObject {
+    /// Stable identity across frames.
+    pub track_id: u64,
+    /// Object class.
+    pub class: ObjectClass,
+    /// Vehicle make (vehicles only; `None` for persons).
+    pub car_type: Option<String>,
+    /// Dominant color.
+    pub color: String,
+    /// License plate (vehicles only).
+    pub license: Option<String>,
+    /// Bounding box in relative coordinates.
+    pub bbox: BBox,
+    /// Visibility in `[0.35, 1.0]`; low visibility raises the chance that a
+    /// low-accuracy detector misses the object.
+    pub visibility: f32,
+}
+
+impl TrackedObject {
+    /// Is this a vehicle (car/bus/truck/motorbike)?
+    pub fn is_vehicle(&self) -> bool {
+        !matches!(self.class, ObjectClass::Person)
+    }
+}
+
+/// Ground-truth metadata for one frame.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FrameMeta {
+    /// Dense frame id, ordered by time.
+    pub id: FrameId,
+    /// Milliseconds since the start of the video.
+    pub timestamp_ms: i64,
+    /// Objects present in this frame.
+    pub objects: Vec<TrackedObject>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_lowercase_and_distinct() {
+        let mut labels: Vec<&str> = ObjectClass::ALL.iter().map(|c| c.label()).collect();
+        assert!(labels.iter().all(|l| l.chars().all(|c| c.is_ascii_lowercase())));
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), ObjectClass::ALL.len());
+    }
+
+    #[test]
+    fn vehicle_classification() {
+        let obj = TrackedObject {
+            track_id: 1,
+            class: ObjectClass::Person,
+            car_type: None,
+            color: "Gray".into(),
+            license: None,
+            bbox: BBox::new(0.0, 0.0, 0.1, 0.1),
+            visibility: 1.0,
+        };
+        assert!(!obj.is_vehicle());
+        let car = TrackedObject {
+            class: ObjectClass::Car,
+            ..obj
+        };
+        assert!(car.is_vehicle());
+    }
+}

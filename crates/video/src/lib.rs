@@ -1,0 +1,23 @@
+//! # eva-video
+//!
+//! The synthetic video substrate.
+//!
+//! The paper evaluates on UA-DETRAC (960×540, ~8.3 vehicles/frame) and the
+//! Jackson night-street video (600×400, ~0.1 vehicles/frame). Neither dataset
+//! nor any video decoding stack is available here, so this crate generates
+//! **deterministic synthetic videos**: seeded vehicle *tracks* (persistent
+//! objects with a type, color, license plate and a moving bounding box)
+//! flowing through frames at configurable density.
+//!
+//! EVA's reuse algorithm never inspects pixels — every decision depends only
+//! on per-frame object metadata, frame counts and object densities — so a
+//! generator matching the papers' densities and lengths preserves the
+//! workload shape (DESIGN.md §1 records this substitution).
+
+pub mod dataset;
+pub mod generator;
+pub mod ground_truth;
+
+pub use dataset::{DatasetStats, VideoConfig, VideoDataset};
+pub use generator::{jackson, ua_detrac, UaDetracSize};
+pub use ground_truth::{FrameMeta, ObjectClass, TrackedObject};

@@ -1,0 +1,91 @@
+//! Tests for the §6 future-work extension: fuzzy bbox matching. A box-level
+//! UDF result may be reused for a *near-identical* box (IoU above a
+//! threshold), trading exactness for extra reuse — e.g. reusing CarType
+//! results across the slightly different boxes two detectors emit for the
+//! same object.
+
+use eva_harness::test_session;
+use eva_planner::ReuseStrategy;
+
+const N: u64 = 100;
+
+fn with_fuzzy(db: &mut eva_core::EvaDb, iou: Option<f32>) {
+    let mut cfg = db.config();
+    cfg.exec.fuzzy_box_iou = iou;
+    db.set_config(cfg);
+}
+
+/// Two detectors emit slightly different boxes for the same objects. With
+/// exact keys, CarType results never transfer between them; with fuzzy
+/// matching they do.
+#[test]
+fn fuzzy_matching_transfers_results_across_detectors() {
+    let q_rcnn = "SELECT id FROM video CROSS APPLY fasterrcnn_resnet101(frame) \
+                  WHERE id < 80 AND label = 'car' AND cartype(frame, bbox) = 'Toyota'";
+    let q_rcnn50 = "SELECT id FROM video CROSS APPLY fasterrcnn_resnet50(frame) \
+                    WHERE id < 80 AND label = 'car' AND cartype(frame, bbox) = 'Toyota'";
+
+    // Exact reuse: essentially nothing transfers (boxes differ by noise).
+    let mut exact = test_session(ReuseStrategy::Eva, 601, N);
+    exact.execute_sql(q_rcnn).unwrap().rows().unwrap();
+    exact.execute_sql(q_rcnn50).unwrap().rows().unwrap();
+    let exact_reuse = exact.invocation_stats().get("cartype").reused_invocations;
+
+    // Fuzzy reuse at IoU ≥ 0.8: most boxes match their counterpart.
+    let mut fuzzy = test_session(ReuseStrategy::Eva, 601, N);
+    with_fuzzy(&mut fuzzy, Some(0.8));
+    fuzzy.execute_sql(q_rcnn).unwrap().rows().unwrap();
+    fuzzy.execute_sql(q_rcnn50).unwrap().rows().unwrap();
+    let fuzzy_reuse = fuzzy.invocation_stats().get("cartype").reused_invocations;
+
+    assert!(
+        fuzzy_reuse > exact_reuse + 10,
+        "fuzzy matching must transfer results: exact={exact_reuse}, fuzzy={fuzzy_reuse}"
+    );
+}
+
+/// Fuzzy matching at a high threshold still behaves exactly for identical
+/// repeated queries (exact hits win before fuzzy probing happens).
+#[test]
+fn fuzzy_mode_is_exact_for_identical_queries() {
+    let q = "SELECT id, bbox FROM video CROSS APPLY fasterrcnn_resnet50(frame) \
+             WHERE id < 60 AND label = 'car' AND cartype(frame, bbox) = 'Honda' ORDER BY id";
+    let mut exact = test_session(ReuseStrategy::Eva, 602, N);
+    let mut fuzzy = test_session(ReuseStrategy::Eva, 602, N);
+    with_fuzzy(&mut fuzzy, Some(0.9));
+    for _ in 0..2 {
+        let a = exact.execute_sql(q).unwrap().rows().unwrap();
+        let b = fuzzy.execute_sql(q).unwrap().rows().unwrap();
+        assert_eq!(a.batch.rows(), b.batch.rows());
+    }
+}
+
+/// The threshold is respected: at IoU ≥ 0.999 detector noise exceeds the
+/// tolerance and nothing transfers.
+#[test]
+fn strict_threshold_disables_transfer() {
+    let q_rcnn = "SELECT id FROM video CROSS APPLY fasterrcnn_resnet101(frame) \
+                  WHERE id < 50 AND label = 'car' AND colordet(frame, bbox) = 'Red'";
+    let q_yolo = "SELECT id FROM video CROSS APPLY yolo_tiny(frame) \
+                  WHERE id < 50 AND label = 'car' AND colordet(frame, bbox) = 'Red'";
+    let mut db = test_session(ReuseStrategy::Eva, 603, N);
+    with_fuzzy(&mut db, Some(0.999));
+    db.execute_sql(q_rcnn).unwrap().rows().unwrap();
+    let before = db.invocation_stats().get("colordet").reused_invocations;
+    db.execute_sql(q_yolo).unwrap().rows().unwrap();
+    let after = db.invocation_stats().get("colordet").reused_invocations;
+    // YOLO's noisy boxes (low boxAP ⇒ high noise) cannot clear IoU 0.999.
+    assert!(
+        after - before <= 2,
+        "near-exact threshold must block noisy transfers: {}",
+        after - before
+    );
+}
+
+/// Fuzzy reuse is *approximate*: it may change results (that is the §6
+/// trade-off), so it is off by default.
+#[test]
+fn fuzzy_is_off_by_default() {
+    let db = test_session(ReuseStrategy::Eva, 604, 10);
+    assert_eq!(db.config().exec.fuzzy_box_iou, None);
+}

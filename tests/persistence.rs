@@ -1,0 +1,128 @@
+//! Persistence integration tests: materialized views survive a save/load
+//! round trip through the storage engine and keep serving reuse.
+
+use eva_common::{FrameId, SimClock, Value};
+use eva_harness::test_session;
+use eva_planner::ReuseStrategy;
+use eva_storage::{StorageEngine, ViewKey, ViewKeyKind};
+use std::sync::Arc;
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("eva_persist_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn session_views_round_trip_to_disk() {
+    let dir = temp_dir("session");
+    let n = 80;
+    let mut db = test_session(ReuseStrategy::Eva, 501, n);
+    db.execute_sql(
+        "SELECT id FROM video CROSS APPLY fasterrcnn_resnet50(frame) \
+         WHERE id < 60 AND label = 'car'",
+    )
+    .unwrap()
+    .rows()
+    .unwrap();
+    let bytes_before = db.storage().total_view_bytes();
+    assert!(bytes_before > 0);
+    db.storage().save_views(&dir).unwrap();
+
+    // A brand-new engine loads the views byte-identically.
+    let fresh = StorageEngine::new();
+    fresh.load_views(&dir).unwrap();
+    assert_eq!(fresh.total_view_bytes(), bytes_before);
+    for def in db.storage().view_defs() {
+        assert_eq!(
+            fresh.view_n_keys(def.id).unwrap(),
+            db.storage().view_n_keys(def.id).unwrap(),
+            "view {} must round trip",
+            def.name
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn loaded_views_serve_probes() {
+    let dir = temp_dir("probe");
+    let engine = StorageEngine::new();
+    let clock = SimClock::new();
+    let schema = Arc::new(
+        eva_common::Schema::new(vec![eva_common::Field::new(
+            "label",
+            eva_common::DataType::Str,
+        )])
+        .unwrap(),
+    );
+    let view = engine.create_view("det", ViewKeyKind::Frame, schema);
+    let entries: Vec<_> = (0..500u64)
+        .map(|i| {
+            (
+                ViewKey::frame(FrameId(i)),
+                vec![vec![Value::from(if i % 2 == 0 { "car" } else { "bus" })]],
+            )
+        })
+        .collect();
+    engine.view_append(view, entries, &clock).unwrap();
+    engine.save_views(&dir).unwrap();
+
+    let restored = StorageEngine::new();
+    restored.load_views(&dir).unwrap();
+    let keys: Vec<ViewKey> = (0..600u64).map(|i| ViewKey::frame(FrameId(i))).collect();
+    let probed = restored.view_probe(view, &keys, &clock).unwrap();
+    for (i, result) in probed.iter().enumerate() {
+        if (i as u64) < 500 {
+            let rows = result.as_ref().expect("materialized");
+            let want = if i % 2 == 0 { "car" } else { "bus" };
+            assert_eq!(rows[0][0], Value::from(want));
+        } else {
+            assert!(result.is_none(), "key {i} was never materialized");
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Full session round trip: a new session restoring saved state reuses the
+/// prior session's work immediately — including the *symbolic* state (the
+/// aggregated predicates that drive cost decisions).
+#[test]
+fn session_state_round_trip_preserves_reuse() {
+    let dir = temp_dir("state");
+    let n = 70;
+    let q = "SELECT id FROM video CROSS APPLY fasterrcnn_resnet50(frame) \
+             WHERE id < 60 AND label = 'car' AND cartype(frame, bbox) = 'Toyota'";
+    let mut first = test_session(ReuseStrategy::Eva, 502, n);
+    first.execute_sql(q).unwrap().rows().unwrap();
+    first.save_state(&dir).unwrap();
+
+    // A fresh session (same dataset seed) restores and reuses everything.
+    let mut second = test_session(ReuseStrategy::Eva, 502, n);
+    second.load_state(&dir).unwrap();
+    let out = second.execute_sql(q).unwrap().rows().unwrap();
+    let det = second.invocation_stats().get("fasterrcnn_resnet50");
+    assert_eq!(det.reused_invocations, 60, "all detector results restored");
+    assert_eq!(
+        det.total_invocations - det.reused_invocations,
+        0,
+        "no fresh inference needed"
+    );
+    // Symbolic state restored too: the aggregated predicate covers id < 60.
+    let sig = eva_udf::UdfSignature::new("fasterrcnn_resnet50", "video", &["frame"]);
+    let agg = second.manager().aggregated(&sig);
+    assert!(!agg.is_false(), "aggregated predicate restored: {agg}");
+    // And results equal the first session's.
+    let out1 = first.execute_sql(q).unwrap().rows().unwrap();
+    assert_eq!(out1.batch.rows(), out.batch.rows());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn missing_directory_is_an_io_error() {
+    let engine = StorageEngine::new();
+    let err = engine
+        .load_views(std::path::Path::new("/definitely/not/a/dir"))
+        .unwrap_err();
+    assert_eq!(err.stage(), "io");
+}

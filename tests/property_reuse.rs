@@ -1,0 +1,103 @@
+//! The system-level property the whole design hangs on: **reuse never
+//! changes results**. Random exploratory workloads (random windows,
+//! attributes and area thresholds) must return identical rows under every
+//! strategy, and EVA must never be slower than No-Reuse by more than the
+//! bookkeeping overheads.
+
+use proptest::prelude::*;
+
+use eva_harness::test_session;
+use eva_planner::ReuseStrategy;
+
+#[derive(Debug, Clone)]
+struct RandomQuery {
+    lo: u64,
+    hi: u64,
+    area: Option<u32>,
+    cartype: Option<&'static str>,
+    color: Option<&'static str>,
+}
+
+impl RandomQuery {
+    fn sql(&self) -> String {
+        let mut preds = vec![
+            format!("id >= {}", self.lo),
+            format!("id < {}", self.hi),
+            "label = 'car'".to_string(),
+        ];
+        if let Some(a) = self.area {
+            preds.push(format!("area(frame, bbox) > 0.{a:02}"));
+        }
+        if let Some(t) = self.cartype {
+            preds.push(format!("cartype(frame, bbox) = '{t}'"));
+        }
+        if let Some(c) = self.color {
+            preds.push(format!("colordet(frame, bbox) = '{c}'"));
+        }
+        format!(
+            "SELECT id, bbox FROM video CROSS APPLY fasterrcnn_resnet50(frame) \
+             WHERE {} ORDER BY id",
+            preds.join(" AND ")
+        )
+    }
+}
+
+const N: u64 = 90;
+
+fn arb_query() -> impl Strategy<Value = RandomQuery> {
+    (
+        0u64..N,
+        1u64..N,
+        proptest::option::of(5u32..40),
+        proptest::option::of(prop::sample::select(vec!["Nissan", "Toyota", "Honda"])),
+        proptest::option::of(prop::sample::select(vec!["Gray", "Red", "Black"])),
+    )
+        .prop_map(|(a, len, area, cartype, color)| RandomQuery {
+            lo: a.min(N - 1),
+            hi: (a + len).min(N),
+            area,
+            cartype,
+            color,
+        })
+        .prop_filter("nonempty window", |q| q.lo < q.hi)
+}
+
+proptest! {
+    // Each case runs several full queries; keep the case count low.
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    #[test]
+    fn reuse_is_transparent_on_random_workloads(queries in prop::collection::vec(arb_query(), 2..5)) {
+        let mut reference: Option<Vec<Vec<eva_common::Row>>> = None;
+        let mut no_reuse_cost = 0.0;
+        let mut eva_cost = 0.0;
+        for strategy in [
+            ReuseStrategy::NoReuse,
+            ReuseStrategy::Eva,
+            ReuseStrategy::FunCache,
+            ReuseStrategy::HashStash,
+        ] {
+            let mut db = test_session(strategy, 777, N);
+            let mut all_rows = Vec::new();
+            for q in &queries {
+                let out = db.execute_sql(&q.sql()).unwrap().rows().unwrap();
+                all_rows.push(out.batch.rows().to_vec());
+            }
+            match strategy {
+                ReuseStrategy::NoReuse => no_reuse_cost = db.cost_snapshot().total_ms(),
+                ReuseStrategy::Eva => eva_cost = db.cost_snapshot().total_ms(),
+                _ => {}
+            }
+            match &reference {
+                Some(r) => prop_assert_eq!(r, &all_rows, "strategy {:?} diverged", strategy),
+                None => reference = Some(all_rows),
+            }
+        }
+        // EVA may pay small materialization overhead but must stay within
+        // 10% of No-Reuse even in the worst (no overlap) case.
+        prop_assert!(
+            eva_cost <= no_reuse_cost * 1.10,
+            "EVA {eva_cost} vs No-Reuse {no_reuse_cost}"
+        );
+    }
+}

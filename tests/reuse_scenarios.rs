@@ -1,0 +1,189 @@
+//! Cross-query reuse scenarios mirroring the paper's Listing 1 / Table 1:
+//! zoom in, zoom out, range shifts, cross-application logical reuse, and the
+//! soundness guarantees around them.
+
+use eva_harness::test_session;
+use eva_planner::ReuseStrategy;
+
+const N: u64 = 160;
+
+#[test]
+fn zoom_out_reuses_subset_results() {
+    let mut db = test_session(ReuseStrategy::Eva, 201, N);
+    // Narrow query first…
+    db.execute_sql(
+        "SELECT id FROM video CROSS APPLY fasterrcnn_resnet50(frame) \
+         WHERE id < 80 AND label = 'car' AND area(frame, bbox) > 0.3 \
+         AND cartype(frame, bbox) = 'Toyota'",
+    )
+    .unwrap()
+    .rows()
+    .unwrap();
+    let det_before = db.invocation_stats().get("fasterrcnn_resnet50");
+    assert_eq!(det_before.reused_invocations, 0);
+
+    // …then zoom out (drop the area predicate): detector results are fully
+    // covered; CarType partially (the boxes the first query evaluated).
+    db.execute_sql(
+        "SELECT id FROM video CROSS APPLY fasterrcnn_resnet50(frame) \
+         WHERE id < 80 AND label = 'car' AND cartype(frame, bbox) = 'Toyota'",
+    )
+    .unwrap()
+    .rows()
+    .unwrap();
+    let det = db.invocation_stats().get("fasterrcnn_resnet50");
+    assert_eq!(
+        det.reused_invocations, 80,
+        "all 80 frames' detections must be reused"
+    );
+    let ct = db.invocation_stats().get("cartype");
+    assert!(ct.reused_invocations > 0, "area-filtered boxes reused");
+}
+
+#[test]
+fn range_shift_partially_reuses() {
+    let mut db = test_session(ReuseStrategy::Eva, 202, N);
+    db.execute_sql(
+        "SELECT id FROM video CROSS APPLY fasterrcnn_resnet50(frame) WHERE id < 100 AND label='car'",
+    )
+    .unwrap()
+    .rows()
+    .unwrap();
+    db.execute_sql(
+        "SELECT id FROM video CROSS APPLY fasterrcnn_resnet50(frame) \
+         WHERE id >= 50 AND id < 150 AND label='car'",
+    )
+    .unwrap()
+    .rows()
+    .unwrap();
+    let det = db.invocation_stats().get("fasterrcnn_resnet50");
+    // Second query: 50 reused (frames 50..100) + 50 fresh (100..150).
+    assert_eq!(det.total_invocations, 200);
+    assert_eq!(det.reused_invocations, 50);
+    assert_eq!(det.distinct_inputs, 150);
+    // Aggregated predicate coverage reduced to one range.
+    let sig = eva_udf::UdfSignature::new("fasterrcnn_resnet50", "video", &["frame"]);
+    let agg = db.manager().aggregated(&sig);
+    assert_eq!(agg.conjuncts().len(), 1, "p_u reduced: {agg}");
+}
+
+#[test]
+fn aggregated_predicate_converges_to_full_coverage() {
+    let mut db = test_session(ReuseStrategy::Eva, 203, N);
+    for (lo, hi) in [(0, 60), (60, 120), (100, 160)] {
+        db.execute_sql(&format!(
+            "SELECT id FROM video CROSS APPLY fasterrcnn_resnet50(frame) \
+             WHERE id >= {lo} AND id < {hi} AND label='car'"
+        ))
+        .unwrap()
+        .rows()
+        .unwrap();
+    }
+    // A fourth query over everything evaluates nothing fresh.
+    db.execute_sql(
+        "SELECT id FROM video CROSS APPLY fasterrcnn_resnet50(frame) WHERE label='car'",
+    )
+    .unwrap()
+    .rows()
+    .unwrap();
+    let det = db.invocation_stats().get("fasterrcnn_resnet50");
+    assert_eq!(det.distinct_inputs, 160);
+    assert_eq!(
+        det.total_invocations - det.reused_invocations,
+        160,
+        "only the three covering passes evaluated"
+    );
+}
+
+#[test]
+fn cross_application_logical_reuse() {
+    let mut db = test_session(ReuseStrategy::Eva, 204, N);
+    // Tracking app: HIGH accuracy.
+    db.execute_sql(
+        "SELECT id FROM video CROSS APPLY objectdetector(frame) ACCURACY 'HIGH' \
+         WHERE id < 100 AND label = 'car'",
+    )
+    .unwrap()
+    .rows()
+    .unwrap();
+    // Traffic app: LOW accuracy over overlapping frames — Algorithm 2 reads
+    // the HIGH view, so YOLO never runs there.
+    db.execute_sql(
+        "SELECT timestamp, COUNT(*) AS n FROM video CROSS APPLY \
+         objectdetector(frame) ACCURACY 'LOW' WHERE id < 100 AND label = 'car' \
+         GROUP BY timestamp",
+    )
+    .unwrap()
+    .rows()
+    .unwrap();
+    assert_eq!(db.invocation_stats().get("yolo_tiny").total_invocations, 0);
+    assert!(db.invocation_stats().get("fasterrcnn_resnet101").reused_invocations >= 100);
+}
+
+#[test]
+fn accuracy_constraint_blocks_low_view_for_high_query() {
+    let mut db = test_session(ReuseStrategy::Eva, 205, N);
+    // LOW results exist…
+    db.execute_sql(
+        "SELECT id FROM video CROSS APPLY objectdetector(frame) ACCURACY 'LOW' \
+         WHERE id < 50 AND label = 'car'",
+    )
+    .unwrap()
+    .rows()
+    .unwrap();
+    // …but a HIGH query must not read them.
+    db.execute_sql(
+        "SELECT id FROM video CROSS APPLY objectdetector(frame) ACCURACY 'HIGH' \
+         WHERE id < 50 AND label = 'car'",
+    )
+    .unwrap()
+    .rows()
+    .unwrap();
+    let yolo = db.invocation_stats().get("yolo_tiny");
+    assert_eq!(yolo.reused_invocations, 0, "yolo view unusable for HIGH");
+    let rcnn = db.invocation_stats().get("fasterrcnn_resnet101");
+    assert_eq!(rcnn.total_invocations - rcnn.reused_invocations, 50);
+}
+
+#[test]
+fn materialization_disabled_means_no_growth() {
+    let mut db = test_session(ReuseStrategy::Eva, 206, N);
+    let mut cfg = db.config();
+    cfg.planner.materialize = false;
+    db.set_config(cfg);
+    db.execute_sql(
+        "SELECT id FROM video CROSS APPLY fasterrcnn_resnet50(frame) WHERE id < 40 AND label='car'",
+    )
+    .unwrap()
+    .rows()
+    .unwrap();
+    assert_eq!(db.storage().total_view_bytes(), 0);
+    db.execute_sql(
+        "SELECT id FROM video CROSS APPLY fasterrcnn_resnet50(frame) WHERE id < 40 AND label='car'",
+    )
+    .unwrap()
+    .rows()
+    .unwrap();
+    assert_eq!(db.invocation_stats().hit_percentage(), 0.0);
+}
+
+#[test]
+fn specialized_filter_gates_detector() {
+    let mut db = test_session(ReuseStrategy::Eva, 207, N);
+    db.execute_sql(
+        "SELECT id FROM video CROSS APPLY fasterrcnn_resnet50(frame) \
+         WHERE id < 100 AND specialized_filter(frame) = 'true' AND label = 'car'",
+    )
+    .unwrap()
+    .rows()
+    .unwrap();
+    let filt = db.invocation_stats().get("specialized_filter");
+    let det = db.invocation_stats().get("fasterrcnn_resnet50");
+    assert_eq!(filt.total_invocations, 100, "filter sees every frame");
+    assert!(
+        det.total_invocations <= filt.total_invocations,
+        "detector runs only on frames passing the filter: {} vs {}",
+        det.total_invocations,
+        filt.total_invocations
+    );
+}
