@@ -23,8 +23,8 @@ pub mod sessions;
 
 pub use recycler::{NodeKey, RecyclerGraph};
 pub use sessions::{
-    eva_session, funcache_session, hashstash_session, min_cost_noreuse_session,
-    min_cost_session, no_reuse_session,
+    eva_session, funcache_session, hashstash_session, min_cost_noreuse_session, min_cost_session,
+    no_reuse_session,
 };
 
 // Re-export for convenience in benches/tests.

@@ -108,9 +108,7 @@ mod tests {
             "Table 2: FunCache and EVA have identical (optimal) hit %: {he} vs {hf}"
         );
         // But FunCache pays hashing cost; EVA does not.
-        let hash_ms = fc
-            .cost_snapshot()
-            .get(eva_common::CostCategory::HashInput);
+        let hash_ms = fc.cost_snapshot().get(eva_common::CostCategory::HashInput);
         assert!(hash_ms > 0.0);
         assert_eq!(
             eva.cost_snapshot().get(eva_common::CostCategory::HashInput),
@@ -128,7 +126,9 @@ mod tests {
         let yolo = db.invocation_stats().get("yolo_tiny");
         assert!(yolo.total_invocations > 0, "cheapest model (yolo) runs");
         assert_eq!(
-            db.invocation_stats().get("fasterrcnn_resnet50").total_invocations,
+            db.invocation_stats()
+                .get("fasterrcnn_resnet50")
+                .total_invocations,
             0
         );
     }

@@ -14,7 +14,12 @@ fn bench_views(c: &mut Criterion) {
     let schema = Arc::new(Schema::new(vec![Field::new("label", DataType::Str)]).unwrap());
     let view = eng.create_view("bench", ViewKeyKind::Frame, schema);
     let entries: Vec<_> = (0..10_000u64)
-        .map(|i| (ViewKey::frame(FrameId(i)), vec![vec![Value::from("car")]]))
+        .map(|i| {
+            (
+                ViewKey::frame(FrameId(i)),
+                vec![vec![Value::from("car")]].into(),
+            )
+        })
         .collect();
     eng.view_append(view, entries, &clock).unwrap();
 
@@ -38,7 +43,7 @@ fn bench_views(c: &mut Criterion) {
                 .map(|i| {
                     (
                         ViewKey::frame(FrameId(next + i)),
-                        vec![vec![Value::from("car")]],
+                        vec![vec![Value::from("car")]].into(),
                     )
                 })
                 .collect();

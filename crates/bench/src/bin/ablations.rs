@@ -18,9 +18,16 @@ fn main() -> eva_common::Result<()> {
     let ds = medium_dataset();
     let physical = Workload::new(
         "high",
-        vbench_high(ds.len(), DetectorKind::Physical("fasterrcnn_resnet50"), false),
+        vbench_high(
+            ds.len(),
+            DetectorKind::Physical("fasterrcnn_resnet50"),
+            false,
+        ),
     );
-    let logical = Workload::new("high-logical", vbench_high(ds.len(), DetectorKind::Logical, false));
+    let logical = Workload::new(
+        "high-logical",
+        vbench_high(ds.len(), DetectorKind::Logical, false),
+    );
 
     let base_cfg = SessionConfig::for_strategy(ReuseStrategy::NoReuse);
     let mut no = session_with_config(base_cfg, &ds)?;
@@ -32,9 +39,9 @@ fn main() -> eva_common::Result<()> {
     let mut json = Vec::new();
 
     let run = |_label: &str,
-                   cfg: SessionConfig,
-                   workload: &Workload,
-                   reference: &eva_vbench::WorkloadReport|
+               cfg: SessionConfig,
+               workload: &Workload,
+               reference: &eva_vbench::WorkloadReport|
      -> eva_common::Result<(f64, f64)> {
         let mut db = session_with_config(cfg, &ds)?;
         let r = run_workload(&mut db, workload)?;
@@ -49,29 +56,49 @@ fn main() -> eva_common::Result<()> {
     let mut cfg = full;
     cfg.planner.materialize = false;
     let (s, h) = run("no materialization", cfg, &physical, &base)?;
-    table.row(vec!["− materialization (STORE off)".to_string(), fmt_x(s), format!("{h:.1}")]);
+    table.row(vec![
+        "− materialization (STORE off)".to_string(),
+        fmt_x(s),
+        format!("{h:.1}"),
+    ]);
     json.push(("no_store".to_string(), s, h));
 
     let mut cfg = full;
     cfg.planner.ranking = RankingKind::Canonical;
     let (s, h) = run("canonical ranking", cfg, &physical, &base)?;
-    table.row(vec!["− mat-aware ranking (Eq. 2)".to_string(), fmt_x(s), format!("{h:.1}")]);
+    table.row(vec![
+        "− mat-aware ranking (Eq. 2)".to_string(),
+        fmt_x(s),
+        format!("{h:.1}"),
+    ]);
     json.push(("canonical_ranking".to_string(), s, h));
 
     let mut cfg = full;
     cfg.exec.fuzzy_box_iou = Some(0.85);
     let (s, h) = run("fuzzy", cfg, &physical, &base)?;
-    table.row(vec!["+ fuzzy bbox reuse (IoU ≥ 0.85, §6)".to_string(), fmt_x(s), format!("{h:.1}")]);
+    table.row(vec![
+        "+ fuzzy bbox reuse (IoU ≥ 0.85, §6)".to_string(),
+        fmt_x(s),
+        format!("{h:.1}"),
+    ]);
     json.push(("fuzzy".to_string(), s, h));
 
     // Logical workload: Algorithm 2 on vs off.
     let (s, h) = run("alg2", full, &logical, &base_logical)?;
-    table.row(vec!["logical: with Algorithm 2".to_string(), fmt_x(s), format!("{h:.1}")]);
+    table.row(vec![
+        "logical: with Algorithm 2".to_string(),
+        fmt_x(s),
+        format!("{h:.1}"),
+    ]);
     json.push(("alg2_on".to_string(), s, h));
     let mut cfg = full;
     cfg.planner.logical_set_cover = false;
     let (s, h) = run("mincost", cfg, &logical, &base_logical)?;
-    table.row(vec!["logical: − Algorithm 2 (Min-Cost)".to_string(), fmt_x(s), format!("{h:.1}")]);
+    table.row(vec![
+        "logical: − Algorithm 2 (Min-Cost)".to_string(),
+        fmt_x(s),
+        format!("{h:.1}"),
+    ]);
     json.push(("alg2_off".to_string(), s, h));
 
     println!("{}", table.render());

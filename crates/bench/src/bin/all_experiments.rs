@@ -21,6 +21,7 @@ fn main() {
         "fig12_video_length",
         "sec56_specialized_filters",
         "ablations",
+        "bench_reuse_path",
     ];
     let exe = std::env::current_exe().expect("own path");
     let dir = exe.parent().expect("bin dir");

@@ -1,0 +1,194 @@
+//! Wall-clock snapshot of the zero-copy reuse hot path, written to
+//! `experiments_out/BENCH_reuse_path.json` by the experiment suite.
+//!
+//! Unlike the paper-figure binaries (which report *simulated* time), this
+//! one measures real throughput of the concurrent view store and FunCache:
+//! probe and append ops/sec single-threaded and across threads hammering
+//! one shared `StorageEngine`. It is the repeatable record that the sharded
+//! registry actually scales — compare snapshots across commits.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use eva_bench::{banner, write_json, TextTable};
+use eva_common::{DataType, Field, FrameId, Row, Schema, SimClock, Value};
+use eva_exec::FunCacheTable;
+use eva_storage::{StorageEngine, ViewKey, ViewKeyKind};
+
+const N_KEYS: u64 = 10_000;
+const BATCH: u64 = 1024;
+const ROUNDS: u64 = 200;
+const N_THREADS: usize = 4;
+
+fn out_schema() -> Arc<Schema> {
+    Arc::new(Schema::new(vec![Field::new("label", DataType::Str)]).unwrap())
+}
+
+fn seeded_engine() -> (StorageEngine, eva_common::ViewId) {
+    let eng = StorageEngine::new();
+    let clock = SimClock::new();
+    let view = eng.create_view("bench", ViewKeyKind::Frame, out_schema());
+    let entries: Vec<(ViewKey, Arc<[Row]>)> = (0..N_KEYS)
+        .map(|i| {
+            (
+                ViewKey::frame(FrameId(i)),
+                vec![vec![Value::from("car")]].into(),
+            )
+        })
+        .collect();
+    eng.view_append(view, entries, &clock).unwrap();
+    (eng, view)
+}
+
+fn keys(offset: u64) -> Vec<ViewKey> {
+    (0..BATCH)
+        .map(|i| ViewKey::frame(FrameId((offset + i * 7) % N_KEYS)))
+        .collect()
+}
+
+/// Keys probed per second, single caller.
+fn probe_single() -> f64 {
+    let (eng, view) = seeded_engine();
+    let clock = SimClock::new();
+    let ks = keys(0);
+    let start = Instant::now();
+    for _ in 0..ROUNDS {
+        let out = eng.view_probe(view, &ks, &clock).unwrap();
+        assert_eq!(out.len(), ks.len());
+    }
+    (ROUNDS * BATCH) as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Keys probed per second, `N_THREADS` callers on one shared engine.
+fn probe_multi() -> f64 {
+    let (eng, view) = seeded_engine();
+    let start = Instant::now();
+    let handles: Vec<_> = (0..N_THREADS)
+        .map(|t| {
+            let eng = eng.clone();
+            std::thread::spawn(move || {
+                let clock = SimClock::new();
+                let ks = keys(t as u64 * 131);
+                for _ in 0..ROUNDS {
+                    eng.view_probe(view, &ks, &clock).unwrap();
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    (N_THREADS as u64 * ROUNDS * BATCH) as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Rows appended per second, single caller.
+fn append_single() -> f64 {
+    let (eng, view) = seeded_engine();
+    let clock = SimClock::new();
+    let start = Instant::now();
+    let mut next = N_KEYS;
+    for _ in 0..ROUNDS {
+        let entries: Vec<(ViewKey, Arc<[Row]>)> = (0..BATCH)
+            .map(|i| {
+                (
+                    ViewKey::frame(FrameId(next + i)),
+                    vec![vec![Value::from("car")]].into(),
+                )
+            })
+            .collect();
+        next += BATCH;
+        eng.view_append(view, entries, &clock).unwrap();
+    }
+    (ROUNDS * BATCH) as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Rows appended per second, each thread on its own view (no contention).
+fn append_multi() -> f64 {
+    let eng = StorageEngine::new();
+    let views: Vec<_> = (0..N_THREADS)
+        .map(|t| eng.create_view(format!("w{t}"), ViewKeyKind::Frame, out_schema()))
+        .collect();
+    let start = Instant::now();
+    let handles: Vec<_> = views
+        .into_iter()
+        .map(|view| {
+            let eng = eng.clone();
+            std::thread::spawn(move || {
+                let clock = SimClock::new();
+                let mut next = 0u64;
+                for _ in 0..ROUNDS {
+                    let entries: Vec<(ViewKey, Arc<[Row]>)> = (0..BATCH)
+                        .map(|i| {
+                            (
+                                ViewKey::frame(FrameId(next + i)),
+                                vec![vec![Value::from("car")]].into(),
+                            )
+                        })
+                        .collect();
+                    next += BATCH;
+                    eng.view_append(view, entries, &clock).unwrap();
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    (N_THREADS as u64 * ROUNDS * BATCH) as f64 / start.elapsed().as_secs_f64()
+}
+
+/// FunCache hits per second (hash + intern + lookup), single caller.
+fn funcache_hits() -> f64 {
+    let cache = FunCacheTable::new();
+    let payload: Vec<u8> = (0..64usize).map(|i| i as u8).collect();
+    for i in 0..N_KEYS {
+        let mut bytes = payload.clone();
+        bytes.extend_from_slice(&i.to_le_bytes());
+        let k = cache.key("det", &bytes);
+        cache.insert(k, vec![vec![Value::from("car")]].into());
+    }
+    let start = Instant::now();
+    let mut hits = 0u64;
+    for _ in 0..ROUNDS {
+        for i in 0..BATCH {
+            let mut bytes = payload.clone();
+            bytes.extend_from_slice(&((i * 7) % N_KEYS).to_le_bytes());
+            let k = cache.key("det", &bytes);
+            if cache.get(&k).is_some() {
+                hits += 1;
+            }
+        }
+    }
+    assert_eq!(hits, ROUNDS * BATCH);
+    (ROUNDS * BATCH) as f64 / start.elapsed().as_secs_f64()
+}
+
+fn main() {
+    banner("BENCH reuse path: concurrent view store throughput");
+    let results = [
+        ("probe_single_thread", probe_single()),
+        ("probe_4_threads", probe_multi()),
+        ("append_single_thread", append_single()),
+        ("append_4_threads_private", append_multi()),
+        ("funcache_hit_single_thread", funcache_hits()),
+    ];
+
+    let mut table = TextTable::new(vec!["case", "ops/sec"]);
+    for (name, ops) in &results {
+        table.row(vec![name.to_string(), format!("{ops:.0}")]);
+    }
+    println!("{}", table.render());
+
+    let json: Vec<serde_json::Value> = results
+        .iter()
+        .map(|(name, ops)| {
+            serde_json::json!({
+                "case": name,
+                "ops_per_sec": ops,
+                "batch": BATCH,
+                "threads": if name.contains("4_threads") { N_THREADS } else { 1 },
+            })
+        })
+        .collect();
+    write_json("BENCH_reuse_path", &json);
+}

@@ -52,7 +52,11 @@ fn main() -> eva_common::Result<()> {
             let mut db = session_with(strategy, &ds)?;
             let r = run_workload(&mut db, workload)?;
             cells.push(fmt_x(r.speedup_over(&base)));
-            json.push((wname.to_string(), format!("{strategy:?}"), r.speedup_over(&base)));
+            json.push((
+                wname.to_string(),
+                format!("{strategy:?}"),
+                r.speedup_over(&base),
+            ));
         }
         table.row(cells);
     }

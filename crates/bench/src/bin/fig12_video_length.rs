@@ -7,8 +7,8 @@
 
 use eva_baselines::ReuseStrategy;
 use eva_bench::{banner, fmt_f, fmt_x, session_with, sized_dataset, write_json, TextTable};
-use eva_video::UaDetracSize;
 use eva_vbench::{run_workload, vbench_high, DetectorKind, Workload};
+use eva_video::UaDetracSize;
 
 fn main() -> eva_common::Result<()> {
     banner("Figure 12: Impact of video length (VBENCH-HIGH)");
@@ -20,11 +20,19 @@ fn main() -> eva_common::Result<()> {
         "EVA speedup",
     ]);
     let mut json = Vec::new();
-    for size in [UaDetracSize::Short, UaDetracSize::Medium, UaDetracSize::Long] {
+    for size in [
+        UaDetracSize::Short,
+        UaDetracSize::Medium,
+        UaDetracSize::Long,
+    ] {
         let ds = sized_dataset(size);
         let workload = Workload::new(
             size.name(),
-            vbench_high(ds.len(), DetectorKind::Physical("fasterrcnn_resnet50"), false),
+            vbench_high(
+                ds.len(),
+                DetectorKind::Physical("fasterrcnn_resnet50"),
+                false,
+            ),
         );
         let mut no = session_with(ReuseStrategy::NoReuse, &ds)?;
         let base = run_workload(&mut no, &workload)?;

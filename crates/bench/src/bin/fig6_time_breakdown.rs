@@ -17,7 +17,11 @@ fn main() -> eva_common::Result<()> {
     let ds = medium_dataset();
     let workload = Workload::new(
         "vbench-high",
-        vbench_high(ds.len(), DetectorKind::Physical("fasterrcnn_resnet50"), false),
+        vbench_high(
+            ds.len(),
+            DetectorKind::Physical("fasterrcnn_resnet50"),
+            false,
+        ),
     );
     let mut db = session_with(ReuseStrategy::Eva, &ds)?;
     let report = run_workload(&mut db, &workload)?;

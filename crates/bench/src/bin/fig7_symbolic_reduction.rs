@@ -16,7 +16,11 @@ fn main() -> eva_common::Result<()> {
     let ds = medium_dataset();
     let workload = Workload::new(
         "vbench-high",
-        vbench_high(ds.len(), DetectorKind::Physical("fasterrcnn_resnet50"), false),
+        vbench_high(
+            ds.len(),
+            DetectorKind::Physical("fasterrcnn_resnet50"),
+            false,
+        ),
     );
     let mut db = session_with(ReuseStrategy::Eva, &ds)?;
     run_workload(&mut db, &workload)?;
@@ -57,10 +61,7 @@ fn main() -> eva_common::Result<()> {
         println!("{}", table.render());
         let last = points.last().expect("nonempty");
         let eva_max = last.eva_inter.max(last.eva_diff).max(last.eva_union);
-        let naive_max = last
-            .naive_inter
-            .max(last.naive_diff)
-            .max(last.naive_union);
+        let naive_max = last.naive_inter.max(last.naive_diff).max(last.naive_union);
         println!("  final: EVA max {eva_max} atoms vs simplify max {naive_max} atoms");
     }
     write_json("fig7_symbolic_reduction", &json);

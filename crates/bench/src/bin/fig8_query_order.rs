@@ -13,7 +13,11 @@ use eva_vbench::{run_workload, vbench_high, DetectorKind, Workload};
 fn main() -> eva_common::Result<()> {
     banner("Figure 8a: Execution time across query permutations (hours)");
     let ds = medium_dataset();
-    let base_queries = vbench_high(ds.len(), DetectorKind::Physical("fasterrcnn_resnet50"), false);
+    let base_queries = vbench_high(
+        ds.len(),
+        DetectorKind::Physical("fasterrcnn_resnet50"),
+        false,
+    );
 
     let mut table = TextTable::new(vec!["workload", "HashStash (h)", "EVA (h)", "EVA gain"]);
     let mut json = Vec::new();
@@ -42,10 +46,7 @@ fn main() -> eva_common::Result<()> {
     db.reset_reuse_state();
     // Final coverage per signature (run once to learn the totals).
     let mut probe = session_with(ReuseStrategy::Eva, &ds)?;
-    run_workload(
-        &mut probe,
-        &Workload::new("probe", queries.clone()),
-    )?;
+    run_workload(&mut probe, &Workload::new("probe", queries.clone()))?;
     let finals = probe.manager().view_sizes();
 
     let mut table = TextTable::new(vec!["after query", "signature", "coverage (%)"]);

@@ -14,14 +14,13 @@ use eva_vbench::{run_workload, vbench_high, DetectorKind, Workload};
 fn main() -> eva_common::Result<()> {
     banner("Figure 9: Canonical vs materialization-aware predicate reordering");
     let ds = medium_dataset();
-    let base_queries = vbench_high(ds.len(), DetectorKind::Physical("fasterrcnn_resnet50"), false);
+    let base_queries = vbench_high(
+        ds.len(),
+        DetectorKind::Physical("fasterrcnn_resnet50"),
+        false,
+    );
 
-    let mut table = TextTable::new(vec![
-        "query",
-        "canonical (s)",
-        "mat-aware (s)",
-        "speedup",
-    ]);
+    let mut table = TextTable::new(vec!["query", "canonical (s)", "mat-aware (s)", "speedup"]);
     let mut json = Vec::new();
     for perm_seed in 1..=4u64 {
         let queries = eva_vbench::queries::permute(&base_queries, perm_seed);

@@ -16,7 +16,11 @@ fn main() -> eva_common::Result<()> {
     let ds = medium_dataset();
     let workload = Workload::new(
         "vbench-high",
-        vbench_high(ds.len(), DetectorKind::Physical("fasterrcnn_resnet50"), false),
+        vbench_high(
+            ds.len(),
+            DetectorKind::Physical("fasterrcnn_resnet50"),
+            false,
+        ),
     );
 
     let mut table = TextTable::new(vec![
@@ -28,17 +32,16 @@ fn main() -> eva_common::Result<()> {
         "Other",
     ]);
     let mut json = Vec::new();
-    for (label, strategy) in [("No-Reuse", ReuseStrategy::NoReuse), ("EVA", ReuseStrategy::Eva)] {
+    for (label, strategy) in [
+        ("No-Reuse", ReuseStrategy::NoReuse),
+        ("EVA", ReuseStrategy::Eva),
+    ] {
         let mut db = session_with(strategy, &ds)?;
         let report = run_workload(&mut db, &workload)?;
-        let q8 = report
-            .per_query
-            .last()
-            .expect("workload has queries");
+        let q8 = report.per_query.last().expect("workload has queries");
         let b = &q8.breakdown;
-        let other = b.get(CostCategory::Optimize)
-            + b.get(CostCategory::Apply)
-            + b.get(CostCategory::Other);
+        let other =
+            b.get(CostCategory::Optimize) + b.get(CostCategory::Apply) + b.get(CostCategory::Other);
         table.row(vec![
             label.to_string(),
             fmt_f(b.get(CostCategory::Udf) / 1000.0, 1),

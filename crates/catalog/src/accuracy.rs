@@ -63,7 +63,10 @@ mod tests {
     #[test]
     fn parse_is_case_insensitive() {
         assert_eq!(AccuracyLevel::parse("high").unwrap(), AccuracyLevel::High);
-        assert_eq!(AccuracyLevel::parse("Medium").unwrap(), AccuracyLevel::Medium);
+        assert_eq!(
+            AccuracyLevel::parse("Medium").unwrap(),
+            AccuracyLevel::Medium
+        );
         assert!(AccuracyLevel::parse("ultra").is_err());
     }
 
@@ -77,7 +80,11 @@ mod tests {
 
     #[test]
     fn round_trip() {
-        for a in [AccuracyLevel::Low, AccuracyLevel::Medium, AccuracyLevel::High] {
+        for a in [
+            AccuracyLevel::Low,
+            AccuracyLevel::Medium,
+            AccuracyLevel::High,
+        ] {
             assert_eq!(AccuracyLevel::parse(a.as_str()).unwrap(), a);
         }
     }

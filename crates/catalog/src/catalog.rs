@@ -35,13 +35,7 @@ impl Catalog {
         if inner.tables.contains_key(&name) {
             return Err(EvaError::Catalog(format!("table '{name}' already exists")));
         }
-        inner.tables.insert(
-            name.clone(),
-            TableDef {
-                name,
-                ..def
-            },
-        );
+        inner.tables.insert(name.clone(), TableDef { name, ..def });
         Ok(())
     }
 
@@ -205,13 +199,24 @@ mod tests {
     fn udf_lifecycle_and_replace() {
         let c = Catalog::new();
         let id1 = c
-            .create_udf(udf("yolo", Some("ObjectDetector"), AccuracyLevel::Low, None), false)
+            .create_udf(
+                udf("yolo", Some("ObjectDetector"), AccuracyLevel::Low, None),
+                false,
+            )
             .unwrap();
         assert!(c
             .create_udf(udf("YOLO", None, AccuracyLevel::Low, None), false)
             .is_err());
         let id2 = c
-            .create_udf(udf("yolo", Some("ObjectDetector"), AccuracyLevel::Low, Some(9.0)), true)
+            .create_udf(
+                udf(
+                    "yolo",
+                    Some("ObjectDetector"),
+                    AccuracyLevel::Low,
+                    Some(9.0),
+                ),
+                true,
+            )
             .unwrap();
         assert_ne!(id1, id2);
         assert_eq!(c.udf("yolo").unwrap().cost_ms, Some(9.0));
@@ -224,22 +229,40 @@ mod tests {
     fn physical_udf_selection_by_accuracy() {
         let c = Catalog::new();
         c.create_udf(
-            udf("yolo_tiny", Some("objectdetector"), AccuracyLevel::Low, Some(9.0)),
+            udf(
+                "yolo_tiny",
+                Some("objectdetector"),
+                AccuracyLevel::Low,
+                Some(9.0),
+            ),
             false,
         )
         .unwrap();
         c.create_udf(
-            udf("rcnn50", Some("ObjectDetector"), AccuracyLevel::Medium, Some(99.0)),
+            udf(
+                "rcnn50",
+                Some("ObjectDetector"),
+                AccuracyLevel::Medium,
+                Some(99.0),
+            ),
             false,
         )
         .unwrap();
         c.create_udf(
-            udf("rcnn101", Some("ObjectDetector"), AccuracyLevel::High, Some(120.0)),
+            udf(
+                "rcnn101",
+                Some("ObjectDetector"),
+                AccuracyLevel::High,
+                Some(120.0),
+            ),
             false,
         )
         .unwrap();
-        c.create_udf(udf("cartype", Some("CarType"), AccuracyLevel::High, Some(6.0)), false)
-            .unwrap();
+        c.create_udf(
+            udf("cartype", Some("CarType"), AccuracyLevel::High, Some(6.0)),
+            false,
+        )
+        .unwrap();
 
         let low = c.physical_udfs("ObjectDetector", AccuracyLevel::Low);
         assert_eq!(low.len(), 3);
@@ -256,7 +279,8 @@ mod tests {
     #[test]
     fn profiling_updates_cost() {
         let c = Catalog::new();
-        c.create_udf(udf("f", None, AccuracyLevel::Low, None), false).unwrap();
+        c.create_udf(udf("f", None, AccuracyLevel::Low, None), false)
+            .unwrap();
         c.set_udf_cost("F", 42.0).unwrap();
         assert_eq!(c.udf("f").unwrap().cost_ms, Some(42.0));
         assert!(c.set_udf_cost("missing", 1.0).is_err());

@@ -111,10 +111,7 @@ mod tests {
 
     #[test]
     fn value_lookup() {
-        let b = Batch::new(
-            schema(),
-            vec![vec![Value::Int(1), Value::from("car")]],
-        );
+        let b = Batch::new(schema(), vec![vec![Value::Int(1), Value::from("car")]]);
         assert_eq!(b.value(0, "label").unwrap(), &Value::from("car"));
         assert!(b.value(0, "nope").is_err());
         assert!(b.value(5, "id").is_err());

@@ -52,12 +52,27 @@ impl BBox {
         }
     }
 
+    /// Quantization factor shared by [`BBox::key`] and [`BBox::from_key`]:
+    /// coordinates are stored at 1/10000-of-frame resolution.
+    pub const QUANT: f32 = 10_000.0;
+
     /// A stable quantized key for this box, so views keyed by
     /// `(frame, bbox)` match boxes byte-exactly after storage round trips.
-    /// Quantizes each coordinate to 1/10000 of the frame.
+    /// Quantizes each coordinate to [`BBox::QUANT`]ths of the frame.
     pub fn key(&self) -> [u16; 4] {
-        let q = |v: f32| (v.clamp(0.0, 1.0) * 10_000.0).round() as u16;
+        let q = |v: f32| (v.clamp(0.0, 1.0) * Self::QUANT).round() as u16;
         [q(self.x1), q(self.y1), q(self.x2), q(self.y2)]
+    }
+
+    /// Reconstruct the (quantized) box a [`BBox::key`] encodes — the inverse
+    /// used by fuzzy view probes comparing stored keys against query boxes.
+    pub fn from_key(key: [u16; 4]) -> BBox {
+        BBox {
+            x1: key[0] as f32 / Self::QUANT,
+            y1: key[1] as f32 / Self::QUANT,
+            x2: key[2] as f32 / Self::QUANT,
+            y2: key[3] as f32 / Self::QUANT,
+        }
     }
 
     /// Clamp all coordinates into the unit square.
@@ -220,6 +235,18 @@ impl Value {
                     out.extend_from_slice(&k.to_le_bytes());
                 }
             }
+        }
+    }
+
+    /// Length of the [`Value::write_bytes`] encoding, without allocating.
+    /// Lets storage keep running byte counters in O(1) per value.
+    pub fn encoded_len(&self) -> usize {
+        match self {
+            Value::Null => 1,
+            Value::Bool(_) => 2,
+            Value::Int(_) | Value::Float(_) => 9,
+            Value::Str(s) => 1 + 4 + s.len(),
+            Value::Box(_) => 1 + 8,
         }
     }
 }

@@ -149,10 +149,7 @@ mod tests {
         let mut s = StatsCatalog::new();
         build_stats(&dataset(), &mut s);
         let sel_at = |t: f64| {
-            let call = eva_expr::UdfCall::new(
-                "area",
-                vec![Expr::col("frame"), Expr::col("bbox")],
-            );
+            let call = eva_expr::UdfCall::new("area", vec![Expr::col("frame"), Expr::col("bbox")]);
             let q = to_dnf(&Expr::cmp(
                 Expr::Udf(call),
                 eva_expr::CmpOp::Gt,
@@ -172,8 +169,7 @@ mod tests {
     fn cartype_uniformish() {
         let mut s = StatsCatalog::new();
         build_stats(&dataset(), &mut s);
-        let call =
-            eva_expr::UdfCall::new("CarType", vec![Expr::col("frame"), Expr::col("bbox")]);
+        let call = eva_expr::UdfCall::new("CarType", vec![Expr::col("frame"), Expr::col("bbox")]);
         let q = to_dnf(&Expr::cmp(
             Expr::Udf(call),
             eva_expr::CmpOp::Eq,

@@ -45,8 +45,7 @@ fn main() {
             Ok(StatementResult::Ack(msg)) => println!("ok: {msg}"),
             Ok(StatementResult::Rows(out)) => {
                 let schema = out.batch.schema().clone();
-                let header: Vec<String> =
-                    schema.fields().iter().map(|f| f.name.clone()).collect();
+                let header: Vec<String> = schema.fields().iter().map(|f| f.name.clone()).collect();
                 println!("{}", header.join(" | "));
                 for row in out.batch.rows().iter().take(20) {
                     let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();

@@ -1,10 +1,7 @@
 //! The [`EvaDb`] session.
 
-
 use eva_catalog::{AccuracyLevel, Catalog, TableDef, UdfDef};
-use eva_common::{
-    CostBreakdown, DataType, EvaError, Field, Result, Schema, SimClock, UdfId,
-};
+use eva_common::{CostBreakdown, DataType, EvaError, Field, Result, Schema, SimClock, UdfId};
 use eva_exec::{execute, ExecConfig, FunCacheTable, QueryOutput};
 use eva_parser::{parse, CreateUdfStmt, SelectStmt, Statement};
 use eva_planner::{Binder, Optimizer, PhysPlan, PlannerConfig, ReuseStrategy};
@@ -47,9 +44,9 @@ impl StatementResult {
     pub fn rows(self) -> Result<QueryOutput> {
         match self {
             StatementResult::Rows(q) => Ok(q),
-            StatementResult::Ack(a) => Err(EvaError::Exec(format!(
-                "statement produced no rows ({a})"
-            ))),
+            StatementResult::Ack(a) => {
+                Err(EvaError::Exec(format!("statement produced no rows ({a})")))
+            }
         }
     }
 }
@@ -162,9 +159,7 @@ impl EvaDb {
     /// Parse, bind, optimize and execute one EVA-QL statement.
     pub fn execute_sql(&mut self, sql: &str) -> Result<StatementResult> {
         match parse(sql)? {
-            Statement::Select(stmt) => {
-                Ok(StatementResult::Rows(self.execute_select(&stmt)?))
-            }
+            Statement::Select(stmt) => Ok(StatementResult::Rows(self.execute_select(&stmt)?)),
             Statement::CreateUdf(stmt) => self.create_udf(&stmt),
             Statement::LoadVideo(stmt) => {
                 let dataset = self.resolve_dataset(&stmt.dataset)?;
@@ -175,8 +170,7 @@ impl EvaDb {
                 )))
             }
             Statement::ShowUdfs => {
-                let names: Vec<String> =
-                    self.catalog.udfs().into_iter().map(|u| u.name).collect();
+                let names: Vec<String> = self.catalog.udfs().into_iter().map(|u| u.name).collect();
                 Ok(StatementResult::Ack(names.join(", ")))
             }
             Statement::ShowTables => {

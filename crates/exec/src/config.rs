@@ -19,6 +19,11 @@ pub struct ExecConfig {
     /// highest-IoU box on the same frame when IoU ≥ this threshold.
     /// `None` (the default) keeps reuse exact.
     pub fuzzy_box_iou: Option<f32>,
+    /// Probe views on worker threads when a batch probes at least this many
+    /// keys (wall-clock speedup only; the read cost is summed as an integer
+    /// row count and charged once, so the simulated cost is bit-identical
+    /// either way). `0` disables threading.
+    pub parallel_probe_threshold: usize,
 }
 
 impl Default for ExecConfig {
@@ -28,6 +33,7 @@ impl Default for ExecConfig {
             apply_overhead_ms: 0.05,
             parallel_eval_threshold: 256,
             fuzzy_box_iou: None,
+            parallel_probe_threshold: 1024,
         }
     }
 }

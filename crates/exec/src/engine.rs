@@ -49,7 +49,11 @@ fn build(plan: &PhysPlan) -> Result<BoxedOp> {
             range,
             schema,
             ..
-        } => Box::new(ScanFramesOp::new(dataset.clone(), *range, Arc::clone(schema))),
+        } => Box::new(ScanFramesOp::new(
+            dataset.clone(),
+            *range,
+            Arc::clone(schema),
+        )),
         PhysPlan::Filter { input, predicate } => {
             Box::new(FilterOp::new(build(input)?, predicate.clone()))
         }
@@ -57,7 +61,11 @@ fn build(plan: &PhysPlan) -> Result<BoxedOp> {
             input,
             spec,
             schema,
-        } => Box::new(ApplyOp::new(build(input)?, spec.clone(), Arc::clone(schema))?),
+        } => Box::new(ApplyOp::new(
+            build(input)?,
+            spec.clone(),
+            Arc::clone(schema),
+        )?),
         PhysPlan::Project {
             input,
             items,

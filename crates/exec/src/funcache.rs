@@ -1,21 +1,41 @@
 //! The FunCache baseline's tuple-level function cache (§5.1).
 //!
-//! An in-memory hash table mapping `(udf name, 128-bit xxHash of the input
+//! An in-memory hash table mapping `(udf, 128-bit xxHash of the input
 //! arguments)` to the UDF's output rows. The defining overhead of this
 //! approach — hashing the raw frame bytes on **every** invocation, hit or
 //! miss — is charged to the virtual clock by the apply operator.
+//!
+//! UDF names are interned to small integer ids, so building the per-row
+//! cache key allocates nothing; cached values are `Arc<[Row]>`, so hits
+//! share rows instead of copying them.
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::Arc;
 
 use eva_common::hash::xxhash128;
 use eva_common::Row;
 
+/// A fully-interned cache key: UDF id plus the 128-bit argument hash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FunCacheKey {
+    udf: u32,
+    lo: u64,
+    hi: u64,
+}
+
 /// Shared tuple-level cache. Cheap to clone; contents live for a workload.
 #[derive(Debug, Clone, Default)]
 pub struct FunCacheTable {
-    inner: Arc<Mutex<HashMap<(String, u64, u64), Vec<Row>>>>,
+    inner: Arc<Inner>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    /// UDF name → interned id. Read-locked on the hot path; a write lock is
+    /// only taken the first time a name is seen.
+    names: RwLock<HashMap<String, u32>>,
+    map: Mutex<HashMap<FunCacheKey, Arc<[Row]>>>,
 }
 
 impl FunCacheTable {
@@ -24,35 +44,55 @@ impl FunCacheTable {
         FunCacheTable::default()
     }
 
-    /// Compute the cache key for raw argument bytes.
-    pub fn key(udf: &str, arg_bytes: &[u8]) -> (String, u64, u64) {
-        let (lo, hi) = xxhash128(arg_bytes);
-        (udf.to_string(), lo, hi)
+    /// Intern a UDF name to its small id (allocation-free after the first
+    /// call per name).
+    fn intern(&self, udf: &str) -> u32 {
+        if let Some(&id) = self.inner.names.read().get(udf) {
+            return id;
+        }
+        let mut names = self.inner.names.write();
+        if let Some(&id) = names.get(udf) {
+            return id;
+        }
+        let id = names.len() as u32;
+        names.insert(udf.to_string(), id);
+        id
     }
 
-    /// Look up previously cached results.
-    pub fn get(&self, key: &(String, u64, u64)) -> Option<Vec<Row>> {
-        self.inner.lock().get(key).cloned()
+    /// Compute the cache key for raw argument bytes.
+    pub fn key(&self, udf: &str, arg_bytes: &[u8]) -> FunCacheKey {
+        let (lo, hi) = xxhash128(arg_bytes);
+        FunCacheKey {
+            udf: self.intern(udf),
+            lo,
+            hi,
+        }
+    }
+
+    /// Look up previously cached results (a hit shares the stored rows).
+    pub fn get(&self, key: &FunCacheKey) -> Option<Arc<[Row]>> {
+        self.inner.map.lock().get(key).map(Arc::clone)
     }
 
     /// Insert results for a key.
-    pub fn insert(&self, key: (String, u64, u64), rows: Vec<Row>) {
-        self.inner.lock().insert(key, rows);
+    pub fn insert(&self, key: FunCacheKey, rows: Arc<[Row]>) {
+        self.inner.map.lock().insert(key, rows);
     }
 
     /// Number of cached entries.
     pub fn len(&self) -> usize {
-        self.inner.lock().len()
+        self.inner.map.lock().len()
     }
 
     /// Is the cache empty?
     pub fn is_empty(&self) -> bool {
-        self.inner.lock().is_empty()
+        self.inner.map.lock().is_empty()
     }
 
-    /// Drop everything (workload restart).
+    /// Drop everything (workload restart). Interned names survive — ids
+    /// stay stable for the session.
     pub fn clear(&self) {
-        self.inner.lock().clear();
+        self.inner.map.lock().clear();
     }
 }
 
@@ -64,9 +104,9 @@ mod tests {
     #[test]
     fn round_trip() {
         let c = FunCacheTable::new();
-        let k = FunCacheTable::key("det", b"frame-0-bytes");
+        let k = c.key("det", b"frame-0-bytes");
         assert!(c.get(&k).is_none());
-        c.insert(k.clone(), vec![vec![Value::Int(1)]]);
+        c.insert(k, vec![vec![Value::Int(1)]].into());
         assert_eq!(c.get(&k).unwrap()[0][0], Value::Int(1));
         assert_eq!(c.len(), 1);
         c.clear();
@@ -75,10 +115,31 @@ mod tests {
 
     #[test]
     fn keys_distinguish_udf_and_bytes() {
-        let a = FunCacheTable::key("det", b"x");
-        let b = FunCacheTable::key("det", b"y");
-        let c = FunCacheTable::key("other", b"x");
+        let c = FunCacheTable::new();
+        let a = c.key("det", b"x");
+        let b = c.key("det", b"y");
+        let other = c.key("other", b"x");
         assert_ne!(a, b);
-        assert_ne!(a, c);
+        assert_ne!(a, other);
+    }
+
+    #[test]
+    fn interning_is_stable() {
+        let c = FunCacheTable::new();
+        let a = c.key("det", b"x");
+        let b = c.key("det", b"x");
+        assert_eq!(a, b, "same name + bytes → same key");
+        c.clear();
+        assert_eq!(c.key("det", b"x"), a, "ids survive a clear");
+    }
+
+    #[test]
+    fn hits_share_rows() {
+        let c = FunCacheTable::new();
+        let k = c.key("det", b"bytes");
+        c.insert(k, vec![vec![Value::Int(1)]].into());
+        let a = c.get(&k).unwrap();
+        let b = c.get(&k).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "cache hits must be zero-copy");
     }
 }

@@ -18,6 +18,7 @@ pub mod context;
 pub mod engine;
 pub mod funcache;
 pub mod ops;
+pub mod pool;
 
 #[cfg(test)]
 mod ops_tests;
@@ -27,4 +28,5 @@ mod testing;
 pub use config::ExecConfig;
 pub use context::ExecCtx;
 pub use engine::{execute, QueryOutput};
-pub use funcache::FunCacheTable;
+pub use funcache::{FunCacheKey, FunCacheTable};
+pub use pool::WorkerPool;

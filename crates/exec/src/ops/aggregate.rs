@@ -52,9 +52,7 @@ impl AggState {
                 if let Some(val) = v {
                     if !val.is_null() {
                         let replace = match m {
-                            Some(cur) => {
-                                val.sql_cmp(cur) == Some(std::cmp::Ordering::Less)
-                            }
+                            Some(cur) => val.sql_cmp(cur) == Some(std::cmp::Ordering::Less),
                             None => true,
                         };
                         if replace {
@@ -67,9 +65,7 @@ impl AggState {
                 if let Some(val) = v {
                     if !val.is_null() {
                         let replace = match m {
-                            Some(cur) => {
-                                val.sql_cmp(cur) == Some(std::cmp::Ordering::Greater)
-                            }
+                            Some(cur) => val.sql_cmp(cur) == Some(std::cmp::Ordering::Greater),
                             None => true,
                         };
                         if replace {

@@ -13,20 +13,26 @@
 //!
 //! The FunCache baseline routes through the same operator with a hash-keyed
 //! in-memory cache instead of views, paying the per-invocation hashing cost.
+//!
+//! Reuse results flow through as `Arc<[Row]>` end to end: a probe hit, a
+//! cache hit, and a STORE append all share one allocation with the store —
+//! rows are only copied at the final cross-apply join that builds output
+//! tuples. Large batches fan UDF evaluation and view probes out to the
+//! persistent [`WorkerPool`]; every simulated-cost charge stays on the
+//! caller thread, so the `CostBreakdown` is bit-identical with or without
+//! parallelism.
 
 use std::sync::Arc;
 
-use eva_common::{
-    Batch, BBox, CostCategory, EvaError, FrameId, Result, Row, Schema,
-};
+use eva_common::{BBox, Batch, CostCategory, EvaError, FrameId, Result, Row, Schema, ViewId};
 use eva_expr::Expr;
 use eva_planner::{ApplyReuse, ApplySpec, Segment};
-use eva_storage::ViewKey;
+use eva_storage::{StorageEngine, ViewKey};
 use eva_udf::{SimUdf, UdfEvalContext};
 
 use crate::context::ExecCtx;
-use crate::funcache::FunCacheTable;
 use crate::ops::{BoxedOp, Operator};
+use crate::pool::WorkerPool;
 
 /// The fused probe/evaluate/store apply.
 pub struct ApplyOp {
@@ -80,53 +86,95 @@ impl ApplyOp {
         }
     }
 
-    /// Evaluate the model on the rows at `miss_idx`, possibly on worker
-    /// threads; charges the simulated cost and stats on the caller's thread
-    /// to keep the clock deterministic.
+    /// Evaluate the model on the rows at `miss_idx`, fanning large batches
+    /// out to the worker pool; charges the simulated cost and stats on the
+    /// caller's thread to keep the clock deterministic.
     fn eval_rows(
         &self,
         ctx: &ExecCtx<'_>,
         udf: &Arc<dyn SimUdf>,
         inputs: &[(usize, FrameId, Option<BBox>)],
     ) -> Result<Vec<(usize, Vec<Row>)>> {
-        let dataset = &ctx.dataset;
-        let run = |chunk: &[(usize, FrameId, Option<BBox>)]| -> Result<Vec<(usize, Vec<Row>)>> {
-            let mut out = Vec::with_capacity(chunk.len());
-            for (idx, frame, bbox) in chunk {
+        let threshold = ctx.config.parallel_eval_threshold;
+        if threshold == 0 || inputs.len() < threshold {
+            let mut out = Vec::with_capacity(inputs.len());
+            for (idx, frame, bbox) in inputs {
                 let rows = udf.eval(&UdfEvalContext {
-                    dataset,
+                    dataset: &ctx.dataset,
                     frame: *frame,
                     bbox: *bbox,
                 })?;
                 out.push((*idx, rows));
             }
-            Ok(out)
-        };
-        let threshold = ctx.config.parallel_eval_threshold;
-        if threshold == 0 || inputs.len() < threshold {
-            return run(inputs);
+            return Ok(out);
         }
-        // Parallel wall-clock evaluation; results are merged in input order
-        // so downstream bookkeeping stays deterministic.
-        let n_threads = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(4)
-            .min(8)
-            .max(2);
-        let chunk_size = inputs.len().div_ceil(n_threads);
-        let results = crossbeam::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for chunk in inputs.chunks(chunk_size) {
-                handles.push(scope.spawn(move |_| run(chunk)));
-            }
-            let mut merged = Vec::with_capacity(inputs.len());
-            for h in handles {
-                merged.extend(h.join().expect("eval worker panicked")?);
-            }
-            Ok::<_, EvaError>(merged)
-        })
-        .expect("crossbeam scope panicked")?;
-        Ok(results)
+        // Parallel wall-clock evaluation on the persistent pool; chunk
+        // results come back in submission order, so the merged list keeps
+        // input order and downstream bookkeeping stays deterministic.
+        let pool = WorkerPool::global();
+        let chunk_size = inputs.len().div_ceil(pool.n_workers());
+        type EvalChunk = Result<Vec<(usize, Vec<Row>)>>;
+        let tasks: Vec<Box<dyn FnOnce() -> EvalChunk + Send>> = inputs
+            .chunks(chunk_size)
+            .map(|chunk| {
+                let chunk = chunk.to_vec();
+                let udf = Arc::clone(udf);
+                let dataset = Arc::clone(&ctx.dataset);
+                Box::new(move || {
+                    let mut out = Vec::with_capacity(chunk.len());
+                    for (idx, frame, bbox) in chunk {
+                        let rows = udf.eval(&UdfEvalContext {
+                            dataset: &dataset,
+                            frame,
+                            bbox,
+                        })?;
+                        out.push((idx, rows));
+                    }
+                    Ok(out)
+                }) as Box<dyn FnOnce() -> EvalChunk + Send>
+            })
+            .collect();
+        let mut merged = Vec::with_capacity(inputs.len());
+        for chunk in pool.run(tasks) {
+            merged.extend(chunk?);
+        }
+        Ok(merged)
+    }
+
+    /// Probe a view for a batch of keys, fanning large batches out to the
+    /// worker pool. Workers probe without a clock; the caller charges the
+    /// summed row count once, which is bit-identical to the serial charge.
+    fn probe_view(
+        &self,
+        ctx: &ExecCtx<'_>,
+        view: ViewId,
+        keys: &[ViewKey],
+    ) -> Result<Vec<Option<Arc<[Row]>>>> {
+        let threshold = ctx.config.parallel_probe_threshold;
+        if threshold == 0 || keys.len() < threshold {
+            return ctx.storage.view_probe(view, keys, ctx.clock);
+        }
+        let pool = WorkerPool::global();
+        let chunk_size = keys.len().div_ceil(pool.n_workers());
+        type ProbeChunk = Result<(Vec<Option<Arc<[Row]>>>, usize)>;
+        let tasks: Vec<Box<dyn FnOnce() -> ProbeChunk + Send>> = keys
+            .chunks(chunk_size)
+            .map(|chunk| {
+                let chunk = chunk.to_vec();
+                let storage: StorageEngine = ctx.storage.clone();
+                Box::new(move || storage.view_probe_uncharged(view, &chunk))
+                    as Box<dyn FnOnce() -> ProbeChunk + Send>
+            })
+            .collect();
+        let mut out = Vec::with_capacity(keys.len());
+        let mut rows_read = 0usize;
+        for chunk in pool.run(tasks) {
+            let (part, read) = chunk?;
+            rows_read += read;
+            out.extend(part);
+        }
+        ctx.storage.charge_view_read(rows_read, ctx.clock);
+        Ok(out)
     }
 
     fn process_views(
@@ -135,9 +183,9 @@ impl ApplyOp {
         batch: &Batch,
         segments: &[Segment],
         store: bool,
-    ) -> Result<Vec<Option<Vec<Row>>>> {
+    ) -> Result<Vec<Option<Arc<[Row]>>>> {
         let n = batch.len();
-        let mut results: Vec<Option<Vec<Row>>> = vec![None; n];
+        let mut results: Vec<Option<Arc<[Row]>>> = vec![None; n];
         let mut keys = Vec::with_capacity(n);
         for row in batch.rows() {
             keys.push(self.key_of(row)?);
@@ -150,19 +198,18 @@ impl ApplyOp {
             }
             // Probe this segment's view for unresolved rows.
             if let Some(view) = seg.view {
-                let probe_keys: Vec<ViewKey> =
-                    unresolved.iter().map(|&i| keys[i].2).collect();
-                let probed = ctx.storage.view_probe(view, &probe_keys, ctx.clock)?;
+                let probe_keys: Vec<ViewKey> = unresolved.iter().map(|&i| keys[i].2).collect();
+                let mut probed = self.probe_view(ctx, view, &probe_keys)?;
                 let mut still = Vec::with_capacity(unresolved.len());
                 for (pos, &i) in unresolved.iter().enumerate() {
-                    match &probed[pos] {
+                    match probed[pos].take() {
                         Some(rows) => {
                             ctx.stats.record_reuse(
                                 &seg.udf.name,
                                 keys[i].2,
                                 seg.udf.cost_ms.unwrap_or(0.0),
                             );
-                            results[i] = Some(rows.clone());
+                            results[i] = Some(rows);
                         }
                         None => still.push(i),
                     }
@@ -170,8 +217,7 @@ impl ApplyOp {
                 // §6 future work: fuzzy bbox matching — an exact-key miss
                 // may still reuse the result of a near-identical stored box
                 // (opt-in; trades exactness for more reuse).
-                if let (Some(min_iou), true) = (ctx.config.fuzzy_box_iou, self.bbox_idx.is_some())
-                {
+                if let (Some(min_iou), true) = (ctx.config.fuzzy_box_iou, self.bbox_idx.is_some()) {
                     let mut misses = Vec::with_capacity(still.len());
                     for &i in &still {
                         let (frame, bbox, vkey) = keys[i];
@@ -208,9 +254,13 @@ impl ApplyOp {
                 let mut appends = Vec::with_capacity(evaluated.len());
                 for (i, rows) in evaluated {
                     ctx.clock.charge(CostCategory::Udf, udf.cost_ms());
-                    ctx.stats.record_eval(&seg.udf.name, keys[i].2, udf.cost_ms());
+                    ctx.stats
+                        .record_eval(&seg.udf.name, keys[i].2, udf.cost_ms());
+                    // One shared allocation serves both the STORE append and
+                    // this operator's own output — no row copies.
+                    let rows: Arc<[Row]> = rows.into();
                     if store && seg.view.is_some() {
-                        appends.push((keys[i].2, rows.clone()));
+                        appends.push((keys[i].2, Arc::clone(&rows)));
                     }
                     results[i] = Some(rows);
                 }
@@ -231,7 +281,7 @@ impl ApplyOp {
         ctx: &ExecCtx<'_>,
         batch: &Batch,
         udf_def: &eva_catalog::UdfDef,
-    ) -> Result<Vec<Option<Vec<Row>>>> {
+    ) -> Result<Vec<Option<Arc<[Row]>>>> {
         let udf = ctx.registry.get(&udf_def.impl_id)?;
         let frame_bytes = ctx.dataset.frame_bytes();
         let mut results = Vec::with_capacity(batch.len());
@@ -253,21 +303,23 @@ impl ApplyOp {
                 CostCategory::HashInput,
                 ctx.storage.cost_model().hash_cost_ms(hashed),
             );
-            let key = FunCacheTable::key(&udf_def.name, &arg_bytes);
+            let key = ctx.funcache.key(&udf_def.name, &arg_bytes);
             match ctx.funcache.get(&key) {
                 Some(rows) => {
                     ctx.stats.record_reuse(&udf_def.name, vkey, udf.cost_ms());
                     results.push(Some(rows));
                 }
                 None => {
-                    let rows = udf.eval(&UdfEvalContext {
-                        dataset: &ctx.dataset,
-                        frame,
-                        bbox,
-                    })?;
+                    let rows: Arc<[Row]> = udf
+                        .eval(&UdfEvalContext {
+                            dataset: &ctx.dataset,
+                            frame,
+                            bbox,
+                        })?
+                        .into();
                     ctx.clock.charge(CostCategory::Udf, udf.cost_ms());
                     ctx.stats.record_eval(&udf_def.name, vkey, udf.cost_ms());
-                    ctx.funcache.insert(key, rows.clone());
+                    ctx.funcache.insert(key, Arc::clone(&rows));
                     results.push(Some(rows));
                 }
             }
@@ -275,11 +327,7 @@ impl ApplyOp {
         Ok(results)
     }
 
-    fn process_plain(
-        &self,
-        ctx: &ExecCtx<'_>,
-        batch: &Batch,
-    ) -> Result<Vec<Option<Vec<Row>>>> {
+    fn process_plain(&self, ctx: &ExecCtx<'_>, batch: &Batch) -> Result<Vec<Option<Arc<[Row]>>>> {
         let udf_def = self
             .spec
             .fallback_udf()
@@ -294,11 +342,11 @@ impl ApplyOp {
             keys.push(vkey);
         }
         let evaluated = self.eval_rows(ctx, &udf, &inputs)?;
-        let mut results: Vec<Option<Vec<Row>>> = vec![None; batch.len()];
+        let mut results: Vec<Option<Arc<[Row]>>> = vec![None; batch.len()];
         for (i, rows) in evaluated {
             ctx.clock.charge(CostCategory::Udf, udf.cost_ms());
             ctx.stats.record_eval(&udf_def.name, keys[i], udf.cost_ms());
-            results[i] = Some(rows);
+            results[i] = Some(rows.into());
         }
         Ok(results)
     }
@@ -325,16 +373,18 @@ impl Operator for ApplyOp {
                     self.process_views(ctx, &batch, segments, *store)?
                 }
             };
-            // Cross-apply join: input row × each output row.
+            // Cross-apply join: input row × each output row. This is the
+            // single place reuse results are copied — into fresh output
+            // tuples.
             let n_out_cols = self.spec.output.len();
             let mut out_rows: Vec<Row> = Vec::new();
             for (row, result) in batch.rows().iter().zip(results) {
                 let Some(udf_rows) = result else { continue };
-                for udf_row in udf_rows {
+                for udf_row in udf_rows.iter() {
                     debug_assert_eq!(udf_row.len(), n_out_cols);
                     let mut joined = Vec::with_capacity(row.len() + n_out_cols);
                     joined.extend(row.iter().cloned());
-                    joined.extend(udf_row);
+                    joined.extend(udf_row.iter().cloned());
                     out_rows.push(joined);
                 }
             }

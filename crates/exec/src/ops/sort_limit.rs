@@ -52,9 +52,7 @@ impl Operator for SortOp {
         }
         rows.sort_by(|a, b| {
             for &(i, desc) in &key_idx {
-                let ord = a[i]
-                    .sql_cmp(&b[i])
-                    .unwrap_or(std::cmp::Ordering::Equal);
+                let ord = a[i].sql_cmp(&b[i]).unwrap_or(std::cmp::Ordering::Equal);
                 let ord = if desc { ord.reverse() } else { ord };
                 if ord != std::cmp::Ordering::Equal {
                     return ord;

@@ -14,6 +14,7 @@ use crate::ops::filter::FilterOp;
 use crate::ops::project::ProjectOp;
 use crate::ops::scan::ScanFramesOp;
 use crate::ops::sort_limit::{LimitOp, SortOp};
+use crate::ops::Operator;
 use crate::testing::{TestEnv, ValuesOp};
 
 fn int_schema() -> Arc<Schema> {
@@ -200,11 +201,9 @@ fn apply_plain_mode_fans_out_detections() {
 fn apply_views_mode_probes_then_stores() {
     let env = TestEnv::new(8, 20);
     let def = env.catalog.udf("fasterrcnn_resnet50").unwrap();
-    let view = env.storage.create_view(
-        "det",
-        ViewKeyKind::Frame,
-        Arc::new(def.output.clone()),
-    );
+    let view = env
+        .storage
+        .create_view("det", ViewKeyKind::Frame, Arc::new(def.output.clone()));
     // Pre-materialize frames 0..10 with sentinel rows.
     let entries: Vec<_> = (0..10u64)
         .map(|i| {
@@ -214,7 +213,8 @@ fn apply_views_mode_probes_then_stores() {
                     Value::from("sentinel"),
                     Value::from(eva_common::BBox::new(0.0, 0.0, 0.5, 0.5)),
                     Value::Float(1.0),
-                ]],
+                ]]
+                .into(),
             )
         })
         .collect();
@@ -282,7 +282,8 @@ fn apply_multi_segment_probes_in_order() {
                     Value::from("from101"),
                     Value::from(eva_common::BBox::new(0.0, 0.0, 0.2, 0.2)),
                     Value::Float(0.9),
-                ]],
+                ]]
+                .into(),
             )
         })
         .collect();
@@ -397,4 +398,84 @@ fn apply_rejects_non_column_args() {
         output: Arc::new(Schema::empty()),
     };
     assert!(ApplyOp::new(frame_source(&env, 5), spec, apply_schema(&env)).is_err());
+}
+
+/// Run the standard views-mode detector query under a given config and
+/// return the cost breakdown plus the drained output rows.
+fn run_views_query(
+    config: crate::config::ExecConfig,
+) -> (eva_common::CostBreakdown, Vec<Vec<Value>>) {
+    let env = TestEnv::new(42, 64);
+    let def = env.catalog.udf("fasterrcnn_resnet50").unwrap();
+    let view = env
+        .storage
+        .create_view("det", ViewKeyKind::Frame, Arc::new(def.output.clone()));
+    // Pre-materialize half the frames so both the probe-hit and the
+    // evaluate-and-store paths run.
+    let entries: Vec<_> = (0..32u64)
+        .map(|i| {
+            (
+                ViewKey::frame(FrameId(i)),
+                vec![vec![
+                    Value::from("sentinel"),
+                    Value::from(eva_common::BBox::new(0.0, 0.0, 0.5, 0.5)),
+                    Value::Float(1.0),
+                ]]
+                .into(),
+            )
+        })
+        .collect();
+    env.storage.view_append(view, entries, &env.clock).unwrap();
+    env.clock.reset();
+
+    let spec = detector_spec(
+        &env,
+        ApplyReuse::Views {
+            segments: vec![Segment {
+                udf: def,
+                view: Some(view),
+                eval: true,
+            }],
+            store: true,
+        },
+    );
+    let mut op: Box<dyn crate::ops::Operator> =
+        Box::new(ApplyOp::new(frame_source(&env, 64), spec, apply_schema(&env)).unwrap());
+    let ctx = env.ctx_with(config);
+    let mut rows = Vec::new();
+    while let Some(b) = op.next(&ctx).unwrap() {
+        rows.extend(b.rows().iter().cloned());
+    }
+    (env.clock.snapshot(), rows)
+}
+
+#[test]
+fn parallel_apply_costs_are_bit_identical_to_serial() {
+    let serial = crate::config::ExecConfig {
+        batch_size: 64,
+        parallel_eval_threshold: 0,
+        parallel_probe_threshold: 0,
+        ..Default::default()
+    };
+    let parallel = crate::config::ExecConfig {
+        batch_size: 64,
+        parallel_eval_threshold: 1,
+        parallel_probe_threshold: 1,
+        ..Default::default()
+    };
+    let (cost_s, rows_s) = run_views_query(serial);
+    let (cost_p, rows_p) = run_views_query(parallel);
+    assert_eq!(
+        cost_s, cost_p,
+        "worker-pool parallelism must not change the simulated cost"
+    );
+    assert_eq!(
+        rows_s, rows_p,
+        "output rows must match in content and order"
+    );
+    assert!(
+        cost_s.get(CostCategory::ReadView) > 0.0,
+        "probe path exercised"
+    );
+    assert!(cost_s.get(CostCategory::Udf) > 0.0, "eval path exercised");
 }

@@ -1,0 +1,154 @@
+//! A persistent worker pool for wall-clock parallelism on the reuse hot
+//! path (UDF evaluation and large view probes).
+//!
+//! The previous implementation spawned a fresh `crossbeam::thread::scope`
+//! per batch — thread creation on every batch of every query. The pool
+//! keeps a fixed set of workers parked on a channel instead; apply
+//! operators submit closures and block for the indexed results.
+//!
+//! Invariant (see DESIGN.md): workers never touch a [`SimClock`] — the
+//! clock is not `Sync`, and all simulated-cost charges stay on the caller
+//! thread so parallelism can never change a `CostBreakdown`. Workers only
+//! compute; callers account.
+
+use crossbeam::channel::{unbounded, Sender};
+use std::panic::AssertUnwindSafe;
+use std::sync::OnceLock;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-size pool of worker threads executing submitted closures.
+pub struct WorkerPool {
+    tx: Sender<Job>,
+    n_workers: usize,
+}
+
+static GLOBAL: OnceLock<WorkerPool> = OnceLock::new();
+
+impl WorkerPool {
+    /// The process-wide pool, spawned lazily on first use and shared by
+    /// every session (concurrent sessions queue into the same workers).
+    pub fn global() -> &'static WorkerPool {
+        GLOBAL.get_or_init(|| {
+            let n = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+                .clamp(2, 8);
+            WorkerPool::new(n)
+        })
+    }
+
+    /// A pool with exactly `n` workers. Prefer [`WorkerPool::global`];
+    /// dedicated pools are for tests and benchmarks.
+    pub fn new(n: usize) -> WorkerPool {
+        let n = n.max(1);
+        let (tx, rx) = unbounded::<Job>();
+        for i in 0..n {
+            let rx = rx.clone();
+            std::thread::Builder::new()
+                .name(format!("eva-worker-{i}"))
+                .spawn(move || {
+                    while let Ok(job) = rx.recv() {
+                        job();
+                    }
+                })
+                .expect("spawn pool worker");
+        }
+        WorkerPool { tx, n_workers: n }
+    }
+
+    /// Number of worker threads (callers size their chunking to this).
+    pub fn n_workers(&self) -> usize {
+        self.n_workers
+    }
+
+    /// Run every task on the pool and return their results in task order.
+    /// Blocks the calling thread until all tasks finish. A panicking task
+    /// is re-raised on the caller without poisoning the worker.
+    #[allow(clippy::type_complexity)]
+    pub fn run<T: Send + 'static>(
+        &self,
+        tasks: Vec<Box<dyn FnOnce() -> T + Send + 'static>>,
+    ) -> Vec<T> {
+        let n = tasks.len();
+        let (done_tx, done_rx) = unbounded::<(usize, std::thread::Result<T>)>();
+        for (i, task) in tasks.into_iter().enumerate() {
+            let done_tx = done_tx.clone();
+            let job: Job = Box::new(move || {
+                let result = std::panic::catch_unwind(AssertUnwindSafe(task));
+                let _ = done_tx.send((i, result));
+            });
+            self.tx.send(job).expect("worker pool channel closed");
+        }
+        drop(done_tx);
+        let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        for _ in 0..n {
+            let (i, result) = done_rx.recv().expect("pool worker dropped a task");
+            match result {
+                Ok(v) => out[i] = Some(v),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+        out.into_iter()
+            .map(|slot| slot.expect("pool task result missing"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_task_order() {
+        let pool = WorkerPool::new(4);
+        let tasks: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..32)
+            .map(|i| Box::new(move || i * 2) as Box<dyn FnOnce() -> usize + Send>)
+            .collect();
+        let out = pool.run(tasks);
+        assert_eq!(out, (0..32).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pool_survives_across_rounds() {
+        let pool = WorkerPool::new(2);
+        for round in 0..10 {
+            let tasks: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..8)
+                .map(|i| Box::new(move || round + i) as Box<dyn FnOnce() -> usize + Send>)
+                .collect();
+            assert_eq!(pool.run(tasks).len(), 8);
+        }
+    }
+
+    #[test]
+    fn global_pool_is_shared_and_concurrent() {
+        let mut joins = Vec::new();
+        for t in 0..4 {
+            joins.push(std::thread::spawn(move || {
+                let tasks: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..16)
+                    .map(|i| Box::new(move || t * 100 + i) as Box<dyn FnOnce() -> usize + Send>)
+                    .collect();
+                WorkerPool::global().run(tasks)
+            }));
+        }
+        for (t, j) in joins.into_iter().enumerate() {
+            let out = j.join().unwrap();
+            assert_eq!(out[0], t * 100);
+            assert_eq!(out.len(), 16);
+        }
+    }
+
+    #[test]
+    fn task_panic_propagates_to_caller() {
+        let pool = WorkerPool::new(2);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let tasks: Vec<Box<dyn FnOnce() -> usize + Send>> =
+                vec![Box::new(|| 1), Box::new(|| panic!("boom"))];
+            pool.run(tasks);
+        }));
+        assert!(result.is_err());
+        // The worker that caught the panic is still usable.
+        let tasks: Vec<Box<dyn FnOnce() -> usize + Send>> = vec![Box::new(|| 7), Box::new(|| 8)];
+        assert_eq!(pool.run(tasks), vec![7, 8]);
+    }
+}

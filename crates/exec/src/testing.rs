@@ -54,6 +54,14 @@ impl TestEnv {
     }
 
     pub fn ctx(&self) -> ExecCtx<'_> {
+        self.ctx_with(ExecConfig {
+            batch_size: 16,
+            ..ExecConfig::default()
+        })
+    }
+
+    /// Context with explicit tunables (threshold/parallelism tests).
+    pub fn ctx_with(&self, config: ExecConfig) -> ExecCtx<'_> {
         ExecCtx {
             storage: &self.storage,
             registry: &self.registry,
@@ -61,10 +69,7 @@ impl TestEnv {
             clock: &self.clock,
             dataset: Arc::clone(&self.dataset),
             funcache: &self.funcache,
-            config: ExecConfig {
-                batch_size: 16,
-                ..ExecConfig::default()
-            },
+            config,
         }
     }
 

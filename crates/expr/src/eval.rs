@@ -181,7 +181,10 @@ mod tests {
 
     #[test]
     fn comparisons() {
-        assert_eq!(eval(&Expr::col("id").lt(10), sample_row()), Value::Bool(true));
+        assert_eq!(
+            eval(&Expr::col("id").lt(10), sample_row()),
+            Value::Bool(true)
+        );
         assert_eq!(
             eval(&Expr::col("label").eq_val("car"), sample_row()),
             Value::Bool(true)

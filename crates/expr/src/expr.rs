@@ -302,14 +302,8 @@ impl Expr {
                 lhs: Box::new(lhs.transform(f)),
                 rhs: Box::new(rhs.transform(f)),
             },
-            Expr::And(a, b) => Expr::And(
-                Box::new(a.transform(f)),
-                Box::new(b.transform(f)),
-            ),
-            Expr::Or(a, b) => Expr::Or(
-                Box::new(a.transform(f)),
-                Box::new(b.transform(f)),
-            ),
+            Expr::And(a, b) => Expr::And(Box::new(a.transform(f)), Box::new(b.transform(f))),
+            Expr::Or(a, b) => Expr::Or(Box::new(a.transform(f)), Box::new(b.transform(f))),
             Expr::Not(e) => Expr::Not(Box::new(e.transform(f))),
             Expr::Agg { func, arg } => Expr::Agg {
                 func,
@@ -388,7 +382,14 @@ mod tests {
         assert_eq!(CmpOp::Lt.flipped(), CmpOp::Gt);
         assert_eq!(CmpOp::Lt.negated(), CmpOp::Ge);
         assert_eq!(CmpOp::Eq.flipped(), CmpOp::Eq);
-        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ] {
             assert_eq!(op.negated().negated(), op);
             assert_eq!(op.flipped().flipped(), op);
         }
@@ -403,9 +404,11 @@ mod tests {
 
     #[test]
     fn builders_and_display() {
-        let e = Expr::col("ID")
-            .lt(10_000)
-            .and(Expr::cmp(Expr::col("label"), CmpOp::Eq, Expr::lit("car")));
+        let e = Expr::col("ID").lt(10_000).and(Expr::cmp(
+            Expr::col("label"),
+            CmpOp::Eq,
+            Expr::lit("car"),
+        ));
         let s = e.to_string();
         assert!(s.contains("id < 10000"), "{s}");
         assert!(s.contains("label = 'car'"), "{s}");
@@ -413,7 +416,10 @@ mod tests {
 
     #[test]
     fn visit_finds_udfs() {
-        let udf = Expr::Udf(UdfCall::new("CarType", vec![Expr::col("frame"), Expr::col("bbox")]));
+        let udf = Expr::Udf(UdfCall::new(
+            "CarType",
+            vec![Expr::col("frame"), Expr::col("bbox")],
+        ));
         let e = Expr::cmp(udf, CmpOp::Eq, Expr::lit("Nissan"));
         assert!(e.contains_udf());
         assert!(!Expr::col("id").contains_udf());

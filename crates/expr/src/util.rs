@@ -152,15 +152,21 @@ mod tests {
     #[test]
     fn collect_dedups_udf_calls() {
         let u = UdfCall::new("ct", vec![Expr::col("frame")]);
-        let e = Expr::cmp(Expr::Udf(u.clone()), CmpOp::Eq, Expr::lit("a"))
-            .and(Expr::cmp(Expr::Udf(u.clone()), CmpOp::Ne, Expr::lit("b")));
+        let e = Expr::cmp(Expr::Udf(u.clone()), CmpOp::Eq, Expr::lit("a")).and(Expr::cmp(
+            Expr::Udf(u.clone()),
+            CmpOp::Ne,
+            Expr::lit("b"),
+        ));
         let calls = collect_udf_calls(&e);
         assert_eq!(calls, vec![u]);
     }
 
     #[test]
     fn referenced_columns_sorted_unique() {
-        let e = Expr::col("b").lt(1).and(Expr::col("a").gt(2)).and(Expr::col("b").lt(3));
+        let e = Expr::col("b")
+            .lt(1)
+            .and(Expr::col("a").gt(2))
+            .and(Expr::col("b").lt(3));
         let cols: Vec<String> = referenced_columns(&e).into_iter().collect();
         assert_eq!(cols, vec!["a".to_string(), "b".to_string()]);
     }

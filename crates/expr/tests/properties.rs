@@ -13,8 +13,11 @@ fn arb_leaf() -> impl Strategy<Value = Expr> {
         Just(Expr::false_()),
         (0i64..10).prop_map(|v| Expr::col("a").lt(v)),
         (0i64..10).prop_map(|v| Expr::col("b").ge(v)),
-        prop::sample::select(vec!["x", "y"])
-            .prop_map(|s| Expr::cmp(Expr::col("s"), CmpOp::Eq, Expr::lit(s))),
+        prop::sample::select(vec!["x", "y"]).prop_map(|s| Expr::cmp(
+            Expr::col("s"),
+            CmpOp::Eq,
+            Expr::lit(s)
+        )),
     ]
 }
 
@@ -29,15 +32,19 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
 }
 
 fn arb_row() -> impl Strategy<Value = Row> {
-    (0i64..10, 0i64..10, prop::sample::select(vec!["x", "y", "z"]), any::<bool>()).prop_map(
-        |(a, b, s, null_a)| {
+    (
+        0i64..10,
+        0i64..10,
+        prop::sample::select(vec!["x", "y", "z"]),
+        any::<bool>(),
+    )
+        .prop_map(|(a, b, s, null_a)| {
             vec![
                 if null_a { Value::Null } else { Value::Int(a) },
                 Value::Int(b),
                 Value::from(s),
             ]
-        },
-    )
+        })
 }
 
 fn schema() -> Schema {

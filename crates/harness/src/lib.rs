@@ -26,8 +26,7 @@ pub fn test_dataset(seed: u64, n_frames: u64) -> VideoDataset {
 
 /// A session with the given strategy and a test dataset loaded as `video`.
 pub fn test_session(strategy: ReuseStrategy, seed: u64, n_frames: u64) -> EvaDb {
-    let mut db =
-        EvaDb::new(SessionConfig::for_strategy(strategy)).expect("session construction");
+    let mut db = EvaDb::new(SessionConfig::for_strategy(strategy)).expect("session construction");
     db.load_video(test_dataset(seed, n_frames), "video")
         .expect("dataset load");
     db

@@ -164,8 +164,7 @@ mod tests {
             ],
             from: "video".into(),
             applies: vec![ApplyClause {
-                udf: UdfCall::new("ObjectDetector", vec![Expr::col("frame")])
-                    .with_accuracy("HIGH"),
+                udf: UdfCall::new("ObjectDetector", vec![Expr::col("frame")]).with_accuracy("HIGH"),
             }],
             where_clause: Some(Expr::col("id").lt(100)),
             group_by: vec![],

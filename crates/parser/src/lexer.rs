@@ -77,10 +77,47 @@ impl fmt::Display for TokenKind {
 
 /// Reserved words of EVA-QL.
 const KEYWORDS: &[&str] = &[
-    "SELECT", "FROM", "WHERE", "CROSS", "APPLY", "ACCURACY", "AND", "OR", "NOT", "GROUP", "BY",
-    "ORDER", "LIMIT", "ASC", "DESC", "AS", "CREATE", "REPLACE", "UDF", "INPUT", "OUTPUT", "IMPL",
-    "LOGICAL_TYPE", "PROPERTIES", "LOAD", "VIDEO", "INTO", "SHOW", "UDFS", "TABLES", "DROP",
-    "TABLE", "TRUE", "FALSE", "IS", "NULL", "COUNT", "SUM", "MIN", "MAX", "AVG",
+    "SELECT",
+    "FROM",
+    "WHERE",
+    "CROSS",
+    "APPLY",
+    "ACCURACY",
+    "AND",
+    "OR",
+    "NOT",
+    "GROUP",
+    "BY",
+    "ORDER",
+    "LIMIT",
+    "ASC",
+    "DESC",
+    "AS",
+    "CREATE",
+    "REPLACE",
+    "UDF",
+    "INPUT",
+    "OUTPUT",
+    "IMPL",
+    "LOGICAL_TYPE",
+    "PROPERTIES",
+    "LOAD",
+    "VIDEO",
+    "INTO",
+    "SHOW",
+    "UDFS",
+    "TABLES",
+    "DROP",
+    "TABLE",
+    "TRUE",
+    "FALSE",
+    "IS",
+    "NULL",
+    "COUNT",
+    "SUM",
+    "MIN",
+    "MAX",
+    "AVG",
 ];
 
 /// Tokenize EVA-QL source.
@@ -99,36 +136,60 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>> {
                 }
             }
             '(' => {
-                tokens.push(Token { kind: TokenKind::Symbol(Symbol::LParen), offset: i });
+                tokens.push(Token {
+                    kind: TokenKind::Symbol(Symbol::LParen),
+                    offset: i,
+                });
                 i += 1;
             }
             ')' => {
-                tokens.push(Token { kind: TokenKind::Symbol(Symbol::RParen), offset: i });
+                tokens.push(Token {
+                    kind: TokenKind::Symbol(Symbol::RParen),
+                    offset: i,
+                });
                 i += 1;
             }
             ',' => {
-                tokens.push(Token { kind: TokenKind::Symbol(Symbol::Comma), offset: i });
+                tokens.push(Token {
+                    kind: TokenKind::Symbol(Symbol::Comma),
+                    offset: i,
+                });
                 i += 1;
             }
             ';' => {
-                tokens.push(Token { kind: TokenKind::Symbol(Symbol::Semicolon), offset: i });
+                tokens.push(Token {
+                    kind: TokenKind::Symbol(Symbol::Semicolon),
+                    offset: i,
+                });
                 i += 1;
             }
             '*' => {
-                tokens.push(Token { kind: TokenKind::Symbol(Symbol::Star), offset: i });
+                tokens.push(Token {
+                    kind: TokenKind::Symbol(Symbol::Star),
+                    offset: i,
+                });
                 i += 1;
             }
             '.' => {
-                tokens.push(Token { kind: TokenKind::Symbol(Symbol::Dot), offset: i });
+                tokens.push(Token {
+                    kind: TokenKind::Symbol(Symbol::Dot),
+                    offset: i,
+                });
                 i += 1;
             }
             '=' => {
-                tokens.push(Token { kind: TokenKind::Symbol(Symbol::Eq), offset: i });
+                tokens.push(Token {
+                    kind: TokenKind::Symbol(Symbol::Eq),
+                    offset: i,
+                });
                 i += 1;
             }
             '!' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Token { kind: TokenKind::Symbol(Symbol::Ne), offset: i });
+                    tokens.push(Token {
+                        kind: TokenKind::Symbol(Symbol::Ne),
+                        offset: i,
+                    });
                     i += 2;
                 } else {
                     return Err(EvaError::Parse(format!("unexpected '!' at offset {i}")));
@@ -136,24 +197,39 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>> {
             }
             '<' => match bytes.get(i + 1) {
                 Some(b'=') => {
-                    tokens.push(Token { kind: TokenKind::Symbol(Symbol::Le), offset: i });
+                    tokens.push(Token {
+                        kind: TokenKind::Symbol(Symbol::Le),
+                        offset: i,
+                    });
                     i += 2;
                 }
                 Some(b'>') => {
-                    tokens.push(Token { kind: TokenKind::Symbol(Symbol::Ne), offset: i });
+                    tokens.push(Token {
+                        kind: TokenKind::Symbol(Symbol::Ne),
+                        offset: i,
+                    });
                     i += 2;
                 }
                 _ => {
-                    tokens.push(Token { kind: TokenKind::Symbol(Symbol::Lt), offset: i });
+                    tokens.push(Token {
+                        kind: TokenKind::Symbol(Symbol::Lt),
+                        offset: i,
+                    });
                     i += 1;
                 }
             },
             '>' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Token { kind: TokenKind::Symbol(Symbol::Ge), offset: i });
+                    tokens.push(Token {
+                        kind: TokenKind::Symbol(Symbol::Ge),
+                        offset: i,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(Token { kind: TokenKind::Symbol(Symbol::Gt), offset: i });
+                    tokens.push(Token {
+                        kind: TokenKind::Symbol(Symbol::Gt),
+                        offset: i,
+                    });
                     i += 1;
                 }
             }
@@ -179,7 +255,10 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>> {
                     content.push(bytes[j] as char);
                     j += 1;
                 }
-                tokens.push(Token { kind: TokenKind::Str(content), offset: i });
+                tokens.push(Token {
+                    kind: TokenKind::Str(content),
+                    offset: i,
+                });
                 i = j + 1;
             }
             c if c.is_ascii_digit() => {
@@ -188,8 +267,12 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>> {
                 let mut is_float = false;
                 while j < bytes.len()
                     && ((bytes[j] as char).is_ascii_digit()
-                        || (bytes[j] == b'.' && !is_float
-                            && bytes.get(j + 1).map(|b| b.is_ascii_digit()).unwrap_or(false)))
+                        || (bytes[j] == b'.'
+                            && !is_float
+                            && bytes
+                                .get(j + 1)
+                                .map(|b| b.is_ascii_digit())
+                                .unwrap_or(false)))
                 {
                     if bytes[j] == b'.' {
                         is_float = true;
@@ -197,16 +280,20 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>> {
                     j += 1;
                 }
                 let text = &src[start..j];
-                let kind = if is_float {
-                    TokenKind::Float(text.parse().map_err(|_| {
-                        EvaError::Parse(format!("invalid float literal '{text}'"))
-                    })?)
-                } else {
-                    TokenKind::Int(text.parse().map_err(|_| {
-                        EvaError::Parse(format!("invalid integer literal '{text}'"))
-                    })?)
-                };
-                tokens.push(Token { kind, offset: start });
+                let kind =
+                    if is_float {
+                        TokenKind::Float(text.parse().map_err(|_| {
+                            EvaError::Parse(format!("invalid float literal '{text}'"))
+                        })?)
+                    } else {
+                        TokenKind::Int(text.parse().map_err(|_| {
+                            EvaError::Parse(format!("invalid integer literal '{text}'"))
+                        })?)
+                    };
+                tokens.push(Token {
+                    kind,
+                    offset: start,
+                });
                 i = j;
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
@@ -224,7 +311,10 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>> {
                 } else {
                     TokenKind::Ident(text.to_string())
                 };
-                tokens.push(Token { kind, offset: start });
+                tokens.push(Token {
+                    kind,
+                    offset: start,
+                });
                 i = j;
             }
             other => {

@@ -14,7 +14,9 @@ pub fn parse(src: &str) -> Result<Statement> {
     match stmts.len() {
         1 => Ok(stmts.pop().expect("len checked")),
         0 => Err(EvaError::Parse("empty input".into())),
-        n => Err(EvaError::Parse(format!("expected one statement, found {n}"))),
+        n => Err(EvaError::Parse(format!(
+            "expected one statement, found {n}"
+        ))),
     }
 }
 
@@ -491,9 +493,7 @@ impl Parser {
                         match self.advance() {
                             TokenKind::Symbol(Symbol::LParen) => depth += 1,
                             TokenKind::Symbol(Symbol::RParen) => depth -= 1,
-                            TokenKind::Eof => {
-                                return Err(self.error("unterminated NDARRAY shape"))
-                            }
+                            TokenKind::Eof => return Err(self.error("unterminated NDARRAY shape")),
                             _ => {}
                         }
                     }
@@ -518,10 +518,12 @@ mod tests {
 
     #[test]
     fn listing1_q1_shape() {
-        let s = sel("SELECT timestamp, bbox, VEHICLE_COLOR(bbox, frame) FROM VIDEO CROSS APPLY \
+        let s = sel(
+            "SELECT timestamp, bbox, VEHICLE_COLOR(bbox, frame) FROM VIDEO CROSS APPLY \
              OBJECT_DETECTOR(frame) ACCURACY 'HIGH' \
              WHERE timestamp > 18 AND label = 'car' \
-             AND AREA(bbox) > 0.3 AND VEHICLE_MODEL(bbox, frame) = 'SUV'");
+             AND AREA(bbox) > 0.3 AND VEHICLE_MODEL(bbox, frame) = 'SUV'",
+        );
         assert_eq!(s.from, "video");
         assert_eq!(s.applies.len(), 1);
         assert_eq!(s.applies[0].udf.name, "object_detector");
@@ -534,16 +536,17 @@ mod tests {
 
     #[test]
     fn listing1_q4_group_by() {
-        let s = sel(
-            "SELECT timestamp, COUNT(*) FROM VIDEO CROSS APPLY \
+        let s = sel("SELECT timestamp, COUNT(*) FROM VIDEO CROSS APPLY \
              OBJECT_DETECTOR(frame) ACCURACY 'LOW' WHERE label = 'car' \
-             AND AREA(bbox) > 0.15 GROUP BY timestamp;",
-        );
+             AND AREA(bbox) > 0.15 GROUP BY timestamp;");
         assert_eq!(s.group_by, vec!["timestamp".to_string()]);
         assert!(matches!(
             s.projection[1],
             SelectItem::Expr {
-                expr: Expr::Agg { func: AggFunc::Count, arg: None },
+                expr: Expr::Agg {
+                    func: AggFunc::Count,
+                    arg: None
+                },
                 ..
             }
         ));
@@ -623,7 +626,10 @@ mod tests {
         );
         assert_eq!(parse("SHOW UDFS;").unwrap(), Statement::ShowUdfs);
         assert_eq!(parse("SHOW TABLES").unwrap(), Statement::ShowTables);
-        assert_eq!(parse("DROP UDF yolo").unwrap(), Statement::DropUdf("yolo".into()));
+        assert_eq!(
+            parse("DROP UDF yolo").unwrap(),
+            Statement::DropUdf("yolo".into())
+        );
         assert_eq!(
             parse("DROP TABLE video").unwrap(),
             Statement::DropTable("video".into())
@@ -646,7 +652,10 @@ mod tests {
         assert!(err.message().contains("offset"));
         assert!(parse("SELECT * FROM t WHERE").is_err());
         assert!(parse("").is_err());
-        assert!(parse("SELECT * FROM t; SELECT * FROM t").is_err(), "parse() wants one stmt");
+        assert!(
+            parse("SELECT * FROM t; SELECT * FROM t").is_err(),
+            "parse() wants one stmt"
+        );
     }
 
     #[test]

@@ -8,7 +8,11 @@ use eva_parser::{parse, Statement};
 
 fn arb_pred_text() -> impl Strategy<Value = String> {
     let atom = prop_oneof![
-        (prop::sample::select(vec!["id", "timestamp"]), 0u32..10_000, prop::sample::select(vec!["<", "<=", ">", ">=", "=", "!="]))
+        (
+            prop::sample::select(vec!["id", "timestamp"]),
+            0u32..10_000,
+            prop::sample::select(vec!["<", "<=", ">", ">=", "=", "!="])
+        )
             .prop_map(|(c, v, op)| format!("{c} {op} {v}")),
         prop::sample::select(vec!["label", "color"]).prop_flat_map(|c| {
             prop::sample::select(vec!["car", "bus", "red"])

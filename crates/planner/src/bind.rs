@@ -59,10 +59,7 @@ impl<'a> Binder<'a> {
         let mut extracted: Vec<UdfCall> = Vec::new();
         for (expr, _) in &items {
             for call in collect_udf_calls(expr) {
-                if !extracted
-                    .iter()
-                    .any(|c| udf_dim(c) == udf_dim(&call))
-                {
+                if !extracted.iter().any(|c| udf_dim(c) == udf_dim(&call)) {
                     extracted.push(call);
                 }
             }
@@ -76,9 +73,7 @@ impl<'a> Binder<'a> {
         }
 
         // Aggregation vs plain projection.
-        let has_aggs = items
-            .iter()
-            .any(|(e, _)| matches!(e, Expr::Agg { .. }));
+        let has_aggs = items.iter().any(|(e, _)| matches!(e, Expr::Agg { .. }));
         if has_aggs || !stmt.group_by.is_empty() {
             plan = self.bind_aggregate(plan, &stmt.group_by, &items)?;
         } else {
@@ -126,9 +121,7 @@ impl<'a> Binder<'a> {
         } else {
             // A logical vision task: all physical UDFs of the type share an
             // output schema; use the least accurate as the representative.
-            let phys = self
-                .catalog
-                .physical_udfs(&call.name, AccuracyLevel::Low);
+            let phys = self.catalog.physical_udfs(&call.name, AccuracyLevel::Low);
             match phys.first() {
                 Some(d) => (d.output.clone(), true),
                 None => {
@@ -432,7 +425,11 @@ mod tests {
         // Detector columns unavailable without apply.
         assert!(bind(&cat, "SELECT id FROM video WHERE label = 'car'").is_err());
         // Unknown UDF.
-        assert!(bind(&cat, "SELECT id FROM video CROSS APPLY nothere(frame) WHERE id<1").is_err());
+        assert!(bind(
+            &cat,
+            "SELECT id FROM video CROSS APPLY nothere(frame) WHERE id<1"
+        )
+        .is_err());
         // Non-aggregate projection with GROUP BY.
         assert!(bind(
             &cat,

@@ -102,7 +102,10 @@ mod tests {
         let b = profile(0.9, 100.0, 1.0);
         let good = ordering_cost_ms(&[a, b], 1000.0);
         let bad = ordering_cost_ms(&[b, a], 1000.0);
-        assert!(good < bad, "selective-first must be cheaper: {good} vs {bad}");
+        assert!(
+            good < bad,
+            "selective-first must be cheaper: {good} vs {bad}"
+        );
     }
 
     #[test]

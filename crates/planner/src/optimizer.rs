@@ -21,9 +21,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use eva_catalog::{AccuracyLevel, Catalog, UdfDef};
-use eva_common::{
-    CostCategory, DataType, EvaError, Result, Schema, SimClock,
-};
+use eva_common::{CostCategory, DataType, EvaError, Result, Schema, SimClock};
 use eva_expr::{conjoin, util::substitute_udf, Expr, UdfCall};
 use eva_symbolic::{inter, to_dnf, udf_dim, Dnf, StatsCatalog};
 use eva_udf::{UdfManager, UdfSignature};
@@ -200,7 +198,13 @@ impl<'a> Optimizer<'a> {
         // Detector applies (CROSS APPLY chain).
         for (call, logical) in &d.det_applies {
             phys = self.plan_detector_apply(
-                phys, call, *logical, &table, &scan_dnf, &pre_det_exprs, n_scanned,
+                phys,
+                call,
+                *logical,
+                &table,
+                &scan_dnf,
+                &pre_det_exprs,
+                n_scanned,
             )?;
         }
 
@@ -244,7 +248,8 @@ impl<'a> Optimizer<'a> {
             let mut rewritten = cpred.clone();
             for call in eva_expr::collect_udf_calls(cpred) {
                 let out_col = self.scalar_out_col(&call)?;
-                if let std::collections::btree_map::Entry::Vacant(e) = applied.entry(udf_dim(&call)) {
+                if let std::collections::btree_map::Entry::Vacant(e) = applied.entry(udf_dim(&call))
+                {
                     phys = self.plan_scalar_apply(phys, &call, &table, &preceding)?;
                     e.insert(out_col.clone());
                 }
@@ -538,8 +543,7 @@ impl<'a> Optimizer<'a> {
             .ok_or_else(|| EvaError::Plan("apply without an eval segment".into()))?
             .udf
             .clone();
-        let candidate =
-            fallback.is_materialization_candidate(self.config.candidate_threshold_ms);
+        let candidate = fallback.is_materialization_candidate(self.config.candidate_threshold_ms);
         let reuse = match self.config.strategy {
             ReuseStrategy::NoReuse => ApplyReuse::None { udf: fallback },
             ReuseStrategy::FunCache => {
@@ -581,10 +585,7 @@ impl<'a> Optimizer<'a> {
     }
 
     fn is_box_level(&self, def: &UdfDef) -> bool {
-        def.input
-            .fields()
-            .iter()
-            .any(|f| f.dtype == DataType::BBox)
+        def.input.fields().iter().any(|f| f.dtype == DataType::BBox)
     }
 
     /// Normalize call arguments to `[frame_expr]` or `[frame_expr,
@@ -602,9 +603,8 @@ impl<'a> Optimizer<'a> {
                 }
             }
         }
-        let frame = frame.ok_or_else(|| {
-            EvaError::Plan(format!("UDF '{}' needs a frame argument", call.name))
-        })?;
+        let frame = frame
+            .ok_or_else(|| EvaError::Plan(format!("UDF '{}' needs a frame argument", call.name)))?;
         Ok(match bbox {
             Some(b) => vec![frame, b],
             None => vec![frame],
@@ -829,7 +829,10 @@ mod tests {
         let text = p.explain();
         assert!(text.contains("ScanFrames video [0, 500)"), "{text}");
         // Both detector and cartype get view+store decorations under EVA.
-        assert!(text.matches("+view+eval] store=true").count() >= 2, "{text}");
+        assert!(
+            text.matches("+view+eval] store=true").count() >= 2,
+            "{text}"
+        );
         // The cartype predicate was rewritten onto the output column.
         assert!(text.contains("Filter cartype = 'Nissan'"), "{text}");
         // Commit happened: the aggregated predicates are non-false.
@@ -899,7 +902,10 @@ mod tests {
              WHERE area(frame, bbox) > 0.2 AND label = 'car'",
         );
         let text = p.explain();
-        assert!(text.contains("no-reuse[area]"), "AREA is below threshold: {text}");
+        assert!(
+            text.contains("no-reuse[area]"),
+            "AREA is below threshold: {text}"
+        );
     }
 
     #[test]

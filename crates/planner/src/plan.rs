@@ -235,9 +235,7 @@ impl ApplySpec {
         match &self.reuse {
             ApplyReuse::None { udf } => Some(udf),
             ApplyReuse::FunCache { udf } => Some(udf),
-            ApplyReuse::Views { segments, .. } => {
-                segments.iter().find(|s| s.eval).map(|s| &s.udf)
-            }
+            ApplyReuse::Views { segments, .. } => segments.iter().find(|s| s.eval).map(|s| &s.udf),
         }
     }
 }
@@ -368,10 +366,7 @@ impl PhysPlan {
                             format!("views[{}] store={store}", segs.join(" → "))
                         }
                     };
-                    out.push_str(&format!(
-                        "{pad}Apply {} ({deco})\n",
-                        spec.display_name
-                    ));
+                    out.push_str(&format!("{pad}Apply {} ({deco})\n", spec.display_name));
                 }
                 PhysPlan::Project { items, .. } => {
                     let cols: Vec<String> =
@@ -436,9 +431,7 @@ mod tests {
             table: "video".into(),
             dataset: "ds".into(),
             n_rows: 100,
-            schema: Arc::new(
-                Schema::new(vec![Field::new("id", DataType::Int)]).unwrap(),
-            ),
+            schema: Arc::new(Schema::new(vec![Field::new("id", DataType::Int)]).unwrap()),
         }
     }
 
@@ -489,7 +482,9 @@ mod tests {
         let spec1 = ApplySpec {
             display_name: "a".into(),
             args: vec![],
-            reuse: ApplyReuse::None { udf: dummy_udf.clone() },
+            reuse: ApplyReuse::None {
+                udf: dummy_udf.clone(),
+            },
             output: Arc::new(Schema::empty()),
         };
         let spec2 = ApplySpec {
@@ -507,7 +502,11 @@ mod tests {
             spec: spec2,
             schema,
         };
-        let names: Vec<&str> = p.applies().iter().map(|s| s.display_name.as_str()).collect();
+        let names: Vec<&str> = p
+            .applies()
+            .iter()
+            .map(|s| s.display_name.as_str())
+            .collect();
         assert_eq!(names, vec!["a", "b"]);
         assert!(p.explain().contains("no-reuse"));
     }

@@ -65,7 +65,11 @@ mod tests {
     #[test]
     fn rank_order_is_optimal_theorem_4_1() {
         let cases: Vec<Vec<PredicateProfile>> = vec![
-            vec![profile(0.3, 5.0, 1.0), profile(0.7, 6.0, 0.0), profile(0.1, 99.0, 0.4)],
+            vec![
+                profile(0.3, 5.0, 1.0),
+                profile(0.7, 6.0, 0.0),
+                profile(0.1, 99.0, 0.4),
+            ],
             vec![
                 profile(0.9, 1.0, 1.0),
                 profile(0.2, 50.0, 0.1),
@@ -76,8 +80,7 @@ mod tests {
         ];
         for profiles in cases {
             let order = order_by_rank(RankingKind::MaterializationAware, &profiles);
-            let chosen: Vec<PredicateProfile> =
-                order.iter().map(|&i| profiles[i]).collect();
+            let chosen: Vec<PredicateProfile> = order.iter().map(|&i| profiles[i]).collect();
             let chosen_cost = ordering_cost_ms(&chosen, 10_000.0);
             for perm in permutations(profiles.len()) {
                 let p: Vec<PredicateProfile> = perm.iter().map(|&i| profiles[i]).collect();

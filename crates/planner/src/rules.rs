@@ -155,7 +155,10 @@ mod tests {
 
     fn cartype_atom() -> Expr {
         Expr::cmp(
-            Expr::Udf(UdfCall::new("cartype", vec![Expr::col("frame"), Expr::col("bbox")])),
+            Expr::Udf(UdfCall::new(
+                "cartype",
+                vec![Expr::col("frame"), Expr::col("bbox")],
+            )),
             CmpOp::Eq,
             Expr::lit("Nissan"),
         )

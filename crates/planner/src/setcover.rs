@@ -124,10 +124,7 @@ fn cost_of(udf: &UdfDef) -> f64 {
 
 /// Greedy weighted set cover over an explicit universe: returns the indices
 /// of chosen sets. Elements that no set contains are simply never covered.
-pub fn greedy_weighted_set_cover(
-    universe: usize,
-    sets: &[(f64, BTreeSet<usize>)],
-) -> Vec<usize> {
+pub fn greedy_weighted_set_cover(universe: usize, sets: &[(f64, BTreeSet<usize>)]) -> Vec<usize> {
     let mut uncovered: BTreeSet<usize> = (0..universe).collect();
     let mut chosen = Vec::new();
     let mut available: Vec<usize> = (0..sets.len()).collect();
@@ -215,9 +212,11 @@ mod tests {
 
     #[test]
     fn no_views_falls_back_to_cheapest() {
-        let eligible = vec![candidate("rcnn50", 99.0, None), candidate("yolo", 9.0, None)];
-        let choices =
-            optimal_physical_udfs(&eligible, &pred(0.0, 1000.0), 1000.0, &stats(), 0.15);
+        let eligible = vec![
+            candidate("rcnn50", 99.0, None),
+            candidate("yolo", 9.0, None),
+        ];
+        let choices = optimal_physical_udfs(&eligible, &pred(0.0, 1000.0), 1000.0, &stats(), 0.15);
         assert_eq!(choices.len(), 1);
         assert!(matches!(&choices[0], Choice::Evaluate { udf } if udf.name == "yolo"));
     }

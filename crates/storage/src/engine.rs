@@ -1,18 +1,31 @@
 //! The storage engine: datasets, video tables, and the view store.
+//!
+//! The view store is built for concurrent sessions: views live behind
+//! per-view locks in a sharded registry, so probes and appends on
+//! different views never contend, and probes on the *same* view share a
+//! read lock. Registry shards are only locked for the instant it takes to
+//! look up a view's handle. Probe results are `Arc<[Row]>` — hits are
+//! refcount bumps, never row copies.
 
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use eva_common::{
-    Batch, CostCategory, DataType, EvaError, Field, FrameId, Result, Row, Schema, SimClock,
-    Value, ViewId,
+    Batch, CostCategory, DataType, EvaError, Field, FrameId, Result, Row, Schema, SimClock, Value,
+    ViewId,
 };
 use eva_video::VideoDataset;
 
 use crate::cost::IoCostModel;
 use crate::view::{MaterializedView, ViewDef, ViewKey, ViewKeyKind};
+
+/// Number of registry shards. Sequential view ids round-robin across
+/// shards, so concurrent sessions touching different views hit different
+/// shard locks even before reaching the per-view locks.
+const N_SHARDS: usize = 16;
 
 /// The schema every loaded video table exposes:
 /// `(id INT, timestamp INT, frame FRAME)`.
@@ -25,18 +38,50 @@ pub fn video_table_schema() -> Schema {
     .expect("static schema is valid")
 }
 
+/// A view behind its own lock; handles are shared out of the registry so
+/// operations on the view never hold a registry shard lock.
+type ViewHandle = Arc<RwLock<MaterializedView>>;
+
+/// One registry shard: view id → view handle.
+type Shard = RwLock<BTreeMap<ViewId, ViewHandle>>;
+
 /// Thread-safe storage engine. Cheap to clone (shared state).
 #[derive(Debug, Clone, Default)]
 pub struct StorageEngine {
-    inner: Arc<RwLock<Inner>>,
+    shared: Arc<Shared>,
     cost: IoCostModel,
 }
 
-#[derive(Debug, Default)]
-struct Inner {
-    datasets: BTreeMap<String, Arc<VideoDataset>>,
-    views: BTreeMap<ViewId, MaterializedView>,
-    next_view_id: u64,
+#[derive(Debug)]
+struct Shared {
+    datasets: RwLock<BTreeMap<String, Arc<VideoDataset>>>,
+    shards: [Shard; N_SHARDS],
+    next_view_id: AtomicU64,
+}
+
+impl Default for Shared {
+    fn default() -> Shared {
+        Shared {
+            datasets: RwLock::new(BTreeMap::new()),
+            shards: std::array::from_fn(|_| RwLock::new(BTreeMap::new())),
+            next_view_id: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Shared {
+    fn shard_of(&self, id: ViewId) -> &Shard {
+        &self.shards[id.raw() as usize % N_SHARDS]
+    }
+
+    /// Look up a view's handle; the shard lock is released on return.
+    fn view(&self, id: ViewId) -> Result<ViewHandle> {
+        self.shard_of(id)
+            .read()
+            .get(&id)
+            .cloned()
+            .ok_or_else(|| EvaError::Storage(format!("unknown view {id}")))
+    }
 }
 
 impl StorageEngine {
@@ -48,7 +93,7 @@ impl StorageEngine {
     /// New engine with a custom IO cost model.
     pub fn with_cost_model(cost: IoCostModel) -> StorageEngine {
         StorageEngine {
-            inner: Arc::default(),
+            shared: Arc::default(),
             cost,
         }
     }
@@ -61,18 +106,18 @@ impl StorageEngine {
     /// Register a synthetic video dataset (the `LOAD VIDEO` path).
     pub fn load_dataset(&self, dataset: VideoDataset) -> Arc<VideoDataset> {
         let ds = Arc::new(dataset);
-        self.inner
-            .write()
+        self.shared
             .datasets
+            .write()
             .insert(ds.name().to_string(), Arc::clone(&ds));
         ds
     }
 
     /// Fetch a dataset by name.
     pub fn dataset(&self, name: &str) -> Result<Arc<VideoDataset>> {
-        self.inner
-            .read()
+        self.shared
             .datasets
+            .read()
             .get(name)
             .cloned()
             .ok_or_else(|| EvaError::Storage(format!("unknown dataset '{name}'")))
@@ -118,62 +163,46 @@ impl StorageEngine {
         key_kind: ViewKeyKind,
         output_schema: Arc<Schema>,
     ) -> ViewId {
-        let mut inner = self.inner.write();
-        inner.next_view_id += 1;
-        let id = ViewId(inner.next_view_id);
+        let id = ViewId(self.shared.next_view_id.fetch_add(1, Ordering::Relaxed) + 1);
         let def = ViewDef {
             id,
             name: name.into(),
             key_kind,
             output_schema,
         };
-        inner.views.insert(id, MaterializedView::new(def));
+        self.shared
+            .shard_of(id)
+            .write()
+            .insert(id, Arc::new(RwLock::new(MaterializedView::new(def))));
         id
     }
 
     /// View metadata.
     pub fn view_def(&self, id: ViewId) -> Result<ViewDef> {
-        let inner = self.inner.read();
-        inner
-            .views
-            .get(&id)
-            .map(|v| v.def().clone())
-            .ok_or_else(|| EvaError::Storage(format!("unknown view {id}")))
+        Ok(self.shared.view(id)?.read().def().clone())
     }
 
     /// Number of materialized keys in a view.
     pub fn view_n_keys(&self, id: ViewId) -> Result<u64> {
-        let inner = self.inner.read();
-        inner
-            .views
-            .get(&id)
-            .map(|v| v.n_keys())
-            .ok_or_else(|| EvaError::Storage(format!("unknown view {id}")))
+        Ok(self.shared.view(id)?.read().n_keys())
     }
 
     /// Total output rows in a view.
     pub fn view_n_rows(&self, id: ViewId) -> Result<u64> {
-        let inner = self.inner.read();
-        inner
-            .views
-            .get(&id)
-            .map(|v| v.n_rows())
-            .ok_or_else(|| EvaError::Storage(format!("unknown view {id}")))
+        Ok(self.shared.view(id)?.read().n_rows())
     }
 
     /// Append result rows for a batch of keys (STORE operator), charging
-    /// materialization IO.
+    /// materialization IO. Entries are `Arc<[Row]>` so the caller can keep
+    /// sharing the same rows it hands to the view (no copy on store).
     pub fn view_append(
         &self,
         id: ViewId,
-        entries: Vec<(ViewKey, Vec<Row>)>,
+        entries: Vec<(ViewKey, Arc<[Row]>)>,
         clock: &SimClock,
     ) -> Result<()> {
-        let mut inner = self.inner.write();
-        let view = inner
-            .views
-            .get_mut(&id)
-            .ok_or_else(|| EvaError::Storage(format!("unknown view {id}")))?;
+        let handle = self.shared.view(id)?;
+        let mut view = handle.write();
         let mut written = 0usize;
         for (k, rows) in entries {
             written += rows.len().max(1);
@@ -191,35 +220,54 @@ impl StorageEngine {
     /// per Eq. 3's `3·C_M` model.
     ///
     /// Returns, per key, `Some(rows)` when materialized and `None` when
-    /// missing (the conditional-APPLY guard then fires).
+    /// missing (the conditional-APPLY guard then fires). Hits share the
+    /// stored rows (`Arc` bump) — no per-row copies.
     #[allow(clippy::type_complexity)]
     pub fn view_probe(
         &self,
         id: ViewId,
         keys: &[ViewKey],
         clock: &SimClock,
-    ) -> Result<Vec<Option<Vec<Row>>>> {
-        let inner = self.inner.read();
-        let view = inner
-            .views
-            .get(&id)
-            .ok_or_else(|| EvaError::Storage(format!("unknown view {id}")))?;
+    ) -> Result<Vec<Option<Arc<[Row]>>>> {
+        let (out, rows_read) = self.view_probe_uncharged(id, keys)?;
+        self.charge_view_read(rows_read, clock);
+        Ok(out)
+    }
+
+    /// The probe itself, without touching a clock: returns per-key results
+    /// plus the number of rows read. Lets callers fan a large probe out to
+    /// worker threads (the clock is not `Sync`) and charge the summed row
+    /// count once — integer summation keeps the simulated cost bit-identical
+    /// to a serial probe.
+    #[allow(clippy::type_complexity)]
+    pub fn view_probe_uncharged(
+        &self,
+        id: ViewId,
+        keys: &[ViewKey],
+    ) -> Result<(Vec<Option<Arc<[Row]>>>, usize)> {
+        let handle = self.shared.view(id)?;
+        let view = handle.read();
         let mut out = Vec::with_capacity(keys.len());
         let mut rows_read = 0usize;
         for k in keys {
             match view.get(k) {
                 Some(rows) => {
                     rows_read += rows.len().max(1);
-                    out.push(Some(rows.to_vec()));
+                    out.push(Some(Arc::clone(rows)));
                 }
                 None => out.push(None),
             }
         }
+        Ok((out, rows_read))
+    }
+
+    /// Charge the view-read IO for `rows_read` probed rows (the `3·C_M`
+    /// model applied by [`StorageEngine::view_probe`]).
+    pub fn charge_view_read(&self, rows_read: usize, clock: &SimClock) {
         clock.charge(
             CostCategory::ReadView,
             self.cost.view_join_factor * self.cost.view_row_read_ms * rows_read as f64,
         );
-        Ok(out)
     }
 
     /// Fuzzy probe of a box-level view (§6 future work): highest-IoU stored
@@ -232,68 +280,86 @@ impl StorageEngine {
         bbox: &eva_common::BBox,
         min_iou: f32,
         clock: &SimClock,
-    ) -> Result<Option<Vec<Row>>> {
-        let inner = self.inner.read();
-        let view = inner
-            .views
-            .get(&id)
-            .ok_or_else(|| EvaError::Storage(format!("unknown view {id}")))?;
-        let (rows, scanned) = view.fuzzy_get(frame, bbox, min_iou);
-        let read = scanned + rows.map(|r| r.len()).unwrap_or(0);
+    ) -> Result<Option<Arc<[Row]>>> {
+        let handle = self.shared.view(id)?;
+        let (rows, scanned) = handle.read().fuzzy_get(frame, bbox, min_iou);
+        let read = scanned + rows.as_ref().map(|r| r.len()).unwrap_or(0);
         clock.charge(
             CostCategory::ReadView,
             self.cost.view_row_read_ms * read as f64,
         );
-        Ok(rows.map(|r| r.to_vec()))
+        Ok(rows)
     }
 
     /// Does the view contain the key? (No IO charge — membership is answered
     /// by the in-memory hash/index.)
     pub fn view_contains(&self, id: ViewId, key: &ViewKey) -> Result<bool> {
-        let inner = self.inner.read();
-        inner
-            .views
-            .get(&id)
-            .map(|v| v.contains(key))
-            .ok_or_else(|| EvaError::Storage(format!("unknown view {id}")))
+        Ok(self.shared.view(id)?.read().contains(key))
     }
 
     /// Total approximate bytes across all views (the storage-footprint
-    /// metric of §5.2).
+    /// metric of §5.2). O(number of views): each view keeps a running
+    /// counter.
     pub fn total_view_bytes(&self) -> u64 {
-        self.inner.read().views.values().map(|v| v.approx_bytes()).sum()
+        self.shared
+            .shards
+            .iter()
+            .map(|shard| {
+                shard
+                    .read()
+                    .values()
+                    .map(|v| v.read().approx_bytes())
+                    .sum::<u64>()
+            })
+            .sum()
     }
 
-    /// Snapshot of all view definitions.
+    /// Snapshot of all view definitions, in view-id order.
     pub fn view_defs(&self) -> Vec<ViewDef> {
-        self.inner
-            .read()
-            .views
-            .values()
-            .map(|v| v.def().clone())
-            .collect()
+        let mut defs: Vec<ViewDef> = self
+            .shared
+            .shards
+            .iter()
+            .flat_map(|shard| {
+                shard
+                    .read()
+                    .values()
+                    .map(|v| v.read().def().clone())
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        defs.sort_by_key(|d| d.id);
+        defs
     }
 
     /// Drop every view (clean-state workload restarts).
     pub fn clear_views(&self) {
-        let mut inner = self.inner.write();
-        inner.views.clear();
+        for shard in &self.shared.shards {
+            shard.write().clear();
+        }
     }
 
     /// Persist all views to a directory (one JSON file per view plus an
     /// index). Datasets are *not* persisted — they regenerate from seeds.
     pub fn save_views(&self, dir: &Path) -> Result<()> {
         std::fs::create_dir_all(dir)?;
-        let inner = self.inner.read();
+        let mut handles: Vec<(ViewId, ViewHandle)> = Vec::new();
+        for shard in &self.shared.shards {
+            for (id, handle) in shard.read().iter() {
+                handles.push((*id, Arc::clone(handle)));
+            }
+        }
+        handles.sort_by_key(|(id, _)| *id);
         let mut index = Vec::new();
-        for (id, view) in &inner.views {
+        for (id, handle) in handles {
             let file = dir.join(format!("view_{}.json", id.raw()));
-            let json = serde_json::to_string(view)
+            let json = serde_json::to_string(&*handle.read())
                 .map_err(|e| EvaError::Io(format!("serialize view: {e}")))?;
             std::fs::write(&file, json)?;
             index.push(id.raw());
         }
-        let idx_json = serde_json::to_string(&(inner.next_view_id, index))
+        let next_id = self.shared.next_view_id.load(Ordering::Relaxed);
+        let idx_json = serde_json::to_string(&(next_id, index))
             .map_err(|e| EvaError::Io(format!("serialize index: {e}")))?;
         std::fs::write(dir.join("views_index.json"), idx_json)?;
         Ok(())
@@ -304,14 +370,19 @@ impl StorageEngine {
         let idx_raw = std::fs::read_to_string(dir.join("views_index.json"))?;
         let (next_id, ids): (u64, Vec<u64>) = serde_json::from_str(&idx_raw)
             .map_err(|e| EvaError::Io(format!("parse index: {e}")))?;
-        let mut inner = self.inner.write();
-        inner.next_view_id = inner.next_view_id.max(next_id);
+        self.shared
+            .next_view_id
+            .fetch_max(next_id, Ordering::Relaxed);
         for raw in ids {
             let file = dir.join(format!("view_{raw}.json"));
             let json = std::fs::read_to_string(&file)?;
             let view: MaterializedView = serde_json::from_str(&json)
                 .map_err(|e| EvaError::Io(format!("parse view {raw}: {e}")))?;
-            inner.views.insert(ViewId(raw), view);
+            let id = ViewId(raw);
+            self.shared
+                .shard_of(id)
+                .write()
+                .insert(id, Arc::new(RwLock::new(view)));
         }
         Ok(())
     }
@@ -364,8 +435,12 @@ mod tests {
         let id = eng.create_view("det", ViewKeyKind::Frame, out_schema());
         let k0 = ViewKey::frame(FrameId(0));
         let k1 = ViewKey::frame(FrameId(1));
-        eng.view_append(id, vec![(k0, vec![vec![Value::from("car")]])], &clock)
-            .unwrap();
+        eng.view_append(
+            id,
+            vec![(k0, vec![vec![Value::from("car")]].into())],
+            &clock,
+        )
+        .unwrap();
         assert_eq!(eng.view_n_keys(id).unwrap(), 1);
         assert_eq!(eng.view_n_rows(id).unwrap(), 1);
 
@@ -380,14 +455,52 @@ mod tests {
     }
 
     #[test]
+    fn probe_hits_share_stored_rows() {
+        let eng = StorageEngine::new();
+        let clock = SimClock::new();
+        let id = eng.create_view("det", ViewKeyKind::Frame, out_schema());
+        let k = ViewKey::frame(FrameId(0));
+        eng.view_append(id, vec![(k, vec![vec![Value::from("car")]].into())], &clock)
+            .unwrap();
+        let a = eng.view_probe(id, &[k], &clock).unwrap();
+        let b = eng.view_probe(id, &[k], &clock).unwrap();
+        let (a, b) = (a[0].as_ref().unwrap(), b[0].as_ref().unwrap());
+        assert!(Arc::ptr_eq(a, b), "probe hits must be zero-copy");
+    }
+
+    #[test]
+    fn uncharged_probe_reports_rows_read() {
+        let eng = StorageEngine::new();
+        let clock = SimClock::new();
+        let id = eng.create_view("det", ViewKeyKind::Frame, out_schema());
+        let k0 = ViewKey::frame(FrameId(0));
+        let k1 = ViewKey::frame(FrameId(1));
+        eng.view_append(
+            id,
+            vec![(k0, vec![vec![Value::from("car")]].into())],
+            &clock,
+        )
+        .unwrap();
+        let before = clock.snapshot();
+        let (out, rows_read) = eng.view_probe_uncharged(id, &[k0, k1]).unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(rows_read, 1);
+        assert_eq!(
+            clock.snapshot().get(CostCategory::ReadView),
+            before.get(CostCategory::ReadView),
+            "uncharged probe must not touch the clock"
+        );
+        eng.charge_view_read(rows_read, &clock);
+        assert!((clock.snapshot().get(CostCategory::ReadView) - 0.15).abs() < 1e-9);
+    }
+
+    #[test]
     fn unknown_view_errors() {
         let eng = StorageEngine::new();
         let clock = SimClock::new();
         assert!(eng.view_probe(ViewId(99), &[], &clock).is_err());
         assert!(eng.view_n_keys(ViewId(99)).is_err());
-        assert!(eng
-            .view_append(ViewId(99), vec![], &clock)
-            .is_err());
+        assert!(eng.view_append(ViewId(99), vec![], &clock).is_err());
     }
 
     #[test]
@@ -396,14 +509,54 @@ mod tests {
         let clock = SimClock::new();
         let a = eng.create_view("a", ViewKeyKind::Frame, out_schema());
         let b = eng.create_view("b", ViewKeyKind::Frame, out_schema());
-        eng.view_append(a, vec![(ViewKey::frame(FrameId(0)), vec![vec![Value::from("car")]])], &clock)
-            .unwrap();
-        eng.view_append(b, vec![(ViewKey::frame(FrameId(0)), vec![vec![Value::from("bus")]])], &clock)
-            .unwrap();
+        eng.view_append(
+            a,
+            vec![(
+                ViewKey::frame(FrameId(0)),
+                vec![vec![Value::from("car")]].into(),
+            )],
+            &clock,
+        )
+        .unwrap();
+        eng.view_append(
+            b,
+            vec![(
+                ViewKey::frame(FrameId(0)),
+                vec![vec![Value::from("bus")]].into(),
+            )],
+            &clock,
+        )
+        .unwrap();
         assert!(eng.total_view_bytes() > 0);
         assert_eq!(eng.view_defs().len(), 2);
         eng.clear_views();
         assert_eq!(eng.total_view_bytes(), 0);
+    }
+
+    #[test]
+    fn view_ids_are_unique_across_threads() {
+        let eng = StorageEngine::new();
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let eng = eng.clone();
+            handles.push(std::thread::spawn(move || {
+                (0..32)
+                    .map(|i| eng.create_view(format!("v{i}"), ViewKeyKind::Frame, out_schema()))
+                    .collect::<Vec<_>>()
+            }));
+        }
+        let mut ids: Vec<ViewId> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(
+            ids.len(),
+            4 * 32,
+            "concurrent create_view must not reuse ids"
+        );
+        assert_eq!(eng.view_defs().len(), 4 * 32);
     }
 
     #[test]
@@ -415,7 +568,10 @@ mod tests {
         let id = eng.create_view("det", ViewKeyKind::Frame, out_schema());
         eng.view_append(
             id,
-            vec![(ViewKey::frame(FrameId(7)), vec![vec![Value::from("car")]])],
+            vec![(
+                ViewKey::frame(FrameId(7)),
+                vec![vec![Value::from("car")]].into(),
+            )],
             &clock,
         )
         .unwrap();

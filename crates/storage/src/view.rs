@@ -9,9 +9,15 @@
 //! Each key maps to the *list* of output rows the UDF produced for that
 //! input (a detector emits one row per detected object, possibly zero —
 //! which still records "this frame was processed").
+//!
+//! Entries are stored as `Arc<[Row]>` so probe hits hand back a refcount
+//! bump instead of deep-copying every row — the zero-copy half of the
+//! reuse hot path. Probes go through a hash index (O(1) per key); box-level
+//! views additionally keep a per-frame secondary index so fuzzy probes scan
+//! only the boxes stored on the probed frame.
 
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::HashMap;
 use std::sync::Arc;
 
 use eva_common::{BBox, EvaError, FrameId, Result, Row, Schema, ViewId};
@@ -74,16 +80,22 @@ pub struct ViewDef {
     pub output_schema: Arc<Schema>,
 }
 
-/// A materialized view: key → output rows.
+/// A materialized view: key → output rows (shared, immutable per key).
 ///
 /// Serialized through [`ViewSnapshot`] because JSON object keys must be
-/// strings while view keys are structured.
+/// strings while view keys are structured; snapshots list entries in key
+/// order so the on-disk format stays deterministic.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 #[serde(into = "ViewSnapshot", from = "ViewSnapshot")]
 pub struct MaterializedView {
     def: ViewDef,
-    data: BTreeMap<ViewKey, Vec<Row>>,
+    data: HashMap<ViewKey, Arc<[Row]>>,
+    /// Box-level views only: frame id → keys stored on that frame, sorted.
+    /// Sorted order preserves the tie-breaking the old full-index range scan
+    /// had (first key in key order wins among equal-IoU candidates).
+    by_frame: HashMap<u64, Vec<ViewKey>>,
     total_rows: u64,
+    approx_bytes: u64,
 }
 
 /// Flat, JSON-friendly encoding of a [`MaterializedView`].
@@ -95,22 +107,43 @@ pub struct ViewSnapshot {
 
 impl From<MaterializedView> for ViewSnapshot {
     fn from(v: MaterializedView) -> ViewSnapshot {
+        let mut entries: Vec<(ViewKey, Vec<Row>)> = v
+            .data
+            .into_iter()
+            .map(|(k, rows)| (k, rows.to_vec()))
+            .collect();
+        entries.sort_by_key(|(k, _)| *k);
         ViewSnapshot {
             def: v.def,
-            entries: v.data.into_iter().collect(),
+            entries,
         }
     }
 }
 
 impl From<ViewSnapshot> for MaterializedView {
     fn from(s: ViewSnapshot) -> MaterializedView {
-        let total_rows = s.entries.iter().map(|(_, rows)| rows.len() as u64).sum();
-        MaterializedView {
-            def: s.def,
-            data: s.entries.into_iter().collect(),
-            total_rows,
+        let mut view = MaterializedView::new(s.def);
+        for (key, rows) in s.entries {
+            // Snapshots were written by `append`, so re-appending cannot
+            // violate the key-kind invariant; ignore rather than panic.
+            let _ = view.append(key, rows.into());
         }
+        view
     }
+}
+
+/// Serialized size of one entry: key bytes plus each value's byte encoding.
+fn entry_bytes(key: &ViewKey, rows: &[Row]) -> u64 {
+    let key_bytes: u64 = match key {
+        ViewKey::Frame(_) => 8,
+        ViewKey::FrameBox(..) => 16,
+    };
+    key_bytes
+        + rows
+            .iter()
+            .flat_map(|row| row.iter())
+            .map(|v| v.encoded_len() as u64)
+            .sum::<u64>()
 }
 
 impl MaterializedView {
@@ -118,8 +151,10 @@ impl MaterializedView {
     pub fn new(def: ViewDef) -> MaterializedView {
         MaterializedView {
             def,
-            data: BTreeMap::new(),
+            data: HashMap::new(),
+            by_frame: HashMap::new(),
             total_rows: 0,
+            approx_bytes: 0,
         }
     }
 
@@ -144,15 +179,16 @@ impl MaterializedView {
         self.data.contains_key(key)
     }
 
-    /// Output rows for a key, if materialized.
-    pub fn get(&self, key: &ViewKey) -> Option<&[Row]> {
-        self.data.get(key).map(|v| v.as_slice())
+    /// Output rows for a key, if materialized. Cloning the returned `Arc`
+    /// shares the rows without copying them.
+    pub fn get(&self, key: &ViewKey) -> Option<&Arc<[Row]>> {
+        self.data.get(key)
     }
 
     /// Record the UDF's output rows for a key. Re-appending an existing key
     /// is a no-op (results are deterministic per input), which makes STORE
     /// idempotent under plan retries.
-    pub fn append(&mut self, key: ViewKey, rows: Vec<Row>) -> Result<()> {
+    pub fn append(&mut self, key: ViewKey, rows: Arc<[Row]>) -> Result<()> {
         if key.kind() != self.def.key_kind {
             return Err(EvaError::Storage(format!(
                 "key kind mismatch appending to view '{}'",
@@ -164,69 +200,71 @@ impl MaterializedView {
             "row arity mismatch in view '{}'",
             self.def.name
         );
-        if let std::collections::btree_map::Entry::Vacant(e) = self.data.entry(key) {
+        if let std::collections::hash_map::Entry::Vacant(e) = self.data.entry(key) {
             self.total_rows += rows.len() as u64;
+            self.approx_bytes += entry_bytes(&key, &rows);
+            if let ViewKey::FrameBox(frame, _) = key {
+                let keys = self.by_frame.entry(frame).or_default();
+                if let Err(pos) = keys.binary_search(&key) {
+                    keys.insert(pos, key);
+                }
+            }
             e.insert(rows);
         }
         Ok(())
     }
 
-    /// Iterate all entries in key order.
-    pub fn iter(&self) -> impl Iterator<Item = (&ViewKey, &Vec<Row>)> {
+    /// Iterate all entries (order unspecified — the store is a hash index).
+    pub fn iter(&self) -> impl Iterator<Item = (&ViewKey, &Arc<[Row]>)> {
         self.data.iter()
     }
 
     /// Fuzzy lookup for box-level views (§6 future work): find the stored
     /// box on the same frame with the highest IoU against `bbox`, if it
     /// clears `min_iou`. Returns the matched rows and the number of
-    /// candidate keys scanned (for IO accounting).
-    pub fn fuzzy_get(&self, frame: FrameId, bbox: &BBox, min_iou: f32) -> (Option<&[Row]>, usize) {
+    /// candidate keys scanned (for IO accounting). Only the boxes indexed
+    /// under `frame` are scanned, not the whole view.
+    pub fn fuzzy_get(
+        &self,
+        frame: FrameId,
+        bbox: &BBox,
+        min_iou: f32,
+    ) -> (Option<Arc<[Row]>>, usize) {
         debug_assert_eq!(self.def.key_kind, ViewKeyKind::FrameBox);
-        let lo = ViewKey::FrameBox(frame.raw(), [0; 4]);
-        let hi = ViewKey::FrameBox(frame.raw(), [u16::MAX; 4]);
-        let mut best: Option<(&Vec<Row>, f32)> = None;
+        let Some(candidates) = self.by_frame.get(&frame.raw()) else {
+            return (None, 0);
+        };
+        let mut best: Option<(&ViewKey, f32)> = None;
         let mut scanned = 0usize;
-        for (key, rows) in self.data.range(lo..=hi) {
+        for key in candidates {
             scanned += 1;
-            let ViewKey::FrameBox(_, corners) = key else { continue };
-            let stored = BBox::new(
-                corners[0] as f32 / 10_000.0,
-                corners[1] as f32 / 10_000.0,
-                corners[2] as f32 / 10_000.0,
-                corners[3] as f32 / 10_000.0,
-            );
+            let ViewKey::FrameBox(_, corners) = key else {
+                continue;
+            };
+            let stored = BBox::from_key(*corners);
             let iou = stored.iou(bbox);
             if iou >= min_iou && best.map(|(_, b)| iou > b).unwrap_or(true) {
-                best = Some((rows, iou));
+                best = Some((key, iou));
             }
         }
-        (best.map(|(r, _)| r.as_slice()), scanned)
+        let rows =
+            best.map(|(key, _)| Arc::clone(self.data.get(key).expect("frame index out of sync")));
+        (rows, scanned)
     }
 
     /// Approximate storage footprint in bytes (the Table "storage overhead"
-    /// metric): serialized key + values.
+    /// metric): serialized key + values. O(1) — maintained incrementally by
+    /// [`MaterializedView::append`].
     pub fn approx_bytes(&self) -> u64 {
-        let mut total = 0u64;
-        for (k, rows) in &self.data {
-            total += match k {
-                ViewKey::Frame(_) => 8,
-                ViewKey::FrameBox(..) => 16,
-            };
-            for row in rows {
-                for v in row {
-                    let mut buf = Vec::new();
-                    v.write_bytes(&mut buf);
-                    total += buf.len() as u64;
-                }
-            }
-        }
-        total
+        self.approx_bytes
     }
 
     /// Remove everything (used when workloads restart from a clean state).
     pub fn clear(&mut self) {
         self.data.clear();
+        self.by_frame.clear();
         self.total_rows = 0;
+        self.approx_bytes = 0;
     }
 }
 
@@ -254,8 +292,11 @@ mod tests {
     fn append_and_get() {
         let mut v = demo_view(ViewKeyKind::Frame);
         let key = ViewKey::frame(FrameId(3));
-        v.append(key, vec![vec![Value::from("car"), Value::Float(0.9)]])
-            .unwrap();
+        v.append(
+            key,
+            vec![vec![Value::from("car"), Value::Float(0.9)]].into(),
+        )
+        .unwrap();
         assert!(v.contains(&key));
         assert_eq!(v.get(&key).unwrap().len(), 1);
         assert_eq!(v.n_keys(), 1);
@@ -264,10 +305,24 @@ mod tests {
     }
 
     #[test]
+    fn get_shares_rows_without_copying() {
+        let mut v = demo_view(ViewKeyKind::Frame);
+        let key = ViewKey::frame(FrameId(3));
+        v.append(
+            key,
+            vec![vec![Value::from("car"), Value::Float(0.9)]].into(),
+        )
+        .unwrap();
+        let a = Arc::clone(v.get(&key).unwrap());
+        let b = Arc::clone(v.get(&key).unwrap());
+        assert!(Arc::ptr_eq(&a, &b), "hits must share one allocation");
+    }
+
+    #[test]
     fn empty_result_still_marks_processed() {
         let mut v = demo_view(ViewKeyKind::Frame);
         let key = ViewKey::frame(FrameId(9));
-        v.append(key, vec![]).unwrap();
+        v.append(key, vec![].into()).unwrap();
         assert!(v.contains(&key));
         assert_eq!(v.get(&key).unwrap().len(), 0);
         assert_eq!(v.n_rows(), 0);
@@ -277,11 +332,19 @@ mod tests {
     fn reappend_is_idempotent() {
         let mut v = demo_view(ViewKeyKind::Frame);
         let key = ViewKey::frame(FrameId(1));
-        v.append(key, vec![vec![Value::from("car"), Value::Float(0.9)]])
-            .unwrap();
-        v.append(key, vec![vec![Value::from("bus"), Value::Float(0.5)]])
-            .unwrap();
+        v.append(
+            key,
+            vec![vec![Value::from("car"), Value::Float(0.9)]].into(),
+        )
+        .unwrap();
+        let bytes = v.approx_bytes();
+        v.append(
+            key,
+            vec![vec![Value::from("bus"), Value::Float(0.5)]].into(),
+        )
+        .unwrap();
         assert_eq!(v.n_rows(), 1);
+        assert_eq!(v.approx_bytes(), bytes, "no-op append leaves bytes alone");
         assert_eq!(v.get(&key).unwrap()[0][0], Value::from("car"));
     }
 
@@ -289,7 +352,7 @@ mod tests {
     fn key_kind_enforced() {
         let mut v = demo_view(ViewKeyKind::Frame);
         let bad = ViewKey::frame_box(FrameId(0), &BBox::new(0.0, 0.0, 0.1, 0.1));
-        assert!(v.append(bad, vec![]).is_err());
+        assert!(v.append(bad, vec![].into()).is_err());
     }
 
     #[test]
@@ -297,31 +360,72 @@ mod tests {
         let mut v = demo_view(ViewKeyKind::FrameBox);
         let b1 = BBox::new(0.0, 0.0, 0.1, 0.1);
         let b2 = BBox::new(0.5, 0.5, 0.9, 0.9);
-        v.append(ViewKey::frame_box(FrameId(0), &b1), vec![]).unwrap();
+        v.append(ViewKey::frame_box(FrameId(0), &b1), vec![].into())
+            .unwrap();
         assert!(v.contains(&ViewKey::frame_box(FrameId(0), &b1)));
         assert!(!v.contains(&ViewKey::frame_box(FrameId(0), &b2)));
         assert!(!v.contains(&ViewKey::frame_box(FrameId(1), &b1)));
     }
 
     #[test]
-    fn approx_bytes_grows() {
-        let mut v = demo_view(ViewKeyKind::Frame);
-        let before = v.approx_bytes();
+    fn fuzzy_get_scans_only_the_probed_frame() {
+        let mut v = demo_view(ViewKeyKind::FrameBox);
+        let near = BBox::new(0.10, 0.10, 0.40, 0.40);
+        let far = BBox::new(0.60, 0.60, 0.90, 0.90);
         v.append(
-            ViewKey::frame(FrameId(0)),
-            vec![vec![Value::from("car"), Value::Float(0.9)]],
+            ViewKey::frame_box(FrameId(0), &near),
+            vec![vec![Value::from("near"), Value::Float(1.0)]].into(),
         )
         .unwrap();
-        assert!(v.approx_bytes() > before);
+        v.append(
+            ViewKey::frame_box(FrameId(0), &far),
+            vec![vec![Value::from("far"), Value::Float(1.0)]].into(),
+        )
+        .unwrap();
+        v.append(
+            ViewKey::frame_box(FrameId(5), &near),
+            vec![vec![Value::from("other-frame"), Value::Float(1.0)]].into(),
+        )
+        .unwrap();
+
+        let probe = BBox::new(0.11, 0.11, 0.41, 0.41);
+        let (hit, scanned) = v.fuzzy_get(FrameId(0), &probe, 0.5);
+        assert_eq!(hit.unwrap()[0][0], Value::from("near"));
+        assert_eq!(scanned, 2, "only frame 0's boxes are candidates");
+
+        let (miss, scanned) = v.fuzzy_get(FrameId(7), &probe, 0.5);
+        assert!(miss.is_none());
+        assert_eq!(scanned, 0, "unindexed frames scan nothing");
+    }
+
+    #[test]
+    fn approx_bytes_grows_and_matches_encoding() {
+        let mut v = demo_view(ViewKeyKind::Frame);
+        assert_eq!(v.approx_bytes(), 0);
+        let rows = vec![vec![Value::from("car"), Value::Float(0.9)]];
+        v.append(ViewKey::frame(FrameId(0)), rows.clone().into())
+            .unwrap();
+        // Running counter must equal the serialized size: 8 key bytes plus
+        // each value's write_bytes encoding.
+        let mut expected = 8u64;
+        for row in &rows {
+            for val in row {
+                let mut buf = Vec::new();
+                val.write_bytes(&mut buf);
+                expected += buf.len() as u64;
+            }
+        }
+        assert_eq!(v.approx_bytes(), expected);
     }
 
     #[test]
     fn clear_resets() {
         let mut v = demo_view(ViewKeyKind::Frame);
-        v.append(ViewKey::frame(FrameId(0)), vec![]).unwrap();
+        v.append(ViewKey::frame(FrameId(0)), vec![].into()).unwrap();
         v.clear();
         assert_eq!(v.n_keys(), 0);
         assert_eq!(v.n_rows(), 0);
+        assert_eq!(v.approx_bytes(), 0);
     }
 
     #[test]
@@ -333,5 +437,23 @@ mod tests {
         let kb = ViewKey::frame_box(FrameId(7), &BBox::new(0.0, 0.0, 0.1, 0.1));
         assert_eq!(kb.frame_id(), FrameId(7));
         assert_eq!(kb.kind(), ViewKeyKind::FrameBox);
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_counters() {
+        let mut v = demo_view(ViewKeyKind::FrameBox);
+        let b1 = BBox::new(0.0, 0.0, 0.1, 0.1);
+        v.append(
+            ViewKey::frame_box(FrameId(2), &b1),
+            vec![vec![Value::from("car"), Value::Float(0.9)]].into(),
+        )
+        .unwrap();
+        let json = serde_json::to_string(&v).unwrap();
+        let back: MaterializedView = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.n_keys(), v.n_keys());
+        assert_eq!(back.n_rows(), v.n_rows());
+        assert_eq!(back.approx_bytes(), v.approx_bytes());
+        let (hit, _) = back.fuzzy_get(FrameId(2), &b1, 0.9);
+        assert!(hit.is_some(), "frame index rebuilt on load");
     }
 }

@@ -93,9 +93,7 @@ impl CatSet {
     pub fn intersect(&self, other: &CatSet) -> CatSet {
         match (self, other) {
             (CatSet::In(a), CatSet::In(b)) => CatSet::In(a.intersection(b).cloned().collect()),
-            (CatSet::NotIn(a), CatSet::NotIn(b)) => {
-                CatSet::NotIn(a.union(b).cloned().collect())
-            }
+            (CatSet::NotIn(a), CatSet::NotIn(b)) => CatSet::NotIn(a.union(b).cloned().collect()),
             (CatSet::In(inc), CatSet::NotIn(exc)) | (CatSet::NotIn(exc), CatSet::In(inc)) => {
                 CatSet::In(inc.difference(exc).cloned().collect())
             }

@@ -238,9 +238,7 @@ impl Conjunct {
         }
         self.dims
             .iter()
-            .map(|(d, k)| {
-                Conjunct::universal().constrain(d, k.complement())
-            })
+            .map(|(d, k)| Conjunct::universal().constrain(d, k.complement()))
             .filter(|c| !c.is_unsat())
             .collect()
     }
@@ -271,9 +269,9 @@ impl Conjunct {
         if self.unsat {
             return false;
         }
-        self.dims.iter().all(|(d, k)| {
-            point.get(d).map(|v| k.contains(v)).unwrap_or(false)
-        })
+        self.dims
+            .iter()
+            .all(|(d, k)| point.get(d).map(|v| k.contains(v)).unwrap_or(false))
     }
 
     /// Total atomic formulas across dimensions (≥1 for non-universal
@@ -483,7 +481,9 @@ mod tests {
         let c = Conjunct::universal().constrain("id", num(0.0, 10.0));
         let c2 = c.clone().with_dim("id", num(5.0, 6.0));
         assert_eq!(c2.constraint("id"), Some(&num(5.0, 6.0)));
-        let c3 = c.clone().with_dim("id", Constraint::Num(IntervalSet::full()));
+        let c3 = c
+            .clone()
+            .with_dim("id", Constraint::Num(IntervalSet::full()));
         assert!(c3.is_universal());
         let c4 = c.with_dim("id", Constraint::Num(IntervalSet::empty()));
         assert!(c4.is_unsat());

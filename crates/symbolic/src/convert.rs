@@ -130,11 +130,7 @@ fn constraint_to_expr(dim_expr: &Expr, k: &Constraint) -> Expr {
             for iv in set.intervals() {
                 let mut conj = Vec::new();
                 if iv.lo == iv.hi {
-                    parts.push(Expr::cmp(
-                        dim_expr.clone(),
-                        CmpOp::Eq,
-                        Expr::lit(iv.lo),
-                    ));
+                    parts.push(Expr::cmp(dim_expr.clone(), CmpOp::Eq, Expr::lit(iv.lo)));
                     continue;
                 }
                 if iv.lo != f64::NEG_INFINITY {
@@ -231,7 +227,10 @@ mod tests {
 
     #[test]
     fn negation_pushes_to_atoms() {
-        let e = Expr::col("id").lt(10).and(Expr::col("label").eq_val("car")).not();
+        let e = Expr::col("id")
+            .lt(10)
+            .and(Expr::col("label").eq_val("car"))
+            .not();
         let d = to_dnf(&e).unwrap();
         // ¬(id<10 ∧ label=car) = id>=10 ∨ label≠car
         assert!(d.contains_point(&point(20, 0.0, "car")));
@@ -255,7 +254,7 @@ mod tests {
         let d = to_dnf(&e).unwrap();
         let dims: Vec<String> = d.dims().into_iter().collect();
         assert_eq!(dims, vec!["cartype(bbox,frame)".to_string()]); // args sorted
-        // Accuracy does not change the dimension.
+                                                                   // Accuracy does not change the dimension.
         let with_acc = UdfCall::new("CarType", vec![Expr::col("frame"), Expr::col("bbox")])
             .with_accuracy("HIGH");
         assert_eq!(udf_dim(&call), udf_dim(&with_acc));
@@ -313,7 +312,9 @@ mod tests {
     #[test]
     fn dnf_to_expr_handles_not_equal_and_points() {
         let schema = round_trip_schema();
-        let e = Expr::col("id").ne_val(7).and(Expr::col("label").ne_val("bus"));
+        let e = Expr::col("id")
+            .ne_val(7)
+            .and(Expr::col("label").ne_val("bus"));
         let d = to_dnf(&e).unwrap();
         let back = dnf_to_expr(&d, |d| Expr::col(d));
         for (id, label) in [(7i64, "car"), (8, "bus"), (8, "car"), (7, "bus")] {

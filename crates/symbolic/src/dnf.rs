@@ -196,10 +196,9 @@ impl Dnf {
                     if !budget.step() {
                         return;
                     }
-                    if let Some(repl) = reduce_union_conjunctives(
-                        &self.conjuncts[i],
-                        &self.conjuncts[j],
-                    ) {
+                    if let Some(repl) =
+                        reduce_union_conjunctives(&self.conjuncts[i], &self.conjuncts[j])
+                    {
                         // Replace pair (i, j) with the reduction result.
                         self.conjuncts.swap_remove(j);
                         self.conjuncts.swap_remove(i);
@@ -453,10 +452,7 @@ mod tests {
         let u = union(&Dnf::conjunct(c1), &Dnf::conjunct(c2));
         assert_eq!(u.conjuncts().len(), 1);
         let merged = &u.conjuncts()[0];
-        assert!(merged.contains_point(&pt(&[
-            ("x", Value::Float(7.0)),
-            ("y", Value::Float(1.0))
-        ])));
+        assert!(merged.contains_point(&pt(&[("x", Value::Float(7.0)), ("y", Value::Float(1.0))])));
         assert_eq!(u.atom_count(), 4);
     }
 
@@ -535,11 +531,7 @@ mod tests {
         let p = Dnf::conjunct(range("x", 0.0, 1.0).intersect(&cat("l", "car")));
         let mut b = Budget::default();
         let n = p.complement(&mut b).unwrap();
-        for (x, l, inside) in [
-            (0.5, "car", true),
-            (0.5, "bus", false),
-            (2.0, "car", false),
-        ] {
+        for (x, l, inside) in [(0.5, "car", true), (0.5, "bus", false), (2.0, "car", false)] {
             let point = pt(&[("x", Value::Float(x)), ("l", Value::from(l))]);
             assert_eq!(p.contains_point(&point), inside);
             assert_eq!(n.contains_point(&point), !inside);
@@ -563,8 +555,7 @@ mod tests {
         let mut cs1 = Vec::new();
         for i in 0..10 {
             cs1.push(
-                range("x", i as f64 * 10.0, i as f64 * 10.0 + 5.0)
-                    .intersect(&range("y", 0.0, 1.0)),
+                range("x", i as f64 * 10.0, i as f64 * 10.0 + 5.0).intersect(&range("y", 0.0, 1.0)),
             );
         }
         let p1 = Dnf::from_conjuncts(cs1);

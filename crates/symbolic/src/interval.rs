@@ -247,8 +247,11 @@ impl IntervalSet {
     }
 
     fn normalize(&mut self) {
-        self.intervals
-            .sort_by(|a, b| (a.lo, a.lo_open as u8).partial_cmp(&(b.lo, b.lo_open as u8)).unwrap());
+        self.intervals.sort_by(|a, b| {
+            (a.lo, a.lo_open as u8)
+                .partial_cmp(&(b.lo, b.lo_open as u8))
+                .unwrap()
+        });
         let mut out: Vec<Interval> = Vec::with_capacity(self.intervals.len());
         for iv in self.intervals.drain(..) {
             match out.last_mut() {
@@ -411,7 +414,8 @@ mod tests {
         let b = IntervalSet::interval(10.0, true, 20.0, true);
         assert_eq!(a.union(&b), IntervalSet::interval(5.0, true, 20.0, true));
         // "timestamp > 6pm OR timestamp > 9pm" → "timestamp > 6pm"
-        let p = IntervalSet::greater_than(18.0, false).union(&IntervalSet::greater_than(21.0, false));
+        let p =
+            IntervalSet::greater_than(18.0, false).union(&IntervalSet::greater_than(21.0, false));
         assert_eq!(p, IntervalSet::greater_than(18.0, false));
     }
 
@@ -422,7 +426,9 @@ mod tests {
         let i = a.intersect(&b);
         assert_eq!(i, IntervalSet::interval(5.0, true, 10.0, true));
         // (-∞,10) ∩ [10,∞) = ∅, but (-∞,10] ∩ [10,∞) = {10}.
-        assert!(a.intersect(&IntervalSet::greater_than(10.0, true)).is_empty());
+        assert!(a
+            .intersect(&IntervalSet::greater_than(10.0, true))
+            .is_empty());
         let a_incl = IntervalSet::less_than(10.0, true);
         let pt = a_incl.intersect(&IntervalSet::greater_than(10.0, true));
         assert_eq!(pt, IntervalSet::point(10.0));
@@ -475,7 +481,10 @@ mod tests {
     fn atom_counts() {
         assert_eq!(IntervalSet::full().atom_count(), 0);
         assert_eq!(IntervalSet::less_than(5.0, false).atom_count(), 1);
-        assert_eq!(IntervalSet::interval(1.0, false, 2.0, false).atom_count(), 2);
+        assert_eq!(
+            IntervalSet::interval(1.0, false, 2.0, false).atom_count(),
+            2
+        );
         assert_eq!(IntervalSet::point(3.0).atom_count(), 1);
         assert_eq!(IntervalSet::empty().atom_count(), 0);
     }

@@ -295,7 +295,10 @@ mod tests {
     fn unknown_dimension_uses_default() {
         let cat = StatsCatalog::new();
         let k = Constraint::Cat(CatSet::only("car"));
-        assert_eq!(cat.constraint_selectivity("mystery", &k), DEFAULT_UNKNOWN_SELECTIVITY);
+        assert_eq!(
+            cat.constraint_selectivity("mystery", &k),
+            DEFAULT_UNKNOWN_SELECTIVITY
+        );
         assert_eq!(
             cat.constraint_selectivity("mystery", &Constraint::Cat(CatSet::full())),
             1.0
@@ -345,7 +348,10 @@ mod tests {
     #[test]
     fn stats_catalog_case_insensitive() {
         let mut cat = StatsCatalog::new();
-        cat.insert("Label", ColumnStats::categorical_from_counts([("x".to_string(), 1u64)]));
+        cat.insert(
+            "Label",
+            ColumnStats::categorical_from_counts([("x".to_string(), 1u64)]),
+        );
         assert!(cat.get("label").is_some());
         assert!(cat.get("LABEL").is_some());
     }

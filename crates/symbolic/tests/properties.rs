@@ -15,18 +15,16 @@ use eva_symbolic::{diff, inter, to_dnf, union, Budget, CatSet, Dnf, IntervalSet}
 fn arb_interval_set() -> impl Strategy<Value = IntervalSet> {
     // Up to 4 raw intervals with small-integer endpoints (collisions likely,
     // which is exactly what stresses open/closed handling).
-    prop::collection::vec(
-        (-10i32..10, -10i32..10, any::<bool>(), any::<bool>()),
-        0..4,
+    prop::collection::vec((-10i32..10, -10i32..10, any::<bool>(), any::<bool>()), 0..4).prop_map(
+        |raw| {
+            let mut acc = IntervalSet::empty();
+            for (a, b, lo_open, hi_open) in raw {
+                let (lo, hi) = (a.min(b) as f64, a.max(b) as f64);
+                acc = acc.union(&IntervalSet::interval(lo, lo_open, hi, hi_open));
+            }
+            acc
+        },
     )
-    .prop_map(|raw| {
-        let mut acc = IntervalSet::empty();
-        for (a, b, lo_open, hi_open) in raw {
-            let (lo, hi) = (a.min(b) as f64, a.max(b) as f64);
-            acc = acc.union(&IntervalSet::interval(lo, lo_open, hi, hi_open));
-        }
-        acc
-    })
 }
 
 /// Sample points covering integer endpoints and midpoints.
@@ -122,13 +120,30 @@ proptest! {
 fn arb_atom() -> impl Strategy<Value = Expr> {
     let num_dims = prop::sample::select(vec!["x", "y"]);
     let cat_dims = prop::sample::select(vec!["label", "color"]);
-    let num_atom = (num_dims, 0i64..20, prop::sample::select(vec![
-        CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge, CmpOp::Eq, CmpOp::Ne,
-    ]))
+    let num_atom = (
+        num_dims,
+        0i64..20,
+        prop::sample::select(vec![
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+            CmpOp::Eq,
+            CmpOp::Ne,
+        ]),
+    )
         .prop_map(|(d, v, op)| Expr::cmp(Expr::col(d), op, Expr::lit(v)));
-    let cat_atom = (cat_dims, prop::sample::select(vec!["car", "bus", "red"]), any::<bool>())
+    let cat_atom = (
+        cat_dims,
+        prop::sample::select(vec!["car", "bus", "red"]),
+        any::<bool>(),
+    )
         .prop_map(|(d, v, ne)| {
-            Expr::cmp(Expr::col(d), if ne { CmpOp::Ne } else { CmpOp::Eq }, Expr::lit(v))
+            Expr::cmp(
+                Expr::col(d),
+                if ne { CmpOp::Ne } else { CmpOp::Eq },
+                Expr::lit(v),
+            )
         });
     prop_oneof![num_atom, cat_atom]
 }

@@ -93,7 +93,9 @@ pub struct UdfManager {
 impl std::fmt::Debug for UdfManager {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let sigs: Vec<String> = self.inner.read().keys().map(|s| s.to_string()).collect();
-        f.debug_struct("UdfManager").field("signatures", &sigs).finish()
+        f.debug_struct("UdfManager")
+            .field("signatures", &sigs)
+            .finish()
     }
 }
 

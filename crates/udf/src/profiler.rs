@@ -52,7 +52,9 @@ pub struct InvocationStats {
 
 impl std::fmt::Debug for Inner {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Inner").field("counters", &self.counters).finish()
+        f.debug_struct("Inner")
+            .field("counters", &self.counters)
+            .finish()
     }
 }
 
@@ -69,8 +71,17 @@ impl InvocationStats {
         c.total_invocations += 1;
         c.eval_ms += cost_ms;
         c.per_call_ms = c.per_call_ms.max(cost_ms);
-        if inner.distinct.entry(udf.to_string()).or_default().insert(key) {
-            inner.counters.get_mut(udf).expect("just inserted").distinct_inputs += 1;
+        if inner
+            .distinct
+            .entry(udf.to_string())
+            .or_default()
+            .insert(key)
+        {
+            inner
+                .counters
+                .get_mut(udf)
+                .expect("just inserted")
+                .distinct_inputs += 1;
         }
     }
 
@@ -82,14 +93,28 @@ impl InvocationStats {
         c.total_invocations += 1;
         c.reused_invocations += 1;
         c.per_call_ms = c.per_call_ms.max(cost_ms);
-        if inner.distinct.entry(udf.to_string()).or_default().insert(key) {
-            inner.counters.get_mut(udf).expect("just inserted").distinct_inputs += 1;
+        if inner
+            .distinct
+            .entry(udf.to_string())
+            .or_default()
+            .insert(key)
+        {
+            inner
+                .counters
+                .get_mut(udf)
+                .expect("just inserted")
+                .distinct_inputs += 1;
         }
     }
 
     /// Counters for one UDF.
     pub fn get(&self, udf: &str) -> UdfCounters {
-        self.inner.lock().counters.get(udf).cloned().unwrap_or_default()
+        self.inner
+            .lock()
+            .counters
+            .get(udf)
+            .cloned()
+            .unwrap_or_default()
     }
 
     /// Snapshot of all counters.

@@ -9,9 +9,7 @@ use eva_catalog::{AccuracyLevel, Catalog, UdfDef};
 use eva_common::{DataType, EvaError, Field, Result, Schema, UdfId};
 
 use crate::runtime::SimUdf;
-use crate::zoo::{
-    AreaSim, BoxAttr, BoxAttrSim, ObjectDetectorSim, SpecializedFilterSim,
-};
+use crate::zoo::{AreaSim, BoxAttr, BoxAttrSim, ObjectDetectorSim, SpecializedFilterSim};
 
 /// Thread-safe map from implementation id to simulated model.
 #[derive(Clone, Default)]
@@ -80,14 +78,22 @@ pub fn install_standard_zoo(registry: &UdfRegistry, catalog: &Catalog) -> Result
     let entries = vec![
         Entry {
             name: "fasterrcnn_resnet50",
-            udf: Arc::new(ObjectDetectorSim::new("sim/fasterrcnn_resnet50", 99.0, 37.9)),
+            udf: Arc::new(ObjectDetectorSim::new(
+                "sim/fasterrcnn_resnet50",
+                99.0,
+                37.9,
+            )),
             logical: Some("objectdetector"),
             accuracy: AccuracyLevel::Medium,
             input: frame_input(),
         },
         Entry {
             name: "fasterrcnn_resnet101",
-            udf: Arc::new(ObjectDetectorSim::new("sim/fasterrcnn_resnet101", 120.0, 42.0)),
+            udf: Arc::new(ObjectDetectorSim::new(
+                "sim/fasterrcnn_resnet101",
+                120.0,
+                42.0,
+            )),
             logical: Some("objectdetector"),
             accuracy: AccuracyLevel::High,
             input: frame_input(),
@@ -198,7 +204,10 @@ mod tests {
         let cat = Catalog::new();
         install_standard_zoo(&reg, &cat).unwrap();
         assert_eq!(cat.udf("fasterrcnn_resnet50").unwrap().cost_ms, Some(99.0));
-        assert_eq!(cat.udf("fasterrcnn_resnet101").unwrap().cost_ms, Some(120.0));
+        assert_eq!(
+            cat.udf("fasterrcnn_resnet101").unwrap().cost_ms,
+            Some(120.0)
+        );
         assert_eq!(cat.udf("yolo_tiny").unwrap().cost_ms, Some(9.0));
         assert_eq!(cat.udf("cartype").unwrap().cost_ms, Some(6.0));
         assert_eq!(cat.udf("colordet").unwrap().cost_ms, Some(5.0));

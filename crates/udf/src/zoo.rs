@@ -231,9 +231,9 @@ impl SimUdf for BoxAttrSim {
                 // Deterministic key on the *quantized box*, not the track, so
                 // results are reproducible from the arguments alone.
                 let key = bbox.key();
-                let extra = key
-                    .iter()
-                    .fold(0u64, |acc, k| acc.wrapping_mul(65_537).wrapping_add(*k as u64));
+                let extra = key.iter().fold(0u64, |acc, k| {
+                    acc.wrapping_mul(65_537).wrapping_add(*k as u64)
+                });
                 let mut rng = DetRng::new(self.salt, ctx.frame, extra);
                 let err = rng.next_f64() < 0.03;
                 match self.attr {
@@ -380,7 +380,11 @@ impl SimUdf for SpecializedFilterSim {
         // zero so the filter never drops true work.
         let mut rng = DetRng::new(self.salt, ctx.frame, 0);
         let answer = has || rng.next_f64() < 0.65;
-        Ok(vec![vec![Value::from(if answer { "true" } else { "false" })]])
+        Ok(vec![vec![Value::from(if answer {
+            "true"
+        } else {
+            "false"
+        })]])
     }
 }
 
@@ -440,10 +444,7 @@ mod tests {
             hi_n += hi.eval(&ctx).unwrap().len();
             lo_n += lo.eval(&ctx).unwrap().len();
         }
-        assert!(
-            hi_n > lo_n,
-            "high-acc should detect more: {hi_n} vs {lo_n}"
-        );
+        assert!(hi_n > lo_n, "high-acc should detect more: {hi_n} vs {lo_n}");
     }
 
     #[test]
@@ -494,12 +495,7 @@ mod tests {
             if let Some(obj) = gt
                 .iter()
                 .filter(|o| o.bbox.iou(&b) >= 0.4)
-                .max_by(|a, b2| {
-                    a.bbox
-                        .iou(&b)
-                        .partial_cmp(&b2.bbox.iou(&b))
-                        .unwrap()
-                })
+                .max_by(|a, b2| a.bbox.iou(&b).partial_cmp(&b2.bbox.iou(&b)).unwrap())
             {
                 if got == obj.car_type.clone().unwrap_or_default() {
                     matched += 1;
@@ -601,7 +597,13 @@ mod tests {
         assert_eq!(ObjectDetectorSim::new("a", 99.0, 37.9).cost_ms(), 99.0);
         assert_eq!(yolo().cost_ms(), 9.0);
         assert_eq!(rcnn101().cost_ms(), 120.0);
-        assert_eq!(BoxAttrSim::new("c", 6.0, true, BoxAttr::CarType).cost_ms(), 6.0);
-        assert_eq!(BoxAttrSim::new("c", 5.0, false, BoxAttr::Color).cost_ms(), 5.0);
+        assert_eq!(
+            BoxAttrSim::new("c", 6.0, true, BoxAttr::CarType).cost_ms(),
+            6.0
+        );
+        assert_eq!(
+            BoxAttrSim::new("c", 5.0, false, BoxAttr::Color).cost_ms(),
+            5.0
+        );
     }
 }

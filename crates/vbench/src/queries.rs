@@ -100,11 +100,7 @@ fn render(
 
 /// VBENCH-HIGH: iterative refinement over one region (Table 1's zoom
 /// in / zoom out / shift pattern). Consecutive frame overlap ≈ 50%.
-pub fn vbench_high(
-    n_frames: u64,
-    detector: DetectorKind,
-    filter_prefix: bool,
-) -> Vec<QuerySpec> {
+pub fn vbench_high(n_frames: u64, detector: DetectorKind, filter_prefix: bool) -> Vec<QuerySpec> {
     let templates = [
         // Q1: the officer starts searching for a Nissan.
         QueryTemplate {
@@ -197,16 +193,20 @@ pub fn vbench_high(
     templates
         .iter()
         .enumerate()
-        .map(|(i, t)| render(&format!("Q{}", i + 1), t, n_frames, &detector, filter_prefix))
+        .map(|(i, t)| {
+            render(
+                &format!("Q{}", i + 1),
+                t,
+                n_frames,
+                &detector,
+                filter_prefix,
+            )
+        })
         .collect()
 }
 
 /// VBENCH-LOW: skimming through (nearly) disjoint windows; overlap ≈ 4.5%.
-pub fn vbench_low(
-    n_frames: u64,
-    detector: DetectorKind,
-    filter_prefix: bool,
-) -> Vec<QuerySpec> {
+pub fn vbench_low(n_frames: u64, detector: DetectorKind, filter_prefix: bool) -> Vec<QuerySpec> {
     // Consecutive windows are (nearly) disjoint — the analyst skims — but
     // Q5 and Q7 *revisit* regions Q1/Q2 examined with refined predicates,
     // which is where the low-but-nonzero reuse of Table 2 comes from.
@@ -230,7 +230,9 @@ pub fn vbench_low(
         (0.12, 0.26), // revisits Q2
         (0.61, 0.73),
     ];
-    let accuracies = ["HIGH", "MEDIUM", "HIGH", "LOW", "HIGH", "MEDIUM", "HIGH", "LOW"];
+    let accuracies = [
+        "HIGH", "MEDIUM", "HIGH", "LOW", "HIGH", "MEDIUM", "HIGH", "LOW",
+    ];
     windows
         .iter()
         .zip(attrs.iter())
@@ -246,7 +248,13 @@ pub fn vbench_low(
                 accuracy: acc,
                 select_license: false,
             };
-            render(&format!("Q{}", i + 1), &t, n_frames, &detector, filter_prefix)
+            render(
+                &format!("Q{}", i + 1),
+                &t,
+                n_frames,
+                &detector,
+                filter_prefix,
+            )
         })
         .collect()
 }
@@ -272,8 +280,11 @@ mod tests {
             assert!(parsed.is_ok(), "{}: {:?}\n{}", q.name, parsed.err(), q.sql);
         }
         // Table 1 anchor: Q1 uses id < 10000 on the medium dataset.
-        assert!(qs[0].sql.contains("id < 9996") || qs[0].sql.contains("id < 10000"),
-            "{}", qs[0].sql);
+        assert!(
+            qs[0].sql.contains("id < 9996") || qs[0].sql.contains("id < 10000"),
+            "{}",
+            qs[0].sql
+        );
     }
 
     #[test]

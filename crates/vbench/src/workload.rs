@@ -107,8 +107,8 @@ impl WorkloadReport {
 mod tests {
     use super::*;
     use crate::queries::{vbench_high, DetectorKind};
-    use eva_core::SessionConfig;
     use eva_baselines::ReuseStrategy;
+    use eva_core::SessionConfig;
     use eva_video::generator::generate;
     use eva_video::VideoConfig;
 

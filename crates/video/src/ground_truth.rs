@@ -101,7 +101,9 @@ mod tests {
     #[test]
     fn labels_are_lowercase_and_distinct() {
         let mut labels: Vec<&str> = ObjectClass::ALL.iter().map(|c| c.label()).collect();
-        assert!(labels.iter().all(|l| l.chars().all(|c| c.is_ascii_lowercase())));
+        assert!(labels
+            .iter()
+            .all(|l| l.chars().all(|c| c.is_ascii_lowercase())));
         labels.sort_unstable();
         labels.dedup();
         assert_eq!(labels.len(), ObjectClass::ALL.len());

@@ -32,9 +32,16 @@ fn main() -> eva_common::Result<()> {
     let q = "SELECT id, bbox FROM video CROSS APPLY \
              objectdetector(frame) ACCURACY 'LOW' \
              WHERE id < 6000 AND label = 'car'";
-    println!("plan for the spanning LOW-accuracy query:\n{}", db.explain(q)?);
+    println!(
+        "plan for the spanning LOW-accuracy query:\n{}",
+        db.explain(q)?
+    );
     let r = db.execute_sql(q)?.rows()?;
-    println!("rows: {}, simulated seconds: {:.0}", r.n_rows(), r.sim_secs());
+    println!(
+        "rows: {}, simulated seconds: {:.0}",
+        r.n_rows(),
+        r.sim_secs()
+    );
 
     for (name, c) in db.invocation_stats().all() {
         if c.total_invocations > 0 && c.countable() {

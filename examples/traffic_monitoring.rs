@@ -20,7 +20,11 @@ fn main() -> eva_common::Result<()> {
                     WHERE id < 3000 AND label = 'car' \
                     AND cartype(frame, bbox) = 'Nissan'";
     let r = db.execute_sql(tracking)?.rows()?;
-    println!("tracking app (HIGH): {} rows, {:.0}s simulated", r.n_rows(), r.sim_secs());
+    println!(
+        "tracking app (HIGH): {} rows, {:.0}s simulated",
+        r.n_rows(),
+        r.sim_secs()
+    );
 
     // The traffic planner counts cars per timestamp. A LOW-accuracy model
     // would suffice — but EVA's Algorithm 2 notices the materialized

@@ -102,9 +102,12 @@ fn funcache_pays_hashing_even_on_misses() {
     let hash_ms = out.breakdown.get(eva_common::CostCategory::HashInput);
     assert!(hash_ms > 0.0, "cold run still hashes all inputs");
     // Hash cost for 50 frame-sized arguments at the configured rate.
-    let per_frame = eva_storage::IoCostModel::default()
-        .hash_cost_ms(test_dataset(304, n).frame_bytes());
-    assert!((hash_ms - 50.0 * per_frame).abs() < 1e-6, "hash_ms={hash_ms}");
+    let per_frame =
+        eva_storage::IoCostModel::default().hash_cost_ms(test_dataset(304, n).frame_bytes());
+    assert!(
+        (hash_ms - 50.0 * per_frame).abs() < 1e-6,
+        "hash_ms={hash_ms}"
+    );
 }
 
 #[test]
@@ -117,9 +120,10 @@ fn hashstash_recycler_vs_eva_signature_granularity() {
               WHERE id < 80 AND label = 'car' AND colordet(frame, bbox) = 'Red'";
     let q2 = "SELECT id FROM video CROSS APPLY fasterrcnn_resnet50(frame) \
               WHERE id < 80 AND label = 'car' AND colordet(frame, bbox) = 'Blue'";
-    for (strategy, expect_color_reuse) in
-        [(ReuseStrategy::HashStash, false), (ReuseStrategy::Eva, true)]
-    {
+    for (strategy, expect_color_reuse) in [
+        (ReuseStrategy::HashStash, false),
+        (ReuseStrategy::Eva, true),
+    ] {
         let mut db = test_session(strategy, 305, n);
         db.execute_sql(q1).unwrap().rows().unwrap();
         db.execute_sql(q2).unwrap().rows().unwrap();

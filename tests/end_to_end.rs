@@ -58,9 +58,7 @@ fn aggregation_counts_per_label() {
     }
     // Cross-check against a plain projection.
     let all = db
-        .execute_sql(
-            "SELECT label FROM video CROSS APPLY fasterrcnn_resnet50(frame) WHERE id < 60",
-        )
+        .execute_sql("SELECT label FROM video CROSS APPLY fasterrcnn_resnet50(frame) WHERE id < 60")
         .unwrap()
         .rows()
         .unwrap();

@@ -61,7 +61,7 @@ fn loaded_views_serve_probes() {
         .map(|i| {
             (
                 ViewKey::frame(FrameId(i)),
-                vec![vec![Value::from(if i % 2 == 0 { "car" } else { "bus" })]],
+                vec![vec![Value::from(if i % 2 == 0 { "car" } else { "bus" })]].into(),
             )
         })
         .collect();

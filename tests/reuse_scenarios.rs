@@ -80,12 +80,10 @@ fn aggregated_predicate_converges_to_full_coverage() {
         .unwrap();
     }
     // A fourth query over everything evaluates nothing fresh.
-    db.execute_sql(
-        "SELECT id FROM video CROSS APPLY fasterrcnn_resnet50(frame) WHERE label='car'",
-    )
-    .unwrap()
-    .rows()
-    .unwrap();
+    db.execute_sql("SELECT id FROM video CROSS APPLY fasterrcnn_resnet50(frame) WHERE label='car'")
+        .unwrap()
+        .rows()
+        .unwrap();
     let det = db.invocation_stats().get("fasterrcnn_resnet50");
     assert_eq!(det.distinct_inputs, 160);
     assert_eq!(
@@ -117,7 +115,12 @@ fn cross_application_logical_reuse() {
     .rows()
     .unwrap();
     assert_eq!(db.invocation_stats().get("yolo_tiny").total_invocations, 0);
-    assert!(db.invocation_stats().get("fasterrcnn_resnet101").reused_invocations >= 100);
+    assert!(
+        db.invocation_stats()
+            .get("fasterrcnn_resnet101")
+            .reused_invocations
+            >= 100
+    );
 }
 
 #[test]

@@ -4,8 +4,7 @@
 use eva_harness::test_session;
 use eva_planner::ReuseStrategy;
 use eva_vbench::{
-    eq7_upper_bound, frame_overlap, run_workload, vbench_high, vbench_low, DetectorKind,
-    Workload,
+    eq7_upper_bound, frame_overlap, run_workload, vbench_high, vbench_low, DetectorKind, Workload,
 };
 
 const N: u64 = 300;
