@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Fail CI if line coverage of a watched crate drops below its recorded floor.
+
+Usage: check_coverage.py <lcov.info> <coverage-floor.json>
+
+The floor file maps a path prefix (e.g. "crates/exec") to the minimum
+acceptable line-coverage percentage for source files under that prefix.
+Floors only ratchet upward: when real coverage comfortably exceeds a floor,
+raise the recorded value in coverage-floor.json in the same PR.
+"""
+
+import json
+import sys
+
+
+def parse_lcov(path):
+    """Return {source_file: (lines_hit, lines_found)} from an lcov tracefile."""
+    per_file = {}
+    sf, lh, lf = None, 0, 0
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if line.startswith("SF:"):
+                sf, lh, lf = line[3:], 0, 0
+            elif line.startswith("LH:"):
+                lh = int(line[3:])
+            elif line.startswith("LF:"):
+                lf = int(line[3:])
+            elif line == "end_of_record" and sf is not None:
+                hit, found = per_file.get(sf, (0, 0))
+                per_file[sf] = (hit + lh, found + lf)
+                sf = None
+    return per_file
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit(__doc__)
+    lcov_path, floor_path = sys.argv[1], sys.argv[2]
+    per_file = parse_lcov(lcov_path)
+    floors = json.load(open(floor_path))
+
+    failed = False
+    for prefix, floor in sorted(floors.items()):
+        hit = found = 0
+        for sf, (h, f) in per_file.items():
+            # lcov SF paths may be absolute; match on the repo-relative part.
+            if prefix in sf.replace("\\", "/"):
+                hit += h
+                found += f
+        if found == 0:
+            print(f"ERROR: no coverage data for {prefix} in {lcov_path}")
+            failed = True
+            continue
+        pct = 100.0 * hit / found
+        status = "ok" if pct >= floor else "BELOW FLOOR"
+        print(f"{prefix}: {pct:.2f}% line coverage ({hit}/{found}), floor {floor:.2f}% — {status}")
+        if pct < floor:
+            failed = True
+
+    if failed:
+        sys.exit("coverage regression: see report above")
+
+
+if __name__ == "__main__":
+    main()

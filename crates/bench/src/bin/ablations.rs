@@ -8,7 +8,8 @@
 //!   many extra hits it buys.
 
 use eva_baselines::ReuseStrategy;
-use eva_bench::{banner, fmt_x, medium_dataset, session_with_config, write_json, TextTable};
+use eva_bench::{banner, fmt_x, medium_dataset, session_with_config, write_json_with_metrics, TextTable};
+use eva_common::MetricsSnapshot;
 use eva_core::SessionConfig;
 use eva_planner::RankingKind;
 use eva_vbench::{run_workload, vbench_high, DetectorKind, Workload};
@@ -37,14 +38,17 @@ fn main() -> eva_common::Result<()> {
 
     let mut table = TextTable::new(vec!["configuration", "speedup", "hit %"]);
     let mut json = Vec::new();
+    // Summed over every ablation configuration that ran.
+    let mut metrics = MetricsSnapshot::default();
 
-    let run = |_label: &str,
-               cfg: SessionConfig,
-               workload: &Workload,
-               reference: &eva_vbench::WorkloadReport|
+    let mut run = |_label: &str,
+                   cfg: SessionConfig,
+                   workload: &Workload,
+                   reference: &eva_vbench::WorkloadReport|
      -> eva_common::Result<(f64, f64)> {
         let mut db = session_with_config(cfg, &ds)?;
         let r = run_workload(&mut db, workload)?;
+        metrics = metrics.plus(&r.metrics);
         Ok((r.speedup_over(reference), r.hit_percentage))
     };
 
@@ -102,6 +106,6 @@ fn main() -> eva_common::Result<()> {
     json.push(("alg2_off".to_string(), s, h));
 
     println!("{}", table.render());
-    write_json("ablations", &json);
+    write_json_with_metrics("ablations", &json, &metrics);
     Ok(())
 }

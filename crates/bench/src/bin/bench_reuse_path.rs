@@ -10,8 +10,8 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use eva_bench::{banner, write_json, TextTable};
-use eva_common::{DataType, Field, FrameId, Row, Schema, SimClock, Value};
+use eva_bench::{banner, write_json_with_metrics, TextTable};
+use eva_common::{DataType, Field, FrameId, MetricsSnapshot, Row, Schema, SimClock, Value};
 use eva_exec::FunCacheTable;
 use eva_storage::{StorageEngine, ViewKey, ViewKeyKind};
 
@@ -47,7 +47,7 @@ fn keys(offset: u64) -> Vec<ViewKey> {
 }
 
 /// Keys probed per second, single caller.
-fn probe_single() -> f64 {
+fn probe_single() -> (f64, MetricsSnapshot) {
     let (eng, view) = seeded_engine();
     let clock = SimClock::new();
     let ks = keys(0);
@@ -56,11 +56,12 @@ fn probe_single() -> f64 {
         let out = eng.view_probe(view, &ks, &clock).unwrap();
         assert_eq!(out.len(), ks.len());
     }
-    (ROUNDS * BATCH) as f64 / start.elapsed().as_secs_f64()
+    let ops = (ROUNDS * BATCH) as f64 / start.elapsed().as_secs_f64();
+    (ops, eng.metrics().snapshot())
 }
 
 /// Keys probed per second, `N_THREADS` callers on one shared engine.
-fn probe_multi() -> f64 {
+fn probe_multi() -> (f64, MetricsSnapshot) {
     let (eng, view) = seeded_engine();
     let start = Instant::now();
     let handles: Vec<_> = (0..N_THREADS)
@@ -78,11 +79,12 @@ fn probe_multi() -> f64 {
     for h in handles {
         h.join().unwrap();
     }
-    (N_THREADS as u64 * ROUNDS * BATCH) as f64 / start.elapsed().as_secs_f64()
+    let ops = (N_THREADS as u64 * ROUNDS * BATCH) as f64 / start.elapsed().as_secs_f64();
+    (ops, eng.metrics().snapshot())
 }
 
 /// Rows appended per second, single caller.
-fn append_single() -> f64 {
+fn append_single() -> (f64, MetricsSnapshot) {
     let (eng, view) = seeded_engine();
     let clock = SimClock::new();
     let start = Instant::now();
@@ -99,11 +101,12 @@ fn append_single() -> f64 {
         next += BATCH;
         eng.view_append(view, entries, &clock).unwrap();
     }
-    (ROUNDS * BATCH) as f64 / start.elapsed().as_secs_f64()
+    let ops = (ROUNDS * BATCH) as f64 / start.elapsed().as_secs_f64();
+    (ops, eng.metrics().snapshot())
 }
 
 /// Rows appended per second, each thread on its own view (no contention).
-fn append_multi() -> f64 {
+fn append_multi() -> (f64, MetricsSnapshot) {
     let eng = StorageEngine::new();
     let views: Vec<_> = (0..N_THREADS)
         .map(|t| eng.create_view(format!("w{t}"), ViewKeyKind::Frame, out_schema()))
@@ -134,11 +137,14 @@ fn append_multi() -> f64 {
     for h in handles {
         h.join().unwrap();
     }
-    (N_THREADS as u64 * ROUNDS * BATCH) as f64 / start.elapsed().as_secs_f64()
+    let ops = (N_THREADS as u64 * ROUNDS * BATCH) as f64 / start.elapsed().as_secs_f64();
+    (ops, eng.metrics().snapshot())
 }
 
 /// FunCache hits per second (hash + intern + lookup), single caller.
-fn funcache_hits() -> f64 {
+/// The raw table records no engine metrics (the apply operator does that in
+/// real queries), so its snapshot is empty.
+fn funcache_hits() -> (f64, MetricsSnapshot) {
     let cache = FunCacheTable::new();
     let payload: Vec<u8> = (0..64usize).map(|i| i as u8).collect();
     for i in 0..N_KEYS {
@@ -160,7 +166,8 @@ fn funcache_hits() -> f64 {
         }
     }
     assert_eq!(hits, ROUNDS * BATCH);
-    (ROUNDS * BATCH) as f64 / start.elapsed().as_secs_f64()
+    let ops = (ROUNDS * BATCH) as f64 / start.elapsed().as_secs_f64();
+    (ops, MetricsSnapshot::default())
 }
 
 fn main() {
@@ -174,14 +181,16 @@ fn main() {
     ];
 
     let mut table = TextTable::new(vec!["case", "ops/sec"]);
-    for (name, ops) in &results {
+    for (name, (ops, _)) in &results {
         table.row(vec![name.to_string(), format!("{ops:.0}")]);
     }
     println!("{}", table.render());
 
+    let mut metrics = MetricsSnapshot::default();
     let json: Vec<serde_json::Value> = results
         .iter()
-        .map(|(name, ops)| {
+        .map(|(name, (ops, m))| {
+            metrics = metrics.plus(m);
             serde_json::json!({
                 "case": name,
                 "ops_per_sec": ops,
@@ -190,5 +199,5 @@ fn main() {
             })
         })
         .collect();
-    write_json("BENCH_reuse_path", &json);
+    write_json_with_metrics("BENCH_reuse_path", &json, &metrics);
 }

@@ -9,7 +9,7 @@
 //! UDF work (§6's chained-function-calls limitation).
 
 use eva_baselines::{min_cost_noreuse_session, min_cost_session};
-use eva_bench::{banner, fmt_f, medium_dataset, session_with, write_json, TextTable};
+use eva_bench::{banner, fmt_f, medium_dataset, session_with, write_json_with_metrics, TextTable};
 use eva_planner::ReuseStrategy;
 use eva_vbench::{run_workload, vbench_high, DetectorKind, Workload};
 
@@ -48,6 +48,7 @@ fn main() -> eva_common::Result<()> {
         json.push((q.name.clone(), times));
     }
     println!("{}", table.render());
-    write_json("fig10_logical_reuse", &json);
+    // reports[2] is the EVA system (see the loop above).
+    write_json_with_metrics("fig10_logical_reuse", &json, &reports[2].metrics);
     Ok(())
 }

@@ -6,7 +6,8 @@
 //! sparse video means far fewer CarType/ColorDet invocations to reuse.
 
 use eva_baselines::ReuseStrategy;
-use eva_bench::{banner, fmt_x, jackson_dataset, session_with, write_json, TextTable};
+use eva_bench::{banner, fmt_x, jackson_dataset, session_with, write_json_with_metrics, TextTable};
+use eva_common::MetricsSnapshot;
 use eva_vbench::{run_workload, vbench_high, vbench_low, DetectorKind, Workload};
 
 fn main() -> eva_common::Result<()> {
@@ -37,6 +38,7 @@ fn main() -> eva_common::Result<()> {
         "EVA",
     ]);
     let mut json = Vec::new();
+    let mut eva_metrics = MetricsSnapshot::default();
     for (wname, workload) in &workloads {
         let mut no = session_with(ReuseStrategy::NoReuse, &ds)?;
         let base = run_workload(&mut no, workload)?;
@@ -52,6 +54,9 @@ fn main() -> eva_common::Result<()> {
             let mut db = session_with(strategy, &ds)?;
             let r = run_workload(&mut db, workload)?;
             cells.push(fmt_x(r.speedup_over(&base)));
+            if strategy == ReuseStrategy::Eva {
+                eva_metrics = eva_metrics.plus(&r.metrics);
+            }
             json.push((
                 wname.to_string(),
                 format!("{strategy:?}"),
@@ -61,6 +66,6 @@ fn main() -> eva_common::Result<()> {
         table.row(cells);
     }
     println!("{}", table.render());
-    write_json("fig11_video_content", &json);
+    write_json_with_metrics("fig11_video_content", &json, &eva_metrics);
     Ok(())
 }

@@ -6,7 +6,8 @@
 //! with LONG's higher vehicle density.
 
 use eva_baselines::ReuseStrategy;
-use eva_bench::{banner, fmt_f, fmt_x, session_with, sized_dataset, write_json, TextTable};
+use eva_bench::{banner, fmt_f, fmt_x, session_with, sized_dataset, write_json_with_metrics, TextTable};
+use eva_common::MetricsSnapshot;
 use eva_vbench::{run_workload, vbench_high, DetectorKind, Workload};
 use eva_video::UaDetracSize;
 
@@ -20,6 +21,7 @@ fn main() -> eva_common::Result<()> {
         "EVA speedup",
     ]);
     let mut json = Vec::new();
+    let mut eva_metrics = MetricsSnapshot::default();
     for size in [
         UaDetracSize::Short,
         UaDetracSize::Medium,
@@ -38,6 +40,7 @@ fn main() -> eva_common::Result<()> {
         let base = run_workload(&mut no, &workload)?;
         let mut eva = session_with(ReuseStrategy::Eva, &ds)?;
         let r = run_workload(&mut eva, &workload)?;
+        eva_metrics = eva_metrics.plus(&r.metrics);
         let stats = ds.stats();
         table.row(vec![
             size.name().to_string(),
@@ -53,6 +56,6 @@ fn main() -> eva_common::Result<()> {
         ));
     }
     println!("{}", table.render());
-    write_json("fig12_video_length", &json);
+    write_json_with_metrics("fig12_video_length", &json, &eva_metrics);
     Ok(())
 }

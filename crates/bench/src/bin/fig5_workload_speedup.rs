@@ -6,7 +6,8 @@
 //! LOW (hashing overhead); EVA within ~0.9× of the Eq. 7 bound.
 
 use eva_baselines::ReuseStrategy;
-use eva_bench::{banner, fmt_x, medium_dataset, session_with, write_json, TextTable};
+use eva_bench::{banner, fmt_x, medium_dataset, session_with, write_json_with_metrics, TextTable};
+use eva_common::MetricsSnapshot;
 use eva_vbench::{eq7_upper_bound, run_workload, vbench_high, vbench_low, DetectorKind, Workload};
 
 fn main() -> eva_common::Result<()> {
@@ -34,6 +35,7 @@ fn main() -> eva_common::Result<()> {
         "EVA/bound",
     ]);
     let mut json = Vec::new();
+    let mut eva_metrics = MetricsSnapshot::default();
     for (wname, workload) in &workloads {
         let mut no = session_with(ReuseStrategy::NoReuse, &ds)?;
         let base = run_workload(&mut no, workload)?;
@@ -61,6 +63,7 @@ fn main() -> eva_common::Result<()> {
             if strategy == ReuseStrategy::Eva {
                 eva_speedup = speedup;
                 bound = eq7_upper_bound(&db);
+                eva_metrics = eva_metrics.plus(&report.metrics);
             }
             json.push((wname.to_string(), format!("{strategy:?}"), speedup));
         }
@@ -69,6 +72,6 @@ fn main() -> eva_common::Result<()> {
         table.row(cells);
     }
     println!("{}", table.render());
-    write_json("fig5_workload_speedup", &json);
+    write_json_with_metrics("fig5_workload_speedup", &json, &eva_metrics);
     Ok(())
 }

@@ -8,7 +8,7 @@
 //! dominates among the overheads.
 
 use eva_baselines::ReuseStrategy;
-use eva_bench::{banner, fmt_f, medium_dataset, session_with, write_json, TextTable};
+use eva_bench::{banner, fmt_f, medium_dataset, session_with, write_json_with_metrics, TextTable};
 use eva_common::CostCategory;
 use eva_vbench::{run_workload, vbench_high, DetectorKind, Workload};
 
@@ -79,6 +79,6 @@ fn main() -> eva_common::Result<()> {
         ]);
     }
     println!("{}", table.render());
-    write_json("fig6_time_breakdown", &report);
+    write_json_with_metrics("fig6_time_breakdown", &report, &report.metrics);
     Ok(())
 }

@@ -8,7 +8,7 @@
 //! CarType/ColorDet, mildly for the detector's monadic `id` predicates.
 
 use eva_baselines::ReuseStrategy;
-use eva_bench::{banner, medium_dataset, session_with, write_json, TextTable};
+use eva_bench::{banner, medium_dataset, session_with, write_json_with_metrics, TextTable};
 use eva_vbench::{run_workload, vbench_high, DetectorKind, Workload};
 
 fn main() -> eva_common::Result<()> {
@@ -64,6 +64,6 @@ fn main() -> eva_common::Result<()> {
         let naive_max = last.naive_inter.max(last.naive_diff).max(last.naive_union);
         println!("  final: EVA max {eva_max} atoms vs simplify max {naive_max} atoms");
     }
-    write_json("fig7_symbolic_reduction", &json);
+    write_json_with_metrics("fig7_symbolic_reduction", &json, &db.metrics_snapshot());
     Ok(())
 }

@@ -7,7 +7,8 @@
 //! view coverage rises monotonically toward 100%.
 
 use eva_baselines::ReuseStrategy;
-use eva_bench::{banner, fmt_f, medium_dataset, session_with, write_json, TextTable};
+use eva_bench::{banner, fmt_f, medium_dataset, session_with, write_json_with_metrics, TextTable};
+use eva_common::MetricsSnapshot;
 use eva_vbench::{run_workload, vbench_high, DetectorKind, Workload};
 
 fn main() -> eva_common::Result<()> {
@@ -21,6 +22,7 @@ fn main() -> eva_common::Result<()> {
 
     let mut table = TextTable::new(vec!["workload", "HashStash (h)", "EVA (h)", "EVA gain"]);
     let mut json = Vec::new();
+    let mut eva_metrics = MetricsSnapshot::default();
     let mut last_perm = None;
     for perm_seed in 1..=4u64 {
         let queries = eva_vbench::queries::permute(&base_queries, perm_seed);
@@ -36,6 +38,7 @@ fn main() -> eva_common::Result<()> {
             format!("{:.2}x", r_hs.total_sim_secs / r_eva.total_sim_secs),
         ]);
         json.push((perm_seed, r_hs.total_sim_secs, r_eva.total_sim_secs));
+        eva_metrics = eva_metrics.plus(&r_eva.metrics);
         last_perm = Some(queries);
     }
     println!("{}", table.render());
@@ -65,6 +68,6 @@ fn main() -> eva_common::Result<()> {
         }
     }
     println!("{}", table.render());
-    write_json("fig8_query_order", &(json, json_b));
+    write_json_with_metrics("fig8_query_order", &(json, json_b), &eva_metrics);
     Ok(())
 }

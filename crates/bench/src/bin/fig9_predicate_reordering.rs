@@ -6,7 +6,8 @@
 //! Paper shape: 3–6× on most multi-predicate queries; ~1× where both
 //! rankings pick the same order.
 
-use eva_bench::{banner, medium_dataset, session_with_config, write_json, TextTable};
+use eva_bench::{banner, medium_dataset, session_with_config, write_json_with_metrics, TextTable};
+use eva_common::MetricsSnapshot;
 use eva_core::SessionConfig;
 use eva_planner::{RankingKind, ReuseStrategy};
 use eva_vbench::{run_workload, vbench_high, DetectorKind, Workload};
@@ -22,6 +23,7 @@ fn main() -> eva_common::Result<()> {
 
     let mut table = TextTable::new(vec!["query", "canonical (s)", "mat-aware (s)", "speedup"]);
     let mut json = Vec::new();
+    let mut eva_metrics = MetricsSnapshot::default();
     for perm_seed in 1..=4u64 {
         let queries = eva_vbench::queries::permute(&base_queries, perm_seed);
         let workload = Workload::new(format!("perm{perm_seed}"), queries.clone());
@@ -34,6 +36,7 @@ fn main() -> eva_common::Result<()> {
             reports.push(run_workload(&mut db, &workload)?);
         }
         let (canonical, mat_aware) = (&reports[0], &reports[1]);
+        eva_metrics = eva_metrics.plus(&mat_aware.metrics);
         for (i, q) in queries.iter().enumerate() {
             if q.n_udf_preds < 2 {
                 continue; // only multi-UDF-predicate queries are affected
@@ -56,6 +59,6 @@ fn main() -> eva_common::Result<()> {
         .map(|(_, c, m)| c / m.max(1e-9))
         .fold(f64::MIN, f64::max);
     println!("max reordering speedup: {best:.2}x");
-    write_json("fig9_predicate_reordering", &json);
+    write_json_with_metrics("fig9_predicate_reordering", &json, &eva_metrics);
     Ok(())
 }

@@ -7,7 +7,8 @@
 //! filtering and reuse are complementary.
 
 use eva_baselines::ReuseStrategy;
-use eva_bench::{banner, fmt_f, jackson_dataset, session_with, write_json, TextTable};
+use eva_bench::{banner, fmt_f, jackson_dataset, session_with, write_json_with_metrics, TextTable};
+use eva_common::MetricsSnapshot;
 use eva_vbench::{run_workload, vbench_high, DetectorKind, Workload};
 
 fn main() -> eva_common::Result<()> {
@@ -17,18 +18,20 @@ fn main() -> eva_common::Result<()> {
 
     let mut table = TextTable::new(vec!["config", "execution time (s)"]);
     let mut times = Vec::new();
+    let mut eva_metrics = MetricsSnapshot::default();
     for (label, with_filter) in [("EVA", false), ("EVA+Filter", true)] {
         let workload = Workload::new(label, vbench_high(ds.len(), det.clone(), with_filter));
         let mut db = session_with(ReuseStrategy::Eva, &ds)?;
         let r = run_workload(&mut db, &workload)?;
         table.row(vec![label.to_string(), fmt_f(r.total_sim_secs, 0)]);
         times.push((label.to_string(), r.total_sim_secs));
+        eva_metrics = eva_metrics.plus(&r.metrics);
     }
     println!("{}", table.render());
     println!(
         "filter gain on top of reuse: {:.2}x",
         times[0].1 / times[1].1.max(1e-9)
     );
-    write_json("sec56_specialized_filters", &times);
+    write_json_with_metrics("sec56_specialized_filters", &times, &eva_metrics);
     Ok(())
 }

@@ -5,7 +5,8 @@
 //! Expected shape: EVA ≫ HashStash on both workloads; FunCache close to EVA.
 
 use eva_baselines::ReuseStrategy;
-use eva_bench::{banner, medium_dataset, session_with, write_json, TextTable};
+use eva_bench::{banner, medium_dataset, session_with, write_json_with_metrics, TextTable};
+use eva_common::MetricsSnapshot;
 use eva_vbench::{run_workload, vbench_high, vbench_low, DetectorKind, Workload};
 
 fn main() -> eva_common::Result<()> {
@@ -31,17 +32,21 @@ fn main() -> eva_common::Result<()> {
 
     let mut table = TextTable::new(vec!["Hit Percentage (%)", "HashStash", "FunCache", "EVA"]);
     let mut json = Vec::new();
+    let mut eva_metrics = MetricsSnapshot::default();
     for (wname, workload) in &workloads {
         let mut row = vec![wname.to_string()];
         for (sname, strategy) in systems {
             let mut db = session_with(strategy, &ds)?;
             let report = run_workload(&mut db, workload)?;
             row.push(format!("{:.2}", report.hit_percentage));
+            if strategy == ReuseStrategy::Eva {
+                eva_metrics = eva_metrics.plus(&report.metrics);
+            }
             json.push((wname.to_string(), sname.to_string(), report.hit_percentage));
         }
         table.row(row);
     }
     println!("{}", table.render());
-    write_json("tab2_hit_percentage", &json);
+    write_json_with_metrics("tab2_hit_percentage", &json, &eva_metrics);
     Ok(())
 }

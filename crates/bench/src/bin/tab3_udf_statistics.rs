@@ -7,7 +7,7 @@
 //! Storage footprint ≈ 14.3 MiB vs a 16 GiB video (~0.09%).
 
 use eva_baselines::ReuseStrategy;
-use eva_bench::{banner, medium_dataset, session_with, write_json, TextTable};
+use eva_bench::{banner, medium_dataset, session_with, write_json_with_metrics, TextTable};
 use eva_vbench::{run_workload, vbench_high, DetectorKind, Workload};
 
 fn main() -> eva_common::Result<()> {
@@ -55,6 +55,6 @@ fn main() -> eva_common::Result<()> {
          (overhead {:.3}%)",
         view_mib / (video_gib * 1024.0) * 100.0
     );
-    write_json("tab3_udf_statistics", &json);
+    write_json_with_metrics("tab3_udf_statistics", &json, &report.metrics);
     Ok(())
 }

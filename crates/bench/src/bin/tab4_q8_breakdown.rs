@@ -7,7 +7,8 @@
 //! i.e. EVA replaces ~1000 s of inference with ~15 s of view IO.
 
 use eva_baselines::ReuseStrategy;
-use eva_bench::{banner, fmt_f, medium_dataset, session_with, write_json, TextTable};
+use eva_bench::{banner, fmt_f, medium_dataset, session_with, write_json_with_metrics, TextTable};
+use eva_common::MetricsSnapshot;
 use eva_common::CostCategory;
 use eva_vbench::{run_workload, vbench_high, DetectorKind, Workload};
 
@@ -32,6 +33,7 @@ fn main() -> eva_common::Result<()> {
         "Other",
     ]);
     let mut json = Vec::new();
+    let mut eva_metrics = MetricsSnapshot::default();
     for (label, strategy) in [
         ("No-Reuse", ReuseStrategy::NoReuse),
         ("EVA", ReuseStrategy::Eva),
@@ -51,8 +53,11 @@ fn main() -> eva_common::Result<()> {
             fmt_f(other / 1000.0, 1),
         ]);
         json.push((label.to_string(), *b));
+        if strategy == ReuseStrategy::Eva {
+            eva_metrics = report.metrics;
+        }
     }
     println!("{}", table.render());
-    write_json("tab4_q8_breakdown", &json);
+    write_json_with_metrics("tab4_q8_breakdown", &json, &eva_metrics);
     Ok(())
 }

@@ -4,7 +4,7 @@
 //! Paper values: YOLO-tiny 9 ms / 17.6 (LOW); FasterRCNN-ResNet50 99 ms /
 //! 37.9 (MEDIUM); FasterRCNN-ResNet101 120 ms / 42.0 (HIGH).
 
-use eva_bench::{banner, write_json, TextTable};
+use eva_bench::{banner, write_json_with_metrics, TextTable};
 use eva_catalog::Catalog;
 use eva_udf::registry::install_standard_zoo;
 use eva_udf::UdfRegistry;
@@ -26,6 +26,8 @@ fn main() -> eva_common::Result<()> {
         json.push((def.name, def.cost_ms, def.accuracy.to_string()));
     }
     println!("{}", table.render());
-    write_json("tab5_model_zoo", &json);
+    // Catalog-only experiment: no engine runs, so the metrics section is
+    // all zeros (kept for a uniform artifact schema).
+    write_json_with_metrics("tab5_model_zoo", &json, &Default::default());
     Ok(())
 }

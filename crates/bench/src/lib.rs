@@ -87,6 +87,30 @@ pub fn write_json<T: serde::Serialize>(name: &str, value: &T) {
     }
 }
 
+/// Write a result to `experiments_out/<name>.json` wrapped as
+/// `{ "result": …, "metrics": … }`, attaching the runtime-metrics snapshot
+/// of the session (or sessions, summed) that produced it. Every experiment
+/// binary goes through this so each JSON artifact records probe hit rates,
+/// UDF calls avoided, and zero-copy traffic next to its headline numbers.
+pub fn write_json_with_metrics<T: serde::Serialize>(
+    name: &str,
+    value: &T,
+    metrics: &eva_common::MetricsSnapshot,
+) {
+    #[derive(serde::Serialize)]
+    struct WithMetrics<'a, T> {
+        result: &'a T,
+        metrics: &'a eva_common::MetricsSnapshot,
+    }
+    write_json(
+        name,
+        &WithMetrics {
+            result: value,
+            metrics,
+        },
+    );
+}
+
 /// Print an experiment banner.
 pub fn banner(title: &str) {
     println!("\n=== {title} ===");

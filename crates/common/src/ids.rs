@@ -57,6 +57,19 @@ id_type!(
     QueryId,
     "q"
 );
+id_type!(
+    /// Identifies one operator node within a physical plan. Assigned in
+    /// pre-order by the optimizer, so the same query text always yields the
+    /// same ids — the key runtime statistics (`EXPLAIN ANALYZE`) hang off.
+    OpId,
+    "op"
+);
+
+impl OpId {
+    /// The placeholder carried by plan nodes before the optimizer's
+    /// numbering pass runs.
+    pub const UNSET: OpId = OpId(0);
+}
 
 #[cfg(test)]
 mod tests {

@@ -19,6 +19,7 @@ pub mod clock;
 pub mod error;
 pub mod hash;
 pub mod ids;
+pub mod metrics;
 pub mod schema;
 pub mod table_fmt;
 pub mod value;
@@ -26,6 +27,7 @@ pub mod value;
 pub use batch::{Batch, Row};
 pub use clock::{CostBreakdown, CostCategory, SimClock};
 pub use error::{EvaError, Result};
-pub use ids::{FrameId, QueryId, UdfId, ViewId};
+pub use ids::{FrameId, OpId, QueryId, UdfId, ViewId};
+pub use metrics::{MetricsSink, MetricsSnapshot, OpStats};
 pub use schema::{DataType, Field, Schema};
 pub use value::{BBox, Value};

@@ -1,0 +1,491 @@
+//! Runtime observability counters.
+//!
+//! The paper's argument is entirely about *where time goes* — UDF cost
+//! avoided through materialized-view reuse — so the engine keeps a set of
+//! always-on counters next to the [`SimClock`](crate::SimClock): UDF
+//! invocations executed vs. avoided, view probe hits/misses/fuzzy hits, rows
+//! served zero-copy, and storage-level traffic. `EXPLAIN ANALYZE` and the
+//! benchmark JSON exporters both read from here.
+//!
+//! ## Caller-thread charging rule
+//!
+//! Counters follow the same discipline as the virtual clock: **worker threads
+//! never record metrics**. Uncharged helpers (e.g.
+//! `StorageEngine::view_probe_uncharged`) return the counts they observed and
+//! the *caller* records them exactly once. This makes parallel and serial
+//! executions of the same workload report bit-identical counter totals, which
+//! is what the identity tests pin down. The only exception is
+//! [`shard_lock_contention`](MetricsSnapshot::shard_lock_contention), which is
+//! inherently scheduling-dependent; [`MetricsSnapshot::deterministic`] masks
+//! it for comparisons.
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::clock::CostBreakdown;
+
+/// Immutable, serializable snapshot of the engine-wide counters.
+///
+/// This is the `metrics` section embedded in every `BENCH_*.json` and the
+/// totals footer of `EXPLAIN ANALYZE`.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// UDF invocations the plan asked for: executed + avoided.
+    pub udf_calls_requested: u64,
+    /// Invocations that actually ran the (simulated) model.
+    pub udf_calls_executed: u64,
+    /// Invocations satisfied from a materialized view or cache.
+    pub udf_calls_avoided: u64,
+    /// Simulated milliseconds the avoided invocations would have cost.
+    pub udf_ms_avoided: f64,
+    /// View probe keys looked up (exact + fuzzy passes).
+    pub probes: u64,
+    /// Probe keys resolved from materialized state.
+    pub probe_hits: u64,
+    /// Probe keys that missed and fell through to evaluation.
+    pub probe_misses: u64,
+    /// Subset of `probe_hits` resolved by the fuzzy (IoU) fallback.
+    pub fuzzy_hits: u64,
+    /// Rows handed to the caller as `Arc` clones of stored rows (no copy).
+    pub rows_served_zero_copy: u64,
+    /// FunCache baseline lookups that hit.
+    pub funcache_hits: u64,
+    /// FunCache baseline lookups that missed.
+    pub funcache_misses: u64,
+    /// Rows read out of materialized views.
+    pub view_rows_read: u64,
+    /// Rows appended to materialized views (STORE).
+    pub view_rows_written: u64,
+    /// Video frames decoded by scans.
+    pub frames_scanned: u64,
+    /// Times a shard lock was observed contended (`try_read`/`try_write`
+    /// failed and the caller had to block). **Nondeterministic** — depends on
+    /// thread scheduling; excluded from identity comparisons via
+    /// [`deterministic`](MetricsSnapshot::deterministic).
+    pub shard_lock_contention: u64,
+}
+
+impl MetricsSnapshot {
+    /// Counter-wise difference (`self - earlier`); attributes activity to a
+    /// single query by snapshotting before and after, like
+    /// [`CostBreakdown::since`].
+    pub fn since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        MetricsSnapshot {
+            udf_calls_requested: self.udf_calls_requested - earlier.udf_calls_requested,
+            udf_calls_executed: self.udf_calls_executed - earlier.udf_calls_executed,
+            udf_calls_avoided: self.udf_calls_avoided - earlier.udf_calls_avoided,
+            udf_ms_avoided: (self.udf_ms_avoided - earlier.udf_ms_avoided).max(0.0),
+            probes: self.probes - earlier.probes,
+            probe_hits: self.probe_hits - earlier.probe_hits,
+            probe_misses: self.probe_misses - earlier.probe_misses,
+            fuzzy_hits: self.fuzzy_hits - earlier.fuzzy_hits,
+            rows_served_zero_copy: self.rows_served_zero_copy - earlier.rows_served_zero_copy,
+            funcache_hits: self.funcache_hits - earlier.funcache_hits,
+            funcache_misses: self.funcache_misses - earlier.funcache_misses,
+            view_rows_read: self.view_rows_read - earlier.view_rows_read,
+            view_rows_written: self.view_rows_written - earlier.view_rows_written,
+            frames_scanned: self.frames_scanned - earlier.frames_scanned,
+            shard_lock_contention: self
+                .shard_lock_contention
+                .saturating_sub(earlier.shard_lock_contention),
+        }
+    }
+
+    /// Counter-wise sum.
+    pub fn plus(&self, other: &MetricsSnapshot) -> MetricsSnapshot {
+        MetricsSnapshot {
+            udf_calls_requested: self.udf_calls_requested + other.udf_calls_requested,
+            udf_calls_executed: self.udf_calls_executed + other.udf_calls_executed,
+            udf_calls_avoided: self.udf_calls_avoided + other.udf_calls_avoided,
+            udf_ms_avoided: self.udf_ms_avoided + other.udf_ms_avoided,
+            probes: self.probes + other.probes,
+            probe_hits: self.probe_hits + other.probe_hits,
+            probe_misses: self.probe_misses + other.probe_misses,
+            fuzzy_hits: self.fuzzy_hits + other.fuzzy_hits,
+            rows_served_zero_copy: self.rows_served_zero_copy + other.rows_served_zero_copy,
+            funcache_hits: self.funcache_hits + other.funcache_hits,
+            funcache_misses: self.funcache_misses + other.funcache_misses,
+            view_rows_read: self.view_rows_read + other.view_rows_read,
+            view_rows_written: self.view_rows_written + other.view_rows_written,
+            frames_scanned: self.frames_scanned + other.frames_scanned,
+            shard_lock_contention: self.shard_lock_contention + other.shard_lock_contention,
+        }
+    }
+
+    /// Fraction of probes that hit, in `[0, 1]`; 0 when nothing was probed.
+    pub fn probe_hit_rate(&self) -> f64 {
+        if self.probes == 0 {
+            0.0
+        } else {
+            self.probe_hits as f64 / self.probes as f64
+        }
+    }
+
+    /// Fraction of requested UDF calls that were avoided, in `[0, 1]`.
+    pub fn reuse_rate(&self) -> f64 {
+        if self.udf_calls_requested == 0 {
+            0.0
+        } else {
+            self.udf_calls_avoided as f64 / self.udf_calls_requested as f64
+        }
+    }
+
+    /// Copy with the scheduling-dependent counters zeroed, safe to compare
+    /// bit-for-bit between parallel and serial runs.
+    pub fn deterministic(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            shard_lock_contention: 0,
+            ..*self
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    udf_calls_requested: AtomicU64,
+    udf_calls_executed: AtomicU64,
+    udf_calls_avoided: AtomicU64,
+    /// f64 bit pattern; updated by CAS (eva-common has no mutex dependency).
+    udf_ms_avoided_bits: AtomicU64,
+    probes: AtomicU64,
+    probe_hits: AtomicU64,
+    probe_misses: AtomicU64,
+    fuzzy_hits: AtomicU64,
+    rows_served_zero_copy: AtomicU64,
+    funcache_hits: AtomicU64,
+    funcache_misses: AtomicU64,
+    view_rows_read: AtomicU64,
+    view_rows_written: AtomicU64,
+    frames_scanned: AtomicU64,
+    shard_lock_contention: AtomicU64,
+}
+
+/// Engine-wide metrics sink: atomic counters shared by the session, the
+/// executor and the storage engine. Cheap to clone (`Arc` inside), `Sync`.
+///
+/// Despite being thread-safe, the charging discipline is single-threaded by
+/// convention — see the module docs. Thread safety exists so one sink can be
+/// *owned* by shared structures (the storage engine), not so workers can race
+/// on it.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSink {
+    inner: Arc<Inner>,
+}
+
+impl MetricsSink {
+    /// Fresh sink at zero.
+    pub fn new() -> MetricsSink {
+        MetricsSink::default()
+    }
+
+    /// Record the outcome of one batched probe pass: `probes` keys looked
+    /// up, `hits` of them resolved (of which `fuzzy_hits` via the IoU
+    /// fallback). Misses are derived (`probes - hits`).
+    pub fn record_probe_batch(&self, probes: u64, hits: u64, fuzzy_hits: u64) {
+        debug_assert!(hits <= probes, "more hits than probes");
+        debug_assert!(fuzzy_hits <= hits, "fuzzy hits exceed hits");
+        self.inner.probes.fetch_add(probes, Ordering::Relaxed);
+        self.inner.probe_hits.fetch_add(hits, Ordering::Relaxed);
+        self.inner
+            .probe_misses
+            .fetch_add(probes - hits, Ordering::Relaxed);
+        self.inner.fuzzy_hits.fetch_add(fuzzy_hits, Ordering::Relaxed);
+    }
+
+    /// Record UDF invocations: `executed` ran the model, `avoided` were
+    /// served from materialized state, `ms_avoided` is the simulated cost
+    /// the avoided calls would have paid. Requested = executed + avoided.
+    pub fn record_udf_calls(&self, executed: u64, avoided: u64, ms_avoided: f64) {
+        self.inner
+            .udf_calls_requested
+            .fetch_add(executed + avoided, Ordering::Relaxed);
+        self.inner
+            .udf_calls_executed
+            .fetch_add(executed, Ordering::Relaxed);
+        self.inner
+            .udf_calls_avoided
+            .fetch_add(avoided, Ordering::Relaxed);
+        if ms_avoided > 0.0 {
+            self.add_ms_avoided(ms_avoided);
+        }
+    }
+
+    /// Record rows handed out as `Arc` clones of stored rows (no copy).
+    pub fn record_zero_copy_rows(&self, rows: u64) {
+        self.inner
+            .rows_served_zero_copy
+            .fetch_add(rows, Ordering::Relaxed);
+    }
+
+    /// Record FunCache lookup outcomes.
+    pub fn record_funcache(&self, hits: u64, misses: u64) {
+        self.inner.funcache_hits.fetch_add(hits, Ordering::Relaxed);
+        self.inner
+            .funcache_misses
+            .fetch_add(misses, Ordering::Relaxed);
+    }
+
+    /// Record rows read from a materialized view.
+    pub fn record_view_rows_read(&self, rows: u64) {
+        self.inner.view_rows_read.fetch_add(rows, Ordering::Relaxed);
+    }
+
+    /// Record rows appended to a materialized view.
+    pub fn record_view_rows_written(&self, rows: u64) {
+        self.inner
+            .view_rows_written
+            .fetch_add(rows, Ordering::Relaxed);
+    }
+
+    /// Record decoded video frames.
+    pub fn record_frames_scanned(&self, frames: u64) {
+        self.inner
+            .frames_scanned
+            .fetch_add(frames, Ordering::Relaxed);
+    }
+
+    /// Note one contended shard-lock acquisition. Nondeterministic by nature;
+    /// see [`MetricsSnapshot::deterministic`].
+    pub fn note_shard_contention(&self) {
+        self.inner
+            .shard_lock_contention
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn add_ms_avoided(&self, ms: f64) {
+        let cell = &self.inner.udf_ms_avoided_bits;
+        let mut cur = cell.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + ms).to_bits();
+            match cell.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Current counter values.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let i = &self.inner;
+        MetricsSnapshot {
+            udf_calls_requested: i.udf_calls_requested.load(Ordering::Relaxed),
+            udf_calls_executed: i.udf_calls_executed.load(Ordering::Relaxed),
+            udf_calls_avoided: i.udf_calls_avoided.load(Ordering::Relaxed),
+            udf_ms_avoided: f64::from_bits(i.udf_ms_avoided_bits.load(Ordering::Relaxed)),
+            probes: i.probes.load(Ordering::Relaxed),
+            probe_hits: i.probe_hits.load(Ordering::Relaxed),
+            probe_misses: i.probe_misses.load(Ordering::Relaxed),
+            fuzzy_hits: i.fuzzy_hits.load(Ordering::Relaxed),
+            rows_served_zero_copy: i.rows_served_zero_copy.load(Ordering::Relaxed),
+            funcache_hits: i.funcache_hits.load(Ordering::Relaxed),
+            funcache_misses: i.funcache_misses.load(Ordering::Relaxed),
+            view_rows_read: i.view_rows_read.load(Ordering::Relaxed),
+            view_rows_written: i.view_rows_written.load(Ordering::Relaxed),
+            frames_scanned: i.frames_scanned.load(Ordering::Relaxed),
+            shard_lock_contention: i.shard_lock_contention.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Reset every counter to zero (clean workload state).
+    pub fn reset(&self) {
+        let i = &self.inner;
+        i.udf_calls_requested.store(0, Ordering::Relaxed);
+        i.udf_calls_executed.store(0, Ordering::Relaxed);
+        i.udf_calls_avoided.store(0, Ordering::Relaxed);
+        i.udf_ms_avoided_bits.store(0, Ordering::Relaxed);
+        i.probes.store(0, Ordering::Relaxed);
+        i.probe_hits.store(0, Ordering::Relaxed);
+        i.probe_misses.store(0, Ordering::Relaxed);
+        i.fuzzy_hits.store(0, Ordering::Relaxed);
+        i.rows_served_zero_copy.store(0, Ordering::Relaxed);
+        i.funcache_hits.store(0, Ordering::Relaxed);
+        i.funcache_misses.store(0, Ordering::Relaxed);
+        i.view_rows_read.store(0, Ordering::Relaxed);
+        i.view_rows_written.store(0, Ordering::Relaxed);
+        i.frames_scanned.store(0, Ordering::Relaxed);
+        i.shard_lock_contention.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Per-operator runtime statistics collected during one query execution,
+/// keyed by the plan node's [`OpId`](crate::ids::OpId). Rendered by
+/// `EXPLAIN ANALYZE`.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct OpStats {
+    /// Rows emitted by this operator.
+    pub rows_out: u64,
+    /// Batches emitted by this operator.
+    pub batches: u64,
+    /// Cumulative simulated cost of this operator's *subtree* (self cost is
+    /// derived at render time: `cum - Σ children.cum`).
+    pub cum: CostBreakdown,
+    /// Probe keys this operator looked up (APPLY only).
+    pub probes: u64,
+    /// Probe keys resolved from materialized state (APPLY only).
+    pub probe_hits: u64,
+    /// Hits resolved via the fuzzy (IoU) fallback (APPLY only).
+    pub fuzzy_hits: u64,
+    /// UDF invocations this operator executed (APPLY only).
+    pub udf_executed: u64,
+    /// UDF invocations this operator avoided (APPLY only).
+    pub udf_avoided: u64,
+}
+
+impl OpStats {
+    /// Fold `other` into `self` (used when one operator reports in several
+    /// increments over its lifetime).
+    pub fn absorb(&mut self, other: &OpStats) {
+        self.rows_out += other.rows_out;
+        self.batches += other.batches;
+        self.cum = self.cum.plus(&other.cum);
+        self.probes += other.probes;
+        self.probe_hits += other.probe_hits;
+        self.fuzzy_hits += other.fuzzy_hits;
+        self.udf_executed += other.udf_executed;
+        self.udf_avoided += other.udf_avoided;
+    }
+
+    /// Fraction of probes that hit, in `[0, 1]`; 0 when nothing was probed.
+    pub fn probe_hit_rate(&self) -> f64 {
+        if self.probes == 0 {
+            0.0
+        } else {
+            self.probe_hits as f64 / self.probes as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::{CostCategory, SimClock};
+
+    #[test]
+    fn probe_batches_keep_the_invariant() {
+        let m = MetricsSink::new();
+        m.record_probe_batch(10, 7, 2);
+        m.record_probe_batch(5, 0, 0);
+        let s = m.snapshot();
+        assert_eq!(s.probes, 15);
+        assert_eq!(s.probe_hits, 7);
+        assert_eq!(s.probe_misses, 8);
+        assert_eq!(s.fuzzy_hits, 2);
+        assert_eq!(s.probe_hits + s.probe_misses, s.probes);
+        assert!((s.probe_hit_rate() - 7.0 / 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn udf_calls_sum_to_requested() {
+        let m = MetricsSink::new();
+        m.record_udf_calls(3, 0, 0.0);
+        m.record_udf_calls(0, 4, 4.0 * 99.0);
+        let s = m.snapshot();
+        assert_eq!(s.udf_calls_requested, 7);
+        assert_eq!(s.udf_calls_executed, 3);
+        assert_eq!(s.udf_calls_avoided, 4);
+        assert_eq!(s.udf_calls_executed + s.udf_calls_avoided, s.udf_calls_requested);
+        assert!((s.udf_ms_avoided - 396.0).abs() < 1e-9);
+        assert!((s.reuse_rate() - 4.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn since_attributes_deltas() {
+        let m = MetricsSink::new();
+        m.record_udf_calls(2, 1, 99.0);
+        let before = m.snapshot();
+        m.record_udf_calls(0, 5, 495.0);
+        m.record_zero_copy_rows(12);
+        let delta = m.snapshot().since(&before);
+        assert_eq!(delta.udf_calls_avoided, 5);
+        assert_eq!(delta.udf_calls_executed, 0);
+        assert_eq!(delta.rows_served_zero_copy, 12);
+        assert!((delta.udf_ms_avoided - 495.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn plus_merges_counterwise() {
+        let a = MetricsSink::new();
+        a.record_funcache(1, 2);
+        let b = MetricsSink::new();
+        b.record_funcache(10, 20);
+        b.record_frames_scanned(7);
+        let sum = a.snapshot().plus(&b.snapshot());
+        assert_eq!(sum.funcache_hits, 11);
+        assert_eq!(sum.funcache_misses, 22);
+        assert_eq!(sum.frames_scanned, 7);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let m = MetricsSink::new();
+        m.record_probe_batch(4, 4, 1);
+        m.record_udf_calls(1, 1, 2.0);
+        m.record_view_rows_read(3);
+        m.record_view_rows_written(3);
+        m.note_shard_contention();
+        m.reset();
+        assert_eq!(m.snapshot(), MetricsSnapshot::default());
+    }
+
+    #[test]
+    fn deterministic_masks_contention_only() {
+        let m = MetricsSink::new();
+        m.record_probe_batch(2, 1, 0);
+        m.note_shard_contention();
+        m.note_shard_contention();
+        let s = m.snapshot();
+        assert_eq!(s.shard_lock_contention, 2);
+        let d = s.deterministic();
+        assert_eq!(d.shard_lock_contention, 0);
+        assert_eq!(d.probes, 2);
+        assert_eq!(d.probe_hits, 1);
+    }
+
+    #[test]
+    fn clones_share_the_sink() {
+        let a = MetricsSink::new();
+        let b = a.clone();
+        b.record_zero_copy_rows(9);
+        assert_eq!(a.snapshot().rows_served_zero_copy, 9);
+    }
+
+    #[test]
+    fn snapshot_serializes_to_json() {
+        let m = MetricsSink::new();
+        m.record_probe_batch(3, 2, 0);
+        let json = serde_json::to_string(&m.snapshot()).unwrap();
+        assert!(json.contains("\"probes\":3"));
+        assert!(json.contains("\"probe_hits\":2"));
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, m.snapshot());
+    }
+
+    #[test]
+    fn op_stats_absorb_and_rate() {
+        let clock = SimClock::new();
+        clock.charge(CostCategory::Apply, 5.0);
+        let mut a = OpStats {
+            rows_out: 10,
+            batches: 1,
+            cum: clock.snapshot(),
+            probes: 8,
+            probe_hits: 6,
+            ..OpStats::default()
+        };
+        let b = OpStats {
+            rows_out: 5,
+            batches: 1,
+            probes: 2,
+            probe_hits: 0,
+            udf_executed: 2,
+            ..OpStats::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.rows_out, 15);
+        assert_eq!(a.batches, 2);
+        assert_eq!(a.probes, 10);
+        assert!((a.probe_hit_rate() - 0.6).abs() < 1e-12);
+        assert_eq!(a.cum.get(CostCategory::Apply), 5.0);
+    }
+}

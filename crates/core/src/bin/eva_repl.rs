@@ -5,8 +5,9 @@
 //! ```
 //!
 //! Meta commands: `\strategy eva|noreuse|hashstash|funcache`, `\explain
-//! <query>`, `\stats`, `\views`, `\reset`, `\help`, `\quit`. Everything else
-//! is parsed as EVA-QL (`LOAD VIDEO 'medium_ua_detrac' INTO video;` first).
+//! <query>`, `\analyze <query>`, `\stats`, `\metrics`, `\views`, `\reset`,
+//! `\help`, `\quit`. Everything else is parsed as EVA-QL
+//! (`LOAD VIDEO 'medium_ua_detrac' INTO video;` first).
 
 use std::io::{BufRead, Write};
 
@@ -74,7 +75,9 @@ fn meta_command(db: &mut EvaDb, cmd: &str) -> bool {
         "help" => {
             println!("\\strategy eva|noreuse|hashstash|funcache — switch reuse strategy");
             println!("\\explain <select…> — show the physical plan");
+            println!("\\analyze <select…> — run the query, show the annotated plan");
             println!("\\stats — per-UDF invocation statistics");
+            println!("\\metrics — session runtime counters (probes, reuse, zero-copy)");
             println!("\\views — materialized view inventory");
             println!("\\reset — drop all reuse state");
             println!("\\quit — leave");
@@ -101,6 +104,50 @@ fn meta_command(db: &mut EvaDb, cmd: &str) -> bool {
                 Ok(plan) => println!("{plan}"),
                 Err(e) => eprintln!("error: {e}"),
             }
+        }
+        "analyze" => {
+            let rest: Vec<&str> = parts.collect();
+            match db.explain_analyze_query(&rest.join(" ")) {
+                Ok((plan, out)) => {
+                    println!("{plan}");
+                    println!(
+                        "[{} rows, {:.1}s simulated, {:.0}ms wall, {:.1}% probe hits, \
+                         {} UDF calls avoided]",
+                        out.n_rows(),
+                        out.sim_secs(),
+                        out.wall_ms,
+                        out.metrics.probe_hit_rate() * 100.0,
+                        out.metrics.udf_calls_avoided
+                    );
+                }
+                Err(e) => eprintln!("error: {e}"),
+            }
+        }
+        "metrics" => {
+            let m = db.metrics_snapshot();
+            println!(
+                "udf calls: requested={} executed={} avoided={} ({:.1}s avoided)",
+                m.udf_calls_requested,
+                m.udf_calls_executed,
+                m.udf_calls_avoided,
+                m.udf_ms_avoided / 1000.0
+            );
+            println!(
+                "view probes: {} ({} hits / {} misses, {} fuzzy, {:.1}% hit rate)",
+                m.probes,
+                m.probe_hits,
+                m.probe_misses,
+                m.fuzzy_hits,
+                m.probe_hit_rate() * 100.0
+            );
+            println!(
+                "rows: zero-copy={} view-read={} view-written={} frames-scanned={}",
+                m.rows_served_zero_copy, m.view_rows_read, m.view_rows_written, m.frames_scanned
+            );
+            println!(
+                "funcache: {} hits / {} misses; shard contention events: {}",
+                m.funcache_hits, m.funcache_misses, m.shard_lock_contention
+            );
         }
         "stats" => {
             for (name, c) in db.invocation_stats().all() {

@@ -1,7 +1,10 @@
 //! The [`EvaDb`] session.
 
 use eva_catalog::{AccuracyLevel, Catalog, TableDef, UdfDef};
-use eva_common::{CostBreakdown, DataType, EvaError, Field, Result, Schema, SimClock, UdfId};
+use eva_common::{
+    CostBreakdown, DataType, EvaError, Field, MetricsSink, MetricsSnapshot, Result, Schema,
+    SimClock, UdfId,
+};
 use eva_exec::{execute, ExecConfig, FunCacheTable, QueryOutput};
 use eva_parser::{parse, CreateUdfStmt, SelectStmt, Statement};
 use eva_planner::{Binder, Optimizer, PhysPlan, PlannerConfig, ReuseStrategy};
@@ -127,6 +130,17 @@ impl EvaDb {
         self.clock.snapshot()
     }
 
+    /// The session's runtime metrics sink (shared with the storage engine
+    /// and the executor — one set of counters per session).
+    pub fn metrics(&self) -> &MetricsSink {
+        self.storage.metrics()
+    }
+
+    /// Runtime-metrics snapshot since session start (or last reset).
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.storage.metrics().snapshot()
+    }
+
     /// Session configuration.
     pub fn config(&self) -> SessionConfig {
         self.config
@@ -221,6 +235,35 @@ impl EvaDb {
         }
     }
 
+    /// EXPLAIN ANALYZE: *execute* the SELECT and render its plan tree
+    /// annotated with per-operator runtime statistics — actual rows, probe
+    /// hit rates, UDF calls executed versus avoided, and cumulative
+    /// simulated cost (see [`PhysPlan::explain_analyze`]).
+    pub fn explain_analyze(&mut self, sql: &str) -> Result<String> {
+        Ok(self.explain_analyze_query(sql)?.0)
+    }
+
+    /// Like [`EvaDb::explain_analyze`], additionally returning the full
+    /// [`QueryOutput`] (result rows, cost breakdown, metrics delta) of the
+    /// run that produced the annotations.
+    pub fn explain_analyze_query(&mut self, sql: &str) -> Result<(String, QueryOutput)> {
+        let stmt = match parse(sql)? {
+            Statement::Select(stmt) => stmt,
+            other => return Err(EvaError::Plan(format!("cannot explain {other:?}"))),
+        };
+        let plan = self.plan_select(&stmt)?;
+        let out = execute(
+            &plan,
+            &self.storage,
+            &self.registry,
+            &self.stats,
+            &self.clock,
+            &self.funcache,
+            self.config.exec,
+        )?;
+        Ok((plan.explain_analyze(&out.op_stats), out))
+    }
+
     /// Reset all reuse state — views, aggregated predicates, caches,
     /// counters and the clock — so a workload starts clean (§5.1: "We
     /// evaluate every workload from a clean state").
@@ -230,6 +273,7 @@ impl EvaDb {
         self.funcache.clear();
         self.stats.reset();
         self.clock.reset();
+        self.storage.metrics().reset();
     }
 
     /// Persist the session's reuse state — materialized views plus the UDF
@@ -444,6 +488,50 @@ mod tests {
         assert_eq!(db.storage().total_view_bytes(), 0);
         assert_eq!(db.invocation_stats().hit_percentage(), 0.0);
         assert_eq!(db.cost_snapshot().total_ms(), 0.0);
+        let m = db.metrics_snapshot();
+        assert_eq!(m.probes, 0, "metrics survive reset: {m:?}");
+        assert_eq!(m.udf_calls_requested, 0, "metrics survive reset: {m:?}");
+    }
+
+    #[test]
+    fn explain_analyze_warm_run_reports_reuse() {
+        let mut db = session(ReuseStrategy::Eva);
+        db.execute_sql(Q).unwrap().rows().unwrap();
+        let cold = db.metrics_snapshot();
+        assert!(cold.udf_calls_executed > 0, "{cold:?}");
+        assert_eq!(cold.probe_hits, 0, "cold run cannot hit views: {cold:?}");
+
+        let (text, out) = db.explain_analyze_query(Q).unwrap();
+        // The annotated tree carries per-operator runtime stats…
+        assert!(text.contains("rows="), "{text}");
+        assert!(text.contains("probes="), "{text}");
+        // …and the warm repeat served every detector row from views.
+        assert!(out.metrics.probe_hits > 0, "{:?}", out.metrics);
+        assert!(out.metrics.udf_calls_avoided > 0, "{:?}", out.metrics);
+        assert_eq!(
+            out.metrics.probes,
+            out.metrics.probe_hits + out.metrics.probe_misses,
+            "{:?}",
+            out.metrics
+        );
+        // The Apply annotations themselves must show nonzero reuse, not
+        // just the aggregate snapshot.
+        let apply_line = text
+            .lines()
+            .find(|l| l.contains("avoided="))
+            .expect("an Apply node renders reuse counters");
+        assert!(!apply_line.contains("avoided=0"), "{apply_line}");
+    }
+
+    #[test]
+    fn explain_analyze_executes_and_rejects_non_select() {
+        let mut db = session(ReuseStrategy::Eva);
+        // explain_analyze actually runs the query: views materialize.
+        assert_eq!(db.storage().total_view_bytes(), 0);
+        let text = db.explain_analyze(Q).unwrap();
+        assert!(db.storage().total_view_bytes() > 0);
+        assert!(text.contains("ScanFrames"), "{text}");
+        assert!(db.explain_analyze("SHOW TABLES").is_err());
     }
 
     #[test]

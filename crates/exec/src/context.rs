@@ -1,14 +1,50 @@
 //! Execution context threaded through operators.
 
+use std::cell::RefCell;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use eva_common::SimClock;
+use eva_common::{MetricsSink, OpId, OpStats, SimClock};
 use eva_storage::StorageEngine;
 use eva_udf::{InvocationStats, UdfRegistry};
 use eva_video::VideoDataset;
 
 use crate::config::ExecConfig;
 use crate::funcache::FunCacheTable;
+
+/// Per-operator runtime statistics for one query execution.
+///
+/// Deliberately **not** `Sync` (a `RefCell`, like [`SimClock`]): every
+/// update happens on the caller thread. Worker-pool closures never touch the
+/// collector — they return counts and the caller records once — so parallel
+/// and serial runs produce identical statistics.
+#[derive(Debug, Default)]
+pub struct OpStatsCollector {
+    cells: RefCell<BTreeMap<OpId, OpStats>>,
+}
+
+impl OpStatsCollector {
+    /// Fresh, empty collector.
+    pub fn new() -> OpStatsCollector {
+        OpStatsCollector::default()
+    }
+
+    /// Apply `f` to the stats cell of operator `id`, creating it zeroed on
+    /// first touch.
+    pub fn update(&self, id: OpId, f: impl FnOnce(&mut OpStats)) {
+        f(self.cells.borrow_mut().entry(id).or_default())
+    }
+
+    /// A copy of every operator's stats, keyed by operator id.
+    pub fn snapshot(&self) -> BTreeMap<OpId, OpStats> {
+        self.cells.borrow().clone()
+    }
+
+    /// Drop all recorded stats.
+    pub fn reset(&self) {
+        self.cells.borrow_mut().clear()
+    }
+}
 
 /// Everything an operator needs at run time.
 pub struct ExecCtx<'a> {
@@ -24,6 +60,16 @@ pub struct ExecCtx<'a> {
     pub dataset: Arc<VideoDataset>,
     /// FunCache baseline table (unused under other strategies).
     pub funcache: &'a FunCacheTable,
+    /// Per-operator statistics for this execution (`EXPLAIN ANALYZE`).
+    pub op_stats: &'a OpStatsCollector,
     /// Tunables.
     pub config: ExecConfig,
+}
+
+impl ExecCtx<'_> {
+    /// The session-wide metrics sink (owned by the storage engine so every
+    /// layer sharing the engine shares the counters).
+    pub fn metrics(&self) -> &MetricsSink {
+        self.storage.metrics()
+    }
 }

@@ -1,14 +1,17 @@
 //! Plan building and execution driver.
 
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use eva_common::{Batch, CostBreakdown, EvaError, Result, SimClock};
+use eva_common::{
+    Batch, CostBreakdown, EvaError, MetricsSnapshot, OpId, OpStats, Result, Schema, SimClock,
+};
 use eva_planner::PhysPlan;
 use eva_storage::StorageEngine;
 use eva_udf::{InvocationStats, UdfRegistry};
 
 use crate::config::ExecConfig;
-use crate::context::ExecCtx;
+use crate::context::{ExecCtx, OpStatsCollector};
 use crate::funcache::FunCacheTable;
 use crate::ops::aggregate::AggregateOp;
 use crate::ops::apply::ApplyOp;
@@ -16,7 +19,7 @@ use crate::ops::filter::FilterOp;
 use crate::ops::project::ProjectOp;
 use crate::ops::scan::ScanFramesOp;
 use crate::ops::sort_limit::{LimitOp, SortOp};
-use crate::ops::BoxedOp;
+use crate::ops::{BoxedOp, Operator};
 
 /// The result of one query execution.
 #[derive(Debug, Clone)]
@@ -27,6 +30,12 @@ pub struct QueryOutput {
     pub breakdown: CostBreakdown,
     /// Real wall-clock milliseconds spent executing.
     pub wall_ms: f64,
+    /// Per-operator runtime statistics, keyed by the plan's operator ids
+    /// (feed to [`PhysPlan::explain_analyze`]).
+    pub op_stats: BTreeMap<OpId, OpStats>,
+    /// Session-metrics delta attributable to this query (probe hits, UDF
+    /// calls avoided, …).
+    pub metrics: MetricsSnapshot,
 }
 
 impl QueryOutput {
@@ -41,9 +50,43 @@ impl QueryOutput {
     }
 }
 
-/// Build the operator tree for a physical plan.
+/// Wraps every operator built from a plan node, attributing rows, batches
+/// and cumulative subtree cost to the node's [`OpId`].
+///
+/// The clock delta around `inner.next()` includes the charges of every
+/// operator *below* this one (they run nested inside the call), so `cum` is
+/// the Postgres-style cumulative subtree cost. All accounting happens on the
+/// caller thread — the wrapper adds no synchronization and cannot perturb
+/// the cost model.
+struct InstrumentedOp {
+    id: OpId,
+    inner: BoxedOp,
+}
+
+impl Operator for InstrumentedOp {
+    fn schema(&self) -> Arc<Schema> {
+        self.inner.schema()
+    }
+
+    fn next(&mut self, ctx: &ExecCtx<'_>) -> Result<Option<Batch>> {
+        let before = ctx.clock.snapshot();
+        let out = self.inner.next(ctx)?;
+        let delta = ctx.clock.snapshot().since(&before);
+        ctx.op_stats.update(self.id, |s| {
+            s.cum = s.cum.plus(&delta);
+            if let Some(batch) = &out {
+                s.rows_out += batch.len() as u64;
+                s.batches += 1;
+            }
+        });
+        Ok(out)
+    }
+}
+
+/// Build the operator tree for a physical plan. Every node is wrapped in an
+/// [`InstrumentedOp`] carrying the plan node's operator id.
 fn build(plan: &PhysPlan) -> Result<BoxedOp> {
-    Ok(match plan {
+    let inner: BoxedOp = match plan {
         PhysPlan::ScanFrames {
             dataset,
             range,
@@ -54,22 +97,22 @@ fn build(plan: &PhysPlan) -> Result<BoxedOp> {
             *range,
             Arc::clone(schema),
         )),
-        PhysPlan::Filter { input, predicate } => {
-            Box::new(FilterOp::new(build(input)?, predicate.clone()))
-        }
+        PhysPlan::Filter {
+            input, predicate, ..
+        } => Box::new(FilterOp::new(build(input)?, predicate.clone())),
         PhysPlan::Apply {
             input,
             spec,
             schema,
-        } => Box::new(ApplyOp::new(
-            build(input)?,
-            spec.clone(),
-            Arc::clone(schema),
-        )?),
+            ..
+        } => Box::new(
+            ApplyOp::new(build(input)?, spec.clone(), Arc::clone(schema))?.with_op_id(plan.op_id()),
+        ),
         PhysPlan::Project {
             input,
             items,
             schema,
+            ..
         } => Box::new(ProjectOp::new(
             build(input)?,
             items.clone(),
@@ -80,15 +123,20 @@ fn build(plan: &PhysPlan) -> Result<BoxedOp> {
             group_by,
             aggs,
             schema,
+            ..
         } => Box::new(AggregateOp::new(
             build(input)?,
             group_by.clone(),
             aggs.clone(),
             Arc::clone(schema),
         )),
-        PhysPlan::Sort { input, keys } => Box::new(SortOp::new(build(input)?, keys.clone())),
-        PhysPlan::Limit { input, n } => Box::new(LimitOp::new(build(input)?, *n)),
-    })
+        PhysPlan::Sort { input, keys, .. } => Box::new(SortOp::new(build(input)?, keys.clone())),
+        PhysPlan::Limit { input, n, .. } => Box::new(LimitOp::new(build(input)?, *n)),
+    };
+    Ok(Box::new(InstrumentedOp {
+        id: plan.op_id(),
+        inner,
+    }))
 }
 
 fn dataset_of(plan: &PhysPlan) -> Result<&str> {
@@ -116,7 +164,9 @@ pub fn execute(
 ) -> Result<QueryOutput> {
     let started = std::time::Instant::now();
     let before = clock.snapshot();
+    let metrics_before = storage.metrics().snapshot();
     let dataset = storage.dataset(dataset_of(plan)?)?;
+    let op_stats = OpStatsCollector::new();
     let ctx = ExecCtx {
         storage,
         registry,
@@ -124,6 +174,7 @@ pub fn execute(
         clock,
         dataset,
         funcache,
+        op_stats: &op_stats,
         config,
     };
     let mut root = build(plan)?;
@@ -133,9 +184,12 @@ pub fn execute(
         out.extend(batch)?;
     }
     let breakdown = clock.snapshot().since(&before);
+    let metrics = storage.metrics().snapshot().since(&metrics_before);
     Ok(QueryOutput {
         batch: out,
         breakdown,
         wall_ms: started.elapsed().as_secs_f64() * 1000.0,
+        op_stats: op_stats.snapshot(),
+        metrics,
     })
 }

@@ -24,7 +24,7 @@
 
 use std::sync::Arc;
 
-use eva_common::{BBox, Batch, CostCategory, EvaError, FrameId, Result, Row, Schema, ViewId};
+use eva_common::{BBox, Batch, CostCategory, EvaError, FrameId, OpId, Result, Row, Schema, ViewId};
 use eva_expr::Expr;
 use eva_planner::{ApplyReuse, ApplySpec, Segment};
 use eva_storage::{StorageEngine, ViewKey};
@@ -41,6 +41,9 @@ pub struct ApplyOp {
     schema: Arc<Schema>,
     frame_idx: usize,
     bbox_idx: Option<usize>,
+    /// Plan-node id the operator's probe/UDF counters are attributed to
+    /// ([`OpId::UNSET`] outside a planned query, e.g. in unit tests).
+    op_id: OpId,
 }
 
 impl ApplyOp {
@@ -72,7 +75,14 @@ impl ApplyOp {
             schema,
             frame_idx,
             bbox_idx,
+            op_id: OpId::UNSET,
         })
+    }
+
+    /// Attribute this operator's counters to a plan node id.
+    pub fn with_op_id(mut self, id: OpId) -> ApplyOp {
+        self.op_id = id;
+        self
     }
 
     fn key_of(&self, row: &Row) -> Result<(FrameId, Option<BBox>, ViewKey)> {
@@ -196,8 +206,13 @@ impl ApplyOp {
             if unresolved.is_empty() {
                 break;
             }
-            // Probe this segment's view for unresolved rows.
+            // Probe this segment's view for unresolved rows. One *probe* is
+            // counted per row attempted against the segment (the fuzzy
+            // lookup below is a second phase of the same probe, not a new
+            // one), so `probes == hits + misses` holds by construction.
             if let Some(view) = seg.view {
+                let probes = unresolved.len() as u64;
+                let mut exact_hits = 0u64;
                 let probe_keys: Vec<ViewKey> = unresolved.iter().map(|&i| keys[i].2).collect();
                 let mut probed = self.probe_view(ctx, view, &probe_keys)?;
                 let mut still = Vec::with_capacity(unresolved.len());
@@ -209,6 +224,7 @@ impl ApplyOp {
                                 keys[i].2,
                                 seg.udf.cost_ms.unwrap_or(0.0),
                             );
+                            exact_hits += 1;
                             results[i] = Some(rows);
                         }
                         None => still.push(i),
@@ -217,6 +233,7 @@ impl ApplyOp {
                 // §6 future work: fuzzy bbox matching — an exact-key miss
                 // may still reuse the result of a near-identical stored box
                 // (opt-in; trades exactness for more reuse).
+                let mut fuzzy_hits = 0u64;
                 if let (Some(min_iou), true) = (ctx.config.fuzzy_box_iou, self.bbox_idx.is_some()) {
                     let mut misses = Vec::with_capacity(still.len());
                     for &i in &still {
@@ -234,6 +251,7 @@ impl ApplyOp {
                                     vkey,
                                     seg.udf.cost_ms.unwrap_or(0.0),
                                 );
+                                fuzzy_hits += 1;
                                 results[i] = Some(rows);
                             }
                             None => misses.push(i),
@@ -242,6 +260,21 @@ impl ApplyOp {
                     still = misses;
                 }
                 unresolved = still;
+                // Every hit is a UDF call this segment avoided. Recorded on
+                // the caller thread, once per probe batch.
+                let hits = exact_hits + fuzzy_hits;
+                ctx.metrics().record_probe_batch(probes, hits, fuzzy_hits);
+                ctx.metrics().record_udf_calls(
+                    0,
+                    hits,
+                    seg.udf.cost_ms.unwrap_or(0.0) * hits as f64,
+                );
+                ctx.op_stats.update(self.op_id, |s| {
+                    s.probes += probes;
+                    s.probe_hits += hits;
+                    s.fuzzy_hits += fuzzy_hits;
+                    s.udf_avoided += hits;
+                });
             }
             // Evaluate the fallback for the rest.
             if seg.eval && !unresolved.is_empty() {
@@ -251,6 +284,10 @@ impl ApplyOp {
                     .map(|&i| (i, keys[i].0, keys[i].1))
                     .collect();
                 let evaluated = self.eval_rows(ctx, &udf, &inputs)?;
+                ctx.metrics()
+                    .record_udf_calls(evaluated.len() as u64, 0, 0.0);
+                ctx.op_stats
+                    .update(self.op_id, |s| s.udf_executed += evaluated.len() as u64);
                 let mut appends = Vec::with_capacity(evaluated.len());
                 for (i, rows) in evaluated {
                     ctx.clock.charge(CostCategory::Udf, udf.cost_ms());
@@ -285,6 +322,7 @@ impl ApplyOp {
         let udf = ctx.registry.get(&udf_def.impl_id)?;
         let frame_bytes = ctx.dataset.frame_bytes();
         let mut results = Vec::with_capacity(batch.len());
+        let (mut cache_hits, mut cache_misses, mut rows_shared) = (0u64, 0u64, 0u64);
         for row in batch.rows() {
             let (frame, bbox, vkey) = self.key_of(row)?;
             // Hash the input arguments — charged for the full frame payload
@@ -307,6 +345,8 @@ impl ApplyOp {
             match ctx.funcache.get(&key) {
                 Some(rows) => {
                     ctx.stats.record_reuse(&udf_def.name, vkey, udf.cost_ms());
+                    cache_hits += 1;
+                    rows_shared += rows.len() as u64;
                     results.push(Some(rows));
                 }
                 None => {
@@ -320,10 +360,21 @@ impl ApplyOp {
                     ctx.clock.charge(CostCategory::Udf, udf.cost_ms());
                     ctx.stats.record_eval(&udf_def.name, vkey, udf.cost_ms());
                     ctx.funcache.insert(key, Arc::clone(&rows));
+                    cache_misses += 1;
                     results.push(Some(rows));
                 }
             }
         }
+        // Cache hits serve their rows by Arc clone and each one avoided a
+        // model invocation; charged once per batch on the caller thread.
+        ctx.metrics().record_funcache(cache_hits, cache_misses);
+        ctx.metrics().record_zero_copy_rows(rows_shared);
+        ctx.metrics()
+            .record_udf_calls(cache_misses, cache_hits, udf.cost_ms() * cache_hits as f64);
+        ctx.op_stats.update(self.op_id, |s| {
+            s.udf_executed += cache_misses;
+            s.udf_avoided += cache_hits;
+        });
         Ok(results)
     }
 
@@ -342,6 +393,10 @@ impl ApplyOp {
             keys.push(vkey);
         }
         let evaluated = self.eval_rows(ctx, &udf, &inputs)?;
+        ctx.metrics()
+            .record_udf_calls(evaluated.len() as u64, 0, 0.0);
+        ctx.op_stats
+            .update(self.op_id, |s| s.udf_executed += evaluated.len() as u64);
         let mut results: Vec<Option<Arc<[Row]>>> = vec![None; batch.len()];
         for (i, rows) in evaluated {
             ctx.clock.charge(CostCategory::Udf, udf.cost_ms());

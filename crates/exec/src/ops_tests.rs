@@ -402,9 +402,14 @@ fn apply_rejects_non_column_args() {
 
 /// Run the standard views-mode detector query under a given config and
 /// return the cost breakdown plus the drained output rows.
-fn run_views_query(
-    config: crate::config::ExecConfig,
-) -> (eva_common::CostBreakdown, Vec<Vec<Value>>) {
+struct ViewsRun {
+    cost: eva_common::CostBreakdown,
+    rows: Vec<Vec<Value>>,
+    metrics: eva_common::MetricsSnapshot,
+    op_stats: std::collections::BTreeMap<eva_common::OpId, eva_common::OpStats>,
+}
+
+fn run_views_query(config: crate::config::ExecConfig) -> ViewsRun {
     let env = TestEnv::new(42, 64);
     let def = env.catalog.udf("fasterrcnn_resnet50").unwrap();
     let view = env
@@ -446,7 +451,12 @@ fn run_views_query(
     while let Some(b) = op.next(&ctx).unwrap() {
         rows.extend(b.rows().iter().cloned());
     }
-    (env.clock.snapshot(), rows)
+    ViewsRun {
+        cost: env.clock.snapshot(),
+        rows,
+        metrics: env.storage.metrics().snapshot(),
+        op_stats: env.op_stats.snapshot(),
+    }
 }
 
 #[test]
@@ -463,19 +473,64 @@ fn parallel_apply_costs_are_bit_identical_to_serial() {
         parallel_probe_threshold: 1,
         ..Default::default()
     };
-    let (cost_s, rows_s) = run_views_query(serial);
-    let (cost_p, rows_p) = run_views_query(parallel);
+    let s = run_views_query(serial);
+    let p = run_views_query(parallel);
     assert_eq!(
-        cost_s, cost_p,
+        s.cost, p.cost,
         "worker-pool parallelism must not change the simulated cost"
     );
     assert_eq!(
-        rows_s, rows_p,
+        s.rows, p.rows,
         "output rows must match in content and order"
     );
     assert!(
-        cost_s.get(CostCategory::ReadView) > 0.0,
+        s.cost.get(CostCategory::ReadView) > 0.0,
         "probe path exercised"
     );
-    assert!(cost_s.get(CostCategory::Udf) > 0.0, "eval path exercised");
+    assert!(s.cost.get(CostCategory::Udf) > 0.0, "eval path exercised");
+}
+
+/// Mirror of the cost bit-identity test for the observability layer: every
+/// counter except shard-contention (which depends on thread interleaving by
+/// design) must be identical whether the apply operator fans out to the
+/// worker pool or runs serially — counters are charged on the caller
+/// thread, like the clock.
+#[test]
+fn parallel_apply_metrics_are_identical_to_serial() {
+    let serial = crate::config::ExecConfig {
+        batch_size: 64,
+        parallel_eval_threshold: 0,
+        parallel_probe_threshold: 0,
+        ..Default::default()
+    };
+    let parallel = crate::config::ExecConfig {
+        batch_size: 64,
+        parallel_eval_threshold: 1,
+        parallel_probe_threshold: 1,
+        ..Default::default()
+    };
+    let s = run_views_query(serial);
+    let p = run_views_query(parallel);
+    assert_eq!(
+        s.metrics.deterministic(),
+        p.metrics.deterministic(),
+        "parallelism must not change any metric counter"
+    );
+    assert_eq!(
+        s.op_stats, p.op_stats,
+        "parallelism must not change per-operator stats"
+    );
+    // The run exercises both the probe-hit and evaluate paths, so the
+    // counters are nontrivial and their invariants hold.
+    let m = &s.metrics;
+    assert!(m.probe_hits > 0, "{m:?}");
+    assert!(m.udf_calls_executed > 0, "{m:?}");
+    assert!(m.udf_calls_avoided > 0, "{m:?}");
+    assert_eq!(m.probes, m.probe_hits + m.probe_misses, "{m:?}");
+    assert_eq!(
+        m.udf_calls_requested,
+        m.udf_calls_executed + m.udf_calls_avoided,
+        "{m:?}"
+    );
+    assert!(m.rows_served_zero_copy > 0, "probe hits serve zero-copy rows");
 }

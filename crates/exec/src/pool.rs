@@ -103,7 +103,7 @@ mod tests {
     fn results_come_back_in_task_order() {
         let pool = WorkerPool::new(4);
         let tasks: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..32)
-            .map(|i| Box::new(move || i * 2) as Box<dyn FnOnce() -> usize + Send>)
+            .map(|i: usize| Box::new(move || i * 2) as Box<dyn FnOnce() -> usize + Send>)
             .collect();
         let out = pool.run(tasks);
         assert_eq!(out, (0..32).map(|i| i * 2).collect::<Vec<_>>());
@@ -114,7 +114,7 @@ mod tests {
         let pool = WorkerPool::new(2);
         for round in 0..10 {
             let tasks: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..8)
-                .map(|i| Box::new(move || round + i) as Box<dyn FnOnce() -> usize + Send>)
+                .map(|i: usize| Box::new(move || round + i) as Box<dyn FnOnce() -> usize + Send>)
                 .collect();
             assert_eq!(pool.run(tasks).len(), 8);
         }
@@ -126,7 +126,7 @@ mod tests {
         for t in 0..4 {
             joins.push(std::thread::spawn(move || {
                 let tasks: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..16)
-                    .map(|i| Box::new(move || t * 100 + i) as Box<dyn FnOnce() -> usize + Send>)
+                    .map(|i: usize| Box::new(move || t * 100 + i) as Box<dyn FnOnce() -> usize + Send>)
                     .collect();
                 WorkerPool::global().run(tasks)
             }));

@@ -11,7 +11,7 @@ use eva_video::generator::generate;
 use eva_video::{VideoConfig, VideoDataset};
 
 use crate::config::ExecConfig;
-use crate::context::ExecCtx;
+use crate::context::{ExecCtx, OpStatsCollector};
 use crate::funcache::FunCacheTable;
 use crate::ops::{BoxedOp, Operator};
 
@@ -23,6 +23,7 @@ pub struct TestEnv {
     pub clock: SimClock,
     pub dataset: Arc<VideoDataset>,
     pub funcache: FunCacheTable,
+    pub op_stats: OpStatsCollector,
     pub catalog: eva_catalog::Catalog,
 }
 
@@ -49,6 +50,7 @@ impl TestEnv {
             clock: SimClock::new(),
             dataset,
             funcache: FunCacheTable::new(),
+            op_stats: OpStatsCollector::new(),
             catalog,
         }
     }
@@ -69,6 +71,7 @@ impl TestEnv {
             clock: &self.clock,
             dataset: Arc::clone(&self.dataset),
             funcache: &self.funcache,
+            op_stats: &self.op_stats,
             config,
         }
     }

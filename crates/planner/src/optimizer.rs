@@ -21,7 +21,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use eva_catalog::{AccuracyLevel, Catalog, UdfDef};
-use eva_common::{CostCategory, DataType, EvaError, Result, Schema, SimClock};
+use eva_common::{CostCategory, DataType, EvaError, OpId, Result, Schema, SimClock};
 use eva_expr::{conjoin, util::substitute_udf, Expr, UdfCall};
 use eva_symbolic::{inter, to_dnf, udf_dim, Dnf, StatsCatalog};
 use eva_udf::{UdfManager, UdfSignature};
@@ -146,6 +146,7 @@ impl<'a> Optimizer<'a> {
         let n_scanned = (range.1 - range.0) as f64;
 
         let mut phys = PhysPlan::ScanFrames {
+            id: OpId::UNSET,
             table: table.clone(),
             dataset,
             range,
@@ -153,6 +154,7 @@ impl<'a> Optimizer<'a> {
         };
         if !classified.scan.is_empty() {
             phys = PhysPlan::Filter {
+                id: OpId::UNSET,
                 input: Box::new(phys),
                 predicate: conjoin(classified.scan.clone()),
             };
@@ -186,6 +188,7 @@ impl<'a> Optimizer<'a> {
             phys = self.plan_scalar_apply(phys, &call, &table, &pre_det_exprs)?;
             let rewritten = substitute_udf(atom.clone(), &call, &Expr::col(out_col));
             phys = PhysPlan::Filter {
+                id: OpId::UNSET,
                 input: Box::new(phys),
                 predicate: rewritten,
             };
@@ -211,6 +214,7 @@ impl<'a> Optimizer<'a> {
         // Post-detector UDF-free predicates.
         if !classified.post_detector.is_empty() {
             phys = PhysPlan::Filter {
+                id: OpId::UNSET,
                 input: Box::new(phys),
                 predicate: conjoin(classified.post_detector.clone()),
             };
@@ -237,6 +241,7 @@ impl<'a> Optimizer<'a> {
             }
             let rewritten = substitute_udf(atom.clone(), &call, &Expr::col(out_col));
             phys = PhysPlan::Filter {
+                id: OpId::UNSET,
                 input: Box::new(phys),
                 predicate: rewritten,
             };
@@ -256,6 +261,7 @@ impl<'a> Optimizer<'a> {
                 rewritten = substitute_udf(rewritten, &call, &Expr::col(out_col));
             }
             phys = PhysPlan::Filter {
+                id: OpId::UNSET,
                 input: Box::new(phys),
                 predicate: rewritten,
             };
@@ -275,6 +281,7 @@ impl<'a> Optimizer<'a> {
         for t in d.tail.iter().rev() {
             phys = rebuild_tail(phys, t)?;
         }
+        phys.assign_op_ids();
         Ok(phys)
     }
 
@@ -309,6 +316,7 @@ impl<'a> Optimizer<'a> {
         let spec = self.decorate(display_name, args, segments, output.clone())?;
         let schema = Arc::new(input.schema().join(&output));
         Ok(PhysPlan::Apply {
+            id: OpId::UNSET,
             input: Box::new(input),
             spec,
             schema,
@@ -462,6 +470,7 @@ impl<'a> Optimizer<'a> {
         let spec = self.decorate(def.name.clone(), args, vec![seg], output.clone())?;
         let schema = Arc::new(input.schema().join(&output));
         Ok(PhysPlan::Apply {
+            id: OpId::UNSET,
             input: Box::new(input),
             spec,
             schema,
@@ -720,6 +729,7 @@ fn decompose(plan: &LogicalPlan) -> Result<Decomposed<'_>> {
 fn rebuild_tail(input: PhysPlan, t: &LogicalPlan) -> Result<PhysPlan> {
     Ok(match t {
         LogicalPlan::Project { items, schema, .. } => PhysPlan::Project {
+            id: OpId::UNSET,
             input: Box::new(input),
             items: items.clone(),
             schema: Arc::clone(schema),
@@ -730,16 +740,19 @@ fn rebuild_tail(input: PhysPlan, t: &LogicalPlan) -> Result<PhysPlan> {
             schema,
             ..
         } => PhysPlan::Aggregate {
+            id: OpId::UNSET,
             input: Box::new(input),
             group_by: group_by.clone(),
             aggs: aggs.clone(),
             schema: Arc::clone(schema),
         },
         LogicalPlan::Sort { keys, .. } => PhysPlan::Sort {
+            id: OpId::UNSET,
             input: Box::new(input),
             keys: keys.clone(),
         },
         LogicalPlan::Limit { n, .. } => PhysPlan::Limit {
+            id: OpId::UNSET,
             input: Box::new(input),
             n: *n,
         },

@@ -15,8 +15,9 @@
 use std::sync::Arc;
 
 use eva_catalog::UdfDef;
-use eva_common::{Schema, ViewId};
+use eva_common::{OpId, OpStats, Schema, ViewId};
 use eva_expr::{AggFunc, Expr, UdfCall};
+use std::collections::BTreeMap;
 
 /// A bound logical plan.
 #[derive(Debug, Clone, PartialEq)]
@@ -241,10 +242,17 @@ impl ApplySpec {
 }
 
 /// A physical plan.
+///
+/// Every node carries an [`OpId`] assigned in pre-order by
+/// [`PhysPlan::assign_op_ids`] after optimization. The ids are stable for a
+/// given plan shape — the same query text yields the same numbering — and
+/// are the key the executor's per-operator [`OpStats`] hang off.
 #[derive(Debug, Clone, PartialEq)]
 pub enum PhysPlan {
     /// Frame-range scan of a video table.
     ScanFrames {
+        /// Operator id (stable per plan shape).
+        id: OpId,
         /// Table name (reporting).
         table: String,
         /// Dataset to scan.
@@ -256,6 +264,8 @@ pub enum PhysPlan {
     },
     /// Selection (UDF-free after the rewrite).
     Filter {
+        /// Operator id (stable per plan shape).
+        id: OpId,
         /// Input plan.
         input: Box<PhysPlan>,
         /// Predicate.
@@ -263,6 +273,8 @@ pub enum PhysPlan {
     },
     /// Fused view-probe / conditional-apply / store (Fig. 3–4).
     Apply {
+        /// Operator id (stable per plan shape).
+        id: OpId,
         /// Input plan.
         input: Box<PhysPlan>,
         /// The apply specification.
@@ -272,6 +284,8 @@ pub enum PhysPlan {
     },
     /// Projection.
     Project {
+        /// Operator id (stable per plan shape).
+        id: OpId,
         /// Input plan.
         input: Box<PhysPlan>,
         /// `(expression, output name)` pairs.
@@ -281,6 +295,8 @@ pub enum PhysPlan {
     },
     /// Hash aggregation.
     Aggregate {
+        /// Operator id (stable per plan shape).
+        id: OpId,
         /// Input plan.
         input: Box<PhysPlan>,
         /// Group-by columns.
@@ -292,6 +308,8 @@ pub enum PhysPlan {
     },
     /// Sort.
     Sort {
+        /// Operator id (stable per plan shape).
+        id: OpId,
         /// Input plan.
         input: Box<PhysPlan>,
         /// `(column, descending)` keys.
@@ -299,6 +317,8 @@ pub enum PhysPlan {
     },
     /// Limit.
     Limit {
+        /// Operator id (stable per plan shape).
+        id: OpId,
         /// Input plan.
         input: Box<PhysPlan>,
         /// Maximum rows.
@@ -333,75 +353,177 @@ impl PhysPlan {
         }
     }
 
+    /// Mutable access to the child, if any.
+    pub fn input_mut(&mut self) -> Option<&mut PhysPlan> {
+        match self {
+            PhysPlan::ScanFrames { .. } => None,
+            PhysPlan::Filter { input, .. }
+            | PhysPlan::Apply { input, .. }
+            | PhysPlan::Project { input, .. }
+            | PhysPlan::Aggregate { input, .. }
+            | PhysPlan::Sort { input, .. }
+            | PhysPlan::Limit { input, .. } => Some(input),
+        }
+    }
+
+    /// This node's operator id ([`OpId::UNSET`] before numbering).
+    pub fn op_id(&self) -> OpId {
+        match self {
+            PhysPlan::ScanFrames { id, .. }
+            | PhysPlan::Filter { id, .. }
+            | PhysPlan::Apply { id, .. }
+            | PhysPlan::Project { id, .. }
+            | PhysPlan::Aggregate { id, .. }
+            | PhysPlan::Sort { id, .. }
+            | PhysPlan::Limit { id, .. } => *id,
+        }
+    }
+
+    fn op_id_mut(&mut self) -> &mut OpId {
+        match self {
+            PhysPlan::ScanFrames { id, .. }
+            | PhysPlan::Filter { id, .. }
+            | PhysPlan::Apply { id, .. }
+            | PhysPlan::Project { id, .. }
+            | PhysPlan::Aggregate { id, .. }
+            | PhysPlan::Sort { id, .. }
+            | PhysPlan::Limit { id, .. } => id,
+        }
+    }
+
+    /// Number every node in pre-order starting at `op1` (root first). The
+    /// optimizer calls this once per plan; ids depend only on plan shape, so
+    /// identical queries always produce identical numberings.
+    pub fn assign_op_ids(&mut self) {
+        fn go(p: &mut PhysPlan, next: &mut u64) {
+            *p.op_id_mut() = OpId(*next);
+            *next += 1;
+            if let Some(i) = p.input_mut() {
+                go(i, next);
+            }
+        }
+        let mut next = 1;
+        go(self, &mut next);
+    }
+
+    /// One-line description of this node (no padding, no newline).
+    fn describe(&self) -> String {
+        match self {
+            PhysPlan::ScanFrames { table, range, .. } => {
+                format!("ScanFrames {table} [{}, {})", range.0, range.1)
+            }
+            PhysPlan::Filter { predicate, .. } => format!("Filter {predicate}"),
+            PhysPlan::Apply { spec, .. } => {
+                let deco = match &spec.reuse {
+                    ApplyReuse::None { udf } => format!("no-reuse[{}]", udf.name),
+                    ApplyReuse::FunCache { udf } => format!("funcache[{}]", udf.name),
+                    ApplyReuse::Views { segments, store } => {
+                        let segs: Vec<String> = segments
+                            .iter()
+                            .map(|s| {
+                                format!(
+                                    "{}{}{}",
+                                    s.udf.name,
+                                    if s.view.is_some() { "+view" } else { "" },
+                                    if s.eval { "+eval" } else { "" }
+                                )
+                            })
+                            .collect();
+                        format!("views[{}] store={store}", segs.join(" → "))
+                    }
+                };
+                format!("Apply {} ({deco})", spec.display_name)
+            }
+            PhysPlan::Project { items, .. } => {
+                let cols: Vec<String> = items.iter().map(|(e, n)| format!("{e} AS {n}")).collect();
+                format!("Project {}", cols.join(", "))
+            }
+            PhysPlan::Aggregate { group_by, aggs, .. } => {
+                let a: Vec<String> = aggs
+                    .iter()
+                    .map(|(f, e, n)| match e {
+                        Some(e) => format!("{f}({e}) AS {n}"),
+                        None => format!("{f}(*) AS {n}"),
+                    })
+                    .collect();
+                format!(
+                    "Aggregate group_by=[{}] aggs=[{}]",
+                    group_by.join(", "),
+                    a.join(", ")
+                )
+            }
+            PhysPlan::Sort { keys, .. } => {
+                let k: Vec<String> = keys
+                    .iter()
+                    .map(|(c, d)| format!("{c}{}", if *d { " DESC" } else { "" }))
+                    .collect();
+                format!("Sort {}", k.join(", "))
+            }
+            PhysPlan::Limit { n, .. } => format!("Limit {n}"),
+        }
+    }
+
     /// Readable indented tree with reuse decorations.
     pub fn explain(&self) -> String {
         fn go(p: &PhysPlan, depth: usize, out: &mut String) {
             let pad = "  ".repeat(depth);
-            match p {
-                PhysPlan::ScanFrames { table, range, .. } => {
-                    out.push_str(&format!(
-                        "{pad}ScanFrames {table} [{}, {})\n",
-                        range.0, range.1
-                    ));
-                }
-                PhysPlan::Filter { predicate, .. } => {
-                    out.push_str(&format!("{pad}Filter {predicate}\n"));
-                }
-                PhysPlan::Apply { spec, .. } => {
-                    let deco = match &spec.reuse {
-                        ApplyReuse::None { udf } => format!("no-reuse[{}]", udf.name),
-                        ApplyReuse::FunCache { udf } => format!("funcache[{}]", udf.name),
-                        ApplyReuse::Views { segments, store } => {
-                            let segs: Vec<String> = segments
-                                .iter()
-                                .map(|s| {
-                                    format!(
-                                        "{}{}{}",
-                                        s.udf.name,
-                                        if s.view.is_some() { "+view" } else { "" },
-                                        if s.eval { "+eval" } else { "" }
-                                    )
-                                })
-                                .collect();
-                            format!("views[{}] store={store}", segs.join(" → "))
-                        }
-                    };
-                    out.push_str(&format!("{pad}Apply {} ({deco})\n", spec.display_name));
-                }
-                PhysPlan::Project { items, .. } => {
-                    let cols: Vec<String> =
-                        items.iter().map(|(e, n)| format!("{e} AS {n}")).collect();
-                    out.push_str(&format!("{pad}Project {}\n", cols.join(", ")));
-                }
-                PhysPlan::Aggregate { group_by, aggs, .. } => {
-                    let a: Vec<String> = aggs
-                        .iter()
-                        .map(|(f, e, n)| match e {
-                            Some(e) => format!("{f}({e}) AS {n}"),
-                            None => format!("{f}(*) AS {n}"),
-                        })
-                        .collect();
-                    out.push_str(&format!(
-                        "{pad}Aggregate group_by=[{}] aggs=[{}]\n",
-                        group_by.join(", "),
-                        a.join(", ")
-                    ));
-                }
-                PhysPlan::Sort { keys, .. } => {
-                    let k: Vec<String> = keys
-                        .iter()
-                        .map(|(c, d)| format!("{c}{}", if *d { " DESC" } else { "" }))
-                        .collect();
-                    out.push_str(&format!("{pad}Sort {}\n", k.join(", ")));
-                }
-                PhysPlan::Limit { n, .. } => out.push_str(&format!("{pad}Limit {n}\n")),
-            }
+            out.push_str(&pad);
+            out.push_str(&p.describe());
+            out.push('\n');
             if let Some(i) = p.input() {
                 go(i, depth + 1, out);
             }
         }
         let mut s = String::new();
         go(self, 0, &mut s);
+        s
+    }
+
+    /// `EXPLAIN ANALYZE` rendering: the [`explain`](PhysPlan::explain) tree
+    /// annotated with the executor's per-operator statistics.
+    ///
+    /// Each node line gains a bracketed block with its operator id, actual
+    /// rows/batches and *cumulative* simulated cost for the subtree rooted
+    /// at the node (Postgres-style). Apply operators additionally report
+    /// probe totals with the hit rate, fuzzy hits, and UDF calls executed
+    /// versus avoided. Operators the executor never polled report `(never
+    /// executed)`.
+    pub fn explain_analyze(&self, stats: &BTreeMap<OpId, OpStats>) -> String {
+        fn go(p: &PhysPlan, depth: usize, stats: &BTreeMap<OpId, OpStats>, out: &mut String) {
+            let pad = "  ".repeat(depth);
+            out.push_str(&pad);
+            out.push_str(&p.describe());
+            let id = p.op_id();
+            match stats.get(&id) {
+                Some(s) => {
+                    out.push_str(&format!(
+                        "  [{id} | rows={} batches={} cost={:.3}ms",
+                        s.rows_out,
+                        s.batches,
+                        s.cum.total_ms()
+                    ));
+                    if matches!(p, PhysPlan::Apply { .. }) {
+                        out.push_str(&format!(
+                            " | probes={} hits={} ({:.1}%) fuzzy={} | udf executed={} avoided={}",
+                            s.probes,
+                            s.probe_hits,
+                            s.probe_hit_rate() * 100.0,
+                            s.fuzzy_hits,
+                            s.udf_executed,
+                            s.udf_avoided
+                        ));
+                    }
+                    out.push(']');
+                }
+                None => out.push_str(&format!("  [{id} | (never executed)]")),
+            }
+            out.push('\n');
+            if let Some(i) = p.input() {
+                go(i, depth + 1, stats, out);
+            }
+        }
+        let mut s = String::new();
+        go(self, 0, stats, &mut s);
         s
     }
 
@@ -463,6 +585,7 @@ mod tests {
     fn phys_applies_collects_in_order() {
         let schema = Arc::new(Schema::new(vec![Field::new("id", DataType::Int)]).unwrap());
         let base = PhysPlan::ScanFrames {
+            id: OpId::UNSET,
             table: "v".into(),
             dataset: "d".into(),
             range: (0, 10),
@@ -494,7 +617,9 @@ mod tests {
             output: Arc::new(Schema::empty()),
         };
         let p = PhysPlan::Apply {
+            id: OpId::UNSET,
             input: Box::new(PhysPlan::Apply {
+                id: OpId::UNSET,
                 input: Box::new(base),
                 spec: spec1,
                 schema: Arc::clone(&schema),

@@ -14,8 +14,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use eva_common::{
-    Batch, CostCategory, DataType, EvaError, Field, FrameId, Result, Row, Schema, SimClock, Value,
-    ViewId,
+    Batch, CostCategory, DataType, EvaError, Field, FrameId, MetricsSink, Result, Row, Schema,
+    SimClock, Value, ViewId,
 };
 use eva_video::VideoDataset;
 
@@ -57,6 +57,11 @@ struct Shared {
     datasets: RwLock<BTreeMap<String, Arc<VideoDataset>>>,
     shards: [Shard; N_SHARDS],
     next_view_id: AtomicU64,
+    /// Engine-wide observability counters. Shared by reference with the
+    /// session and executor so storage-level traffic (rows read/written,
+    /// frames scanned, shard contention) lands in the same snapshot as the
+    /// reuse counters.
+    metrics: MetricsSink,
 }
 
 impl Default for Shared {
@@ -65,6 +70,7 @@ impl Default for Shared {
             datasets: RwLock::new(BTreeMap::new()),
             shards: std::array::from_fn(|_| RwLock::new(BTreeMap::new())),
             next_view_id: AtomicU64::new(0),
+            metrics: MetricsSink::new(),
         }
     }
 }
@@ -75,9 +81,18 @@ impl Shared {
     }
 
     /// Look up a view's handle; the shard lock is released on return.
+    /// A contended shard lock is counted before blocking (the only
+    /// scheduling-dependent counter — see `MetricsSnapshot::deterministic`).
     fn view(&self, id: ViewId) -> Result<ViewHandle> {
-        self.shard_of(id)
-            .read()
+        let shard = self.shard_of(id);
+        let guard = match shard.try_read() {
+            Some(g) => g,
+            None => {
+                self.metrics.note_shard_contention();
+                shard.read()
+            }
+        };
+        guard
             .get(&id)
             .cloned()
             .ok_or_else(|| EvaError::Storage(format!("unknown view {id}")))
@@ -101,6 +116,12 @@ impl StorageEngine {
     /// The IO cost model in effect.
     pub fn cost_model(&self) -> &IoCostModel {
         &self.cost
+    }
+
+    /// The engine-wide metrics sink. Sessions share this sink so storage
+    /// traffic and executor reuse counters land in one snapshot.
+    pub fn metrics(&self) -> &MetricsSink {
+        &self.shared.metrics
     }
 
     /// Register a synthetic video dataset (the `LOAD VIDEO` path).
@@ -153,6 +174,7 @@ impl StorageEngine {
             CostCategory::ReadVideo,
             self.cost.frame_read_ms * rows.len() as f64,
         );
+        self.shared.metrics.record_frames_scanned(rows.len() as u64);
         Ok(Batch::new(schema, rows))
     }
 
@@ -202,7 +224,13 @@ impl StorageEngine {
         clock: &SimClock,
     ) -> Result<()> {
         let handle = self.shared.view(id)?;
-        let mut view = handle.write();
+        let mut view = match handle.try_write() {
+            Some(g) => g,
+            None => {
+                self.shared.metrics.note_shard_contention();
+                handle.write()
+            }
+        };
         let mut written = 0usize;
         for (k, rows) in entries {
             written += rows.len().max(1);
@@ -212,6 +240,7 @@ impl StorageEngine {
             CostCategory::Materialize,
             self.cost.view_row_write_ms * written as f64,
         );
+        self.shared.metrics.record_view_rows_written(written as u64);
         Ok(())
     }
 
@@ -262,12 +291,20 @@ impl StorageEngine {
     }
 
     /// Charge the view-read IO for `rows_read` probed rows (the `3·C_M`
-    /// model applied by [`StorageEngine::view_probe`]).
+    /// model applied by [`StorageEngine::view_probe`]), and record them in
+    /// the metrics sink. Probe hits are `Arc` clones of stored rows, so every
+    /// row read here was also served zero-copy. Called on the *caller*
+    /// thread, like every clock charge — uncharged worker probes report
+    /// their row counts back and the caller invokes this once.
     pub fn charge_view_read(&self, rows_read: usize, clock: &SimClock) {
         clock.charge(
             CostCategory::ReadView,
             self.cost.view_join_factor * self.cost.view_row_read_ms * rows_read as f64,
         );
+        self.shared.metrics.record_view_rows_read(rows_read as u64);
+        self.shared
+            .metrics
+            .record_zero_copy_rows(rows_read as u64);
     }
 
     /// Fuzzy probe of a box-level view (§6 future work): highest-IoU stored
@@ -283,11 +320,14 @@ impl StorageEngine {
     ) -> Result<Option<Arc<[Row]>>> {
         let handle = self.shared.view(id)?;
         let (rows, scanned) = handle.read().fuzzy_get(frame, bbox, min_iou);
-        let read = scanned + rows.as_ref().map(|r| r.len()).unwrap_or(0);
+        let matched = rows.as_ref().map(|r| r.len()).unwrap_or(0);
+        let read = scanned + matched;
         clock.charge(
             CostCategory::ReadView,
             self.cost.view_row_read_ms * read as f64,
         );
+        self.shared.metrics.record_view_rows_read(read as u64);
+        self.shared.metrics.record_zero_copy_rows(matched as u64);
         Ok(rows)
     }
 
@@ -492,6 +532,27 @@ mod tests {
         );
         eng.charge_view_read(rows_read, &clock);
         assert!((clock.snapshot().get(CostCategory::ReadView) - 0.15).abs() < 1e-9);
+    }
+
+    #[test]
+    fn metrics_record_storage_traffic() {
+        let eng = StorageEngine::new();
+        eng.load_dataset(tiny_dataset("v"));
+        let clock = SimClock::new();
+        eng.scan_frames("v", 0, 10, &clock).unwrap();
+        let id = eng.create_view("det", ViewKeyKind::Frame, out_schema());
+        let k0 = ViewKey::frame(FrameId(0));
+        let k1 = ViewKey::frame(FrameId(1));
+        eng.view_append(id, vec![(k0, vec![vec![Value::from("car")]].into())], &clock)
+            .unwrap();
+        eng.view_probe(id, &[k0, k1], &clock).unwrap();
+        let m = eng.metrics().snapshot();
+        assert_eq!(m.frames_scanned, 10);
+        assert_eq!(m.view_rows_written, 1);
+        assert_eq!(m.view_rows_read, 1);
+        assert_eq!(m.rows_served_zero_copy, 1);
+        eng.metrics().reset();
+        assert_eq!(eng.metrics().snapshot(), Default::default());
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use serde::Serialize;
 
-use eva_common::{CostBreakdown, Result};
+use eva_common::{CostBreakdown, MetricsSnapshot, Result};
 use eva_core::EvaDb;
 
 use crate::queries::QuerySpec;
@@ -59,12 +59,16 @@ pub struct WorkloadReport {
     pub total_invocations: u64,
     /// Distinct UDF invocations.
     pub distinct_invocations: u64,
+    /// Runtime-metrics snapshot for the whole workload (probe hit rates,
+    /// UDF calls avoided, zero-copy rows — see DESIGN.md §Observability).
+    pub metrics: MetricsSnapshot,
 }
 
 /// Run a workload from a clean reuse state, capturing all metrics. The
 /// session's strategy determines which system under test this measures.
 pub fn run_workload(db: &mut EvaDb, workload: &Workload) -> Result<WorkloadReport> {
     db.reset_reuse_state();
+    let metrics_before = db.metrics_snapshot();
     let mut per_query = Vec::with_capacity(workload.queries.len());
     for q in &workload.queries {
         let out = db.execute_sql(&q.sql)?.rows()?;
@@ -85,6 +89,7 @@ pub fn run_workload(db: &mut EvaDb, workload: &Workload) -> Result<WorkloadRepor
         view_bytes: db.storage().total_view_bytes(),
         total_invocations,
         distinct_invocations,
+        metrics: db.metrics_snapshot().since(&metrics_before),
     })
 }
 
@@ -164,5 +169,27 @@ mod tests {
         let r = run_workload(&mut db, &w).unwrap();
         let json = serde_json::to_string(&r).unwrap();
         assert!(json.contains("\"workload\":\"w\""));
+        assert!(json.contains("\"metrics\""), "{json}");
+    }
+
+    #[test]
+    fn report_metrics_reflect_reuse() {
+        let w = tiny_workload();
+        let mut eva = tiny_db(ReuseStrategy::Eva);
+        let r = run_workload(&mut eva, &w).unwrap();
+        let m = &r.metrics;
+        assert!(m.probe_hits > 0, "{m:?}");
+        assert!(m.udf_calls_avoided > 0, "{m:?}");
+        assert_eq!(m.probes, m.probe_hits + m.probe_misses, "{m:?}");
+        assert_eq!(
+            m.udf_calls_requested,
+            m.udf_calls_executed + m.udf_calls_avoided,
+            "{m:?}"
+        );
+
+        let mut no = tiny_db(ReuseStrategy::NoReuse);
+        let r_no = run_workload(&mut no, &w).unwrap();
+        assert_eq!(r_no.metrics.udf_calls_avoided, 0, "{:?}", r_no.metrics);
+        assert_eq!(r_no.metrics.probe_hits, 0, "{:?}", r_no.metrics);
     }
 }

@@ -118,6 +118,47 @@ fn session_state_round_trip_preserves_reuse() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Restored state must be *metrically* equivalent to staying warm: a query
+/// repeated after a save/load round trip reports the same probe-hit and
+/// UDF-avoided counters as repeating it in the original session.
+#[test]
+fn restored_sessions_report_identical_hit_counters() {
+    let dir = temp_dir("metrics");
+    let n = 70;
+    let q = "SELECT id FROM video CROSS APPLY fasterrcnn_resnet50(frame) \
+             WHERE id < 60 AND label = 'car'";
+    let mut first = test_session(ReuseStrategy::Eva, 503, n);
+    first.execute_sql(q).unwrap().rows().unwrap();
+    first.save_state(&dir).unwrap();
+
+    // Warm repeat in the original session.
+    let warm = first.execute_sql(q).unwrap().rows().unwrap();
+    assert!(warm.metrics.probe_hits > 0, "{:?}", warm.metrics);
+
+    // Same repeat in a restored session.
+    let mut second = test_session(ReuseStrategy::Eva, 503, n);
+    second.load_state(&dir).unwrap();
+    let restored = second.execute_sql(q).unwrap().rows().unwrap();
+    assert_eq!(
+        warm.metrics.deterministic(),
+        restored.metrics.deterministic(),
+        "a restored session must serve the query with the same counters"
+    );
+    assert_eq!(restored.metrics.probe_hits, 60);
+    assert_eq!(restored.metrics.udf_calls_avoided, 60);
+    assert_eq!(restored.metrics.udf_calls_executed, 0);
+
+    // The loaded session's cumulative counters only contain that one warm
+    // query — loading state does not import the saving session's history.
+    let total = second.metrics_snapshot();
+    assert_eq!(
+        total.deterministic(),
+        restored.metrics.deterministic(),
+        "session totals == the single query's delta"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn missing_directory_is_an_io_error() {
     let engine = StorageEngine::new();

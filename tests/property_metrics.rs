@@ -1,0 +1,145 @@
+//! Property tests for the runtime-metrics counters (DESIGN.md
+//! §Observability): whatever random exploratory workload runs, the counter
+//! algebra must hold exactly.
+//!
+//! * `probes == probe_hits + probe_misses` — a probe either hits or
+//!   misses; the fuzzy phase refines the *same* probe, it never adds one.
+//! * `udf_calls_requested == udf_calls_executed + udf_calls_avoided` —
+//!   every requested invocation is either run or served from reuse.
+//! * `fuzzy_hits <= probe_hits` — fuzzy hits are a subset of hits.
+//! * Under `ReuseStrategy::NoReuse`, nothing is ever avoided.
+
+use proptest::prelude::*;
+
+use eva_harness::test_session;
+use eva_planner::ReuseStrategy;
+
+const N: u64 = 90;
+
+#[derive(Debug, Clone)]
+struct WindowQuery {
+    lo: u64,
+    hi: u64,
+    cartype: Option<&'static str>,
+}
+
+impl WindowQuery {
+    fn sql(&self) -> String {
+        let mut preds = vec![
+            format!("id >= {}", self.lo),
+            format!("id < {}", self.hi),
+            "label = 'car'".to_string(),
+        ];
+        if let Some(t) = self.cartype {
+            preds.push(format!("cartype(frame, bbox) = '{t}'"));
+        }
+        format!(
+            "SELECT id, bbox FROM video CROSS APPLY fasterrcnn_resnet50(frame) \
+             WHERE {}",
+            preds.join(" AND ")
+        )
+    }
+}
+
+fn arb_query() -> impl Strategy<Value = WindowQuery> {
+    (
+        0u64..N,
+        1u64..N,
+        proptest::option::of(prop::sample::select(vec!["Nissan", "Toyota", "Honda"])),
+    )
+        .prop_map(|(a, len, cartype)| WindowQuery {
+            lo: a.min(N - 1),
+            hi: (a + len).min(N),
+            cartype,
+        })
+        .prop_filter("nonempty window", |q| q.lo < q.hi)
+}
+
+proptest! {
+    // Each case runs several full queries; keep the case count low.
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    #[test]
+    fn counter_algebra_holds_on_random_workloads(
+        queries in prop::collection::vec(arb_query(), 2..5),
+        seed in 1u64..1000,
+    ) {
+        let mut db = test_session(ReuseStrategy::Eva, seed, N);
+        for q in &queries {
+            let out = db.execute_sql(&q.sql()).unwrap().rows().unwrap();
+            // Per-query delta invariants.
+            let m = &out.metrics;
+            prop_assert_eq!(m.probes, m.probe_hits + m.probe_misses);
+            prop_assert_eq!(
+                m.udf_calls_requested,
+                m.udf_calls_executed + m.udf_calls_avoided
+            );
+            prop_assert!(m.fuzzy_hits <= m.probe_hits);
+        }
+        // Session-total invariants.
+        let m = db.metrics_snapshot();
+        prop_assert_eq!(m.probes, m.probe_hits + m.probe_misses);
+        prop_assert_eq!(
+            m.udf_calls_requested,
+            m.udf_calls_executed + m.udf_calls_avoided
+        );
+        prop_assert!(m.fuzzy_hits <= m.probe_hits);
+        prop_assert!(m.udf_calls_requested > 0);
+    }
+
+    #[test]
+    fn no_reuse_never_avoids_calls(
+        queries in prop::collection::vec(arb_query(), 2..4),
+        seed in 1u64..1000,
+    ) {
+        let mut db = test_session(ReuseStrategy::NoReuse, seed, N);
+        for q in &queries {
+            db.execute_sql(&q.sql()).unwrap().rows().unwrap();
+        }
+        let m = db.metrics_snapshot();
+        prop_assert_eq!(m.udf_calls_avoided, 0);
+        prop_assert_eq!(m.probe_hits, 0);
+        prop_assert_eq!(m.rows_served_zero_copy, 0);
+        prop_assert_eq!(m.udf_calls_requested, m.udf_calls_executed);
+    }
+
+    #[test]
+    fn snapshot_algebra_is_consistent(
+        a in prop::collection::vec(0u64..1_000_000, 15),
+        b in prop::collection::vec(0u64..1_000_000, 15),
+    ) {
+        use eva_common::MetricsSnapshot;
+        let fill = |v: &[u64]| MetricsSnapshot {
+            udf_calls_requested: v[0] + v[1],
+            udf_calls_executed: v[0],
+            udf_calls_avoided: v[1],
+            udf_ms_avoided: v[2] as f64,
+            probes: v[3] + v[4],
+            probe_hits: v[3],
+            probe_misses: v[4],
+            fuzzy_hits: v[5].min(v[3]),
+            rows_served_zero_copy: v[6],
+            funcache_hits: v[7],
+            funcache_misses: v[8],
+            view_rows_read: v[9],
+            view_rows_written: v[10],
+            frames_scanned: v[11],
+            shard_lock_contention: v[12],
+        };
+        let (x, y) = (fill(&a), fill(&b));
+        // plus/since are inverses…
+        prop_assert_eq!(x.plus(&y).since(&y), x);
+        // …and plus preserves the structural invariants.
+        let sum = x.plus(&y);
+        prop_assert_eq!(sum.probes, sum.probe_hits + sum.probe_misses);
+        prop_assert_eq!(
+            sum.udf_calls_requested,
+            sum.udf_calls_executed + sum.udf_calls_avoided
+        );
+        // deterministic() only clears the interleaving-dependent counter.
+        let det = sum.deterministic();
+        prop_assert_eq!(det.shard_lock_contention, 0);
+        prop_assert_eq!(det.probes, sum.probes);
+        prop_assert_eq!(det.udf_calls_requested, sum.udf_calls_requested);
+    }
+}
