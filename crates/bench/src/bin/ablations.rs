@@ -8,7 +8,9 @@
 //!   many extra hits it buys.
 
 use eva_baselines::ReuseStrategy;
-use eva_bench::{banner, fmt_x, medium_dataset, session_with_config, write_json_with_metrics, TextTable};
+use eva_bench::{
+    banner, fmt_x, medium_dataset, session_with_config, write_json_with_metrics, TextTable,
+};
 use eva_common::MetricsSnapshot;
 use eva_core::SessionConfig;
 use eva_planner::RankingKind;

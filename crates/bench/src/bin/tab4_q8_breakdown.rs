@@ -8,8 +8,8 @@
 
 use eva_baselines::ReuseStrategy;
 use eva_bench::{banner, fmt_f, medium_dataset, session_with, write_json_with_metrics, TextTable};
-use eva_common::MetricsSnapshot;
 use eva_common::CostCategory;
+use eva_common::MetricsSnapshot;
 use eva_vbench::{run_workload, vbench_high, DetectorKind, Workload};
 
 fn main() -> eva_common::Result<()> {

@@ -28,6 +28,10 @@ pub enum EvaError {
     Type(String),
     /// Underlying IO error (persistence paths).
     Io(String),
+    /// Persisted data failed validation: checksum mismatch, truncated
+    /// segment, unparseable payload, or a format version from the future.
+    /// Recovery treats this as "quarantine and continue", never fatal.
+    Corrupt(String),
     /// Invalid configuration or API misuse.
     Config(String),
 }
@@ -44,6 +48,7 @@ impl EvaError {
             EvaError::Storage(_) => "storage",
             EvaError::Type(_) => "type",
             EvaError::Io(_) => "io",
+            EvaError::Corrupt(_) => "corrupt",
             EvaError::Config(_) => "config",
         }
     }
@@ -59,6 +64,7 @@ impl EvaError {
             | EvaError::Storage(m)
             | EvaError::Type(m)
             | EvaError::Io(m)
+            | EvaError::Corrupt(m)
             | EvaError::Config(m) => m,
         }
     }
@@ -75,6 +81,14 @@ impl std::error::Error for EvaError {}
 impl From<std::io::Error> for EvaError {
     fn from(e: std::io::Error) -> Self {
         EvaError::Io(e.to_string())
+    }
+}
+
+impl From<serde_json::Error> for EvaError {
+    fn from(e: serde_json::Error) -> Self {
+        // A serde failure on persisted bytes means the store is not what we
+        // wrote: a torn or corrupted file, not an environment problem.
+        EvaError::Corrupt(e.to_string())
     }
 }
 
@@ -99,6 +113,17 @@ mod tests {
     }
 
     #[test]
+    fn serde_error_converts_to_corrupt() {
+        let syntax = serde_json::from_str::<u32>("{not json").unwrap_err();
+        let e: EvaError = syntax.into();
+        assert_eq!(e.stage(), "corrupt");
+
+        let eof = serde_json::from_str::<u32>("").unwrap_err();
+        let e: EvaError = eof.into();
+        assert_eq!(e.stage(), "corrupt");
+    }
+
+    #[test]
     fn stage_labels_are_distinct() {
         let all = [
             EvaError::Parse(String::new()),
@@ -109,6 +134,7 @@ mod tests {
             EvaError::Storage(String::new()),
             EvaError::Type(String::new()),
             EvaError::Io(String::new()),
+            EvaError::Corrupt(String::new()),
             EvaError::Config(String::new()),
         ];
         let mut labels: Vec<_> = all.iter().map(|e| e.stage()).collect();

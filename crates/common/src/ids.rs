@@ -90,10 +90,12 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn codec_round_trip() {
         let id = ViewId(42);
-        let s = serde_json::to_string(&id).unwrap();
-        let back: ViewId = serde_json::from_str(&s).unwrap();
-        assert_eq!(id, back);
+        let mut w = crate::codec::ByteWriter::new();
+        w.u64(id.raw());
+        let bytes = w.into_bytes();
+        let mut r = crate::codec::ByteReader::new(&bytes);
+        assert_eq!(ViewId(r.u64().unwrap()), id);
     }
 }

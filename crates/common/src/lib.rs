@@ -16,7 +16,9 @@
 
 pub mod batch;
 pub mod clock;
+pub mod codec;
 pub mod error;
+pub mod failpoint;
 pub mod hash;
 pub mod ids;
 pub mod metrics;
@@ -26,7 +28,9 @@ pub mod value;
 
 pub use batch::{Batch, Row};
 pub use clock::{CostBreakdown, CostCategory, SimClock};
+pub use codec::{ByteReader, ByteWriter};
 pub use error::{EvaError, Result};
+pub use failpoint::{Failpoint, FailpointRegistry, FireRule};
 pub use ids::{FrameId, OpId, QueryId, UdfId, ViewId};
 pub use metrics::{MetricsSink, MetricsSnapshot, OpStats};
 pub use schema::{DataType, Field, Schema};

@@ -59,6 +59,20 @@ pub struct MetricsSnapshot {
     pub view_rows_written: u64,
     /// Video frames decoded by scans.
     pub frames_scanned: u64,
+    /// View segments loaded and checksum-verified by a recovery pass.
+    #[serde(default)]
+    pub views_recovered: u64,
+    /// View segments quarantined (corrupt, torn, or unreadable) by a
+    /// recovery pass. Quarantined views are simply cold: the conditional
+    /// APPLY path recomputes and re-stores them.
+    #[serde(default)]
+    pub views_quarantined: u64,
+    /// Transient UDF failures that were retried.
+    #[serde(default)]
+    pub udf_retries: u64,
+    /// UDF invocations abandoned after exhausting the retry budget.
+    #[serde(default)]
+    pub udf_gave_up: u64,
     /// Times a shard lock was observed contended (`try_read`/`try_write`
     /// failed and the caller had to block). **Nondeterministic** — depends on
     /// thread scheduling; excluded from identity comparisons via
@@ -86,6 +100,10 @@ impl MetricsSnapshot {
             view_rows_read: self.view_rows_read - earlier.view_rows_read,
             view_rows_written: self.view_rows_written - earlier.view_rows_written,
             frames_scanned: self.frames_scanned - earlier.frames_scanned,
+            views_recovered: self.views_recovered - earlier.views_recovered,
+            views_quarantined: self.views_quarantined - earlier.views_quarantined,
+            udf_retries: self.udf_retries - earlier.udf_retries,
+            udf_gave_up: self.udf_gave_up - earlier.udf_gave_up,
             shard_lock_contention: self
                 .shard_lock_contention
                 .saturating_sub(earlier.shard_lock_contention),
@@ -109,6 +127,10 @@ impl MetricsSnapshot {
             view_rows_read: self.view_rows_read + other.view_rows_read,
             view_rows_written: self.view_rows_written + other.view_rows_written,
             frames_scanned: self.frames_scanned + other.frames_scanned,
+            views_recovered: self.views_recovered + other.views_recovered,
+            views_quarantined: self.views_quarantined + other.views_quarantined,
+            udf_retries: self.udf_retries + other.udf_retries,
+            udf_gave_up: self.udf_gave_up + other.udf_gave_up,
             shard_lock_contention: self.shard_lock_contention + other.shard_lock_contention,
         }
     }
@@ -158,6 +180,10 @@ struct Inner {
     view_rows_read: AtomicU64,
     view_rows_written: AtomicU64,
     frames_scanned: AtomicU64,
+    views_recovered: AtomicU64,
+    views_quarantined: AtomicU64,
+    udf_retries: AtomicU64,
+    udf_gave_up: AtomicU64,
     shard_lock_contention: AtomicU64,
 }
 
@@ -190,7 +216,9 @@ impl MetricsSink {
         self.inner
             .probe_misses
             .fetch_add(probes - hits, Ordering::Relaxed);
-        self.inner.fuzzy_hits.fetch_add(fuzzy_hits, Ordering::Relaxed);
+        self.inner
+            .fuzzy_hits
+            .fetch_add(fuzzy_hits, Ordering::Relaxed);
     }
 
     /// Record UDF invocations: `executed` ran the model, `avoided` were
@@ -245,6 +273,24 @@ impl MetricsSink {
             .fetch_add(frames, Ordering::Relaxed);
     }
 
+    /// Record a recovery pass over a persisted store: `recovered` segments
+    /// loaded and verified, `quarantined` segments set aside as corrupt.
+    pub fn record_recovery(&self, recovered: u64, quarantined: u64) {
+        self.inner
+            .views_recovered
+            .fetch_add(recovered, Ordering::Relaxed);
+        self.inner
+            .views_quarantined
+            .fetch_add(quarantined, Ordering::Relaxed);
+    }
+
+    /// Record transient-UDF retry outcomes: `retries` attempts repeated,
+    /// `gave_up` invocations abandoned after the budget ran out.
+    pub fn record_udf_retries(&self, retries: u64, gave_up: u64) {
+        self.inner.udf_retries.fetch_add(retries, Ordering::Relaxed);
+        self.inner.udf_gave_up.fetch_add(gave_up, Ordering::Relaxed);
+    }
+
     /// Note one contended shard-lock acquisition. Nondeterministic by nature;
     /// see [`MetricsSnapshot::deterministic`].
     pub fn note_shard_contention(&self) {
@@ -283,6 +329,10 @@ impl MetricsSink {
             view_rows_read: i.view_rows_read.load(Ordering::Relaxed),
             view_rows_written: i.view_rows_written.load(Ordering::Relaxed),
             frames_scanned: i.frames_scanned.load(Ordering::Relaxed),
+            views_recovered: i.views_recovered.load(Ordering::Relaxed),
+            views_quarantined: i.views_quarantined.load(Ordering::Relaxed),
+            udf_retries: i.udf_retries.load(Ordering::Relaxed),
+            udf_gave_up: i.udf_gave_up.load(Ordering::Relaxed),
             shard_lock_contention: i.shard_lock_contention.load(Ordering::Relaxed),
         }
     }
@@ -304,6 +354,10 @@ impl MetricsSink {
         i.view_rows_read.store(0, Ordering::Relaxed);
         i.view_rows_written.store(0, Ordering::Relaxed);
         i.frames_scanned.store(0, Ordering::Relaxed);
+        i.views_recovered.store(0, Ordering::Relaxed);
+        i.views_quarantined.store(0, Ordering::Relaxed);
+        i.udf_retries.store(0, Ordering::Relaxed);
+        i.udf_gave_up.store(0, Ordering::Relaxed);
         i.shard_lock_contention.store(0, Ordering::Relaxed);
     }
 }
@@ -384,7 +438,10 @@ mod tests {
         assert_eq!(s.udf_calls_requested, 7);
         assert_eq!(s.udf_calls_executed, 3);
         assert_eq!(s.udf_calls_avoided, 4);
-        assert_eq!(s.udf_calls_executed + s.udf_calls_avoided, s.udf_calls_requested);
+        assert_eq!(
+            s.udf_calls_executed + s.udf_calls_avoided,
+            s.udf_calls_requested
+        );
         assert!((s.udf_ms_avoided - 396.0).abs() < 1e-9);
         assert!((s.reuse_rate() - 4.0 / 7.0).abs() < 1e-12);
     }
@@ -443,6 +500,29 @@ mod tests {
     }
 
     #[test]
+    fn recovery_and_retry_counters_round_trip() {
+        let m = MetricsSink::new();
+        m.record_recovery(3, 1);
+        m.record_udf_retries(5, 2);
+        let s = m.snapshot();
+        assert_eq!(s.views_recovered, 3);
+        assert_eq!(s.views_quarantined, 1);
+        assert_eq!(s.udf_retries, 5);
+        assert_eq!(s.udf_gave_up, 2);
+        let before = s;
+        m.record_recovery(0, 4);
+        m.record_udf_retries(1, 0);
+        let delta = m.snapshot().since(&before);
+        assert_eq!(delta.views_quarantined, 4);
+        assert_eq!(delta.udf_retries, 1);
+        assert_eq!(delta.views_recovered, 0);
+        let sum = before.plus(&delta);
+        assert_eq!(sum, m.snapshot());
+        m.reset();
+        assert_eq!(m.snapshot(), MetricsSnapshot::default());
+    }
+
+    #[test]
     fn clones_share_the_sink() {
         let a = MetricsSink::new();
         let b = a.clone();
@@ -451,14 +531,17 @@ mod tests {
     }
 
     #[test]
-    fn snapshot_serializes_to_json() {
+    fn snapshot_is_plain_data() {
         let m = MetricsSink::new();
         m.record_probe_batch(3, 2, 0);
-        let json = serde_json::to_string(&m.snapshot()).unwrap();
-        assert!(json.contains("\"probes\":3"));
-        assert!(json.contains("\"probe_hits\":2"));
-        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
-        assert_eq!(back, m.snapshot());
+        let s = m.snapshot();
+        assert_eq!(s.probes, 3);
+        assert_eq!(s.probe_hits, 2);
+        // Snapshots are plain Copy data: copying detaches from the sink.
+        let frozen = s;
+        m.record_probe_batch(1, 0, 0);
+        assert_eq!(frozen.probes, 3);
+        assert_eq!(m.snapshot().probes, 4);
     }
 
     #[test]

@@ -5,8 +5,9 @@
 //! ```
 //!
 //! Meta commands: `\strategy eva|noreuse|hashstash|funcache`, `\explain
-//! <query>`, `\analyze <query>`, `\stats`, `\metrics`, `\views`, `\reset`,
-//! `\help`, `\quit`. Everything else is parsed as EVA-QL
+//! <query>`, `\analyze <query>`, `\stats`, `\metrics`, `\views`,
+//! `\save <dir>`, `\load <dir>`, `\health`, `\reset`, `\help`, `\quit`.
+//! Everything else is parsed as EVA-QL
 //! (`LOAD VIDEO 'medium_ua_detrac' INTO video;` first).
 
 use std::io::{BufRead, Write};
@@ -79,6 +80,9 @@ fn meta_command(db: &mut EvaDb, cmd: &str) -> bool {
             println!("\\stats — per-UDF invocation statistics");
             println!("\\metrics — session runtime counters (probes, reuse, zero-copy)");
             println!("\\views — materialized view inventory");
+            println!("\\save <dir> — persist views + aggregated predicates");
+            println!("\\load <dir> — restore saved state (recovery pass)");
+            println!("\\health — outcome of the last \\load recovery pass");
             println!("\\reset — drop all reuse state");
             println!("\\quit — leave");
         }
@@ -148,6 +152,10 @@ fn meta_command(db: &mut EvaDb, cmd: &str) -> bool {
                 "funcache: {} hits / {} misses; shard contention events: {}",
                 m.funcache_hits, m.funcache_misses, m.shard_lock_contention
             );
+            println!(
+                "resilience: views recovered={} quarantined={}; udf retries={} gave-up={}",
+                m.views_recovered, m.views_quarantined, m.udf_retries, m.udf_gave_up
+            );
         }
         "stats" => {
             for (name, c) in db.invocation_stats().all() {
@@ -172,6 +180,29 @@ fn meta_command(db: &mut EvaDb, cmd: &str) -> bool {
                 db.storage().total_view_bytes() as f64 / (1024.0 * 1024.0)
             );
         }
+        "save" => match parts.next() {
+            Some(dir) => match db.save_state(std::path::Path::new(dir)) {
+                Ok(()) => println!("saved {} view(s) to {dir}", db.storage().view_defs().len()),
+                Err(e) => eprintln!("error: {e}"),
+            },
+            None => eprintln!("usage: \\save <dir>"),
+        },
+        "load" => match parts.next() {
+            Some(dir) => match db.load_state(std::path::Path::new(dir)) {
+                Ok(report) => println!("{}", report.summary()),
+                Err(e) => eprintln!("error: {e}"),
+            },
+            None => eprintln!("usage: \\load <dir>"),
+        },
+        "health" => match db.health_report() {
+            Some(report) => {
+                println!("{}", report.summary());
+                if report.is_clean() {
+                    println!("store is healthy — nothing quarantined or worked around");
+                }
+            }
+            None => println!("no \\load has run in this session"),
+        },
         "reset" => {
             db.reset_reuse_state();
             println!("reuse state cleared");

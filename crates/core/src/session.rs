@@ -8,7 +8,7 @@ use eva_common::{
 use eva_exec::{execute, ExecConfig, FunCacheTable, QueryOutput};
 use eva_parser::{parse, CreateUdfStmt, SelectStmt, Statement};
 use eva_planner::{Binder, Optimizer, PhysPlan, PlannerConfig, ReuseStrategy};
-use eva_storage::StorageEngine;
+use eva_storage::{RecoveryReport, StorageEngine};
 use eva_symbolic::StatsCatalog;
 use eva_udf::registry::install_standard_zoo;
 use eva_udf::{InvocationStats, UdfManager, UdfRegistry};
@@ -65,6 +65,9 @@ pub struct EvaDb {
     clock: SimClock,
     funcache: FunCacheTable,
     config: SessionConfig,
+    /// Outcome of the most recent [`EvaDb::load_state`] recovery pass
+    /// (what the repl's `\health` command reports).
+    last_recovery: std::sync::Mutex<Option<RecoveryReport>>,
 }
 
 impl EvaDb {
@@ -85,6 +88,7 @@ impl EvaDb {
             clock: SimClock::new(),
             funcache: FunCacheTable::new(),
             config,
+            last_recovery: std::sync::Mutex::new(None),
         })
     }
 
@@ -285,9 +289,44 @@ impl EvaDb {
 
     /// Restore reuse state saved with [`EvaDb::save_state`]. Subsequent
     /// queries immediately reuse the restored views.
-    pub fn load_state(&self, dir: &std::path::Path) -> Result<()> {
-        self.storage.load_views(dir)?;
-        self.manager.load(dir)
+    ///
+    /// This is a *recovery pass*, not a plain load: damaged segments are
+    /// quarantined and the session continues with whatever survived — a
+    /// quarantined view is simply cold and is re-materialized by the next
+    /// query that needs it. A damaged manager file degrades the same way
+    /// (aggregated predicates start cold), and predicates pointing at views
+    /// that did not survive are pruned, so the planner can never claim
+    /// coverage a quarantined view no longer provides.
+    pub fn load_state(&self, dir: &std::path::Path) -> Result<RecoveryReport> {
+        let mut report = self.storage.load_views(dir)?;
+        if let Err(e) = self.manager.load(dir) {
+            self.manager.reset();
+            let what = match e {
+                EvaError::Corrupt(_) => "state corrupt",
+                _ => "state unavailable",
+            };
+            report.manager_note = Some(format!("{what} — starting cold ({e})"));
+        }
+        let pruned = self.manager.prune_dangling();
+        if !pruned.is_empty() {
+            let names: Vec<&str> = pruned.iter().map(|s| s.name.as_str()).collect();
+            let note = format!(
+                "pruned {} predicate(s) whose views did not survive: {}",
+                pruned.len(),
+                names.join(", ")
+            );
+            report.manager_note = Some(match report.manager_note.take() {
+                Some(prev) => format!("{prev}; {note}"),
+                None => note,
+            });
+        }
+        *self.last_recovery.lock().expect("recovery lock") = Some(report.clone());
+        Ok(report)
+    }
+
+    /// The outcome of the most recent [`EvaDb::load_state`] call, if any.
+    pub fn health_report(&self) -> Option<RecoveryReport> {
+        self.last_recovery.lock().expect("recovery lock").clone()
     }
 
     // -- helpers -----------------------------------------------------------------
@@ -532,6 +571,82 @@ mod tests {
         assert!(db.storage().total_view_bytes() > 0);
         assert!(text.contains("ScanFrames"), "{text}");
         assert!(db.explain_analyze("SHOW TABLES").is_err());
+    }
+
+    fn unique_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("eva_session_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn save_load_state_round_trips_with_clean_report() {
+        let dir = unique_dir("clean");
+        let mut db = session(ReuseStrategy::Eva);
+        let baseline = db.execute_sql(Q).unwrap().rows().unwrap();
+        db.save_state(&dir).unwrap();
+
+        let mut db2 = session(ReuseStrategy::Eva);
+        assert!(db2.health_report().is_none(), "no load yet");
+        let report = db2.load_state(&dir).unwrap();
+        assert!(report.is_clean(), "{report}");
+        assert_eq!(db2.health_report(), Some(report));
+        // The restored state serves the repeat query by reuse.
+        let out = db2.execute_sql(Q).unwrap().rows().unwrap();
+        assert_eq!(out.batch.rows(), baseline.batch.rows());
+        assert!(out.metrics.probe_hits > 0, "{:?}", out.metrics);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_segment_degrades_gracefully_and_self_heals() {
+        let dir = unique_dir("degrade");
+        let mut db = session(ReuseStrategy::Eva);
+        let baseline = db.execute_sql(Q).unwrap().rows().unwrap();
+        db.save_state(&dir).unwrap();
+
+        // Silent corruption lands in one segment while the engine is down.
+        let victim = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| Some(e.ok()?.path()))
+            .find(|p| p.extension().is_some_and(|x| x == "seg"))
+            .expect("a segment file exists");
+        let mut bytes = std::fs::read(&victim).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        std::fs::write(&victim, bytes).unwrap();
+
+        let mut db2 = session(ReuseStrategy::Eva);
+        let report = db2.load_state(&dir).unwrap();
+        assert_eq!(report.quarantined.len(), 1, "{report}");
+        // The stale aggregated predicate was pruned with the view, so the
+        // planner cannot claim coverage the store no longer has…
+        let note = report.manager_note.as_deref().unwrap_or("");
+        assert!(note.contains("pruned"), "{report}");
+        // …and the query self-heals: correct answer, view re-materialized.
+        let out = db2.execute_sql(Q).unwrap().rows().unwrap();
+        assert_eq!(out.batch.rows(), baseline.batch.rows());
+        let m = db2.metrics_snapshot();
+        assert_eq!(m.views_quarantined, 1, "{m:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_manager_state_starts_cold_not_failed() {
+        let dir = unique_dir("no_manager");
+        let mut db = session(ReuseStrategy::Eva);
+        db.execute_sql(Q).unwrap().rows().unwrap();
+        db.save_state(&dir).unwrap();
+        std::fs::remove_file(dir.join(eva_udf::MANAGER_FILE)).unwrap();
+
+        let mut db2 = session(ReuseStrategy::Eva);
+        let report = db2.load_state(&dir).unwrap();
+        let note = report.manager_note.as_deref().unwrap_or("");
+        assert!(note.contains("starting cold"), "{report}");
+        // Views loaded fine; queries still run (predicates just rebuild).
+        assert!(!report.loaded.is_empty(), "{report}");
+        db2.execute_sql(Q).unwrap().rows().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

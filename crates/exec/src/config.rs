@@ -24,6 +24,14 @@ pub struct ExecConfig {
     /// row count and charged once, so the simulated cost is bit-identical
     /// either way). `0` disables threading.
     pub parallel_probe_threshold: usize,
+    /// How many times a transient UDF failure (a flaky model server) is
+    /// retried before the query gives up with an error. `0` fails on the
+    /// first transient error.
+    pub udf_retry_budget: u32,
+    /// Simulated backoff before retry k (1-based): `backoff_ms · 2^(k−1)`.
+    /// Charged to the `Apply` cost category on the caller thread, so the
+    /// parallel == serial cost identity survives injected faults.
+    pub udf_retry_backoff_ms: f64,
 }
 
 impl Default for ExecConfig {
@@ -34,6 +42,8 @@ impl Default for ExecConfig {
             parallel_eval_threshold: 256,
             fuzzy_box_iou: None,
             parallel_probe_threshold: 1024,
+            udf_retry_budget: 2,
+            udf_retry_backoff_ms: 5.0,
         }
     }
 }

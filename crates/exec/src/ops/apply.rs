@@ -24,7 +24,11 @@
 
 use std::sync::Arc;
 
-use eva_common::{BBox, Batch, CostCategory, EvaError, FrameId, OpId, Result, Row, Schema, ViewId};
+use eva_common::hash::xxhash64;
+use eva_common::{
+    BBox, Batch, CostCategory, EvaError, Failpoint, FireRule, FrameId, OpId, Result, Row, Schema,
+    ViewId,
+};
 use eva_expr::Expr;
 use eva_planner::{ApplyReuse, ApplySpec, Segment};
 use eva_storage::{StorageEngine, ViewKey};
@@ -94,6 +98,85 @@ impl ApplyOp {
             }
             None => Ok((frame, None, ViewKey::frame(frame))),
         }
+    }
+
+    /// Stable identity of one UDF input, folded into keyed failpoint
+    /// decisions. Derived from the logical key (frame + box), never from
+    /// evaluation order or batch position.
+    fn retry_key(frame: FrameId, bbox: Option<BBox>) -> u64 {
+        match bbox {
+            None => frame.raw(),
+            Some(b) => {
+                let mut buf = [0u8; 16];
+                buf[..8].copy_from_slice(&frame.raw().to_le_bytes());
+                for (i, k) in b.key().iter().enumerate() {
+                    buf[8 + 2 * i..10 + 2 * i].copy_from_slice(&k.to_le_bytes());
+                }
+                xxhash64(&buf, 0)
+            }
+        }
+    }
+
+    /// Deterministic transient-failure model (the `udf_transient` failpoint):
+    /// decide per input *key* how many injected failures this evaluation
+    /// suffers, charge the exponential retry backoff to the clock, and bump
+    /// the retry counters — all on the caller thread *before* any worker-pool
+    /// fan-out, so the failure set and every charge are
+    /// scheduling-independent and the parallel == serial `CostBreakdown`
+    /// identity survives injected faults.
+    ///
+    /// Returns `Err` when an input keeps failing past the retry budget.
+    fn charge_transient_failures<I>(
+        &self,
+        ctx: &ExecCtx<'_>,
+        udf_name: &str,
+        inputs: I,
+    ) -> Result<()>
+    where
+        I: IntoIterator<Item = (FrameId, Option<BBox>)>,
+    {
+        let fp = ctx.storage.failpoints();
+        if !matches!(fp.rule(Failpoint::UdfTransient), FireRule::Keyed { .. }) {
+            return Ok(());
+        }
+        let budget = ctx.config.udf_retry_budget;
+        let base = ctx.config.udf_retry_backoff_ms;
+        let mut retries = 0u64;
+        let mut backoff = 0.0f64;
+        let mut exhausted: Option<FrameId> = None;
+        for (frame, bbox) in inputs {
+            let key = Self::retry_key(frame, bbox);
+            let mut fails = 0u32;
+            while fails <= budget && fp.should_fail_keyed(Failpoint::UdfTransient, key, fails) {
+                fails += 1;
+            }
+            // Retry k (1-based) backs off base·2^(k−1); `sleeps` retries cost
+            // base·(2^sleeps − 1) in total. `fails > budget` means even the
+            // last retry failed — the sleeps happened, then we give up.
+            let sleeps = fails.min(budget);
+            backoff += base * ((1u64 << sleeps.min(62)) - 1) as f64;
+            retries += sleeps as u64;
+            if fails > budget {
+                exhausted = Some(frame);
+                break;
+            }
+        }
+        if backoff > 0.0 {
+            ctx.clock.charge(CostCategory::Apply, backoff);
+        }
+        if let Some(frame) = exhausted {
+            ctx.metrics().record_udf_retries(retries, 1);
+            return Err(EvaError::Exec(format!(
+                "udf '{udf_name}' kept failing transiently on frame {} after {} attempts \
+                 (retry budget {budget})",
+                frame.raw(),
+                budget as u64 + 1,
+            )));
+        }
+        if retries > 0 {
+            ctx.metrics().record_udf_retries(retries, 0);
+        }
+        Ok(())
     }
 
     /// Evaluate the model on the rows at `miss_idx`, fanning large batches
@@ -283,6 +366,11 @@ impl ApplyOp {
                     .iter()
                     .map(|&i| (i, keys[i].0, keys[i].1))
                     .collect();
+                self.charge_transient_failures(
+                    ctx,
+                    &seg.udf.name,
+                    inputs.iter().map(|&(_, f, b)| (f, b)),
+                )?;
                 let evaluated = self.eval_rows(ctx, &udf, &inputs)?;
                 ctx.metrics()
                     .record_udf_calls(evaluated.len() as u64, 0, 0.0);
@@ -350,6 +438,11 @@ impl ApplyOp {
                     results.push(Some(rows));
                 }
                 None => {
+                    self.charge_transient_failures(
+                        ctx,
+                        &udf_def.name,
+                        std::iter::once((frame, bbox)),
+                    )?;
                     let rows: Arc<[Row]> = udf
                         .eval(&UdfEvalContext {
                             dataset: &ctx.dataset,
@@ -392,6 +485,7 @@ impl ApplyOp {
             inputs.push((i, frame, bbox));
             keys.push(vkey);
         }
+        self.charge_transient_failures(ctx, &udf_def.name, inputs.iter().map(|&(_, f, b)| (f, b)))?;
         let evaluated = self.eval_rows(ctx, &udf, &inputs)?;
         ctx.metrics()
             .record_udf_calls(evaluated.len() as u64, 0, 0.0);

@@ -14,7 +14,6 @@ use crate::ops::filter::FilterOp;
 use crate::ops::project::ProjectOp;
 use crate::ops::scan::ScanFramesOp;
 use crate::ops::sort_limit::{LimitOp, SortOp};
-use crate::ops::Operator;
 use crate::testing::{TestEnv, ValuesOp};
 
 fn int_schema() -> Arc<Schema> {
@@ -410,7 +409,17 @@ struct ViewsRun {
 }
 
 fn run_views_query(config: crate::config::ExecConfig) -> ViewsRun {
+    run_views_query_faulty(config, &|_| {})
+}
+
+/// Like [`run_views_query`], arming failpoints on the engine before the
+/// query runs (fault-injection tests).
+fn run_views_query_faulty(
+    config: crate::config::ExecConfig,
+    arm: &dyn Fn(&eva_common::FailpointRegistry),
+) -> ViewsRun {
     let env = TestEnv::new(42, 64);
+    arm(env.storage.failpoints());
     let def = env.catalog.udf("fasterrcnn_resnet50").unwrap();
     let view = env
         .storage
@@ -532,5 +541,115 @@ fn parallel_apply_metrics_are_identical_to_serial() {
         m.udf_calls_executed + m.udf_calls_avoided,
         "{m:?}"
     );
-    assert!(m.rows_served_zero_copy > 0, "probe hits serve zero-copy rows");
+    assert!(
+        m.rows_served_zero_copy > 0,
+        "probe hits serve zero-copy rows"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Transient-failure retry (the udf_transient failpoint)
+// ---------------------------------------------------------------------------
+
+/// Select ~40% of keys, each failing its first attempt — every selected key
+/// recovers within the default retry budget of 2.
+fn arm_flaky(fp: &eva_common::FailpointRegistry) {
+    fp.set_seed(7);
+    fp.arm(
+        eva_common::Failpoint::UdfTransient,
+        eva_common::FireRule::Keyed {
+            prob_permille: 400,
+            fails: 1,
+        },
+    );
+}
+
+#[test]
+fn transient_udf_failures_retry_and_recover() {
+    let config = crate::config::ExecConfig {
+        batch_size: 64,
+        ..Default::default()
+    };
+    let clean = run_views_query(config);
+    let flaky = run_views_query_faulty(config, &arm_flaky);
+    assert_eq!(
+        clean.rows, flaky.rows,
+        "retried evaluations must not change the answer"
+    );
+    assert!(flaky.metrics.udf_retries > 0, "{:?}", flaky.metrics);
+    assert_eq!(flaky.metrics.udf_gave_up, 0, "{:?}", flaky.metrics);
+    // Each retry backs off 5ms (base · 2^0), charged to Apply.
+    let extra = flaky.cost.get(CostCategory::Apply) - clean.cost.get(CostCategory::Apply);
+    let expected = flaky.metrics.udf_retries as f64 * 5.0;
+    assert!(
+        (extra - expected).abs() < 1e-6,
+        "backoff charge {extra} != {expected}"
+    );
+}
+
+#[test]
+fn transient_retry_costs_are_bit_identical_parallel_vs_serial() {
+    let serial = crate::config::ExecConfig {
+        batch_size: 64,
+        parallel_eval_threshold: 0,
+        parallel_probe_threshold: 0,
+        ..Default::default()
+    };
+    let parallel = crate::config::ExecConfig {
+        batch_size: 64,
+        parallel_eval_threshold: 1,
+        parallel_probe_threshold: 1,
+        ..Default::default()
+    };
+    let s = run_views_query_faulty(serial, &arm_flaky);
+    let p = run_views_query_faulty(parallel, &arm_flaky);
+    assert_eq!(
+        s.cost, p.cost,
+        "injected faults must not break the parallel == serial cost identity"
+    );
+    assert_eq!(s.rows, p.rows);
+    assert_eq!(s.metrics.deterministic(), p.metrics.deterministic());
+    assert!(s.metrics.udf_retries > 0, "faults actually injected");
+}
+
+#[test]
+fn transient_udf_failure_exhausts_budget_and_errors() {
+    let env = TestEnv::new(13, 8);
+    env.storage.failpoints().arm(
+        eva_common::Failpoint::UdfTransient,
+        eva_common::FireRule::Keyed {
+            prob_permille: 1000,
+            fails: 10,
+        },
+    );
+    let def = env.catalog.udf("fasterrcnn_resnet50").unwrap();
+    let spec = detector_spec(&env, ApplyReuse::None { udf: def });
+    let op = ApplyOp::new(frame_source(&env, 8), spec, apply_schema(&env)).unwrap();
+    let err = env.drain(Box::new(op)).unwrap_err();
+    assert_eq!(err.stage(), "exec");
+    assert!(
+        err.to_string().contains("retry budget"),
+        "error names the cause: {err}"
+    );
+    let m = env.storage.metrics().snapshot();
+    assert_eq!(m.udf_gave_up, 1, "{m:?}");
+    assert_eq!(m.udf_retries, 2, "budget of 2 retries was spent: {m:?}");
+}
+
+#[test]
+fn transient_failures_hit_the_funcache_miss_path_only() {
+    let env = TestEnv::new(14, 12);
+    arm_flaky(env.storage.failpoints());
+    let def = env.catalog.udf("fasterrcnn_resnet50").unwrap();
+    let spec = detector_spec(&env, ApplyReuse::FunCache { udf: def });
+    let op = ApplyOp::new(frame_source(&env, 12), spec.clone(), apply_schema(&env)).unwrap();
+    env.drain(Box::new(op)).unwrap();
+    let retries_cold = env.storage.metrics().snapshot().udf_retries;
+    assert!(retries_cold > 0, "misses invoke the model and can fail");
+    // A fully warm cache never invokes the model, so nothing can fail.
+    let op = ApplyOp::new(frame_source(&env, 12), spec, apply_schema(&env)).unwrap();
+    env.drain(Box::new(op)).unwrap();
+    let m = env.storage.metrics().snapshot();
+    assert_eq!(m.udf_retries, retries_cold, "{m:?}");
+    assert_eq!(m.udf_gave_up, 0, "{m:?}");
 }

@@ -126,7 +126,9 @@ mod tests {
         for t in 0..4 {
             joins.push(std::thread::spawn(move || {
                 let tasks: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..16)
-                    .map(|i: usize| Box::new(move || t * 100 + i) as Box<dyn FnOnce() -> usize + Send>)
+                    .map(|i: usize| {
+                        Box::new(move || t * 100 + i) as Box<dyn FnOnce() -> usize + Send>
+                    })
                     .collect();
                 WorkerPool::global().run(tasks)
             }));

@@ -14,12 +14,14 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use eva_common::{
-    Batch, CostCategory, DataType, EvaError, Field, FrameId, MetricsSink, Result, Row, Schema,
-    SimClock, Value, ViewId,
+    Batch, CostCategory, DataType, EvaError, FailpointRegistry, Field, FrameId, MetricsSink,
+    Result, Row, Schema, SimClock, Value, ViewId,
 };
 use eva_video::VideoDataset;
 
 use crate::cost::IoCostModel;
+use crate::recovery::RecoveryReport;
+use crate::segment;
 use crate::view::{MaterializedView, ViewDef, ViewKey, ViewKeyKind};
 
 /// Number of registry shards. Sequential view ids round-robin across
@@ -62,6 +64,10 @@ struct Shared {
     /// frames scanned, shard contention) lands in the same snapshot as the
     /// reuse counters.
     metrics: MetricsSink,
+    /// Deterministic fault-injection sites, armed from `EVA_FAILPOINTS` (or
+    /// programmatically by chaos tests). Disarmed sites cost one atomic
+    /// load on the persistence paths and nothing on the query paths.
+    failpoints: FailpointRegistry,
 }
 
 impl Default for Shared {
@@ -71,6 +77,7 @@ impl Default for Shared {
             shards: std::array::from_fn(|_| RwLock::new(BTreeMap::new())),
             next_view_id: AtomicU64::new(0),
             metrics: MetricsSink::new(),
+            failpoints: FailpointRegistry::from_env(),
         }
     }
 }
@@ -122,6 +129,13 @@ impl StorageEngine {
     /// traffic and executor reuse counters land in one snapshot.
     pub fn metrics(&self) -> &MetricsSink {
         &self.shared.metrics
+    }
+
+    /// The engine's fault-injection registry. The executor reaches retryable
+    /// UDF failures through here too, so one registry (and one seed) governs
+    /// a whole session's injected faults.
+    pub fn failpoints(&self) -> &FailpointRegistry {
+        &self.shared.failpoints
     }
 
     /// Register a synthetic video dataset (the `LOAD VIDEO` path).
@@ -302,9 +316,7 @@ impl StorageEngine {
             self.cost.view_join_factor * self.cost.view_row_read_ms * rows_read as f64,
         );
         self.shared.metrics.record_view_rows_read(rows_read as u64);
-        self.shared
-            .metrics
-            .record_zero_copy_rows(rows_read as u64);
+        self.shared.metrics.record_zero_copy_rows(rows_read as u64);
     }
 
     /// Fuzzy probe of a box-level view (§6 future work): highest-IoU stored
@@ -379,10 +391,16 @@ impl StorageEngine {
         }
     }
 
-    /// Persist all views to a directory (one JSON file per view plus an
-    /// index). Datasets are *not* persisted — they regenerate from seeds.
+    /// Persist all views to a directory as checksummed segment files (one
+    /// per view, see [`segment`]), each written crash-safely via tmp-file +
+    /// fsync + atomic rename. The manifest is written **last**, so a crash
+    /// at any point leaves either the previous store or the new one —
+    /// segments from the interrupted save self-validate and are picked up
+    /// by the recovery scan. Datasets are *not* persisted — they regenerate
+    /// from seeds.
     pub fn save_views(&self, dir: &Path) -> Result<()> {
         std::fs::create_dir_all(dir)?;
+        let fp = &self.shared.failpoints;
         let mut handles: Vec<(ViewId, ViewHandle)> = Vec::new();
         for shard in &self.shared.shards {
             for (id, handle) in shard.read().iter() {
@@ -392,39 +410,91 @@ impl StorageEngine {
         handles.sort_by_key(|(id, _)| *id);
         let mut index = Vec::new();
         for (id, handle) in handles {
-            let file = dir.join(format!("view_{}.json", id.raw()));
-            let json = serde_json::to_string(&*handle.read())
-                .map_err(|e| EvaError::Io(format!("serialize view: {e}")))?;
-            std::fs::write(&file, json)?;
+            let bytes = segment::encode_segment(&handle.read());
+            segment::write_atomic(dir, &segment::segment_file_name(id), &bytes, fp)?;
             index.push(id.raw());
         }
         let next_id = self.shared.next_view_id.load(Ordering::Relaxed);
-        let idx_json = serde_json::to_string(&(next_id, index))
-            .map_err(|e| EvaError::Io(format!("serialize index: {e}")))?;
-        std::fs::write(dir.join("views_index.json"), idx_json)?;
-        Ok(())
+        let manifest = segment::encode_manifest(next_id, &index);
+        segment::write_atomic(dir, segment::MANIFEST_FILE, &manifest, fp)
     }
 
-    /// Load views previously saved with [`StorageEngine::save_views`].
-    pub fn load_views(&self, dir: &Path) -> Result<()> {
-        let idx_raw = std::fs::read_to_string(dir.join("views_index.json"))?;
-        let (next_id, ids): (u64, Vec<u64>) = serde_json::from_str(&idx_raw)
-            .map_err(|e| EvaError::Io(format!("parse index: {e}")))?;
+    /// Load views previously saved with [`StorageEngine::save_views`] — as a
+    /// *recovery pass*: leftover `.tmp` files are removed, every segment's
+    /// checksum and header are verified, and segments that fail validation
+    /// are renamed aside (quarantined) instead of aborting the load. A
+    /// quarantined view is simply cold: the planner's conditional-APPLY
+    /// path recomputes it on demand. When the manifest itself is missing or
+    /// damaged, the pass falls back to scanning the directory for segment
+    /// files. A missing directory is still an `Io` error — there is nothing
+    /// to recover from.
+    pub fn load_views(&self, dir: &Path) -> Result<RecoveryReport> {
+        let mut report = RecoveryReport::new(dir);
+        let mut seg_files: Vec<u64> = Vec::new();
+        for entry in std::fs::read_dir(dir)? {
+            let entry = entry?;
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if name.ends_with(segment::TMP_SUFFIX) {
+                // Leftover from a write that never reached its rename.
+                if std::fs::remove_file(entry.path()).is_ok() {
+                    report.tmp_cleaned += 1;
+                }
+            } else if let Some(raw) = segment::parse_segment_file_name(&name) {
+                seg_files.push(raw);
+            }
+        }
+        seg_files.sort_unstable();
+
+        // Prefer the manifest; fall back to the directory scan when it is
+        // absent or fails validation (e.g. the crash hit the manifest write).
+        let mut next_id = 0u64;
+        let ids = match std::fs::read(dir.join(segment::MANIFEST_FILE))
+            .map_err(EvaError::from)
+            .and_then(|bytes| segment::decode_manifest(&bytes))
+        {
+            Ok((next, ids)) => {
+                next_id = next;
+                ids
+            }
+            Err(_) => {
+                report.manifest_fallback = true;
+                seg_files.clone()
+            }
+        };
+
+        for raw in ids {
+            let id = ViewId(raw);
+            let path = dir.join(segment::segment_file_name(id));
+            let bytes = match std::fs::read(&path) {
+                Ok(b) => b,
+                Err(e) => {
+                    report.quarantine(Some(id), path, format!("segment unreadable: {e}"));
+                    continue;
+                }
+            };
+            match segment::decode_segment(&bytes, Some(id)) {
+                Ok(view) => {
+                    self.shared
+                        .shard_of(id)
+                        .write()
+                        .insert(id, Arc::new(RwLock::new(view)));
+                    report.loaded.push(id);
+                    next_id = next_id.max(raw);
+                }
+                Err(e) => {
+                    let moved = segment::quarantine_file(&path);
+                    report.quarantine(Some(id), moved, e.message().to_string());
+                    next_id = next_id.max(raw);
+                }
+            }
+        }
         self.shared
             .next_view_id
             .fetch_max(next_id, Ordering::Relaxed);
-        for raw in ids {
-            let file = dir.join(format!("view_{raw}.json"));
-            let json = std::fs::read_to_string(&file)?;
-            let view: MaterializedView = serde_json::from_str(&json)
-                .map_err(|e| EvaError::Io(format!("parse view {raw}: {e}")))?;
-            let id = ViewId(raw);
-            self.shared
-                .shard_of(id)
-                .write()
-                .insert(id, Arc::new(RwLock::new(view)));
-        }
-        Ok(())
+        self.shared
+            .metrics
+            .record_recovery(report.loaded.len() as u64, report.quarantined.len() as u64);
+        Ok(report)
     }
 }
 
@@ -543,8 +613,12 @@ mod tests {
         let id = eng.create_view("det", ViewKeyKind::Frame, out_schema());
         let k0 = ViewKey::frame(FrameId(0));
         let k1 = ViewKey::frame(FrameId(1));
-        eng.view_append(id, vec![(k0, vec![vec![Value::from("car")]].into())], &clock)
-            .unwrap();
+        eng.view_append(
+            id,
+            vec![(k0, vec![vec![Value::from("car")]].into())],
+            &clock,
+        )
+        .unwrap();
         eng.view_probe(id, &[k0, k1], &clock).unwrap();
         let m = eng.metrics().snapshot();
         assert_eq!(m.frames_scanned, 10);
@@ -622,7 +696,12 @@ mod tests {
 
     #[test]
     fn persistence_round_trip() {
-        let dir = std::env::temp_dir().join(format!("eva_views_{}", std::process::id()));
+        // Unique per test (not just per process) so parallel test binaries
+        // and sibling tests can never race on a shared directory.
+        let dir = std::env::temp_dir().join(format!(
+            "eva_engine_persistence_round_trip_{}",
+            std::process::id()
+        ));
         let _ = std::fs::remove_dir_all(&dir);
         let eng = StorageEngine::new();
         let clock = SimClock::new();

@@ -8,12 +8,17 @@
 //! append charges the session's virtual clock according to an
 //! [`IoCostModel`], so the time-breakdown experiments (Fig. 6, Table 4)
 //! reproduce the paper's read/materialize components. State persists to
-//! disk as JSON for session restarts.
+//! disk as checksummed, crash-safe segment files (see [`segment`]) for
+//! session restarts; loading is a recovery pass that quarantines damaged
+//! segments and reports what it found (see [`recovery`]).
 
 pub mod cost;
 pub mod engine;
+pub mod recovery;
+pub mod segment;
 pub mod view;
 
 pub use cost::IoCostModel;
 pub use engine::StorageEngine;
+pub use recovery::{QuarantinedSegment, RecoveryReport};
 pub use view::{MaterializedView, ViewDef, ViewKey, ViewKeyKind};

@@ -1,0 +1,160 @@
+//! Recovery reporting for the view store.
+//!
+//! `load_views` is a *recovery pass*, not a plain load: it validates every
+//! segment, quarantines the ones that fail, and keeps going. The outcome is
+//! captured in a [`RecoveryReport`] so sessions (and the repl's `\health`
+//! command) can tell the operator exactly what survived a crash. A
+//! quarantined view is not an error condition — it is simply cold, and the
+//! planner's conditional-APPLY path recomputes and re-materializes it on
+//! the next query that needs it.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+use eva_common::ViewId;
+
+/// One segment the recovery pass refused to load.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuarantinedSegment {
+    /// The view id, when it could be determined from the file name.
+    pub view_id: Option<ViewId>,
+    /// Where the damaged bytes now live (the `.quarantined` path, or the
+    /// original path when the file could not be moved aside).
+    pub path: PathBuf,
+    /// Why validation failed (checksum mismatch, truncation, bad magic…).
+    pub reason: String,
+}
+
+/// What a [`load_views`](crate::StorageEngine::load_views) recovery pass
+/// found and did.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryReport {
+    /// The store directory the pass ran over.
+    pub dir: PathBuf,
+    /// Views that validated and were installed, in id order.
+    pub loaded: Vec<ViewId>,
+    /// Segments that failed validation and were quarantined.
+    pub quarantined: Vec<QuarantinedSegment>,
+    /// Leftover `.tmp` files from interrupted writes that were removed.
+    pub tmp_cleaned: usize,
+    /// True when the manifest was missing or damaged and the pass fell back
+    /// to scanning the directory for segments.
+    pub manifest_fallback: bool,
+    /// Note about the UDF-manager state (set by the session layer): `None`
+    /// while the manager state loaded cleanly.
+    pub manager_note: Option<String>,
+}
+
+impl RecoveryReport {
+    /// An empty report for a directory.
+    pub fn new(dir: &Path) -> RecoveryReport {
+        RecoveryReport {
+            dir: dir.to_path_buf(),
+            loaded: Vec::new(),
+            quarantined: Vec::new(),
+            tmp_cleaned: 0,
+            manifest_fallback: false,
+            manager_note: None,
+        }
+    }
+
+    /// True when nothing was quarantined, cleaned or worked around.
+    pub fn is_clean(&self) -> bool {
+        self.quarantined.is_empty()
+            && self.tmp_cleaned == 0
+            && !self.manifest_fallback
+            && self.manager_note.is_none()
+    }
+
+    /// Record a quarantined segment.
+    pub fn quarantine(&mut self, view_id: Option<ViewId>, path: PathBuf, reason: String) {
+        self.quarantined.push(QuarantinedSegment {
+            view_id,
+            path,
+            reason,
+        });
+    }
+
+    /// Human-readable multi-line summary (what `\health` and `\load` print).
+    pub fn summary(&self) -> String {
+        self.to_string()
+    }
+}
+
+impl fmt::Display for RecoveryReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "store {}: {} view{} loaded, {} quarantined",
+            self.dir.display(),
+            self.loaded.len(),
+            if self.loaded.len() == 1 { "" } else { "s" },
+            self.quarantined.len(),
+        )?;
+        if self.tmp_cleaned > 0 {
+            write!(f, ", {} tmp file(s) cleaned", self.tmp_cleaned)?;
+        }
+        if self.manifest_fallback {
+            write!(
+                f,
+                ", manifest missing/damaged — recovered by directory scan"
+            )?;
+        }
+        for q in &self.quarantined {
+            let id = q
+                .view_id
+                .map(|v| v.to_string())
+                .unwrap_or_else(|| "?".into());
+            write!(
+                f,
+                "\n  quarantined {} ({}): {}",
+                id,
+                q.path.display(),
+                q.reason
+            )?;
+        }
+        if let Some(note) = &self.manager_note {
+            write!(f, "\n  manager: {note}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_report_summary() {
+        let mut r = RecoveryReport::new(Path::new("/tmp/store"));
+        r.loaded.push(ViewId(1));
+        assert!(r.is_clean());
+        assert_eq!(
+            r.summary(),
+            "store /tmp/store: 1 view loaded, 0 quarantined"
+        );
+    }
+
+    #[test]
+    fn dirty_report_lists_everything() {
+        let mut r = RecoveryReport::new(Path::new("/tmp/store"));
+        r.loaded.push(ViewId(1));
+        r.loaded.push(ViewId(3));
+        r.quarantine(
+            Some(ViewId(2)),
+            PathBuf::from("/tmp/store/view_2.seg.quarantined"),
+            "checksum mismatch".into(),
+        );
+        r.tmp_cleaned = 1;
+        r.manifest_fallback = true;
+        r.manager_note = Some("state corrupt — starting cold".into());
+        assert!(!r.is_clean());
+        let s = r.summary();
+        assert!(s.contains("2 views loaded, 1 quarantined"), "{s}");
+        assert!(s.contains("1 tmp file(s) cleaned"), "{s}");
+        assert!(s.contains("directory scan"), "{s}");
+        assert!(s.contains("view_2.seg.quarantined"), "{s}");
+        assert!(s.contains("checksum mismatch"), "{s}");
+        assert!(s.contains("manager: state corrupt"), "{s}");
+    }
+}

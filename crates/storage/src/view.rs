@@ -448,8 +448,8 @@ mod tests {
             vec![vec![Value::from("car"), Value::Float(0.9)]].into(),
         )
         .unwrap();
-        let json = serde_json::to_string(&v).unwrap();
-        let back: MaterializedView = serde_json::from_str(&json).unwrap();
+        let bytes = crate::segment::encode_segment(&v);
+        let back = crate::segment::decode_segment(&bytes, Some(ViewId(1))).unwrap();
         assert_eq!(back.n_keys(), v.n_keys());
         assert_eq!(back.n_rows(), v.n_rows());
         assert_eq!(back.approx_bytes(), v.approx_bytes());

@@ -1,0 +1,260 @@
+//! Malformed-store recovery tests: every way a segment file can be damaged
+//! must yield quarantine-and-continue — never a panic, never a half-loaded
+//! engine, never an aborted load.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use eva_common::codec;
+use eva_common::{DataType, Field, FrameId, Schema, SimClock, Value, ViewId};
+use eva_storage::segment;
+use eva_storage::{StorageEngine, ViewKey, ViewKeyKind};
+
+fn unique_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("eva_recovery_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn out_schema() -> Arc<Schema> {
+    Arc::new(
+        Schema::new(vec![
+            Field::new("label", DataType::Str),
+            Field::new("score", DataType::Float),
+        ])
+        .unwrap(),
+    )
+}
+
+/// Build a store with three views (ids 1..=3, one entry per frame 0..N).
+fn saved_store(dir: &Path) -> StorageEngine {
+    let eng = StorageEngine::new();
+    let clock = SimClock::new();
+    for v in 0..3u64 {
+        let id = eng.create_view(format!("det{v}"), ViewKeyKind::Frame, out_schema());
+        let entries = (0..4 + v)
+            .map(|f| {
+                (
+                    ViewKey::frame(FrameId(f)),
+                    vec![vec![Value::from("car"), Value::Float(0.5 + v as f64)]].into(),
+                )
+            })
+            .collect();
+        eng.view_append(id, entries, &clock).unwrap();
+    }
+    eng.save_views(dir).unwrap();
+    eng
+}
+
+/// Load the store and assert the damaged view (and only it) was
+/// quarantined, while the other two keep serving probes.
+fn assert_quarantines_only(dir: &Path, damaged: ViewId, expect_reason_fragment: &str) {
+    let eng = StorageEngine::new();
+    let report = eng.load_views(dir).unwrap();
+    assert_eq!(
+        report.quarantined.len(),
+        1,
+        "exactly the damaged segment quarantines: {report}"
+    );
+    assert_eq!(report.quarantined[0].view_id, Some(damaged));
+    assert!(
+        report.quarantined[0]
+            .reason
+            .contains(expect_reason_fragment),
+        "reason {:?} should mention {:?}",
+        report.quarantined[0].reason,
+        expect_reason_fragment
+    );
+    assert_eq!(report.loaded.len(), 2, "{report}");
+    // The engine is not half-loaded: survivors serve probes…
+    let clock = SimClock::new();
+    for id in &report.loaded {
+        let probed = eng
+            .view_probe(*id, &[ViewKey::frame(FrameId(0))], &clock)
+            .unwrap();
+        assert!(probed[0].is_some(), "view {id} lost its entries");
+    }
+    // …the quarantined view is simply cold (unknown to the engine)…
+    assert!(eng.view_n_keys(damaged).is_err());
+    // …and the counters reflect the outcome.
+    let m = eng.metrics().snapshot();
+    assert_eq!(m.views_recovered, 2);
+    assert_eq!(m.views_quarantined, 1);
+    // New view ids never collide with quarantined ids.
+    let fresh = eng.create_view("fresh", ViewKeyKind::Frame, out_schema());
+    assert!(fresh.raw() > damaged.raw().max(3));
+}
+
+#[test]
+fn truncated_segment_quarantines_at_every_cut() {
+    let dir = unique_dir("truncate");
+    saved_store(&dir);
+    let victim = dir.join("view_2.seg");
+    let original = std::fs::read(&victim).unwrap();
+    // Fuzz-style sweep: cut the file at a spread of positions covering the
+    // magic, header, payload and checksum regions.
+    for step in 0..16 {
+        let cut = step * original.len() / 16;
+        std::fs::write(&victim, &original[..cut]).unwrap();
+        assert_quarantines_only(&dir, ViewId(2), "");
+        // The recovery pass moved the file aside; put a fresh copy back.
+        let _ = std::fs::remove_file(dir.join("view_2.seg.quarantined"));
+        std::fs::write(&victim, &original).unwrap();
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bit_flipped_segment_quarantines_at_every_position() {
+    let dir = unique_dir("bitflip");
+    saved_store(&dir);
+    let victim = dir.join("view_1.seg");
+    let original = std::fs::read(&victim).unwrap();
+    for step in 0..32 {
+        let byte = step * original.len() / 32;
+        let mut bad = original.clone();
+        bad[byte] ^= 1 << (step % 8);
+        std::fs::write(&victim, &bad).unwrap();
+        assert_quarantines_only(&dir, ViewId(1), "");
+        let _ = std::fs::remove_file(dir.join("view_1.seg.quarantined"));
+        std::fs::write(&victim, &original).unwrap();
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn empty_segment_quarantines() {
+    let dir = unique_dir("empty");
+    saved_store(&dir);
+    std::fs::write(dir.join("view_3.seg"), b"").unwrap();
+    assert_quarantines_only(&dir, ViewId(3), "too small");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn future_format_version_quarantines() {
+    let dir = unique_dir("future");
+    saved_store(&dir);
+    // A well-formed envelope from a "newer" writer: magic and checksum are
+    // valid, only the version is beyond what this reader understands.
+    let sealed = codec::seal(
+        segment::SEGMENT_MAGIC,
+        segment::FORMAT_VERSION + 7,
+        b"who knows",
+    );
+    std::fs::write(dir.join("view_2.seg"), sealed).unwrap();
+    assert_quarantines_only(&dir, ViewId(2), "future");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn garbage_header_quarantines() {
+    let dir = unique_dir("garbage");
+    saved_store(&dir);
+    std::fs::write(dir.join("view_1.seg"), vec![0xAB; 512]).unwrap();
+    assert_quarantines_only(&dir, ViewId(1), "bad magic");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn wrong_view_id_inside_segment_quarantines() {
+    let dir = unique_dir("swap");
+    saved_store(&dir);
+    // Simulate an operator mistake: view 3's bytes under view 1's name.
+    std::fs::copy(dir.join("view_3.seg"), dir.join("view_1.seg")).unwrap();
+    let eng = StorageEngine::new();
+    let report = eng.load_views(&dir).unwrap();
+    assert_eq!(report.quarantined.len(), 1, "{report}");
+    assert!(report.quarantined[0].reason.contains("file name"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn missing_manifest_falls_back_to_directory_scan() {
+    let dir = unique_dir("no_manifest");
+    saved_store(&dir);
+    std::fs::remove_file(dir.join(segment::MANIFEST_FILE)).unwrap();
+    let eng = StorageEngine::new();
+    let report = eng.load_views(&dir).unwrap();
+    assert!(report.manifest_fallback, "{report}");
+    assert_eq!(report.loaded.len(), 3, "{report}");
+    assert!(report.quarantined.is_empty(), "{report}");
+    // The id allocator recovered its high-water mark from the scan.
+    let fresh = eng.create_view("fresh", ViewKeyKind::Frame, out_schema());
+    assert_eq!(fresh, ViewId(4));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_manifest_falls_back_to_directory_scan() {
+    let dir = unique_dir("bad_manifest");
+    saved_store(&dir);
+    let path = dir.join(segment::MANIFEST_FILE);
+    let mut bytes = std::fs::read(&path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    std::fs::write(&path, bytes).unwrap();
+    let eng = StorageEngine::new();
+    let report = eng.load_views(&dir).unwrap();
+    assert!(report.manifest_fallback, "{report}");
+    assert_eq!(report.loaded.len(), 3, "{report}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn leftover_tmp_files_are_cleaned() {
+    let dir = unique_dir("tmp");
+    saved_store(&dir);
+    std::fs::write(dir.join("view_9.seg.tmp"), b"half a segment").unwrap();
+    std::fs::write(dir.join("views.manifest.tmp"), b"half a manifest").unwrap();
+    let eng = StorageEngine::new();
+    let report = eng.load_views(&dir).unwrap();
+    assert_eq!(report.tmp_cleaned, 2, "{report}");
+    assert_eq!(report.loaded.len(), 3, "{report}");
+    assert!(!dir.join("view_9.seg.tmp").exists());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn segment_listed_in_manifest_but_missing_quarantines() {
+    let dir = unique_dir("missing_seg");
+    saved_store(&dir);
+    std::fs::remove_file(dir.join("view_2.seg")).unwrap();
+    let eng = StorageEngine::new();
+    let report = eng.load_views(&dir).unwrap();
+    assert_eq!(report.loaded.len(), 2, "{report}");
+    assert_eq!(report.quarantined.len(), 1, "{report}");
+    assert!(report.quarantined[0].reason.contains("unreadable"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn missing_directory_is_io_not_corrupt() {
+    let eng = StorageEngine::new();
+    let err = eng
+        .load_views(Path::new("/definitely/not/a/real/dir"))
+        .unwrap_err();
+    assert_eq!(err.stage(), "io");
+}
+
+#[test]
+fn whole_store_corrupt_yields_empty_engine_not_panic() {
+    let dir = unique_dir("total_loss");
+    saved_store(&dir);
+    for entry in std::fs::read_dir(&dir).unwrap() {
+        let p = entry.unwrap().path();
+        std::fs::write(&p, b"\x00\x01garbage").unwrap();
+    }
+    let eng = StorageEngine::new();
+    let report = eng.load_views(&dir).unwrap();
+    assert!(report.manifest_fallback);
+    assert!(report.loaded.is_empty(), "{report}");
+    assert_eq!(report.quarantined.len(), 3, "{report}");
+    assert_eq!(
+        eng.view_defs().len(),
+        0,
+        "engine stays empty, not half-loaded"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

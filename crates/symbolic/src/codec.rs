@@ -1,0 +1,227 @@
+//! Binary codec for symbolic predicates.
+//!
+//! The UDF manager persists each signature's aggregated predicate `p_u`
+//! alongside the view store; this module gives [`Dnf`] a deterministic,
+//! validated byte encoding on top of [`eva_common::codec`]. Decoding
+//! re-normalizes through the public constructors ([`IntervalSet::from_intervals`],
+//! [`Conjunct::from_dims`], [`Dnf::from_conjuncts`]), so even a byte stream
+//! that decodes structurally cannot smuggle in a predicate violating the
+//! crate's invariants.
+
+use std::collections::BTreeSet;
+
+use eva_common::codec::{ByteReader, ByteWriter};
+use eva_common::{EvaError, Result};
+
+use crate::catset::CatSet;
+use crate::conjunct::{Conjunct, Constraint};
+use crate::dnf::Dnf;
+use crate::interval::{Interval, IntervalSet};
+
+fn write_interval(w: &mut ByteWriter, iv: &Interval) {
+    w.f64(iv.lo);
+    w.bool(iv.lo_open);
+    w.f64(iv.hi);
+    w.bool(iv.hi_open);
+}
+
+fn read_interval(r: &mut ByteReader) -> Result<Interval> {
+    let lo = r.f64()?;
+    let lo_open = r.bool()?;
+    let hi = r.f64()?;
+    let hi_open = r.bool()?;
+    Interval::new(lo, lo_open, hi, hi_open).ok_or_else(|| {
+        EvaError::Corrupt(format!(
+            "persisted interval is empty or NaN: lo={lo} hi={hi}"
+        ))
+    })
+}
+
+fn write_catset(w: &mut ByteWriter, cs: &CatSet) {
+    let (tag, values) = match cs {
+        CatSet::In(vs) => (0u8, vs),
+        CatSet::NotIn(vs) => (1u8, vs),
+    };
+    w.u8(tag);
+    w.count(values.len());
+    for v in values {
+        w.str(v);
+    }
+}
+
+fn read_catset(r: &mut ByteReader) -> Result<CatSet> {
+    let tag = r.u8()?;
+    let n = r.count()?;
+    let mut values = BTreeSet::new();
+    for _ in 0..n {
+        values.insert(r.str()?);
+    }
+    match tag {
+        0 => Ok(CatSet::In(values)),
+        1 => Ok(CatSet::NotIn(values)),
+        t => Err(EvaError::Corrupt(format!("unknown catset tag {t:#x}"))),
+    }
+}
+
+fn write_constraint(w: &mut ByteWriter, c: &Constraint) {
+    match c {
+        Constraint::Num(set) => {
+            w.u8(0);
+            w.count(set.intervals().len());
+            for iv in set.intervals() {
+                write_interval(w, iv);
+            }
+        }
+        Constraint::Cat(cs) => {
+            w.u8(1);
+            write_catset(w, cs);
+        }
+    }
+}
+
+fn read_constraint(r: &mut ByteReader) -> Result<Constraint> {
+    match r.u8()? {
+        0 => {
+            let n = r.count()?;
+            let mut intervals = Vec::with_capacity(n);
+            for _ in 0..n {
+                intervals.push(read_interval(r)?);
+            }
+            Ok(Constraint::Num(IntervalSet::from_intervals(intervals)))
+        }
+        1 => Ok(Constraint::Cat(read_catset(r)?)),
+        t => Err(EvaError::Corrupt(format!("unknown constraint tag {t:#x}"))),
+    }
+}
+
+fn write_conjunct(w: &mut ByteWriter, c: &Conjunct) {
+    w.bool(c.is_unsat());
+    if c.is_unsat() {
+        return;
+    }
+    w.count(c.dims().len());
+    for (dim, constraint) in c.dims() {
+        w.str(dim);
+        write_constraint(w, constraint);
+    }
+}
+
+fn read_conjunct(r: &mut ByteReader) -> Result<Conjunct> {
+    if r.bool()? {
+        return Ok(Conjunct::unsat());
+    }
+    let n = r.count()?;
+    let mut dims = Vec::with_capacity(n);
+    for _ in 0..n {
+        let dim = r.str()?;
+        dims.push((dim, read_constraint(r)?));
+    }
+    Ok(Conjunct::from_dims(dims))
+}
+
+/// Encode a [`Dnf`] (count-prefixed conjuncts).
+pub fn write_dnf(w: &mut ByteWriter, dnf: &Dnf) {
+    w.count(dnf.conjuncts().len());
+    for c in dnf.conjuncts() {
+        write_conjunct(w, c);
+    }
+}
+
+/// Decode a [`Dnf`] written by [`write_dnf`], re-normalizing on the way in.
+pub fn read_dnf(r: &mut ByteReader) -> Result<Dnf> {
+    let n = r.count()?;
+    let mut conjuncts = Vec::with_capacity(n);
+    for _ in 0..n {
+        conjuncts.push(read_conjunct(r)?);
+    }
+    Ok(Dnf::from_conjuncts(conjuncts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::to_dnf;
+    use eva_expr::Expr;
+
+    fn round_trip(dnf: &Dnf) -> Dnf {
+        let mut w = ByteWriter::new();
+        write_dnf(&mut w, dnf);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        let back = read_dnf(&mut r).unwrap();
+        r.expect_end().unwrap();
+        back
+    }
+
+    #[test]
+    fn false_round_trips() {
+        assert_eq!(round_trip(&Dnf::false_()), Dnf::false_());
+    }
+
+    #[test]
+    fn numeric_and_categorical_round_trip() {
+        let e = Expr::col("id")
+            .ge(10.0)
+            .and(Expr::col("id").lt(500.0))
+            .and(Expr::col("label").eq_val("car"))
+            .or(Expr::col("label")
+                .eq_val("bus")
+                .and(Expr::col("id").lt(100.0)));
+        let dnf = to_dnf(&e).unwrap();
+        assert_eq!(round_trip(&dnf), dnf);
+    }
+
+    #[test]
+    fn unbounded_intervals_round_trip() {
+        let e = Expr::col("score").ge(0.25);
+        let dnf = to_dnf(&e).unwrap();
+        // One side of the interval is +∞ — must survive the codec exactly.
+        assert_eq!(round_trip(&dnf), dnf);
+    }
+
+    #[test]
+    fn negated_category_round_trips() {
+        let e = Expr::col("label").eq_val("car").not();
+        let dnf = to_dnf(&e).unwrap();
+        assert_eq!(round_trip(&dnf), dnf);
+    }
+
+    #[test]
+    fn truncated_bytes_are_corrupt() {
+        let e = Expr::col("id")
+            .lt(100.0)
+            .and(Expr::col("label").eq_val("car"));
+        let dnf = to_dnf(&e).unwrap();
+        let mut w = ByteWriter::new();
+        write_dnf(&mut w, &dnf);
+        let bytes = w.into_bytes();
+        for cut in 0..bytes.len() {
+            let mut r = ByteReader::new(&bytes[..cut]);
+            match read_dnf(&mut r) {
+                Ok(_) => assert!(
+                    r.expect_end().is_err() || cut == bytes.len(),
+                    "cut {cut} silently decoded"
+                ),
+                Err(e) => assert_eq!(e.stage(), "corrupt", "cut {cut}"),
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_interval_rejected() {
+        let mut w = ByteWriter::new();
+        w.count(1); // one conjunct
+        w.bool(false); // not unsat
+        w.count(1); // one dim
+        w.str("id");
+        w.u8(0); // Num
+        w.count(1); // one interval
+        w.f64(f64::NAN);
+        w.bool(false);
+        w.f64(1.0);
+        w.bool(false);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(read_dnf(&mut r).unwrap_err().stage(), "corrupt");
+    }
+}

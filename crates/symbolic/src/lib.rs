@@ -16,6 +16,7 @@
 //!   feeding the materialization-aware cost model (Eq. 3/4).
 
 pub mod catset;
+pub mod codec;
 pub mod conjunct;
 pub mod convert;
 pub mod dnf;

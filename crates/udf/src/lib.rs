@@ -23,7 +23,7 @@ pub mod runtime;
 pub mod signature;
 pub mod zoo;
 
-pub use manager::{ReuseAnalysis, UdfManager};
+pub use manager::{ReuseAnalysis, UdfManager, MANAGER_FILE};
 pub use profiler::InvocationStats;
 pub use registry::UdfRegistry;
 pub use runtime::{SimUdf, UdfEvalContext};

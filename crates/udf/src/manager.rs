@@ -29,6 +29,13 @@ use crate::signature::UdfSignature;
 // Re-export for convenience: the storage ViewId used across this module.
 pub use eva_storage::view::ViewDef;
 
+/// Magic for the persisted manager state.
+const MANAGER_MAGIC: [u8; 4] = *b"EVAU";
+/// Current manager state format version.
+const MANAGER_VERSION: u32 = 1;
+/// File the manager state persists to.
+pub const MANAGER_FILE: &str = "udf_manager.bin";
+
 /// Atom counts recorded for one `analyze` call — one data point per curve of
 /// Fig. 7 (EVA's reduction vs the naive `simplify`, for each of the three
 /// derived predicates).
@@ -243,29 +250,49 @@ impl UdfManager {
     }
 
     /// Persist the manager's reuse state — signature → (view id, aggregated
-    /// predicate) — to `dir/udf_manager.json`. Views persist separately via
-    /// the storage engine; together the two restore a session's full reuse
-    /// capability after a restart. (The naive-simplify bookkeeping used only
-    /// by the Fig. 7 experiment is session-local and not persisted.)
+    /// predicate) — to `dir/udf_manager.bin`, in the same checksummed
+    /// envelope and via the same crash-safe atomic-rename protocol as view
+    /// segments. Views persist separately via the storage engine; together
+    /// the two restore a session's full reuse capability after a restart.
+    /// (The naive-simplify bookkeeping used only by the Fig. 7 experiment is
+    /// session-local and not persisted.)
     pub fn save(&self, dir: &std::path::Path) -> eva_common::Result<()> {
         std::fs::create_dir_all(dir)?;
         let inner = self.inner.read();
-        let state: Vec<(UdfSignature, ViewId, Dnf)> = inner
-            .iter()
-            .map(|(sig, s)| (sig.clone(), s.view, s.agg.clone()))
-            .collect();
-        let json = serde_json::to_string(&state)
-            .map_err(|e| eva_common::EvaError::Io(format!("serialize manager: {e}")))?;
-        std::fs::write(dir.join("udf_manager.json"), json)?;
-        Ok(())
+        let mut w = eva_common::ByteWriter::new();
+        w.count(inner.len());
+        for (sig, s) in inner.iter() {
+            w.str(&sig.name);
+            w.str(&sig.inputs);
+            w.u64(s.view.raw());
+            eva_symbolic::codec::write_dnf(&mut w, &s.agg);
+        }
+        let sealed = eva_common::codec::seal(MANAGER_MAGIC, MANAGER_VERSION, w.as_slice());
+        eva_storage::segment::write_atomic(dir, MANAGER_FILE, &sealed, self.storage.failpoints())
     }
 
     /// Restore state saved with [`UdfManager::save`]. The referenced views
-    /// must already have been loaded into the storage engine.
+    /// must already have been loaded into the storage engine. A manager
+    /// state that fails validation returns [`eva_common::EvaError::Corrupt`]
+    /// and leaves the manager untouched — the session layer treats that as
+    /// "start cold", never as a fatal error. Signatures whose views did not
+    /// survive recovery must be dropped afterwards via
+    /// [`UdfManager::prune_dangling`], or their aggregated predicates would
+    /// claim coverage the store can no longer serve.
     pub fn load(&self, dir: &std::path::Path) -> eva_common::Result<()> {
-        let raw = std::fs::read_to_string(dir.join("udf_manager.json"))?;
-        let state: Vec<(UdfSignature, ViewId, Dnf)> = serde_json::from_str(&raw)
-            .map_err(|e| eva_common::EvaError::Io(format!("parse manager: {e}")))?;
+        let bytes = std::fs::read(dir.join(MANAGER_FILE))?;
+        let (_, payload) = eva_common::codec::unseal(&bytes, MANAGER_MAGIC, MANAGER_VERSION)?;
+        let mut r = eva_common::ByteReader::new(payload);
+        let n = r.count()?;
+        let mut state = Vec::with_capacity(n);
+        for _ in 0..n {
+            let name = r.str()?;
+            let inputs = r.str()?;
+            let view = ViewId(r.u64()?);
+            let agg = eva_symbolic::codec::read_dnf(&mut r)?;
+            state.push((UdfSignature { name, inputs }, view, agg));
+        }
+        r.expect_end()?;
         let mut inner = self.inner.write();
         for (sig, view, agg) in state {
             inner.insert(
@@ -279,6 +306,25 @@ impl UdfManager {
             );
         }
         Ok(())
+    }
+
+    /// Drop every signature whose view no longer exists in the storage
+    /// engine (e.g. it was quarantined by the recovery pass). Without this,
+    /// a stale aggregated predicate could claim full coverage and the
+    /// planner would drop the APPLY branch for results that are gone —
+    /// silently wrong answers. Pruned signatures simply start cold again.
+    /// Returns the pruned signatures.
+    pub fn prune_dangling(&self) -> Vec<UdfSignature> {
+        let mut inner = self.inner.write();
+        let dangling: Vec<UdfSignature> = inner
+            .iter()
+            .filter(|(_, s)| self.storage.view_n_keys(s.view).is_err())
+            .map(|(sig, _)| sig.clone())
+            .collect();
+        for sig in &dangling {
+            inner.remove(sig);
+        }
+        dangling
     }
 }
 
@@ -369,6 +415,68 @@ mod tests {
         // EVA's union of id<100 and id<200 reduces to one atom; naive keeps 2.
         assert_eq!(h[0].eva_union, 1);
         assert_eq!(h[0].naive_union, 2);
+    }
+
+    #[test]
+    fn save_load_round_trips_aggregates() {
+        let dir = std::env::temp_dir().join(format!("eva_mgr_roundtrip_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let storage = StorageEngine::new();
+        let mgr = UdfManager::new(storage.clone());
+        mgr.view_for(&sig(), ViewKeyKind::Frame, schema());
+        mgr.commit(&sig(), &pred(0.0, 500.0), None);
+        mgr.save(&dir).unwrap();
+
+        let mgr2 = UdfManager::new(storage);
+        mgr2.load(&dir).unwrap();
+        assert_eq!(mgr2.aggregated(&sig()), mgr.aggregated(&sig()));
+        assert_eq!(mgr2.view_of(&sig()), mgr.view_of(&sig()));
+        // Restored aggregates answer coverage questions identically.
+        assert!(mgr2
+            .analyze(&sig(), &pred(10.0, 20.0), None)
+            .fully_covered());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_manager_state_is_corrupt_not_io() {
+        let dir = std::env::temp_dir().join(format!("eva_mgr_corrupt_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let storage = StorageEngine::new();
+        let mgr = UdfManager::new(storage.clone());
+        mgr.view_for(&sig(), ViewKeyKind::Frame, schema());
+        mgr.commit(&sig(), &pred(0.0, 500.0), None);
+        mgr.save(&dir).unwrap();
+        let path = dir.join(super::MANAGER_FILE);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&path, bytes).unwrap();
+
+        let mgr2 = UdfManager::new(storage);
+        let err = mgr2.load(&dir).unwrap_err();
+        assert_eq!(err.stage(), "corrupt");
+        // The failed load left the manager untouched (cold, not half-loaded).
+        assert!(mgr2.aggregated(&sig()).is_false());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn prune_dangling_drops_lost_views() {
+        let storage = StorageEngine::new();
+        let mgr = UdfManager::new(storage.clone());
+        mgr.view_for(&sig(), ViewKeyKind::Frame, schema());
+        mgr.commit(&sig(), &pred(0.0, 1000.0), None);
+        assert!(mgr.prune_dangling().is_empty(), "live views are kept");
+
+        // Simulate recovery quarantining the view: it vanishes from storage.
+        storage.clear_views();
+        let pruned = mgr.prune_dangling();
+        assert_eq!(pruned, vec![sig()]);
+        // The signature is cold again: no claimed coverage, no view.
+        let a = mgr.analyze(&sig(), &pred(10.0, 20.0), None);
+        assert!(a.view_id.is_none());
+        assert!(!a.fully_covered());
     }
 
     #[test]

@@ -105,8 +105,8 @@ proptest! {
 
     #[test]
     fn snapshot_algebra_is_consistent(
-        a in prop::collection::vec(0u64..1_000_000, 15),
-        b in prop::collection::vec(0u64..1_000_000, 15),
+        a in prop::collection::vec(0u64..1_000_000, 19),
+        b in prop::collection::vec(0u64..1_000_000, 19),
     ) {
         use eva_common::MetricsSnapshot;
         let fill = |v: &[u64]| MetricsSnapshot {
@@ -124,6 +124,10 @@ proptest! {
             view_rows_read: v[9],
             view_rows_written: v[10],
             frames_scanned: v[11],
+            views_recovered: v[13],
+            views_quarantined: v[14],
+            udf_retries: v[15],
+            udf_gave_up: v[16],
             shard_lock_contention: v[12],
         };
         let (x, y) = (fill(&a), fill(&b));
