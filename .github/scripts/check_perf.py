@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Fail CI when a deterministic reuse counter regresses against its baseline.
+
+Usage: check_perf.py <fresh_out_dir> <perf-baseline.json>
+
+The baseline file pins the *deterministic* counters of the perf bins —
+probe totals, view rows read/written, zero-copy rows, UDF calls avoided.
+These are scheduling-independent (the virtual-clock/caller-thread design
+guarantees bit-identical counters run to run), so any drift beyond the
+tiny float threshold means the reuse path's behaviour changed, not that
+the runner was noisy. Wall-clock numbers (ops/sec, latency quantiles) are
+machine-dependent and are never gated — they ride along in the artifacts.
+
+Baseline schema:
+
+    {
+      "threshold": 0.01,
+      "bins": {
+        "<bin>": {
+          "counters": {"<name>": <expected>, ...},     # exact-diff gate
+          "require_positive": ["<name>", ...]           # sanity gate
+        }
+      }
+    }
+
+A bin with a `counters` map is diffed exactly; `require_positive` names
+counters that must be present and > 0 (used where the expected value is
+workload-derived rather than hand-derivable). When a fresh artifact is
+missing, that is a failure — the gate exists to catch bins that silently
+stop producing output.
+"""
+
+import json
+import os
+import sys
+
+
+def load_counters(out_dir, bin_name):
+    """Extract the counter map from a bin's JSON artifact.
+
+    Handles both artifact shapes: `{"result": ..., "metrics": {...}}`
+    (single-snapshot bins) and a JSON array of records whose last entry
+    carries `"counters"` (the trajectory log).
+    """
+    path = os.path.join(out_dir, bin_name + ".json")
+    with open(path) as fh:
+        value = json.load(fh)
+    if isinstance(value, dict) and isinstance(value.get("metrics"), dict):
+        return value["metrics"]
+    if isinstance(value, list) and value:
+        last = value[-1]
+        if isinstance(last, dict) and isinstance(last.get("counters"), dict):
+            return last["counters"]
+        if isinstance(last, dict) and isinstance(last.get("metrics"), dict):
+            return last["metrics"]
+    raise ValueError(f"{path}: no counters/metrics section found")
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit(__doc__)
+    out_dir, baseline_path = sys.argv[1], sys.argv[2]
+    baseline = json.load(open(baseline_path))
+    threshold = float(baseline.get("threshold", 0.01))
+
+    failed = False
+    for bin_name, spec in sorted(baseline.get("bins", {}).items()):
+        try:
+            fresh = load_counters(out_dir, bin_name)
+        except (OSError, ValueError, json.JSONDecodeError) as e:
+            print(f"ERROR: {bin_name}: cannot load fresh counters: {e}")
+            failed = True
+            continue
+
+        for name, expected in sorted(spec.get("counters", {}).items()):
+            actual = fresh.get(name)
+            if actual is None:
+                print(f"ERROR: {bin_name}.{name}: missing from fresh output")
+                failed = True
+                continue
+            lo = expected * (1.0 - threshold)
+            hi = expected * (1.0 + threshold)
+            if actual < lo:
+                print(
+                    f"ERROR: {bin_name}.{name}: {actual} regressed below "
+                    f"baseline {expected} (−{100 * (1 - actual / expected):.2f}%)"
+                )
+                failed = True
+            elif actual > hi:
+                print(
+                    f"ERROR: {bin_name}.{name}: {actual} drifted above "
+                    f"baseline {expected} — these counters are deterministic; "
+                    f"if the change is intentional, update {baseline_path}"
+                )
+                failed = True
+            else:
+                print(f"{bin_name}.{name}: {actual} (baseline {expected}) — ok")
+
+        for name in spec.get("require_positive", []):
+            actual = fresh.get(name, 0)
+            if not actual or actual <= 0:
+                print(f"ERROR: {bin_name}.{name}: expected > 0, got {actual!r}")
+                failed = True
+            else:
+                print(f"{bin_name}.{name}: {actual} > 0 — ok")
+
+    if failed:
+        sys.exit("perf gate failed: see report above")
+    print("perf gate passed")
+
+
+if __name__ == "__main__":
+    main()

@@ -111,6 +111,49 @@ pub fn write_json_with_metrics<T: serde::Serialize>(
     );
 }
 
+/// Write a Prometheus text-format snapshot (counters + span-latency
+/// histograms) to `experiments_out/<name>.prom` — a scrape-ready export of
+/// one experiment's runtime behaviour.
+pub fn write_prometheus(
+    name: &str,
+    metrics: &eva_common::MetricsSnapshot,
+    hists: &eva_common::SpanHists,
+) {
+    let path = out_dir().join(format!("{name}.prom"));
+    if let Err(e) = std::fs::write(&path, eva_common::prometheus_text(metrics, hists)) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    }
+}
+
+/// Write a query trace to `experiments_out/<name>.trace.json` in the Chrome
+/// trace-event format (open via `chrome://tracing` or ui.perfetto.dev).
+pub fn write_chrome_trace(name: &str, trace: &eva_common::QueryTrace) {
+    let path = out_dir().join(format!("{name}.trace.json"));
+    if let Err(e) = std::fs::write(&path, trace.to_chrome_json()) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    }
+}
+
+/// Append one record to `experiments_out/<name>.json`, treating the file as
+/// a growing JSON array (created fresh when missing or unparsable). This is
+/// how `bench_trajectory` accumulates one record per commit.
+pub fn append_json_record(name: &str, record: serde_json::Value) {
+    let path = out_dir().join(format!("{name}.json"));
+    let mut records: Vec<serde_json::Value> = std::fs::read_to_string(&path)
+        .ok()
+        .and_then(|s| serde_json::from_str(&s).ok())
+        .unwrap_or_default();
+    records.push(record);
+    match serde_json::to_string_pretty(&records) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(&path, json) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: could not serialize {name}: {e}"),
+    }
+}
+
 /// Print an experiment banner.
 pub fn banner(title: &str) {
     println!("\n=== {title} ===");

@@ -1,0 +1,333 @@
+//! Mergeable log-bucketed latency histograms.
+//!
+//! The serving-layer north star needs latency *distributions* — p50/p99
+//! under load — not just counter totals. [`LatencyHistogram`] records `u64`
+//! samples (the tracing layer feeds it wall-clock nanoseconds) into
+//! power-of-two buckets, so recording is O(1), memory is constant, and two
+//! histograms merge by bucket-wise addition. Merging is associative and
+//! commutative (bucket counts are plain sums; `min`/`max` combine with
+//! `min`/`max`), which is what lets per-shard or per-session histograms be
+//! folded into one engine-wide distribution in any order — the property
+//! tests in `tests/property_hist.rs` pin this down.
+//!
+//! Quantiles are estimated by rank-walking the buckets and interpolating
+//! linearly inside the winning bucket, then clamping to the observed
+//! `[min, max]`. A log-bucketed estimate is within a factor of two of the
+//! true sample (the bucket bounds bracket it), which is plenty for latency
+//! reporting and keeps the structure mergeable.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of power-of-two buckets. Bucket 0 holds the value 0; bucket
+/// `i ≥ 1` holds values in `[2^(i−1), 2^i − 1]`; the last bucket absorbs
+/// everything from `2^62` up.
+pub const N_BUCKETS: usize = 64;
+
+/// A constant-size, mergeable latency histogram over `u64` samples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencyHistogram {
+    /// Per-bucket sample counts (see [`N_BUCKETS`] for the bucket bounds).
+    #[serde(with = "serde_buckets")]
+    buckets: [u64; N_BUCKETS],
+    /// Total samples recorded.
+    count: u64,
+    /// Sum of all samples (for averages).
+    sum: u64,
+    /// Smallest sample seen (`u64::MAX` when empty).
+    min: u64,
+    /// Largest sample seen (0 when empty).
+    max: u64,
+}
+
+/// Serde helper: serialize the fixed bucket array as a plain sequence so
+/// the JSON artifacts stay readable and forward-compatible.
+mod serde_buckets {
+    use super::N_BUCKETS;
+    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+    pub fn serialize<S: Serializer>(b: &[u64; N_BUCKETS], s: S) -> Result<S::Ok, S::Error> {
+        b.as_slice().serialize(s)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<[u64; N_BUCKETS], D::Error> {
+        let v: Vec<u64> = Vec::deserialize(d)?;
+        let mut out = [0u64; N_BUCKETS];
+        for (i, x) in v.into_iter().take(N_BUCKETS).enumerate() {
+            out[i] = x;
+        }
+        Ok(out)
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: [0; N_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+/// The bucket a value lands in.
+fn bucket_of(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        (64 - v.leading_zeros() as usize).min(N_BUCKETS - 1)
+    }
+}
+
+/// Inclusive `[lo, hi]` value range of bucket `i`.
+fn bucket_bounds(i: usize) -> (u64, u64) {
+    if i == 0 {
+        (0, 0)
+    } else if i == N_BUCKETS - 1 {
+        (1u64 << (N_BUCKETS - 2), u64::MAX)
+    } else {
+        (1u64 << (i - 1), (1u64 << i) - 1)
+    }
+}
+
+impl LatencyHistogram {
+    /// Fresh, empty histogram.
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram::default()
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, v: u64) {
+        self.buckets[bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Is the histogram empty?
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Smallest sample, or 0 when empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample, or 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Estimated `q`-quantile (`q` in `[0, 1]`), or 0 when empty. The
+    /// estimate lies within the log bucket holding the sample of that rank
+    /// and inside the observed `[min, max]`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // 1-based rank of the sample we are estimating.
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if seen + n >= rank {
+                let (lo, hi) = bucket_bounds(i);
+                // Linear interpolation by rank position inside the bucket.
+                let into = (rank - seen - 1) as f64 / n as f64;
+                let est = lo as f64 + (hi.saturating_sub(lo)) as f64 * into;
+                return (est as u64).clamp(self.min, self.max);
+            }
+            seen += n;
+        }
+        self.max
+    }
+
+    /// Median shorthand.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile shorthand.
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile shorthand.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Merge another histogram into this one. Associative and commutative:
+    /// folding any permutation of histograms yields the same result.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for i in 0..N_BUCKETS {
+            self.buckets[i] += other.buckets[i];
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// `self ∪ other` without mutating either (the operator form of
+    /// [`merge`](LatencyHistogram::merge)).
+    pub fn merged(&self, other: &LatencyHistogram) -> LatencyHistogram {
+        let mut out = *self;
+        out.merge(other);
+        out
+    }
+
+    /// Cumulative `(upper_bound, count ≤ upper_bound)` pairs for the
+    /// non-empty buckets, plus the implicit `+Inf` total — the shape the
+    /// Prometheus text exposition format wants.
+    pub fn cumulative_buckets(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        let mut cum = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            cum += n;
+            out.push((bucket_bounds(i).1, cum));
+        }
+        out
+    }
+
+    /// One-line human rendering: `n=… p50=… p95=… p99=… max=…` with values
+    /// formatted by `fmt` (e.g. nanoseconds → milliseconds).
+    pub fn summary(&self, fmt: impl Fn(u64) -> String) -> String {
+        format!(
+            "n={} p50={} p95={} p99={} max={}",
+            self.count,
+            fmt(self.p50()),
+            fmt(self.p95()),
+            fmt(self.p99()),
+            fmt(self.max())
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = LatencyHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert!(h.cumulative_buckets().is_empty());
+    }
+
+    #[test]
+    fn buckets_bracket_their_values() {
+        for v in [0u64, 1, 2, 3, 7, 8, 1000, u64::MAX] {
+            let (lo, hi) = bucket_bounds(bucket_of(v));
+            assert!(lo <= v && v <= hi, "value {v} outside bucket [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_bounded() {
+        let mut h = LatencyHistogram::new();
+        for v in [5u64, 10, 100, 1000, 10_000, 100_000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.min(), 5);
+        assert_eq!(h.max(), 100_000);
+        let (p50, p95, p99) = (h.p50(), h.p95(), h.p99());
+        assert!(h.min() <= p50 && p50 <= p95 && p95 <= p99 && p99 <= h.max());
+    }
+
+    #[test]
+    fn single_sample_quantiles_hit_the_sample() {
+        let mut h = LatencyHistogram::new();
+        h.record(42);
+        assert_eq!(h.p50(), 42);
+        assert_eq!(h.p99(), 42);
+        assert_eq!(h.quantile(0.0), 42);
+        assert_eq!(h.quantile(1.0), 42);
+    }
+
+    #[test]
+    fn merge_is_bucketwise_addition() {
+        let mut a = LatencyHistogram::new();
+        a.record(10);
+        a.record(100);
+        let mut b = LatencyHistogram::new();
+        b.record(1000);
+        let ab = a.merged(&b);
+        let ba = b.merged(&a);
+        assert_eq!(ab, ba, "merge must commute");
+        assert_eq!(ab.count(), 3);
+        assert_eq!(ab.min(), 10);
+        assert_eq!(ab.max(), 1000);
+    }
+
+    #[test]
+    fn cumulative_buckets_end_at_total() {
+        let mut h = LatencyHistogram::new();
+        for v in [1u64, 2, 4, 8, 16] {
+            h.record(v);
+        }
+        let cum = h.cumulative_buckets();
+        assert_eq!(cum.last().unwrap().1, 5);
+        // Cumulative counts are non-decreasing.
+        assert!(cum.windows(2).all(|w| w[0].1 <= w[1].1));
+        // Upper bounds are strictly increasing.
+        assert!(cum.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut h = LatencyHistogram::new();
+        h.record(7);
+        h.record(9000);
+        let json = serde_json::to_string(&h).unwrap();
+        let back: LatencyHistogram = serde_json::from_str(&json).unwrap();
+        assert_eq!(h, back);
+    }
+
+    #[test]
+    fn summary_formats_quantiles() {
+        let mut h = LatencyHistogram::new();
+        h.record(1_000_000);
+        let s = h.summary(|ns| format!("{:.1}ms", ns as f64 / 1e6));
+        assert!(s.contains("n=1"), "{s}");
+        assert!(s.contains("p50=1.0ms"), "{s}");
+    }
+}

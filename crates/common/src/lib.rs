@@ -20,10 +20,12 @@ pub mod codec;
 pub mod error;
 pub mod failpoint;
 pub mod hash;
+pub mod hist;
 pub mod ids;
 pub mod metrics;
 pub mod schema;
 pub mod table_fmt;
+pub mod trace;
 pub mod value;
 
 pub use batch::{Batch, Row};
@@ -31,7 +33,9 @@ pub use clock::{CostBreakdown, CostCategory, SimClock};
 pub use codec::{ByteReader, ByteWriter};
 pub use error::{EvaError, Result};
 pub use failpoint::{Failpoint, FailpointRegistry, FireRule};
+pub use hist::LatencyHistogram;
 pub use ids::{FrameId, OpId, QueryId, UdfId, ViewId};
 pub use metrics::{MetricsSink, MetricsSnapshot, OpStats};
 pub use schema::{DataType, Field, Schema};
+pub use trace::{prometheus_text, QueryTrace, Span, SpanHists, SpanKind, SpanRef, TraceSink};
 pub use value::{BBox, Value};

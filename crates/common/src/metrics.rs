@@ -161,6 +161,34 @@ impl MetricsSnapshot {
             ..*self
         }
     }
+
+    /// Every counter as a `(stable_name, value)` pair, in declaration
+    /// order — the single source of truth for the Prometheus exporter and
+    /// the perf-gate baseline diff, so adding a counter automatically
+    /// surfaces it everywhere.
+    pub fn named_counters(&self) -> Vec<(&'static str, f64)> {
+        vec![
+            ("udf_calls_requested", self.udf_calls_requested as f64),
+            ("udf_calls_executed", self.udf_calls_executed as f64),
+            ("udf_calls_avoided", self.udf_calls_avoided as f64),
+            ("udf_ms_avoided", self.udf_ms_avoided),
+            ("probes", self.probes as f64),
+            ("probe_hits", self.probe_hits as f64),
+            ("probe_misses", self.probe_misses as f64),
+            ("fuzzy_hits", self.fuzzy_hits as f64),
+            ("rows_served_zero_copy", self.rows_served_zero_copy as f64),
+            ("funcache_hits", self.funcache_hits as f64),
+            ("funcache_misses", self.funcache_misses as f64),
+            ("view_rows_read", self.view_rows_read as f64),
+            ("view_rows_written", self.view_rows_written as f64),
+            ("frames_scanned", self.frames_scanned as f64),
+            ("views_recovered", self.views_recovered as f64),
+            ("views_quarantined", self.views_quarantined as f64),
+            ("udf_retries", self.udf_retries as f64),
+            ("udf_gave_up", self.udf_gave_up as f64),
+            ("shard_lock_contention", self.shard_lock_contention as f64),
+        ]
+    }
 }
 
 #[derive(Debug, Default)]

@@ -5,7 +5,7 @@
 //! ```
 //!
 //! Meta commands: `\strategy eva|noreuse|hashstash|funcache`, `\explain
-//! <query>`, `\analyze <query>`, `\stats`, `\metrics`, `\views`,
+//! <query>`, `\analyze <query>`, `\trace`, `\stats`, `\metrics`, `\views`,
 //! `\save <dir>`, `\load <dir>`, `\health`, `\reset`, `\help`, `\quit`.
 //! Everything else is parsed as EVA-QL
 //! (`LOAD VIDEO 'medium_ua_detrac' INTO video;` first).
@@ -77,6 +77,7 @@ fn meta_command(db: &mut EvaDb, cmd: &str) -> bool {
             println!("\\strategy eva|noreuse|hashstash|funcache — switch reuse strategy");
             println!("\\explain <select…> — show the physical plan");
             println!("\\analyze <select…> — run the query, show the annotated plan");
+            println!("\\trace — span tree + latency histograms of the last query");
             println!("\\stats — per-UDF invocation statistics");
             println!("\\metrics — session runtime counters (probes, reuse, zero-copy)");
             println!("\\views — materialized view inventory");
@@ -125,6 +126,24 @@ fn meta_command(db: &mut EvaDb, cmd: &str) -> bool {
                     );
                 }
                 Err(e) => eprintln!("error: {e}"),
+            }
+        }
+        "trace" => {
+            let t = db.last_trace();
+            if t.spans.is_empty() {
+                println!("no query traced yet — run a SELECT first");
+            } else {
+                print!("{}", t.render());
+                let hists = t.hists.render();
+                if !hists.is_empty() {
+                    println!("latency (this query):");
+                    print!("{hists}");
+                }
+            }
+            let session = db.session_latency().render();
+            if !session.is_empty() {
+                println!("latency (session):");
+                print!("{session}");
             }
         }
         "metrics" => {

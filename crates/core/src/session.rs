@@ -2,8 +2,8 @@
 
 use eva_catalog::{AccuracyLevel, Catalog, TableDef, UdfDef};
 use eva_common::{
-    CostBreakdown, DataType, EvaError, Field, MetricsSink, MetricsSnapshot, Result, Schema,
-    SimClock, UdfId,
+    CostBreakdown, DataType, EvaError, Field, MetricsSink, MetricsSnapshot, QueryTrace, Result,
+    Schema, SimClock, SpanHists, TraceSink, UdfId,
 };
 use eva_exec::{execute, ExecConfig, FunCacheTable, QueryOutput};
 use eva_parser::{parse, CreateUdfStmt, SelectStmt, Statement};
@@ -145,6 +145,23 @@ impl EvaDb {
         self.storage.metrics().snapshot()
     }
 
+    /// The session's trace sink (shared with the storage engine and the
+    /// executor — one span tree per query, one histogram set per session).
+    pub fn trace(&self) -> &TraceSink {
+        self.storage.trace()
+    }
+
+    /// Span tree and latency histograms of the most recent query (what the
+    /// repl's `\trace` command renders).
+    pub fn last_trace(&self) -> QueryTrace {
+        self.storage.trace().last_query()
+    }
+
+    /// Session-cumulative per-span-kind wall-clock latency histograms.
+    pub fn session_latency(&self) -> SpanHists {
+        self.storage.trace().session_histograms()
+    }
+
     /// Session configuration.
     pub fn config(&self) -> SessionConfig {
         self.config
@@ -265,7 +282,12 @@ impl EvaDb {
             &self.funcache,
             self.config.exec,
         )?;
-        Ok((plan.explain_analyze(&out.op_stats), out))
+        let mut text = plan.explain_analyze(&out.op_stats);
+        if !text.ends_with('\n') {
+            text.push('\n');
+        }
+        text.push_str(&runtime_footer(&out));
+        Ok((text, out))
     }
 
     /// Reset all reuse state — views, aggregated predicates, caches,
@@ -278,6 +300,7 @@ impl EvaDb {
         self.stats.reset();
         self.clock.reset();
         self.storage.metrics().reset();
+        self.storage.trace().reset();
     }
 
     /// Persist the session's reuse state — materialized views plus the UDF
@@ -400,6 +423,30 @@ fn video_table_schema() -> Schema {
         Field::new("frame", DataType::Frame),
     ])
     .expect("static schema is valid")
+}
+
+/// The `-- runtime --` footer appended to `EXPLAIN ANALYZE`: the query's
+/// span tree plus per-kind wall-clock latency summaries, and a resilience
+/// line when the run saw recovery or retry activity. Golden tests compare
+/// only the plan tree above the marker — wall numbers are nondeterministic.
+fn runtime_footer(out: &QueryOutput) -> String {
+    let mut s = String::from("-- runtime --\n");
+    s.push_str(&out.trace.render());
+    for (kind, h) in out.trace.hists.non_empty() {
+        s.push_str(&format!(
+            "latency {:<12} {}\n",
+            kind.label(),
+            h.summary(|ns| format!("{:.3}ms", ns as f64 / 1e6))
+        ));
+    }
+    let m = &out.metrics;
+    if m.views_recovered + m.views_quarantined + m.udf_retries + m.udf_gave_up > 0 {
+        s.push_str(&format!(
+            "resilience: views recovered={} quarantined={} | udf retries={} gave-up={}\n",
+            m.views_recovered, m.views_quarantined, m.udf_retries, m.udf_gave_up
+        ));
+    }
+    s
 }
 
 #[cfg(test)]

@@ -4,7 +4,7 @@ use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use eva_common::{MetricsSink, OpId, OpStats, SimClock};
+use eva_common::{MetricsSink, OpId, OpStats, SimClock, TraceSink};
 use eva_storage::StorageEngine;
 use eva_udf::{InvocationStats, UdfRegistry};
 use eva_video::VideoDataset;
@@ -71,5 +71,13 @@ impl ExecCtx<'_> {
     /// layer sharing the engine shares the counters).
     pub fn metrics(&self) -> &MetricsSink {
         self.storage.metrics()
+    }
+
+    /// The session-wide trace sink (owned by the storage engine, like the
+    /// metrics sink, so operator spans and storage-level spans land in one
+    /// tree). Tracing records simulated cost and wall time *separately* and
+    /// never touches the clock or the counters — see `eva_common::trace`.
+    pub fn trace(&self) -> &TraceSink {
+        self.storage.trace()
     }
 }

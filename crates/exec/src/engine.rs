@@ -4,7 +4,8 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use eva_common::{
-    Batch, CostBreakdown, EvaError, MetricsSnapshot, OpId, OpStats, Result, Schema, SimClock,
+    Batch, CostBreakdown, EvaError, MetricsSnapshot, OpId, OpStats, QueryTrace, Result, Schema,
+    SimClock, SpanKind, SpanRef,
 };
 use eva_planner::PhysPlan;
 use eva_storage::StorageEngine;
@@ -36,6 +37,9 @@ pub struct QueryOutput {
     /// Session-metrics delta attributable to this query (probe hits, UDF
     /// calls avoided, …).
     pub metrics: MetricsSnapshot,
+    /// The query's span tree and per-kind latency histograms (empty when
+    /// the engine's trace sink is disabled).
+    pub trace: QueryTrace,
 }
 
 impl QueryOutput {
@@ -60,6 +64,11 @@ impl QueryOutput {
 /// the cost model.
 struct InstrumentedOp {
     id: OpId,
+    label: &'static str,
+    /// Cached trace span, so every `next()` call accumulates into one
+    /// [`SpanKind::Operator`] span per plan node (invalidated across
+    /// queries by the sink's epoch).
+    span: Option<SpanRef>,
     inner: BoxedOp,
 }
 
@@ -69,9 +78,23 @@ impl Operator for InstrumentedOp {
     }
 
     fn next(&mut self, ctx: &ExecCtx<'_>) -> Result<Option<Batch>> {
+        let (token, span) =
+            ctx.trace()
+                .enter(self.span, SpanKind::Operator, self.label, Some(self.id));
+        if span.is_some() {
+            self.span = span;
+        }
         let before = ctx.clock.snapshot();
-        let out = self.inner.next(ctx)?;
+        let out = self.inner.next(ctx);
         let delta = ctx.clock.snapshot().since(&before);
+        let rows = match &out {
+            Ok(Some(batch)) => batch.len() as u64,
+            _ => 0,
+        };
+        // Close the span before propagating errors so the scope stack stays
+        // balanced even when execution aborts mid-tree.
+        ctx.trace().exit(token, delta.total_ms(), rows);
+        let out = out?;
         ctx.op_stats.update(self.id, |s| {
             s.cum = s.cum.plus(&delta);
             if let Some(batch) = &out {
@@ -80,6 +103,20 @@ impl Operator for InstrumentedOp {
             }
         });
         Ok(out)
+    }
+}
+
+/// Stable operator name for trace spans (the full describe() line lives in
+/// `EXPLAIN`; spans keep the short variant name).
+fn op_label(plan: &PhysPlan) -> &'static str {
+    match plan {
+        PhysPlan::ScanFrames { .. } => "ScanFrames",
+        PhysPlan::Filter { .. } => "Filter",
+        PhysPlan::Apply { .. } => "Apply",
+        PhysPlan::Project { .. } => "Project",
+        PhysPlan::Aggregate { .. } => "Aggregate",
+        PhysPlan::Sort { .. } => "Sort",
+        PhysPlan::Limit { .. } => "Limit",
     }
 }
 
@@ -135,6 +172,8 @@ fn build(plan: &PhysPlan) -> Result<BoxedOp> {
     };
     Ok(Box::new(InstrumentedOp {
         id: plan.op_id(),
+        label: op_label(plan),
+        span: None,
         inner,
     }))
 }
@@ -165,6 +204,11 @@ pub fn execute(
     let started = std::time::Instant::now();
     let before = clock.snapshot();
     let metrics_before = storage.metrics().snapshot();
+    // Root the query's span tree at the plan's top operator description.
+    let explain = plan.explain();
+    storage
+        .trace()
+        .begin_query(explain.lines().next().unwrap_or("query").trim());
     let dataset = storage.dataset(dataset_of(plan)?)?;
     let op_stats = OpStatsCollector::new();
     let ctx = ExecCtx {
@@ -185,11 +229,15 @@ pub fn execute(
     }
     let breakdown = clock.snapshot().since(&before);
     let metrics = storage.metrics().snapshot().since(&metrics_before);
+    storage
+        .trace()
+        .end_query(breakdown.total_ms(), out.len() as u64);
     Ok(QueryOutput {
         batch: out,
         breakdown,
         wall_ms: started.elapsed().as_secs_f64() * 1000.0,
         op_stats: op_stats.snapshot(),
         metrics,
+        trace: storage.trace().last_query(),
     })
 }

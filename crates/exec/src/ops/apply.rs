@@ -27,7 +27,7 @@ use std::sync::Arc;
 use eva_common::hash::xxhash64;
 use eva_common::{
     BBox, Batch, CostCategory, EvaError, Failpoint, FireRule, FrameId, OpId, Result, Row, Schema,
-    ViewId,
+    SpanKind, ViewId,
 };
 use eva_expr::Expr;
 use eva_planner::{ApplyReuse, ApplySpec, Segment};
@@ -296,6 +296,8 @@ impl ApplyOp {
             if let Some(view) = seg.view {
                 let probes = unresolved.len() as u64;
                 let mut exact_hits = 0u64;
+                let probe_started = std::time::Instant::now();
+                let probe_clock = ctx.clock.snapshot();
                 let probe_keys: Vec<ViewKey> = unresolved.iter().map(|&i| keys[i].2).collect();
                 let mut probed = self.probe_view(ctx, view, &probe_keys)?;
                 let mut still = Vec::with_capacity(unresolved.len());
@@ -343,6 +345,15 @@ impl ApplyOp {
                     still = misses;
                 }
                 unresolved = still;
+                // One leaf span per probe batch (exact + fuzzy phases); the
+                // sim delta is the view-read cost charged above.
+                ctx.trace().leaf(
+                    SpanKind::ViewProbe,
+                    &seg.udf.name,
+                    ctx.clock.snapshot().since(&probe_clock).total_ms(),
+                    probe_started.elapsed().as_nanos() as u64,
+                    probes,
+                );
                 // Every hit is a UDF call this segment avoided. Recorded on
                 // the caller thread, once per probe batch.
                 let hits = exact_hits + fuzzy_hits;
@@ -366,16 +377,18 @@ impl ApplyOp {
                     .iter()
                     .map(|&i| (i, keys[i].0, keys[i].1))
                     .collect();
+                let eval_started = std::time::Instant::now();
+                let eval_clock = ctx.clock.snapshot();
                 self.charge_transient_failures(
                     ctx,
                     &seg.udf.name,
                     inputs.iter().map(|&(_, f, b)| (f, b)),
                 )?;
                 let evaluated = self.eval_rows(ctx, &udf, &inputs)?;
-                ctx.metrics()
-                    .record_udf_calls(evaluated.len() as u64, 0, 0.0);
+                let n_eval = evaluated.len() as u64;
+                ctx.metrics().record_udf_calls(n_eval, 0, 0.0);
                 ctx.op_stats
-                    .update(self.op_id, |s| s.udf_executed += evaluated.len() as u64);
+                    .update(self.op_id, |s| s.udf_executed += n_eval);
                 let mut appends = Vec::with_capacity(evaluated.len());
                 for (i, rows) in evaluated {
                     ctx.clock.charge(CostCategory::Udf, udf.cost_ms());
@@ -389,6 +402,15 @@ impl ApplyOp {
                     }
                     results[i] = Some(rows);
                 }
+                // One leaf span per eval batch: retries + evaluations + the
+                // per-invocation Udf charges, before the STORE append.
+                ctx.trace().leaf(
+                    SpanKind::UdfEval,
+                    &seg.udf.name,
+                    ctx.clock.snapshot().since(&eval_clock).total_ms(),
+                    eval_started.elapsed().as_nanos() as u64,
+                    n_eval,
+                );
                 if store && !appends.is_empty() {
                     if let Some(view) = seg.view {
                         ctx.storage.view_append(view, appends, ctx.clock)?;
@@ -409,6 +431,8 @@ impl ApplyOp {
     ) -> Result<Vec<Option<Arc<[Row]>>>> {
         let udf = ctx.registry.get(&udf_def.impl_id)?;
         let frame_bytes = ctx.dataset.frame_bytes();
+        let lookup_started = std::time::Instant::now();
+        let lookup_clock = ctx.clock.snapshot();
         let mut results = Vec::with_capacity(batch.len());
         let (mut cache_hits, mut cache_misses, mut rows_shared) = (0u64, 0u64, 0u64);
         for row in batch.rows() {
@@ -458,6 +482,15 @@ impl ApplyOp {
                 }
             }
         }
+        // One leaf span per lookup batch: hashing, probes, and the misses'
+        // evaluations (the baseline pays them inline).
+        ctx.trace().leaf(
+            SpanKind::CacheLookup,
+            &udf_def.name,
+            ctx.clock.snapshot().since(&lookup_clock).total_ms(),
+            lookup_started.elapsed().as_nanos() as u64,
+            batch.len() as u64,
+        );
         // Cache hits serve their rows by Arc clone and each one avoided a
         // model invocation; charged once per batch on the caller thread.
         ctx.metrics().record_funcache(cache_hits, cache_misses);
@@ -485,18 +518,27 @@ impl ApplyOp {
             inputs.push((i, frame, bbox));
             keys.push(vkey);
         }
+        let eval_started = std::time::Instant::now();
+        let eval_clock = ctx.clock.snapshot();
         self.charge_transient_failures(ctx, &udf_def.name, inputs.iter().map(|&(_, f, b)| (f, b)))?;
         let evaluated = self.eval_rows(ctx, &udf, &inputs)?;
-        ctx.metrics()
-            .record_udf_calls(evaluated.len() as u64, 0, 0.0);
+        let n_eval = evaluated.len() as u64;
+        ctx.metrics().record_udf_calls(n_eval, 0, 0.0);
         ctx.op_stats
-            .update(self.op_id, |s| s.udf_executed += evaluated.len() as u64);
+            .update(self.op_id, |s| s.udf_executed += n_eval);
         let mut results: Vec<Option<Arc<[Row]>>> = vec![None; batch.len()];
         for (i, rows) in evaluated {
             ctx.clock.charge(CostCategory::Udf, udf.cost_ms());
             ctx.stats.record_eval(&udf_def.name, keys[i], udf.cost_ms());
             results[i] = Some(rows.into());
         }
+        ctx.trace().leaf(
+            SpanKind::UdfEval,
+            &udf_def.name,
+            ctx.clock.snapshot().since(&eval_clock).total_ms(),
+            eval_started.elapsed().as_nanos() as u64,
+            n_eval,
+        );
         Ok(results)
     }
 }

@@ -15,7 +15,7 @@ use std::sync::Arc;
 
 use eva_common::{
     Batch, CostCategory, DataType, EvaError, FailpointRegistry, Field, FrameId, MetricsSink,
-    Result, Row, Schema, SimClock, Value, ViewId,
+    Result, Row, Schema, SimClock, SpanKind, TraceSink, Value, ViewId,
 };
 use eva_video::VideoDataset;
 
@@ -68,6 +68,10 @@ struct Shared {
     /// programmatically by chaos tests). Disarmed sites cost one atomic
     /// load on the persistence paths and nothing on the query paths.
     failpoints: FailpointRegistry,
+    /// Engine-wide trace sink. Owned here (like the metrics sink) so the
+    /// executor's operator spans, the shard-wait spans below and the
+    /// segment-IO spans of the persistence path all land in one tree.
+    trace: TraceSink,
 }
 
 impl Default for Shared {
@@ -78,6 +82,7 @@ impl Default for Shared {
             next_view_id: AtomicU64::new(0),
             metrics: MetricsSink::new(),
             failpoints: FailpointRegistry::from_env(),
+            trace: TraceSink::new(),
         }
     }
 }
@@ -96,7 +101,16 @@ impl Shared {
             Some(g) => g,
             None => {
                 self.metrics.note_shard_contention();
-                shard.read()
+                let waited = std::time::Instant::now();
+                let g = shard.read();
+                self.trace.leaf(
+                    SpanKind::ShardWait,
+                    "registry_shard",
+                    0.0,
+                    waited.elapsed().as_nanos() as u64,
+                    1,
+                );
+                g
             }
         };
         guard
@@ -129,6 +143,13 @@ impl StorageEngine {
     /// traffic and executor reuse counters land in one snapshot.
     pub fn metrics(&self) -> &MetricsSink {
         &self.shared.metrics
+    }
+
+    /// The engine-wide trace sink. The executor opens the per-query span
+    /// tree through this handle; storage contributes shard-wait and
+    /// segment-IO leaf spans to whichever query is active.
+    pub fn trace(&self) -> &TraceSink {
+        &self.shared.trace
     }
 
     /// The engine's fault-injection registry. The executor reaches retryable
@@ -242,7 +263,16 @@ impl StorageEngine {
             Some(g) => g,
             None => {
                 self.shared.metrics.note_shard_contention();
-                handle.write()
+                let waited = std::time::Instant::now();
+                let g = handle.write();
+                self.shared.trace.leaf(
+                    SpanKind::ShardWait,
+                    "view_write",
+                    0.0,
+                    waited.elapsed().as_nanos() as u64,
+                    1,
+                );
+                g
             }
         };
         let mut written = 0usize;
@@ -410,13 +440,33 @@ impl StorageEngine {
         handles.sort_by_key(|(id, _)| *id);
         let mut index = Vec::new();
         for (id, handle) in handles {
+            let started = std::time::Instant::now();
+            let name = segment::segment_file_name(id);
             let bytes = segment::encode_segment(&handle.read());
-            segment::write_atomic(dir, &segment::segment_file_name(id), &bytes, fp)?;
+            let n_bytes = bytes.len() as u64;
+            segment::write_atomic(dir, &name, &bytes, fp)?;
+            self.shared.trace.leaf(
+                SpanKind::SegmentIo,
+                &name,
+                0.0,
+                started.elapsed().as_nanos() as u64,
+                n_bytes,
+            );
             index.push(id.raw());
         }
         let next_id = self.shared.next_view_id.load(Ordering::Relaxed);
         let manifest = segment::encode_manifest(next_id, &index);
-        segment::write_atomic(dir, segment::MANIFEST_FILE, &manifest, fp)
+        let started = std::time::Instant::now();
+        let n_bytes = manifest.len() as u64;
+        segment::write_atomic(dir, segment::MANIFEST_FILE, &manifest, fp)?;
+        self.shared.trace.leaf(
+            SpanKind::SegmentIo,
+            segment::MANIFEST_FILE,
+            0.0,
+            started.elapsed().as_nanos() as u64,
+            n_bytes,
+        );
+        Ok(())
     }
 
     /// Load views previously saved with [`StorageEngine::save_views`] — as a
@@ -464,7 +514,9 @@ impl StorageEngine {
 
         for raw in ids {
             let id = ViewId(raw);
-            let path = dir.join(segment::segment_file_name(id));
+            let name = segment::segment_file_name(id);
+            let path = dir.join(&name);
+            let started = std::time::Instant::now();
             let bytes = match std::fs::read(&path) {
                 Ok(b) => b,
                 Err(e) => {
@@ -472,6 +524,13 @@ impl StorageEngine {
                     continue;
                 }
             };
+            self.shared.trace.leaf(
+                SpanKind::SegmentIo,
+                &name,
+                0.0,
+                started.elapsed().as_nanos() as u64,
+                bytes.len() as u64,
+            );
             match segment::decode_segment(&bytes, Some(id)) {
                 Ok(view) => {
                     self.shared

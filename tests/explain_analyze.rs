@@ -86,6 +86,8 @@ fn explain_analyze_structure_matches_goldens() {
         assert!(text.contains("ScanFrames"), "{}: {text}", q.name);
         assert!(text.contains("rows="), "{}: {text}", q.name);
         assert!(text.contains("probes="), "{}: {text}", q.name);
+        assert!(text.contains("-- runtime --"), "{}: {text}", q.name);
+        assert!(text.contains("trace:"), "{}: {text}", q.name);
         let m = &out.metrics;
         assert_eq!(m.probes, m.probe_hits + m.probe_misses, "{}: {m:?}", q.name);
         assert_eq!(
@@ -99,10 +101,15 @@ fn explain_analyze_structure_matches_goldens() {
             // the tree shape is not portable across dataset seeds.
             continue;
         }
-        let redacted = redact(&text);
+        // Goldens lock the annotated plan tree only; everything from the
+        // `-- runtime --` marker down carries wall-clock latencies that are
+        // redacted but whose histogram rows depend on machine speed via
+        // bucket boundaries — structure-locked separately in `trace_tree`.
+        let plan_only = text.split("-- runtime --").next().unwrap();
+        let redacted = redact(plan_only);
         let path = golden_dir().join(format!("{}.golden", q.name));
         if bless {
-            fs::write(&path, &redacted).unwrap();
+            fs::write(&path, redacted.trim_end()).unwrap();
             continue;
         }
         let expected = fs::read_to_string(&path).unwrap_or_else(|e| {
@@ -111,6 +118,10 @@ fn explain_analyze_structure_matches_goldens() {
                 path.display()
             )
         });
+        let (expected, redacted) = (
+            expected.trim_end().to_string(),
+            redacted.trim_end().to_string(),
+        );
         if expected != redacted {
             failures.push(format!(
                 "== {} ==\n-- expected --\n{expected}\n-- actual --\n{redacted}",
@@ -138,7 +149,15 @@ fn explain_analyze_is_deterministic_across_sessions() {
     };
     let (texts_a, metrics_a) = run();
     let (texts_b, metrics_b) = run();
-    assert_eq!(texts_a, texts_b, "annotated plans must be reproducible");
+    // The runtime footer carries wall-clock latencies, so compare with
+    // every number redacted: plan shape, span-tree shape, and which
+    // histogram kinds appear must be bit-identical across sessions.
+    let redacted = |texts: &[String]| texts.iter().map(|t| redact(t)).collect::<Vec<_>>();
+    assert_eq!(
+        redacted(&texts_a),
+        redacted(&texts_b),
+        "annotated plans must be reproducible"
+    );
     assert_eq!(
         metrics_a.deterministic(),
         metrics_b.deterministic(),

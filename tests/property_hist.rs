@@ -1,0 +1,125 @@
+//! Property tests for the log-bucketed latency histogram (DESIGN.md
+//! §Tracing & latency model): whatever samples come in, the structure's
+//! two contracts must hold exactly.
+//!
+//! * **Quantile accuracy** — power-of-two buckets bracket every sample, so
+//!   an estimated quantile is within a factor of two of the true empirical
+//!   sample of that rank, and always inside the observed `[min, max]`.
+//!   (The guarantee needs samples below the last bucket's lower bound —
+//!   `2^62` — since that bucket absorbs everything above it; wall-clock
+//!   nanoseconds are far below that, and generation caps at `2^40` ≈ 18
+//!   minutes.)
+//! * **Merge algebra** — merging is bucket-wise addition, so it must be
+//!   associative, commutative, have the empty histogram as identity, and
+//!   agree exactly with recording the concatenated sample stream. This is
+//!   what lets per-query histograms fold into session totals in any order.
+
+use proptest::prelude::*;
+
+use eva_common::LatencyHistogram;
+
+/// Cap samples well below the unbounded top bucket (`2^62`).
+const MAX_SAMPLE: u64 = 1 << 40;
+
+fn hist_of(samples: &[u64]) -> LatencyHistogram {
+    let mut h = LatencyHistogram::new();
+    for &v in samples {
+        h.record(v);
+    }
+    h
+}
+
+/// True empirical quantile under the histogram's rank convention:
+/// the `ceil(q·n)`-th smallest sample (1-based, clamped to `[1, n]`).
+fn true_quantile(sorted: &[u64], q: f64) -> u64 {
+    let n = sorted.len() as u64;
+    let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+    sorted[(rank - 1) as usize]
+}
+
+proptest! {
+    #[test]
+    fn quantile_is_within_factor_two_of_true_sample(
+        samples in prop::collection::vec(0u64..MAX_SAMPLE, 1..200),
+        q in 0.0f64..=1.0,
+    ) {
+        let h = hist_of(&samples);
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let truth = true_quantile(&sorted, q);
+        let est = h.quantile(q);
+        // Always inside the observed range…
+        prop_assert!(h.min() <= est && est <= h.max(), "est {est} outside [{}, {}]", h.min(), h.max());
+        // …and within a factor of two of the rank's actual sample.
+        prop_assert!((est as u128) * 2 >= truth as u128, "est {est} < half of true {truth}");
+        prop_assert!((est as u128) <= (truth as u128) * 2, "est {est} > double true {truth}");
+        // A zero sample is its own bucket: estimate zero iff truth is zero.
+        prop_assert_eq!(est == 0, truth == 0);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_in_q(
+        samples in prop::collection::vec(0u64..MAX_SAMPLE, 1..200),
+        qs in prop::collection::vec(0.0f64..=1.0, 2..8),
+    ) {
+        let h = hist_of(&samples);
+        let mut qs = qs;
+        qs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let ests: Vec<u64> = qs.iter().map(|&q| h.quantile(q)).collect();
+        prop_assert!(
+            ests.windows(2).all(|w| w[0] <= w[1]),
+            "quantile must be non-decreasing in q: {qs:?} -> {ests:?}"
+        );
+    }
+
+    #[test]
+    fn merge_is_associative_commutative_with_identity(
+        a in prop::collection::vec(0u64..MAX_SAMPLE, 0..100),
+        b in prop::collection::vec(0u64..MAX_SAMPLE, 0..100),
+        c in prop::collection::vec(0u64..MAX_SAMPLE, 0..100),
+    ) {
+        let (ha, hb, hc) = (hist_of(&a), hist_of(&b), hist_of(&c));
+        // Commutative.
+        prop_assert_eq!(ha.merged(&hb), hb.merged(&ha));
+        // Associative.
+        prop_assert_eq!(ha.merged(&hb).merged(&hc), ha.merged(&hb.merged(&hc)));
+        // Empty histogram is the identity.
+        let empty = LatencyHistogram::new();
+        prop_assert_eq!(ha.merged(&empty), ha);
+        prop_assert_eq!(empty.merged(&ha), ha);
+        // Counts and sums add exactly.
+        let ab = ha.merged(&hb);
+        prop_assert_eq!(ab.count(), ha.count() + hb.count());
+        prop_assert_eq!(ab.sum(), ha.sum() + hb.sum());
+    }
+
+    #[test]
+    fn merge_equals_recording_the_concatenated_stream(
+        a in prop::collection::vec(0u64..MAX_SAMPLE, 0..100),
+        b in prop::collection::vec(0u64..MAX_SAMPLE, 0..100),
+    ) {
+        let merged = hist_of(&a).merged(&hist_of(&b));
+        let mut concat = a.clone();
+        concat.extend_from_slice(&b);
+        prop_assert_eq!(merged, hist_of(&concat));
+        // Order of the stream never matters either.
+        let mut rev: Vec<u64> = concat.clone();
+        rev.reverse();
+        prop_assert_eq!(hist_of(&concat), hist_of(&rev));
+    }
+
+    #[test]
+    fn cumulative_buckets_are_monotone_and_total(
+        samples in prop::collection::vec(0u64..MAX_SAMPLE, 0..200),
+    ) {
+        let h = hist_of(&samples);
+        let cum = h.cumulative_buckets();
+        if samples.is_empty() {
+            prop_assert!(cum.is_empty());
+        } else {
+            prop_assert_eq!(cum.last().unwrap().1, h.count());
+            prop_assert!(cum.windows(2).all(|w| w[0].0 < w[1].0), "bounds strictly increase");
+            prop_assert!(cum.windows(2).all(|w| w[0].1 < w[1].1), "counts strictly increase (empty buckets skipped)");
+        }
+    }
+}
