@@ -1,12 +1,28 @@
 //! Criterion micro-benchmarks for the execution engine: end-to-end query
-//! wall time cold vs warm (view-served) on a small synthetic video.
+//! wall time cold vs warm (view-served) on a small synthetic video, plus
+//! the non-UDF hot path (scan → filter → project → aggregate) row-at-a-time
+//! versus vectorized over a 100k-row synthetic table.
+
+use std::sync::Arc;
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 use eva_baselines::ReuseStrategy;
+use eva_common::{SimClock, Value};
 use eva_core::{EvaDb, SessionConfig};
+use eva_exec::context::OpStatsCollector;
+use eva_exec::ops::aggregate::AggregateOp;
+use eva_exec::ops::filter::FilterOp;
+use eva_exec::ops::project::ProjectOp;
+use eva_exec::ops::scan::ScanFramesOp;
+use eva_exec::ops::{BoxedOp, PivotRowsOp};
+use eva_exec::{ExecConfig, ExecCtx, FunCacheTable};
+use eva_expr::{AggFunc, Expr};
+use eva_storage::engine::video_table_schema;
+use eva_storage::StorageEngine;
+use eva_udf::{InvocationStats, UdfRegistry};
 use eva_video::generator::generate;
-use eva_video::VideoConfig;
+use eva_video::{VideoConfig, VideoDataset};
 
 const Q: &str = "SELECT id, bbox FROM video CROSS APPLY fasterrcnn_resnet50(frame) \
                  WHERE id < 400 AND label = 'car' AND cartype(frame, bbox) = 'Nissan'";
@@ -47,9 +63,149 @@ fn bench_execute(c: &mut Criterion) {
     });
 }
 
+// ---------------------------------------------------------------------------
+// The non-UDF hot path: row-at-a-time vs vectorized
+// ---------------------------------------------------------------------------
+
+const HOT_ROWS: u64 = 100_000;
+
+/// Owned execution state for driving raw operator trees (the bench-side
+/// equivalent of the exec crate's test fixture, which is `cfg(test)`).
+struct HotEnv {
+    storage: StorageEngine,
+    registry: UdfRegistry,
+    stats: InvocationStats,
+    clock: SimClock,
+    dataset: Arc<VideoDataset>,
+    funcache: FunCacheTable,
+    op_stats: OpStatsCollector,
+}
+
+impl HotEnv {
+    fn new() -> HotEnv {
+        let storage = StorageEngine::new();
+        let dataset = storage.load_dataset(generate(VideoConfig {
+            name: "hot".into(),
+            n_frames: HOT_ROWS,
+            width: 64,
+            height: 36,
+            fps: 25.0,
+            target_density: 1.0,
+            person_fraction: 0.0,
+            seed: 7,
+        }));
+        HotEnv {
+            storage,
+            registry: UdfRegistry::new(),
+            stats: InvocationStats::new(),
+            clock: SimClock::new(),
+            dataset,
+            funcache: FunCacheTable::new(),
+            op_stats: OpStatsCollector::new(),
+        }
+    }
+
+    fn ctx(&self) -> ExecCtx<'_> {
+        ExecCtx {
+            storage: &self.storage,
+            registry: &self.registry,
+            stats: &self.stats,
+            clock: &self.clock,
+            dataset: Arc::clone(&self.dataset),
+            funcache: &self.funcache,
+            op_stats: &self.op_stats,
+            config: ExecConfig {
+                batch_size: 4096,
+                ..ExecConfig::default()
+            },
+        }
+    }
+}
+
+/// scan(100k) → filter(id in [10k, 90k) ∧ ts ≥ 0) → project(id, small)
+/// → aggregate(count, sum, min, max). `row_path` forces every batch to
+/// rows right after the scan so downstream operators take their
+/// row-at-a-time paths over the identical plan.
+fn hot_path_op(row_path: bool) -> BoxedOp {
+    let scan: BoxedOp = Box::new(ScanFramesOp::new(
+        "hot".into(),
+        (0, HOT_ROWS),
+        Arc::new(video_table_schema()),
+    ));
+    let src: BoxedOp = if row_path {
+        Box::new(PivotRowsOp::new(scan))
+    } else {
+        scan
+    };
+    let pred = Expr::col("id")
+        .ge(10_000)
+        .and(Expr::col("id").lt(90_000))
+        .and(Expr::col("timestamp").ge(0));
+    let filt: BoxedOp = Box::new(FilterOp::new(src, pred));
+    let proj_schema = Arc::new(
+        eva_common::Schema::new(vec![
+            eva_common::Field::new("id", eva_common::DataType::Int),
+            eva_common::Field::new("small", eva_common::DataType::Bool),
+        ])
+        .unwrap(),
+    );
+    let proj: BoxedOp = Box::new(ProjectOp::new(
+        filt,
+        vec![
+            (Expr::col("id"), "id".into()),
+            (Expr::col("id").lt(50_000), "small".into()),
+        ],
+        proj_schema,
+    ));
+    let agg_schema = Arc::new(
+        eva_common::Schema::new(vec![
+            eva_common::Field::new("n", eva_common::DataType::Int),
+            eva_common::Field::new("s", eva_common::DataType::Float),
+            eva_common::Field::new("mn", eva_common::DataType::Float),
+            eva_common::Field::new("mx", eva_common::DataType::Float),
+        ])
+        .unwrap(),
+    );
+    Box::new(AggregateOp::new(
+        proj,
+        vec![],
+        vec![
+            (AggFunc::Count, None, "n".into()),
+            (AggFunc::Sum, Some(Expr::col("id")), "s".into()),
+            (AggFunc::Min, Some(Expr::col("id")), "mn".into()),
+            (AggFunc::Max, Some(Expr::col("id")), "mx".into()),
+        ],
+        agg_schema,
+    ))
+}
+
+fn drain(env: &HotEnv, mut op: BoxedOp) -> Vec<Vec<Value>> {
+    let ctx = env.ctx();
+    let mut rows = Vec::new();
+    while let Some(b) = op.next(&ctx).expect("hot path executes") {
+        rows.extend(b.into_batch().into_rows());
+    }
+    rows
+}
+
+fn bench_hot_path(c: &mut Criterion) {
+    let env = HotEnv::new();
+    // Both paths must agree before timing anything.
+    assert_eq!(
+        drain(&env, hot_path_op(true)),
+        drain(&env, hot_path_op(false))
+    );
+    c.bench_function("hot_path_row_100k", |b| {
+        b.iter(|| black_box(drain(&env, hot_path_op(true))))
+    });
+    c.bench_function("hot_path_columnar_100k", |b| {
+        b.iter(|| black_box(drain(&env, hot_path_op(false))))
+    });
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_execute
+    targets = bench_execute, bench_hot_path
 }
 criterion_main!(benches);

@@ -4,6 +4,7 @@
 //! GPU batch size 20 and a 200 MiB materialization batch). A [`Batch`] pairs
 //! a shared [`Schema`] with a vector of rows.
 
+use crate::column::{Column, ColumnBuilder};
 use crate::error::{EvaError, Result};
 use crate::schema::Schema;
 use crate::value::Value;
@@ -81,9 +82,12 @@ impl Batch {
             .ok_or_else(|| EvaError::Exec(format!("row index {row} out of bounds")))
     }
 
-    /// Append all rows from another batch (schemas must match).
+    /// Append all rows from another batch (schemas must match). Schema
+    /// equality is checked by `Arc` pointer first — operators pass one
+    /// shared schema down the tree, so the structural comparison only runs
+    /// on a pointer miss.
     pub fn extend(&mut self, other: Batch) -> Result<()> {
-        if *other.schema != *self.schema {
+        if !Arc::ptr_eq(&self.schema, &other.schema) && *other.schema != *self.schema {
             return Err(EvaError::Exec(format!(
                 "cannot extend batch {} with batch {}",
                 self.schema, other.schema
@@ -91,6 +95,216 @@ impl Batch {
         }
         self.rows.extend(other.rows);
         Ok(())
+    }
+}
+
+/// A batch in columnar form: one shared [`Column`] per schema field plus an
+/// optional *selection vector* of surviving physical row indices.
+///
+/// Filters never copy survivors — they narrow the selection. Columns are
+/// `Arc`-shared, so projection (column reordering) and selection narrowing
+/// are both zero-copy; data is compacted only at boundaries that need rows
+/// ([`ColumnarBatch::to_batch`]) or fresh columns (computed projections).
+#[derive(Debug, Clone)]
+pub struct ColumnarBatch {
+    schema: Arc<Schema>,
+    columns: Vec<Arc<Column>>,
+    /// Physical row indices that survive, in order; `None` means all rows.
+    selection: Option<Arc<[u32]>>,
+    /// Physical row count (columns may be empty when the schema is).
+    n_rows: usize,
+}
+
+impl ColumnarBatch {
+    /// Build from columns (all of length `n_rows`), no selection.
+    pub fn new(schema: Arc<Schema>, columns: Vec<Arc<Column>>, n_rows: usize) -> ColumnarBatch {
+        debug_assert_eq!(columns.len(), schema.len(), "column arity");
+        debug_assert!(
+            columns.iter().all(|c| c.len() == n_rows),
+            "column length mismatch"
+        );
+        ColumnarBatch {
+            schema,
+            columns,
+            selection: None,
+            n_rows,
+        }
+    }
+
+    /// Pivot a row batch into columns (see [`ColumnBuilder`] for how the
+    /// physical representation is inferred).
+    pub fn from_batch(batch: &Batch) -> ColumnarBatch {
+        let n = batch.len();
+        let width = batch.schema().len();
+        let mut builders: Vec<ColumnBuilder> = (0..width).map(|_| ColumnBuilder::new()).collect();
+        for row in batch.rows() {
+            for (b, v) in builders.iter_mut().zip(row) {
+                b.push(v);
+            }
+        }
+        ColumnarBatch {
+            schema: Arc::clone(batch.schema()),
+            columns: builders.into_iter().map(|b| Arc::new(b.finish())).collect(),
+            selection: None,
+            n_rows: n,
+        }
+    }
+
+    /// Pivot back to rows, applying the selection (compaction point).
+    pub fn to_batch(&self) -> Batch {
+        let mut rows = Vec::with_capacity(self.len());
+        for i in 0..self.len() {
+            let phys = self.physical_index(i);
+            rows.push(
+                self.columns
+                    .iter()
+                    .map(|c| c.value_at(phys))
+                    .collect::<Row>(),
+            );
+        }
+        Batch::new(Arc::clone(&self.schema), rows)
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// The shared columns (full physical length; index through the
+    /// selection).
+    pub fn columns(&self) -> &[Arc<Column>] {
+        &self.columns
+    }
+
+    /// Column `i`.
+    pub fn column(&self, i: usize) -> &Arc<Column> {
+        &self.columns[i]
+    }
+
+    /// The selection vector, if any.
+    pub fn selection(&self) -> Option<&[u32]> {
+        self.selection.as_deref()
+    }
+
+    /// Number of *visible* rows (selection length, or physical count).
+    pub fn len(&self) -> usize {
+        match &self.selection {
+            Some(s) => s.len(),
+            None => self.n_rows,
+        }
+    }
+
+    /// True when no rows are visible.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Physical row index of visible row `i`.
+    #[inline]
+    pub fn physical_index(&self, i: usize) -> usize {
+        match &self.selection {
+            Some(s) => s[i] as usize,
+            None => i,
+        }
+    }
+
+    /// The visible physical indices as an owned vector (what vectorized
+    /// kernels iterate).
+    pub fn physical_indices(&self) -> Vec<u32> {
+        match &self.selection {
+            Some(s) => s.to_vec(),
+            None => (0..self.n_rows as u32).collect(),
+        }
+    }
+
+    /// Replace the selection with `sel` (physical indices — callers derive
+    /// them from [`ColumnarBatch::physical_indices`], so narrowing
+    /// composes). Columns are shared, not copied.
+    pub fn with_selection(&self, sel: Vec<u32>) -> ColumnarBatch {
+        debug_assert!(
+            sel.iter().all(|&i| (i as usize) < self.n_rows),
+            "selection index out of bounds"
+        );
+        ColumnarBatch {
+            schema: Arc::clone(&self.schema),
+            columns: self.columns.clone(),
+            selection: Some(sel.into()),
+            n_rows: self.n_rows,
+        }
+    }
+
+    /// Reorder/slice columns by position under a new schema, keeping the
+    /// selection — the zero-copy projection path.
+    pub fn project(&self, schema: Arc<Schema>, cols: &[usize]) -> ColumnarBatch {
+        debug_assert_eq!(schema.len(), cols.len());
+        ColumnarBatch {
+            schema,
+            columns: cols.iter().map(|&i| Arc::clone(&self.columns[i])).collect(),
+            selection: self.selection.clone(),
+            n_rows: self.n_rows,
+        }
+    }
+}
+
+/// What flows between physical operators: row batches on the UDF/apply
+/// path, columnar batches on the scan/filter/project/aggregate hot path.
+/// The two pivot points (`from_batch`/`to_batch`) sit at the apply and
+/// output boundaries — see DESIGN.md §4f.
+#[derive(Debug, Clone)]
+pub enum ExecBatch {
+    /// Row form.
+    Rows(Batch),
+    /// Columnar form.
+    Columnar(ColumnarBatch),
+}
+
+impl ExecBatch {
+    /// Number of visible rows.
+    pub fn len(&self) -> usize {
+        match self {
+            ExecBatch::Rows(b) => b.len(),
+            ExecBatch::Columnar(b) => b.len(),
+        }
+    }
+
+    /// True when no rows are visible.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Arc<Schema> {
+        match self {
+            ExecBatch::Rows(b) => b.schema(),
+            ExecBatch::Columnar(b) => b.schema(),
+        }
+    }
+
+    /// Materialize row form (identity for row batches). Operators that
+    /// need metrics around the pivot should count
+    /// [`ExecBatch::is_columnar`] rows first.
+    pub fn into_batch(self) -> Batch {
+        match self {
+            ExecBatch::Rows(b) => b,
+            ExecBatch::Columnar(b) => b.to_batch(),
+        }
+    }
+
+    /// True for the columnar form.
+    pub fn is_columnar(&self) -> bool {
+        matches!(self, ExecBatch::Columnar(_))
+    }
+}
+
+impl From<Batch> for ExecBatch {
+    fn from(b: Batch) -> ExecBatch {
+        ExecBatch::Rows(b)
+    }
+}
+
+impl From<ColumnarBatch> for ExecBatch {
+    fn from(b: ColumnarBatch) -> ExecBatch {
+        ExecBatch::Columnar(b)
     }
 }
 
@@ -134,5 +348,64 @@ mod tests {
         let b = Batch::empty(schema());
         assert!(b.is_empty());
         assert_eq!(b.len(), 0);
+    }
+
+    fn sample_rows() -> Vec<Row> {
+        vec![
+            vec![Value::Int(1), Value::from("car")],
+            vec![Value::Int(2), Value::Null],
+            vec![Value::Int(3), Value::from("bus")],
+        ]
+    }
+
+    #[test]
+    fn columnar_round_trip_is_identical() {
+        let b = Batch::new(schema(), sample_rows());
+        let cb = ColumnarBatch::from_batch(&b);
+        assert_eq!(cb.len(), 3);
+        let back = cb.to_batch();
+        assert_eq!(back.rows(), b.rows());
+    }
+
+    #[test]
+    fn selection_narrows_without_copying_columns() {
+        let b = Batch::new(schema(), sample_rows());
+        let cb = ColumnarBatch::from_batch(&b);
+        let sel = cb.with_selection(vec![2, 0]);
+        assert_eq!(sel.len(), 2);
+        assert!(Arc::ptr_eq(sel.column(0), cb.column(0)));
+        let rows = sel.to_batch();
+        assert_eq!(rows.rows()[0][0], Value::Int(3));
+        assert_eq!(rows.rows()[1][0], Value::Int(1));
+        // Narrowing composes through physical indices.
+        let phys = sel.physical_indices();
+        let narrower = sel.with_selection(vec![phys[1]]);
+        assert_eq!(narrower.to_batch().rows()[0][0], Value::Int(1));
+    }
+
+    #[test]
+    fn project_shares_columns_and_selection() {
+        let b = Batch::new(schema(), sample_rows());
+        let cb = ColumnarBatch::from_batch(&b).with_selection(vec![0, 2]);
+        let out_schema = Arc::new(Schema::new(vec![Field::new("label", DataType::Str)]).unwrap());
+        let p = cb.project(out_schema, &[1]);
+        assert_eq!(p.len(), 2);
+        assert!(Arc::ptr_eq(p.column(0), cb.column(1)));
+        let rows = p.to_batch();
+        assert_eq!(rows.rows()[0][0], Value::from("car"));
+        assert_eq!(rows.rows()[1][0], Value::from("bus"));
+    }
+
+    #[test]
+    fn exec_batch_len_and_pivot() {
+        let b = Batch::new(schema(), sample_rows());
+        let eb: ExecBatch = ColumnarBatch::from_batch(&b).into();
+        assert!(eb.is_columnar());
+        assert_eq!(eb.len(), 3);
+        assert_eq!(eb.schema().len(), 2);
+        assert_eq!(eb.into_batch().rows(), b.rows());
+        let eb: ExecBatch = b.clone().into();
+        assert!(!eb.is_columnar());
+        assert_eq!(eb.into_batch().rows(), b.rows());
     }
 }

@@ -17,6 +17,7 @@
 pub mod batch;
 pub mod clock;
 pub mod codec;
+pub mod column;
 pub mod error;
 pub mod failpoint;
 pub mod hash;
@@ -28,9 +29,10 @@ pub mod table_fmt;
 pub mod trace;
 pub mod value;
 
-pub use batch::{Batch, Row};
+pub use batch::{Batch, ColumnarBatch, ExecBatch, Row};
 pub use clock::{CostBreakdown, CostCategory, SimClock};
 pub use codec::{ByteReader, ByteWriter};
+pub use column::{Bitmap, CellRef, Column, ColumnBuilder, ColumnData};
 pub use error::{EvaError, Result};
 pub use failpoint::{Failpoint, FailpointRegistry, FireRule};
 pub use hist::LatencyHistogram;

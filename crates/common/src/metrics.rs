@@ -59,6 +59,17 @@ pub struct MetricsSnapshot {
     pub view_rows_written: u64,
     /// Video frames decoded by scans.
     pub frames_scanned: u64,
+    /// Batches emitted in columnar form by executor operators. Deterministic:
+    /// depends only on the plan, the data, and the configured batch size.
+    #[serde(default)]
+    pub columnar_batches: u64,
+    /// Rows carried by those columnar batches (post-selection counts).
+    #[serde(default)]
+    pub columnar_rows: u64,
+    /// Rows materialized from columnar to row form at a pivot boundary
+    /// (the apply/sort/output edges of the columnar hot path).
+    #[serde(default)]
+    pub rows_pivoted: u64,
     /// View segments loaded and checksum-verified by a recovery pass.
     #[serde(default)]
     pub views_recovered: u64,
@@ -100,6 +111,9 @@ impl MetricsSnapshot {
             view_rows_read: self.view_rows_read - earlier.view_rows_read,
             view_rows_written: self.view_rows_written - earlier.view_rows_written,
             frames_scanned: self.frames_scanned - earlier.frames_scanned,
+            columnar_batches: self.columnar_batches - earlier.columnar_batches,
+            columnar_rows: self.columnar_rows - earlier.columnar_rows,
+            rows_pivoted: self.rows_pivoted - earlier.rows_pivoted,
             views_recovered: self.views_recovered - earlier.views_recovered,
             views_quarantined: self.views_quarantined - earlier.views_quarantined,
             udf_retries: self.udf_retries - earlier.udf_retries,
@@ -127,6 +141,9 @@ impl MetricsSnapshot {
             view_rows_read: self.view_rows_read + other.view_rows_read,
             view_rows_written: self.view_rows_written + other.view_rows_written,
             frames_scanned: self.frames_scanned + other.frames_scanned,
+            columnar_batches: self.columnar_batches + other.columnar_batches,
+            columnar_rows: self.columnar_rows + other.columnar_rows,
+            rows_pivoted: self.rows_pivoted + other.rows_pivoted,
             views_recovered: self.views_recovered + other.views_recovered,
             views_quarantined: self.views_quarantined + other.views_quarantined,
             udf_retries: self.udf_retries + other.udf_retries,
@@ -182,6 +199,9 @@ impl MetricsSnapshot {
             ("view_rows_read", self.view_rows_read as f64),
             ("view_rows_written", self.view_rows_written as f64),
             ("frames_scanned", self.frames_scanned as f64),
+            ("columnar_batches", self.columnar_batches as f64),
+            ("columnar_rows", self.columnar_rows as f64),
+            ("rows_pivoted", self.rows_pivoted as f64),
             ("views_recovered", self.views_recovered as f64),
             ("views_quarantined", self.views_quarantined as f64),
             ("udf_retries", self.udf_retries as f64),
@@ -208,6 +228,9 @@ struct Inner {
     view_rows_read: AtomicU64,
     view_rows_written: AtomicU64,
     frames_scanned: AtomicU64,
+    columnar_batches: AtomicU64,
+    columnar_rows: AtomicU64,
+    rows_pivoted: AtomicU64,
     views_recovered: AtomicU64,
     views_quarantined: AtomicU64,
     udf_retries: AtomicU64,
@@ -301,6 +324,20 @@ impl MetricsSink {
             .fetch_add(frames, Ordering::Relaxed);
     }
 
+    /// Record one batch emitted in columnar form by an executor operator
+    /// (`rows` = its post-selection row count). Charged on the caller
+    /// thread like every other counter.
+    pub fn record_columnar_batch(&self, rows: u64) {
+        self.inner.columnar_batches.fetch_add(1, Ordering::Relaxed);
+        self.inner.columnar_rows.fetch_add(rows, Ordering::Relaxed);
+    }
+
+    /// Record rows materialized from columnar to row form at a pivot
+    /// boundary (apply input, blocking sort, final output collection).
+    pub fn record_rows_pivoted(&self, rows: u64) {
+        self.inner.rows_pivoted.fetch_add(rows, Ordering::Relaxed);
+    }
+
     /// Record a recovery pass over a persisted store: `recovered` segments
     /// loaded and verified, `quarantined` segments set aside as corrupt.
     pub fn record_recovery(&self, recovered: u64, quarantined: u64) {
@@ -357,6 +394,9 @@ impl MetricsSink {
             view_rows_read: i.view_rows_read.load(Ordering::Relaxed),
             view_rows_written: i.view_rows_written.load(Ordering::Relaxed),
             frames_scanned: i.frames_scanned.load(Ordering::Relaxed),
+            columnar_batches: i.columnar_batches.load(Ordering::Relaxed),
+            columnar_rows: i.columnar_rows.load(Ordering::Relaxed),
+            rows_pivoted: i.rows_pivoted.load(Ordering::Relaxed),
             views_recovered: i.views_recovered.load(Ordering::Relaxed),
             views_quarantined: i.views_quarantined.load(Ordering::Relaxed),
             udf_retries: i.udf_retries.load(Ordering::Relaxed),
@@ -382,6 +422,9 @@ impl MetricsSink {
         i.view_rows_read.store(0, Ordering::Relaxed);
         i.view_rows_written.store(0, Ordering::Relaxed);
         i.frames_scanned.store(0, Ordering::Relaxed);
+        i.columnar_batches.store(0, Ordering::Relaxed);
+        i.columnar_rows.store(0, Ordering::Relaxed);
+        i.rows_pivoted.store(0, Ordering::Relaxed);
         i.views_recovered.store(0, Ordering::Relaxed);
         i.views_quarantined.store(0, Ordering::Relaxed);
         i.udf_retries.store(0, Ordering::Relaxed);
@@ -546,6 +589,29 @@ mod tests {
         assert_eq!(delta.views_recovered, 0);
         let sum = before.plus(&delta);
         assert_eq!(sum, m.snapshot());
+        m.reset();
+        assert_eq!(m.snapshot(), MetricsSnapshot::default());
+    }
+
+    #[test]
+    fn columnar_counters_round_trip() {
+        let m = MetricsSink::new();
+        m.record_columnar_batch(1024);
+        m.record_columnar_batch(512);
+        m.record_rows_pivoted(512);
+        let s = m.snapshot();
+        assert_eq!(s.columnar_batches, 2);
+        assert_eq!(s.columnar_rows, 1536);
+        assert_eq!(s.rows_pivoted, 512);
+        let before = s;
+        m.record_columnar_batch(8);
+        let delta = m.snapshot().since(&before);
+        assert_eq!(delta.columnar_batches, 1);
+        assert_eq!(delta.columnar_rows, 8);
+        assert_eq!(delta.rows_pivoted, 0);
+        assert_eq!(before.plus(&delta), m.snapshot());
+        // Columnar counters are deterministic — they survive the mask.
+        assert_eq!(m.snapshot().deterministic().columnar_rows, 1544);
         m.reset();
         assert_eq!(m.snapshot(), MetricsSnapshot::default());
     }

@@ -116,7 +116,18 @@ impl Schema {
     }
 
     /// Index of a column by (case-insensitive) name.
+    ///
+    /// Field names are stored lowercase and expression column names are
+    /// normalized at construction, so the common case is an exact match —
+    /// tried first without allocating. The lowercasing fallback only runs
+    /// for mixed-case callers (interactive lookups, tests).
     pub fn index_of(&self, name: &str) -> Option<usize> {
+        if let Some(i) = self.fields.iter().position(|f| f.name == name) {
+            return Some(i);
+        }
+        if name.bytes().all(|b| !b.is_ascii_uppercase()) {
+            return None;
+        }
         let lname = name.to_ascii_lowercase();
         self.fields.iter().position(|f| f.name == lname)
     }

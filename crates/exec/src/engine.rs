@@ -4,8 +4,8 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use eva_common::{
-    Batch, CostBreakdown, EvaError, MetricsSnapshot, OpId, OpStats, QueryTrace, Result, Schema,
-    SimClock, SpanKind, SpanRef,
+    Batch, CostBreakdown, EvaError, ExecBatch, MetricsSnapshot, OpId, OpStats, QueryTrace, Result,
+    Schema, SimClock, SpanKind, SpanRef,
 };
 use eva_planner::PhysPlan;
 use eva_storage::StorageEngine;
@@ -20,7 +20,7 @@ use crate::ops::filter::FilterOp;
 use crate::ops::project::ProjectOp;
 use crate::ops::scan::ScanFramesOp;
 use crate::ops::sort_limit::{LimitOp, SortOp};
-use crate::ops::{BoxedOp, Operator};
+use crate::ops::{into_rows, BoxedOp, Operator};
 
 /// The result of one query execution.
 #[derive(Debug, Clone)]
@@ -77,7 +77,7 @@ impl Operator for InstrumentedOp {
         self.inner.schema()
     }
 
-    fn next(&mut self, ctx: &ExecCtx<'_>) -> Result<Option<Batch>> {
+    fn next(&mut self, ctx: &ExecCtx<'_>) -> Result<Option<ExecBatch>> {
         let (token, span) =
             ctx.trace()
                 .enter(self.span, SpanKind::Operator, self.label, Some(self.id));
@@ -95,6 +95,11 @@ impl Operator for InstrumentedOp {
         // balanced even when execution aborts mid-tree.
         ctx.trace().exit(token, delta.total_ms(), rows);
         let out = out?;
+        // Columnar-flow accounting happens here — once per planned
+        // operator emission, on the caller thread like every other counter.
+        if let Some(ExecBatch::Columnar(cb)) = &out {
+            ctx.metrics().record_columnar_batch(cb.len() as u64);
+        }
         ctx.op_stats.update(self.id, |s| {
             s.cum = s.cum.plus(&delta);
             if let Some(batch) = &out {
@@ -225,7 +230,7 @@ pub fn execute(
     let schema = root.schema();
     let mut out = Batch::empty(schema);
     while let Some(batch) = root.next(&ctx)? {
-        out.extend(batch)?;
+        out.extend(into_rows(&ctx, batch))?;
     }
     let breakdown = clock.snapshot().since(&before);
     let metrics = storage.metrics().snapshot().since(&metrics_before);

@@ -3,8 +3,11 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use eva_common::{Batch, EvaError, Result, Row, Schema, Value};
+use eva_common::{
+    Batch, CellRef, Column, ColumnarBatch, EvaError, ExecBatch, Result, Row, Schema, Value,
+};
 use eva_expr::eval::NoUdfs;
+use eva_expr::vector::eval_columnar;
 use eva_expr::{AggFunc, Expr, RowContext};
 
 use crate::context::ExecCtx;
@@ -20,6 +23,12 @@ enum AggState {
     Avg { sum: f64, n: u64 },
 }
 
+/// Numeric view of a cell, with [`Value::as_float`]'s exact error wording.
+fn cell_float(c: CellRef<'_>) -> Result<f64> {
+    c.as_number()
+        .ok_or_else(|| EvaError::Type(format!("expected FLOAT, got {}", c.to_value())))
+}
+
 impl AggState {
     fn new(func: AggFunc) -> AggState {
         match func {
@@ -32,55 +41,53 @@ impl AggState {
     }
 
     fn update(&mut self, v: Option<&Value>) -> Result<()> {
+        match v {
+            // COUNT(*): no argument, count the row.
+            None => {
+                if let AggState::Count(c) = self {
+                    *c += 1;
+                }
+                Ok(())
+            }
+            Some(val) => self.update_cell(CellRef::from_value(val)),
+        }
+    }
+
+    /// Update from an argument cell without materializing a [`Value`] —
+    /// the vectorized path. NULL arguments are skipped by every function,
+    /// matching the row semantics.
+    fn update_cell(&mut self, c: CellRef<'_>) -> Result<()> {
+        if c.is_null() {
+            return Ok(());
+        }
         match self {
-            AggState::Count(c) => {
-                // COUNT(*) counts rows; COUNT(expr) counts non-null values.
-                match v {
-                    None => *c += 1,
-                    Some(val) if !val.is_null() => *c += 1,
-                    _ => {}
-                }
-            }
-            AggState::Sum(s) => {
-                if let Some(val) = v {
-                    if !val.is_null() {
-                        *s += val.as_float()?;
-                    }
-                }
-            }
+            AggState::Count(n) => *n += 1,
+            AggState::Sum(s) => *s += cell_float(c)?,
             AggState::Min(m) => {
-                if let Some(val) = v {
-                    if !val.is_null() {
-                        let replace = match m {
-                            Some(cur) => val.sql_cmp(cur) == Some(std::cmp::Ordering::Less),
-                            None => true,
-                        };
-                        if replace {
-                            *m = Some(val.clone());
-                        }
+                let replace = match m {
+                    Some(cur) => {
+                        c.sql_cmp(CellRef::from_value(cur)) == Some(std::cmp::Ordering::Less)
                     }
+                    None => true,
+                };
+                if replace {
+                    *m = Some(c.to_value());
                 }
             }
             AggState::Max(m) => {
-                if let Some(val) = v {
-                    if !val.is_null() {
-                        let replace = match m {
-                            Some(cur) => val.sql_cmp(cur) == Some(std::cmp::Ordering::Greater),
-                            None => true,
-                        };
-                        if replace {
-                            *m = Some(val.clone());
-                        }
+                let replace = match m {
+                    Some(cur) => {
+                        c.sql_cmp(CellRef::from_value(cur)) == Some(std::cmp::Ordering::Greater)
                     }
+                    None => true,
+                };
+                if replace {
+                    *m = Some(c.to_value());
                 }
             }
             AggState::Avg { sum, n } => {
-                if let Some(val) = v {
-                    if !val.is_null() {
-                        *sum += val.as_float()?;
-                        *n += 1;
-                    }
-                }
+                *sum += cell_float(c)?;
+                *n += 1;
             }
         }
         Ok(())
@@ -103,9 +110,25 @@ impl AggState {
     }
 }
 
+/// One aggregate's argument, resolved once against the input schema so the
+/// per-row loop never re-binds names.
+enum ArgPlan {
+    /// `COUNT(*)`.
+    Star,
+    /// A bare input column, read positionally.
+    Col(usize),
+    /// A general expression.
+    Expr(Expr),
+}
+
 /// Blocking hash aggregation: drains its input, then emits one batch of
 /// groups (key order deterministic by first appearance, then sorted by key
 /// bytes for reproducibility).
+///
+/// Columnar input feeds the hash table directly from the typed arrays:
+/// group keys hash each cell's [`Value::write_bytes`] encoding (identical
+/// to the row path, so grouping and output order cannot diverge) and
+/// argument cells update [`AggState`] without materializing rows.
 pub struct AggregateOp {
     input: BoxedOp,
     group_by: Vec<String>,
@@ -132,12 +155,101 @@ impl AggregateOp {
     }
 }
 
+/// The hash table: key bytes → (key row, per-aggregate states).
+type Groups = HashMap<Vec<u8>, (Row, Vec<AggState>)>;
+
+impl AggregateOp {
+    fn consume_rows(
+        &self,
+        batch: &Batch,
+        in_schema: &Arc<Schema>,
+        key_idx: &[usize],
+        args: &[ArgPlan],
+        groups: &mut Groups,
+    ) -> Result<()> {
+        for row in batch.rows() {
+            let mut key = Vec::new();
+            for &i in key_idx {
+                row[i].write_bytes(&mut key);
+            }
+            let entry = groups.entry(key).or_insert_with(|| {
+                let key_row: Row = key_idx.iter().map(|&i| row[i].clone()).collect();
+                let states = self
+                    .aggs
+                    .iter()
+                    .map(|(f, _, _)| AggState::new(*f))
+                    .collect();
+                (key_row, states)
+            });
+            for (arg, state) in args.iter().zip(entry.1.iter_mut()) {
+                match arg {
+                    ArgPlan::Star => state.update(None)?,
+                    ArgPlan::Col(i) => state.update_cell(CellRef::from_value(&row[*i]))?,
+                    ArgPlan::Expr(e) => {
+                        let rc = RowContext::new(in_schema, row, &NoUdfs);
+                        let v = e.eval(&rc)?;
+                        state.update(Some(&v))?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn consume_columnar(
+        &self,
+        cb: &ColumnarBatch,
+        key_idx: &[usize],
+        args: &[ArgPlan],
+        groups: &mut Groups,
+    ) -> Result<()> {
+        let active = cb.physical_indices();
+        // Computed arguments evaluate once per batch into compact columns;
+        // bare columns are read in place through the selection.
+        let mut computed: Vec<Option<Column>> = Vec::with_capacity(args.len());
+        for arg in args {
+            computed.push(match arg {
+                ArgPlan::Expr(e) => Some(eval_columnar(e, cb, &active)?),
+                _ => None,
+            });
+        }
+        for (pos, &phys) in active.iter().enumerate() {
+            let phys = phys as usize;
+            let mut key = Vec::new();
+            for &i in key_idx {
+                cb.column(i).write_value_bytes(phys, &mut key);
+            }
+            let entry = groups.entry(key).or_insert_with(|| {
+                let key_row: Row = key_idx
+                    .iter()
+                    .map(|&i| cb.column(i).value_at(phys))
+                    .collect();
+                let states = self
+                    .aggs
+                    .iter()
+                    .map(|(f, _, _)| AggState::new(*f))
+                    .collect();
+                (key_row, states)
+            });
+            for ((arg, col), state) in args.iter().zip(&computed).zip(entry.1.iter_mut()) {
+                match (arg, col) {
+                    (ArgPlan::Star, _) => state.update(None)?,
+                    (ArgPlan::Col(i), _) => state.update_cell(cb.column(*i).cell(phys))?,
+                    (ArgPlan::Expr(_), Some(col)) => state.update_cell(col.cell(pos))?,
+                    (ArgPlan::Expr(_), None) => unreachable!("computed column missing"),
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
 impl Operator for AggregateOp {
     fn schema(&self) -> Arc<Schema> {
         Arc::clone(&self.schema)
     }
 
-    fn next(&mut self, ctx: &ExecCtx<'_>) -> Result<Option<Batch>> {
+    fn next(&mut self, ctx: &ExecCtx<'_>) -> Result<Option<ExecBatch>> {
         if self.done {
             return Ok(None);
         }
@@ -153,32 +265,29 @@ impl Operator for AggregateOp {
                     .ok_or_else(|| EvaError::Exec(format!("unknown group column '{g}'")))
             })
             .collect::<Result<_>>()?;
+        // Resolve argument positions once; unresolvable columns stay
+        // expressions so the evaluator reports the standard binder error.
+        let args: Vec<ArgPlan> = self
+            .aggs
+            .iter()
+            .map(|(_, arg, _)| match arg {
+                None => ArgPlan::Star,
+                Some(Expr::Column(c)) => match in_schema.index_of(c) {
+                    Some(i) => ArgPlan::Col(i),
+                    None => ArgPlan::Expr(Expr::Column(c.clone())),
+                },
+                Some(e) => ArgPlan::Expr(e.clone()),
+            })
+            .collect();
 
-        let mut groups: HashMap<Vec<u8>, (Row, Vec<AggState>)> = HashMap::new();
+        let mut groups: Groups = HashMap::new();
         while let Some(batch) = self.input.next(ctx)? {
-            for row in batch.rows() {
-                let mut key = Vec::new();
-                for &i in &key_idx {
-                    row[i].write_bytes(&mut key);
+            match batch {
+                ExecBatch::Columnar(cb) => {
+                    self.consume_columnar(&cb, &key_idx, &args, &mut groups)?
                 }
-                let entry = groups.entry(key).or_insert_with(|| {
-                    let key_row: Row = key_idx.iter().map(|&i| row[i].clone()).collect();
-                    let states = self
-                        .aggs
-                        .iter()
-                        .map(|(f, _, _)| AggState::new(*f))
-                        .collect();
-                    (key_row, states)
-                });
-                for ((_, arg, _), state) in self.aggs.iter().zip(entry.1.iter_mut()) {
-                    let v = match arg {
-                        Some(e) => {
-                            let rc = RowContext::new(&in_schema, row, &NoUdfs);
-                            Some(e.eval(&rc)?)
-                        }
-                        None => None,
-                    };
-                    state.update(v.as_ref())?;
+                ExecBatch::Rows(b) => {
+                    self.consume_rows(&b, &in_schema, &key_idx, &args, &mut groups)?
                 }
             }
         }
@@ -195,6 +304,9 @@ impl Operator for AggregateOp {
             .collect();
         out.sort_by(|a, b| a.0.cmp(&b.0));
         let rows: Vec<Row> = out.into_iter().map(|(_, r)| r).collect();
-        Ok(Some(Batch::new(Arc::clone(&self.schema), rows)))
+        Ok(Some(ExecBatch::Rows(Batch::new(
+            Arc::clone(&self.schema),
+            rows,
+        ))))
     }
 }

@@ -26,8 +26,8 @@ use std::sync::Arc;
 
 use eva_common::hash::xxhash64;
 use eva_common::{
-    BBox, Batch, CostCategory, EvaError, Failpoint, FireRule, FrameId, OpId, Result, Row, Schema,
-    SpanKind, ViewId,
+    BBox, Batch, CostCategory, EvaError, ExecBatch, Failpoint, FireRule, FrameId, OpId, Result,
+    Row, Schema, SpanKind, ViewId,
 };
 use eva_expr::Expr;
 use eva_planner::{ApplyReuse, ApplySpec, Segment};
@@ -35,7 +35,7 @@ use eva_storage::{StorageEngine, ViewKey};
 use eva_udf::{SimUdf, UdfEvalContext};
 
 use crate::context::ExecCtx;
-use crate::ops::{BoxedOp, Operator};
+use crate::ops::{into_rows, BoxedOp, Operator};
 use crate::pool::WorkerPool;
 
 /// The fused probe/evaluate/store apply.
@@ -548,11 +548,14 @@ impl Operator for ApplyOp {
         Arc::clone(&self.schema)
     }
 
-    fn next(&mut self, ctx: &ExecCtx<'_>) -> Result<Option<Batch>> {
+    fn next(&mut self, ctx: &ExecCtx<'_>) -> Result<Option<ExecBatch>> {
         loop {
             let Some(batch) = self.input.next(ctx)? else {
                 return Ok(None);
             };
+            // UDF dispatch and the cross-apply join are row-oriented; this
+            // is the planned pivot point off the columnar hot path.
+            let batch = into_rows(ctx, batch);
             ctx.clock.charge(
                 CostCategory::Apply,
                 ctx.config.apply_overhead_ms * batch.len() as f64,
@@ -580,7 +583,10 @@ impl Operator for ApplyOp {
                 }
             }
             if !out_rows.is_empty() {
-                return Ok(Some(Batch::new(Arc::clone(&self.schema), out_rows)));
+                return Ok(Some(ExecBatch::Rows(Batch::new(
+                    Arc::clone(&self.schema),
+                    out_rows,
+                ))));
             }
         }
     }

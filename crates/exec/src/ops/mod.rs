@@ -7,18 +7,63 @@ pub mod project;
 pub mod scan;
 pub mod sort_limit;
 
-use eva_common::{Batch, Result, Schema};
+use eva_common::{Batch, ExecBatch, Result, Schema};
 use std::sync::Arc;
 
 use crate::context::ExecCtx;
 
 /// A pull-based operator producing batches until exhausted.
+///
+/// Batches flow in one of two forms (see [`ExecBatch`]): the non-UDF hot
+/// path (scan → filter → project → aggregate) stays columnar; row-oriented
+/// operators (APPLY, SORT) pivot their input through [`into_rows`].
 pub trait Operator {
     /// Output schema.
     fn schema(&self) -> Arc<Schema>;
     /// Produce the next batch, or `None` when done.
-    fn next(&mut self, ctx: &ExecCtx<'_>) -> Result<Option<Batch>>;
+    fn next(&mut self, ctx: &ExecCtx<'_>) -> Result<Option<ExecBatch>>;
 }
 
 /// Boxed operator alias.
 pub type BoxedOp = Box<dyn Operator>;
+
+/// Pivot a batch to row form at a row-oriented boundary (APPLY input, SORT
+/// buffering, final output collection), charging the `rows_pivoted`
+/// counter — the observable cost of leaving the columnar path.
+pub(crate) fn into_rows(ctx: &ExecCtx<'_>, b: ExecBatch) -> Batch {
+    match b {
+        ExecBatch::Rows(b) => b,
+        ExecBatch::Columnar(cb) => {
+            ctx.metrics().record_rows_pivoted(cb.len() as u64);
+            cb.to_batch()
+        }
+    }
+}
+
+/// Forces row-oriented flow by pivoting every columnar batch its input
+/// produces. Downstream operators then take their row-at-a-time paths —
+/// this is how benchmarks compare the legacy row pipeline against the
+/// vectorized one over the same plan.
+pub struct PivotRowsOp {
+    input: BoxedOp,
+}
+
+impl PivotRowsOp {
+    /// Wrap `input`, pivoting its output to rows.
+    pub fn new(input: BoxedOp) -> PivotRowsOp {
+        PivotRowsOp { input }
+    }
+}
+
+impl Operator for PivotRowsOp {
+    fn schema(&self) -> Arc<Schema> {
+        self.input.schema()
+    }
+
+    fn next(&mut self, ctx: &ExecCtx<'_>) -> Result<Option<ExecBatch>> {
+        Ok(self
+            .input
+            .next(ctx)?
+            .map(|b| ExecBatch::Rows(into_rows(ctx, b))))
+    }
+}

@@ -2,28 +2,62 @@
 
 use std::sync::Arc;
 
-use eva_common::{Batch, Result, Row, Schema};
+use eva_common::{Batch, ColumnarBatch, ExecBatch, Result, Row, Schema};
 use eva_expr::eval::NoUdfs;
+use eva_expr::vector::eval_columnar;
 use eva_expr::{Expr, RowContext};
 
 use crate::context::ExecCtx;
 use crate::ops::{BoxedOp, Operator};
 
-/// Evaluates projection expressions per row.
+/// How the projection executes, resolved once against the input schema
+/// instead of re-binding column names per row.
+enum ProjPlan {
+    /// Every item is a bare input column: reorder by position. On the
+    /// columnar path this is zero-copy (`Arc`-shared columns, selection
+    /// carried through).
+    Reorder(Vec<usize>),
+    /// General expressions: evaluate per item.
+    Compute,
+}
+
+/// Evaluates projection expressions; bare-column projections reduce to a
+/// positional reorder.
 pub struct ProjectOp {
     input: BoxedOp,
     items: Vec<(Expr, String)>,
     schema: Arc<Schema>,
+    plan: ProjPlan,
 }
 
 impl ProjectOp {
     /// New projection.
     pub fn new(input: BoxedOp, items: Vec<(Expr, String)>, schema: Arc<Schema>) -> ProjectOp {
+        let in_schema = input.schema();
+        let plan = Self::resolve(&items, &in_schema);
         ProjectOp {
             input,
             items,
             schema,
+            plan,
         }
+    }
+
+    /// `Reorder` when every item is a resolvable bare column. Unknown
+    /// columns fall back to `Compute` so the evaluator reports them with
+    /// the standard binder error.
+    fn resolve(items: &[(Expr, String)], in_schema: &Schema) -> ProjPlan {
+        let mut idx = Vec::with_capacity(items.len());
+        for (expr, _) in items {
+            match expr {
+                Expr::Column(c) => match in_schema.index_of(c) {
+                    Some(i) => idx.push(i),
+                    None => return ProjPlan::Compute,
+                },
+                _ => return ProjPlan::Compute,
+            }
+        }
+        ProjPlan::Reorder(idx)
     }
 }
 
@@ -32,20 +66,53 @@ impl Operator for ProjectOp {
         Arc::clone(&self.schema)
     }
 
-    fn next(&mut self, ctx: &ExecCtx<'_>) -> Result<Option<Batch>> {
+    fn next(&mut self, ctx: &ExecCtx<'_>) -> Result<Option<ExecBatch>> {
         let Some(batch) = self.input.next(ctx)? else {
             return Ok(None);
         };
-        let in_schema = batch.schema().clone();
-        let mut rows = Vec::with_capacity(batch.len());
-        for row in batch.rows() {
-            let rc = RowContext::new(&in_schema, row, &NoUdfs);
-            let mut out: Row = Vec::with_capacity(self.items.len());
-            for (expr, _) in &self.items {
-                out.push(expr.eval(&rc)?);
+        match (batch, &self.plan) {
+            (ExecBatch::Columnar(cb), ProjPlan::Reorder(idx)) => Ok(Some(ExecBatch::Columnar(
+                cb.project(Arc::clone(&self.schema), idx),
+            ))),
+            (ExecBatch::Columnar(cb), ProjPlan::Compute) => {
+                let active = cb.physical_indices();
+                let mut columns = Vec::with_capacity(self.items.len());
+                for (expr, _) in &self.items {
+                    columns.push(Arc::new(eval_columnar(expr, &cb, &active)?));
+                }
+                Ok(Some(ExecBatch::Columnar(ColumnarBatch::new(
+                    Arc::clone(&self.schema),
+                    columns,
+                    active.len(),
+                ))))
             }
-            rows.push(out);
+            (ExecBatch::Rows(batch), ProjPlan::Reorder(idx)) => {
+                let rows: Vec<Row> = batch
+                    .rows()
+                    .iter()
+                    .map(|row| idx.iter().map(|&i| row[i].clone()).collect())
+                    .collect();
+                Ok(Some(ExecBatch::Rows(Batch::new(
+                    Arc::clone(&self.schema),
+                    rows,
+                ))))
+            }
+            (ExecBatch::Rows(batch), ProjPlan::Compute) => {
+                let in_schema = batch.schema().clone();
+                let mut rows = Vec::with_capacity(batch.len());
+                for row in batch.rows() {
+                    let rc = RowContext::new(&in_schema, row, &NoUdfs);
+                    let mut out: Row = Vec::with_capacity(self.items.len());
+                    for (expr, _) in &self.items {
+                        out.push(expr.eval(&rc)?);
+                    }
+                    rows.push(out);
+                }
+                Ok(Some(ExecBatch::Rows(Batch::new(
+                    Arc::clone(&self.schema),
+                    rows,
+                ))))
+            }
         }
-        Ok(Some(Batch::new(Arc::clone(&self.schema), rows)))
     }
 }

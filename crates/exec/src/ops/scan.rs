@@ -2,12 +2,16 @@
 
 use std::sync::Arc;
 
-use eva_common::{Batch, Result, Schema};
+use eva_common::{ExecBatch, Result, Schema};
 
 use crate::context::ExecCtx;
 use crate::ops::Operator;
 
 /// Scans `[from, to)` of a dataset in batches, charging frame-read IO.
+///
+/// Frames are produced directly in columnar form — three contiguous `i64`
+/// arrays (id, timestamp, frame-ref) — so the UDF-free pipeline above never
+/// materializes per-row `Vec<Value>` tuples.
 pub struct ScanFramesOp {
     dataset: String,
     cursor: u64,
@@ -32,15 +36,15 @@ impl Operator for ScanFramesOp {
         Arc::clone(&self.schema)
     }
 
-    fn next(&mut self, ctx: &ExecCtx<'_>) -> Result<Option<Batch>> {
+    fn next(&mut self, ctx: &ExecCtx<'_>) -> Result<Option<ExecBatch>> {
         if self.cursor >= self.end {
             return Ok(None);
         }
         let to = (self.cursor + ctx.config.batch_size as u64).min(self.end);
         let batch = ctx
             .storage
-            .scan_frames(&self.dataset, self.cursor, to, ctx.clock)?;
+            .scan_frames_columnar(&self.dataset, self.cursor, to, ctx.clock)?;
         self.cursor = to;
-        Ok(Some(batch))
+        Ok(Some(ExecBatch::Columnar(batch)))
     }
 }

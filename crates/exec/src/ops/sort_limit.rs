@@ -2,12 +2,13 @@
 
 use std::sync::Arc;
 
-use eva_common::{Batch, EvaError, Result, Row, Schema};
+use eva_common::{Batch, EvaError, ExecBatch, Result, Row, Schema};
 
 use crate::context::ExecCtx;
-use crate::ops::{BoxedOp, Operator};
+use crate::ops::{into_rows, BoxedOp, Operator};
 
-/// Blocking sort by column keys.
+/// Blocking sort by column keys. Sorting permutes whole tuples, so columnar
+/// input pivots to rows at the buffering step (charged as `rows_pivoted`).
 pub struct SortOp {
     input: BoxedOp,
     keys: Vec<(String, bool)>,
@@ -30,7 +31,7 @@ impl Operator for SortOp {
         self.input.schema()
     }
 
-    fn next(&mut self, ctx: &ExecCtx<'_>) -> Result<Option<Batch>> {
+    fn next(&mut self, ctx: &ExecCtx<'_>) -> Result<Option<ExecBatch>> {
         if self.done {
             return Ok(None);
         }
@@ -48,7 +49,7 @@ impl Operator for SortOp {
             .collect::<Result<_>>()?;
         let mut rows: Vec<Row> = Vec::new();
         while let Some(batch) = self.input.next(ctx)? {
-            rows.extend(batch.into_rows());
+            rows.extend(into_rows(ctx, batch).into_rows());
         }
         rows.sort_by(|a, b| {
             for &(i, desc) in &key_idx {
@@ -60,7 +61,7 @@ impl Operator for SortOp {
             }
             std::cmp::Ordering::Equal
         });
-        Ok(Some(Batch::new(schema, rows)))
+        Ok(Some(ExecBatch::Rows(Batch::new(schema, rows))))
     }
 }
 
@@ -85,7 +86,7 @@ impl Operator for LimitOp {
         self.input.schema()
     }
 
-    fn next(&mut self, ctx: &ExecCtx<'_>) -> Result<Option<Batch>> {
+    fn next(&mut self, ctx: &ExecCtx<'_>) -> Result<Option<ExecBatch>> {
         if self.remaining == 0 {
             return Ok(None);
         }
@@ -95,11 +96,20 @@ impl Operator for LimitOp {
         let take = (self.remaining as usize).min(batch.len());
         self.remaining -= take as u64;
         if take == batch.len() {
-            Ok(Some(batch))
-        } else {
-            let schema = batch.schema().clone();
-            let rows: Vec<Row> = batch.into_rows().into_iter().take(take).collect();
-            Ok(Some(Batch::new(schema, rows)))
+            return Ok(Some(batch));
+        }
+        match batch {
+            // Truncating a columnar batch is a selection shrink — columns
+            // stay shared.
+            ExecBatch::Columnar(cb) => {
+                let keep: Vec<u32> = cb.physical_indices().into_iter().take(take).collect();
+                Ok(Some(ExecBatch::Columnar(cb.with_selection(keep))))
+            }
+            ExecBatch::Rows(batch) => {
+                let schema = batch.schema().clone();
+                let rows: Vec<Row> = batch.into_rows().into_iter().take(take).collect();
+                Ok(Some(ExecBatch::Rows(Batch::new(schema, rows))))
+            }
         }
     }
 }

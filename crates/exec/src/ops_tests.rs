@@ -14,7 +14,8 @@ use crate::ops::filter::FilterOp;
 use crate::ops::project::ProjectOp;
 use crate::ops::scan::ScanFramesOp;
 use crate::ops::sort_limit::{LimitOp, SortOp};
-use crate::testing::{TestEnv, ValuesOp};
+use crate::ops::BoxedOp;
+use crate::testing::{ColumnarValuesOp, TestEnv, ValuesOp};
 
 fn int_schema() -> Arc<Schema> {
     Arc::new(
@@ -149,6 +150,136 @@ fn sort_and_limit() {
     assert_eq!(out.len(), 2);
     assert_eq!(out.value(0, "a").unwrap(), &Value::Int(9));
     assert_eq!(out.value(1, "a").unwrap(), &Value::Int(5));
+}
+
+// ---------------------------------------------------------------------------
+// Columnar == row identity
+// ---------------------------------------------------------------------------
+
+/// NULL-bearing rows that force `Mixed` column storage, so the identity
+/// tests cover the validity-bitmap paths as well as the typed fast paths.
+fn null_rows() -> Vec<Vec<Value>> {
+    vec![
+        vec![Value::Int(1), Value::from("x")],
+        vec![Value::Null, Value::from("y")],
+        vec![Value::Int(2), Value::Null],
+        vec![Value::Int(9), Value::from("x")],
+        vec![Value::Int(4), Value::from("x")],
+        vec![Value::Int(7), Value::from("y")],
+    ]
+}
+
+fn source(columnar: bool) -> BoxedOp {
+    if columnar {
+        Box::new(ColumnarValuesOp::new(int_schema(), null_rows()))
+    } else {
+        Box::new(ValuesOp::new(int_schema(), null_rows()))
+    }
+}
+
+/// The vectorized filter/project path must produce bit-identical rows to
+/// the row-at-a-time path, including NULL predicate results (unknown
+/// rejects the row) and NULLs surviving into projected output.
+#[test]
+fn columnar_filter_project_matches_row_path() {
+    let run = |columnar: bool| {
+        let env = TestEnv::new(20, 4);
+        let filt = FilterOp::new(source(columnar), Expr::col("a").lt(8));
+        let schema = Arc::new(
+            Schema::new(vec![
+                Field::new("b", DataType::Str),
+                Field::new("small", DataType::Bool),
+            ])
+            .unwrap(),
+        );
+        let proj = ProjectOp::new(
+            Box::new(filt),
+            vec![
+                (Expr::col("b"), "b".into()),
+                (Expr::col("a").lt(5), "small".into()),
+            ],
+            schema,
+        );
+        env.drain(Box::new(proj)).unwrap()
+    };
+    let row = run(false);
+    let col = run(true);
+    assert_eq!(row.rows(), col.rows());
+    assert_eq!(row.len(), 4, "NULL `a` is unknown and filtered out");
+    // The NULL `b` cell survives projection intact.
+    assert!(row.rows().iter().any(|r| r[0] == Value::Null));
+}
+
+/// Aggregation over a columnar source must group, sort and fold exactly
+/// like the row path — group keys are encoded with the same byte encoding
+/// on both sides, and NULL arguments are skipped by SUM/MIN/MAX/AVG.
+#[test]
+fn columnar_aggregate_matches_row_path() {
+    let run = |columnar: bool| {
+        let env = TestEnv::new(21, 4);
+        let schema = Arc::new(
+            Schema::new(vec![
+                Field::new("b", DataType::Str),
+                Field::new("n", DataType::Int),
+                Field::new("s", DataType::Float),
+                Field::new("mn", DataType::Float),
+                Field::new("mx", DataType::Float),
+                Field::new("av", DataType::Float),
+            ])
+            .unwrap(),
+        );
+        let op = AggregateOp::new(
+            source(columnar),
+            vec!["b".into()],
+            vec![
+                (AggFunc::Count, None, "n".into()),
+                (AggFunc::Sum, Some(Expr::col("a")), "s".into()),
+                (AggFunc::Min, Some(Expr::col("a")), "mn".into()),
+                (AggFunc::Max, Some(Expr::col("a")), "mx".into()),
+                (AggFunc::Avg, Some(Expr::col("a")), "av".into()),
+            ],
+            schema,
+        );
+        env.drain(Box::new(op)).unwrap()
+    };
+    let row = run(false);
+    let col = run(true);
+    assert_eq!(row.rows(), col.rows());
+    // Three groups: NULL, "x", "y" (NULL key bytes sort first).
+    assert_eq!(row.len(), 3);
+    assert_eq!(row.value(0, "b").unwrap(), &Value::Null);
+    assert_eq!(row.value(1, "b").unwrap(), &Value::from("x"));
+    // Group "x" holds a = {1, 9, 4} → sum 14.
+    assert_eq!(row.value(1, "s").unwrap(), &Value::Float(14.0));
+}
+
+/// LIMIT on a columnar batch truncates through the selection vector
+/// without pivoting to rows.
+#[test]
+fn limit_truncates_columnar_batches_via_selection() {
+    let env = TestEnv::new(22, 4);
+    let src = ColumnarValuesOp::new(int_schema(), null_rows());
+    let op = LimitOp::new(Box::new(src), 2);
+    let out = env.drain(Box::new(op)).unwrap();
+    assert_eq!(out.len(), 2);
+    assert_eq!(out.value(0, "a").unwrap(), &Value::Int(1));
+    assert_eq!(out.value(1, "a").unwrap(), &Value::Null);
+    // Only the two surviving rows were pivoted at the drain boundary.
+    assert_eq!(env.storage.metrics().snapshot().rows_pivoted, 2);
+}
+
+/// `rows_pivoted` is the observable cost of leaving the columnar path: a
+/// columnar flow charges it at the drain boundary, a row flow never does.
+#[test]
+fn pivot_counter_charges_only_columnar_flows() {
+    let env = TestEnv::new(23, 4);
+    let out = env.drain(source(true)).unwrap();
+    assert_eq!(out.len(), 6);
+    assert_eq!(env.storage.metrics().snapshot().rows_pivoted, 6);
+
+    let env = TestEnv::new(23, 4);
+    env.drain(source(false)).unwrap();
+    assert_eq!(env.storage.metrics().snapshot().rows_pivoted, 0);
 }
 
 // ---------------------------------------------------------------------------
@@ -458,7 +589,7 @@ fn run_views_query_faulty(
     let ctx = env.ctx_with(config);
     let mut rows = Vec::new();
     while let Some(b) = op.next(&ctx).unwrap() {
-        rows.extend(b.rows().iter().cloned());
+        rows.extend(b.into_batch().into_rows());
     }
     ViewsRun {
         cost: env.clock.snapshot(),

@@ -3,7 +3,7 @@
 
 use std::sync::Arc;
 
-use eva_common::{Batch, Result, Schema, SimClock, Value};
+use eva_common::{Batch, ColumnarBatch, ExecBatch, Result, Schema, SimClock, Value};
 use eva_storage::StorageEngine;
 use eva_udf::registry::install_standard_zoo;
 use eva_udf::{InvocationStats, UdfRegistry};
@@ -76,12 +76,13 @@ impl TestEnv {
         }
     }
 
-    /// Drain an operator to completion.
+    /// Drain an operator to completion (pivoting columnar batches like the
+    /// engine's output collection does).
     pub fn drain(&self, mut op: BoxedOp) -> Result<Batch> {
         let ctx = self.ctx();
         let mut out = Batch::empty(op.schema());
         while let Some(b) = op.next(&ctx)? {
-            out.extend(b)?;
+            out.extend(crate::ops::into_rows(&ctx, b))?;
         }
         Ok(out)
     }
@@ -108,7 +109,35 @@ impl Operator for ValuesOp {
         Arc::clone(&self.schema)
     }
 
-    fn next(&mut self, _ctx: &ExecCtx<'_>) -> Result<Option<Batch>> {
-        Ok(self.batches.pop())
+    fn next(&mut self, _ctx: &ExecCtx<'_>) -> Result<Option<ExecBatch>> {
+        Ok(self.batches.pop().map(ExecBatch::Rows))
+    }
+}
+
+/// [`ValuesOp`]'s columnar twin: the same rows pivoted up front, emitted as
+/// one columnar batch — lets tests drive the vectorized operator paths with
+/// arbitrary (including NULL-bearing) data.
+pub struct ColumnarValuesOp {
+    schema: Arc<Schema>,
+    batches: Vec<ColumnarBatch>,
+}
+
+impl ColumnarValuesOp {
+    pub fn new(schema: Arc<Schema>, rows: Vec<Vec<Value>>) -> ColumnarValuesOp {
+        let batch = ColumnarBatch::from_batch(&Batch::new(Arc::clone(&schema), rows));
+        ColumnarValuesOp {
+            schema,
+            batches: vec![batch],
+        }
+    }
+}
+
+impl Operator for ColumnarValuesOp {
+    fn schema(&self) -> Arc<Schema> {
+        Arc::clone(&self.schema)
+    }
+
+    fn next(&mut self, _ctx: &ExecCtx<'_>) -> Result<Option<ExecBatch>> {
+        Ok(self.batches.pop().map(ExecBatch::Columnar))
     }
 }

@@ -18,7 +18,9 @@
 pub mod eval;
 pub mod expr;
 pub mod util;
+pub mod vector;
 
-pub use eval::{EvalContext, RowContext, UdfDispatch};
+pub use eval::{EvalContext, NoUdfs, RowContext, UdfDispatch};
 pub use expr::{AggFunc, CmpOp, Expr, UdfCall};
 pub use util::{collect_udf_calls, conjoin, conjuncts, disjoin, referenced_columns};
+pub use vector::{eval_columnar, filter_columnar};

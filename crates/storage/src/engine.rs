@@ -14,8 +14,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use eva_common::{
-    Batch, CostCategory, DataType, EvaError, FailpointRegistry, Field, FrameId, MetricsSink,
-    Result, Row, Schema, SimClock, SpanKind, TraceSink, Value, ViewId,
+    Batch, Column, ColumnarBatch, CostCategory, DataType, EvaError, FailpointRegistry, Field,
+    FrameId, MetricsSink, Result, Row, Schema, SimClock, SpanKind, TraceSink, Value, ViewId,
 };
 use eva_video::VideoDataset;
 
@@ -211,6 +211,48 @@ impl StorageEngine {
         );
         self.shared.metrics.record_frames_scanned(rows.len() as u64);
         Ok(Batch::new(schema, rows))
+    }
+
+    /// Columnar variant of [`StorageEngine::scan_frames`]: the same
+    /// `(id, timestamp, frame)` range as three contiguous all-valid `i64`
+    /// arrays — no per-row `Vec<Value>` allocation. IO cost and the
+    /// `frames_scanned` counter are charged identically, so swapping scan
+    /// forms cannot move the cost model.
+    pub fn scan_frames_columnar(
+        &self,
+        dataset: &str,
+        from: u64,
+        to: u64,
+        clock: &SimClock,
+    ) -> Result<ColumnarBatch> {
+        let ds = self.dataset(dataset)?;
+        let to = to.min(ds.len());
+        let schema = Arc::new(video_table_schema());
+        let n = to.saturating_sub(from) as usize;
+        let mut ids = Vec::with_capacity(n);
+        let mut timestamps = Vec::with_capacity(n);
+        let mut frames = Vec::with_capacity(n);
+        for id in from..to {
+            let f = ds
+                .frame(FrameId(id))
+                .ok_or_else(|| EvaError::Storage(format!("missing frame {id}")))?;
+            ids.push(id as i64);
+            timestamps.push(f.timestamp_ms);
+            frames.push(id as i64); // frame payload carried by reference
+        }
+        if n > 0 {
+            clock.charge(CostCategory::ReadVideo, self.cost.frame_read_ms * n as f64);
+            self.shared.metrics.record_frames_scanned(n as u64);
+        }
+        Ok(ColumnarBatch::new(
+            schema,
+            vec![
+                Arc::new(Column::from_ints(ids)),
+                Arc::new(Column::from_ints(timestamps)),
+                Arc::new(Column::from_ints(frames)),
+            ],
+            n,
+        ))
     }
 
     /// Create a new, empty materialized view.

@@ -105,8 +105,8 @@ proptest! {
 
     #[test]
     fn snapshot_algebra_is_consistent(
-        a in prop::collection::vec(0u64..1_000_000, 19),
-        b in prop::collection::vec(0u64..1_000_000, 19),
+        a in prop::collection::vec(0u64..1_000_000, 22),
+        b in prop::collection::vec(0u64..1_000_000, 22),
     ) {
         use eva_common::MetricsSnapshot;
         let fill = |v: &[u64]| MetricsSnapshot {
@@ -124,6 +124,9 @@ proptest! {
             view_rows_read: v[9],
             view_rows_written: v[10],
             frames_scanned: v[11],
+            columnar_batches: v[17],
+            columnar_rows: v[18],
+            rows_pivoted: v[19],
             views_recovered: v[13],
             views_quarantined: v[14],
             udf_retries: v[15],
