@@ -16,8 +16,9 @@ use eva_exec::ops::filter::FilterOp;
 use eva_exec::ops::project::ProjectOp;
 use eva_exec::ops::scan::ScanFramesOp;
 use eva_exec::ops::{BoxedOp, PivotRowsOp};
-use eva_exec::{ExecConfig, ExecCtx, FunCacheTable};
+use eva_exec::{execute_with_pool, ExecConfig, ExecCtx, FunCacheTable, WorkerPool};
 use eva_expr::{AggFunc, Expr};
+use eva_planner::PhysPlan;
 use eva_storage::engine::video_table_schema;
 use eva_storage::StorageEngine;
 use eva_udf::{InvocationStats, UdfRegistry};
@@ -118,6 +119,7 @@ impl HotEnv {
                 batch_size: 4096,
                 ..ExecConfig::default()
             },
+            pool: None,
         }
     }
 }
@@ -188,6 +190,106 @@ fn drain(env: &HotEnv, mut op: BoxedOp) -> Vec<Vec<Value>> {
     rows
 }
 
+/// The hot-path pipeline as a physical plan, for the engine-level scaling
+/// bench (the engine substitutes the morsel-parallel operator itself).
+fn hot_path_plan() -> PhysPlan {
+    let scan = PhysPlan::ScanFrames {
+        id: eva_common::OpId::UNSET,
+        table: "hot".into(),
+        dataset: "hot".into(),
+        range: (0, HOT_ROWS),
+        schema: Arc::new(video_table_schema()),
+    };
+    let filt = PhysPlan::Filter {
+        id: eva_common::OpId::UNSET,
+        input: Box::new(scan),
+        predicate: Expr::col("id")
+            .ge(10_000)
+            .and(Expr::col("id").lt(90_000))
+            .and(Expr::col("timestamp").ge(0)),
+    };
+    let proj = PhysPlan::Project {
+        id: eva_common::OpId::UNSET,
+        input: Box::new(filt),
+        items: vec![
+            (Expr::col("id"), "id".into()),
+            (Expr::col("id").lt(50_000), "small".into()),
+        ],
+        schema: Arc::new(
+            eva_common::Schema::new(vec![
+                eva_common::Field::new("id", eva_common::DataType::Int),
+                eva_common::Field::new("small", eva_common::DataType::Bool),
+            ])
+            .unwrap(),
+        ),
+    };
+    let mut plan = PhysPlan::Aggregate {
+        id: eva_common::OpId::UNSET,
+        input: Box::new(proj),
+        group_by: vec![],
+        aggs: vec![
+            (AggFunc::Count, None, "n".into()),
+            (AggFunc::Sum, Some(Expr::col("id")), "s".into()),
+            (AggFunc::Min, Some(Expr::col("id")), "mn".into()),
+            (AggFunc::Max, Some(Expr::col("id")), "mx".into()),
+        ],
+        schema: Arc::new(
+            eva_common::Schema::new(vec![
+                eva_common::Field::new("n", eva_common::DataType::Int),
+                eva_common::Field::new("s", eva_common::DataType::Float),
+                eva_common::Field::new("mn", eva_common::DataType::Float),
+                eva_common::Field::new("mx", eva_common::DataType::Float),
+            ])
+            .unwrap(),
+        ),
+    };
+    plan.assign_op_ids();
+    plan
+}
+
+/// Morsel-driven scaling over the 100k-row hot-path plan: one bench per
+/// worker count, plus the serial executor as the 1-thread reference.
+fn bench_executor_scaling(c: &mut Criterion) {
+    let env = HotEnv::new();
+    let plan = hot_path_plan();
+    let run = |config: ExecConfig, pool: Option<&WorkerPool>| {
+        execute_with_pool(
+            &plan,
+            &env.storage,
+            &env.registry,
+            &env.stats,
+            &env.clock,
+            &env.funcache,
+            config,
+            pool,
+        )
+        .expect("scaling plan executes")
+    };
+    let serial_cfg = ExecConfig {
+        batch_size: 1024,
+        parallel_scan_min_rows: 0,
+        ..ExecConfig::default()
+    };
+    // Identity before timing: the parallel pipeline must reproduce the
+    // serial rows exactly at every width.
+    let reference = run(serial_cfg, None);
+    for workers in [1usize, 2, 4, 8] {
+        let pool = WorkerPool::new(workers);
+        let out = run(ExecConfig::default(), Some(&pool));
+        assert_eq!(reference.batch.rows(), out.batch.rows());
+        assert_eq!(out.metrics.parallel_pipelines, 1);
+    }
+    c.bench_function("executor_scaling_serial", |b| {
+        b.iter(|| black_box(run(serial_cfg, None)))
+    });
+    for workers in [1usize, 2, 4, 8] {
+        let pool = WorkerPool::new(workers);
+        c.bench_function(&format!("executor_scaling_workers_{workers}"), |b| {
+            b.iter(|| black_box(run(ExecConfig::default(), Some(&pool))))
+        });
+    }
+}
+
 fn bench_hot_path(c: &mut Criterion) {
     let env = HotEnv::new();
     // Both paths must agree before timing anything.
@@ -206,6 +308,6 @@ fn bench_hot_path(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_execute, bench_hot_path
+    targets = bench_execute, bench_hot_path, bench_executor_scaling
 }
 criterion_main!(benches);

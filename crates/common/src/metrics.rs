@@ -84,6 +84,28 @@ pub struct MetricsSnapshot {
     /// UDF invocations abandoned after exhausting the retry budget.
     #[serde(default)]
     pub udf_gave_up: u64,
+    /// Morsels dispatched by parallel pipelines. Deterministic: the morsel
+    /// count depends only on the scan range and the configured morsel size,
+    /// never on worker scheduling.
+    #[serde(default)]
+    pub morsels_dispatched: u64,
+    /// Morsels executed by a lane other than the one they were assigned to
+    /// (work stealing). **Nondeterministic** — depends on thread scheduling;
+    /// masked by [`deterministic`](MetricsSnapshot::deterministic).
+    #[serde(default)]
+    pub morsels_stolen: u64,
+    /// Pipeline segments that ran morsel-parallel (one per engaged
+    /// `ParallelPipelineOp` execution). Deterministic: engagement depends
+    /// only on the plan shape, the config thresholds, and the row count.
+    #[serde(default)]
+    pub parallel_pipelines: u64,
+    /// Worker-pool size the session ran with — a gauge, not a counter, so
+    /// experiments record the core count behind their wall numbers.
+    /// **Machine-dependent**; masked by
+    /// [`deterministic`](MetricsSnapshot::deterministic) and excluded from
+    /// [`named_counters`](MetricsSnapshot::named_counters).
+    #[serde(default)]
+    pub n_workers: u64,
     /// Times a shard lock was observed contended (`try_read`/`try_write`
     /// failed and the caller had to block). **Nondeterministic** — depends on
     /// thread scheduling; excluded from identity comparisons via
@@ -118,6 +140,10 @@ impl MetricsSnapshot {
             views_quarantined: self.views_quarantined - earlier.views_quarantined,
             udf_retries: self.udf_retries - earlier.udf_retries,
             udf_gave_up: self.udf_gave_up - earlier.udf_gave_up,
+            morsels_dispatched: self.morsels_dispatched - earlier.morsels_dispatched,
+            morsels_stolen: self.morsels_stolen.saturating_sub(earlier.morsels_stolen),
+            parallel_pipelines: self.parallel_pipelines - earlier.parallel_pipelines,
+            n_workers: self.n_workers.saturating_sub(earlier.n_workers),
             shard_lock_contention: self
                 .shard_lock_contention
                 .saturating_sub(earlier.shard_lock_contention),
@@ -148,6 +174,10 @@ impl MetricsSnapshot {
             views_quarantined: self.views_quarantined + other.views_quarantined,
             udf_retries: self.udf_retries + other.udf_retries,
             udf_gave_up: self.udf_gave_up + other.udf_gave_up,
+            morsels_dispatched: self.morsels_dispatched + other.morsels_dispatched,
+            morsels_stolen: self.morsels_stolen + other.morsels_stolen,
+            parallel_pipelines: self.parallel_pipelines + other.parallel_pipelines,
+            n_workers: self.n_workers + other.n_workers,
             shard_lock_contention: self.shard_lock_contention + other.shard_lock_contention,
         }
     }
@@ -175,6 +205,8 @@ impl MetricsSnapshot {
     pub fn deterministic(&self) -> MetricsSnapshot {
         MetricsSnapshot {
             shard_lock_contention: 0,
+            morsels_stolen: 0,
+            n_workers: 0,
             ..*self
         }
     }
@@ -206,6 +238,11 @@ impl MetricsSnapshot {
             ("views_quarantined", self.views_quarantined as f64),
             ("udf_retries", self.udf_retries as f64),
             ("udf_gave_up", self.udf_gave_up as f64),
+            ("morsels_dispatched", self.morsels_dispatched as f64),
+            ("morsels_stolen", self.morsels_stolen as f64),
+            ("parallel_pipelines", self.parallel_pipelines as f64),
+            // `n_workers` is deliberately absent: it is a machine-dependent
+            // gauge, and this list feeds the cross-machine perf-gate diff.
             ("shard_lock_contention", self.shard_lock_contention as f64),
         ]
     }
@@ -235,6 +272,10 @@ struct Inner {
     views_quarantined: AtomicU64,
     udf_retries: AtomicU64,
     udf_gave_up: AtomicU64,
+    morsels_dispatched: AtomicU64,
+    morsels_stolen: AtomicU64,
+    parallel_pipelines: AtomicU64,
+    n_workers: AtomicU64,
     shard_lock_contention: AtomicU64,
 }
 
@@ -356,6 +397,32 @@ impl MetricsSink {
         self.inner.udf_gave_up.fetch_add(gave_up, Ordering::Relaxed);
     }
 
+    /// Record one engaged parallel pipeline segment and the morsels it
+    /// dispatched. Charged once, on the caller thread, after the workers
+    /// have returned — both values are deterministic.
+    pub fn record_parallel_pipeline(&self, morsels: u64) {
+        self.inner
+            .parallel_pipelines
+            .fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .morsels_dispatched
+            .fetch_add(morsels, Ordering::Relaxed);
+    }
+
+    /// Record morsels that were stolen across lanes. Nondeterministic by
+    /// nature (pure scheduling); see [`MetricsSnapshot::deterministic`].
+    pub fn record_morsels_stolen(&self, stolen: u64) {
+        self.inner
+            .morsels_stolen
+            .fetch_add(stolen, Ordering::Relaxed);
+    }
+
+    /// Record the worker-pool size the session is running with (a gauge:
+    /// the latest value wins).
+    pub fn set_n_workers(&self, n: u64) {
+        self.inner.n_workers.store(n, Ordering::Relaxed);
+    }
+
     /// Note one contended shard-lock acquisition. Nondeterministic by nature;
     /// see [`MetricsSnapshot::deterministic`].
     pub fn note_shard_contention(&self) {
@@ -401,6 +468,10 @@ impl MetricsSink {
             views_quarantined: i.views_quarantined.load(Ordering::Relaxed),
             udf_retries: i.udf_retries.load(Ordering::Relaxed),
             udf_gave_up: i.udf_gave_up.load(Ordering::Relaxed),
+            morsels_dispatched: i.morsels_dispatched.load(Ordering::Relaxed),
+            morsels_stolen: i.morsels_stolen.load(Ordering::Relaxed),
+            parallel_pipelines: i.parallel_pipelines.load(Ordering::Relaxed),
+            n_workers: i.n_workers.load(Ordering::Relaxed),
             shard_lock_contention: i.shard_lock_contention.load(Ordering::Relaxed),
         }
     }
@@ -429,6 +500,10 @@ impl MetricsSink {
         i.views_quarantined.store(0, Ordering::Relaxed);
         i.udf_retries.store(0, Ordering::Relaxed);
         i.udf_gave_up.store(0, Ordering::Relaxed);
+        i.morsels_dispatched.store(0, Ordering::Relaxed);
+        i.morsels_stolen.store(0, Ordering::Relaxed);
+        i.parallel_pipelines.store(0, Ordering::Relaxed);
+        i.n_workers.store(0, Ordering::Relaxed);
         i.shard_lock_contention.store(0, Ordering::Relaxed);
     }
 }
@@ -557,17 +632,59 @@ mod tests {
     }
 
     #[test]
-    fn deterministic_masks_contention_only() {
+    fn deterministic_masks_scheduling_dependent_counters_only() {
         let m = MetricsSink::new();
         m.record_probe_batch(2, 1, 0);
         m.note_shard_contention();
         m.note_shard_contention();
+        m.record_parallel_pipeline(8);
+        m.record_morsels_stolen(3);
+        m.set_n_workers(4);
         let s = m.snapshot();
         assert_eq!(s.shard_lock_contention, 2);
+        assert_eq!(s.morsels_stolen, 3);
+        assert_eq!(s.n_workers, 4);
         let d = s.deterministic();
         assert_eq!(d.shard_lock_contention, 0);
+        assert_eq!(d.morsels_stolen, 0);
+        assert_eq!(d.n_workers, 0);
+        // The deterministic parallel counters survive the mask.
+        assert_eq!(d.morsels_dispatched, 8);
+        assert_eq!(d.parallel_pipelines, 1);
         assert_eq!(d.probes, 2);
         assert_eq!(d.probe_hits, 1);
+    }
+
+    #[test]
+    fn parallel_counters_round_trip() {
+        let m = MetricsSink::new();
+        m.record_parallel_pipeline(10);
+        m.record_parallel_pipeline(3);
+        m.record_morsels_stolen(2);
+        m.set_n_workers(8);
+        let s = m.snapshot();
+        assert_eq!(s.parallel_pipelines, 2);
+        assert_eq!(s.morsels_dispatched, 13);
+        assert_eq!(s.morsels_stolen, 2);
+        assert_eq!(s.n_workers, 8);
+        // set_n_workers is a gauge: the latest value wins.
+        m.set_n_workers(2);
+        assert_eq!(m.snapshot().n_workers, 2);
+        let before = s;
+        m.record_parallel_pipeline(5);
+        let delta = m.snapshot().since(&before);
+        assert_eq!(delta.parallel_pipelines, 1);
+        assert_eq!(delta.morsels_dispatched, 5);
+        // n_workers went down (8 → 2): since() saturates instead of wrapping.
+        assert_eq!(delta.n_workers, 0);
+        // The gauge stays out of the exported counter list.
+        let names: Vec<&str> = s.named_counters().iter().map(|(n, _)| *n).collect();
+        assert!(names.contains(&"morsels_dispatched"));
+        assert!(names.contains(&"morsels_stolen"));
+        assert!(names.contains(&"parallel_pipelines"));
+        assert!(!names.contains(&"n_workers"));
+        m.reset();
+        assert_eq!(m.snapshot(), MetricsSnapshot::default());
     }
 
     #[test]

@@ -63,11 +63,15 @@ pub enum SpanKind {
     ShardWait,
     /// One persisted-segment read or write (save/load/recovery path).
     SegmentIo,
+    /// One morsel-parallel pipeline segment: covers dispatch, worker
+    /// execution, and the caller-thread accounting replay. Per-worker
+    /// `operator` leaf spans hang underneath it.
+    Pipeline,
 }
 
 impl SpanKind {
     /// All kinds, in reporting order.
-    pub const ALL: [SpanKind; 7] = [
+    pub const ALL: [SpanKind; 8] = [
         SpanKind::Query,
         SpanKind::Operator,
         SpanKind::UdfEval,
@@ -75,6 +79,7 @@ impl SpanKind {
         SpanKind::CacheLookup,
         SpanKind::ShardWait,
         SpanKind::SegmentIo,
+        SpanKind::Pipeline,
     ];
 
     /// Stable snake_case label (histogram keys, Prometheus series,
@@ -88,6 +93,7 @@ impl SpanKind {
             SpanKind::CacheLookup => "cache_lookup",
             SpanKind::ShardWait => "shard_wait",
             SpanKind::SegmentIo => "segment_io",
+            SpanKind::Pipeline => "pipeline",
         }
     }
 
@@ -100,6 +106,7 @@ impl SpanKind {
             SpanKind::CacheLookup => 4,
             SpanKind::ShardWait => 5,
             SpanKind::SegmentIo => 6,
+            SpanKind::Pipeline => 7,
         }
     }
 }
@@ -107,7 +114,7 @@ impl SpanKind {
 /// One latency histogram per [`SpanKind`], recording wall-clock nanoseconds.
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct SpanHists {
-    hists: [LatencyHistogram; 7],
+    hists: [LatencyHistogram; 8],
 }
 
 impl SpanHists {

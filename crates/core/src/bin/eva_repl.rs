@@ -175,6 +175,14 @@ fn meta_command(db: &mut EvaDb, cmd: &str) -> bool {
                 "resilience: views recovered={} quarantined={}; udf retries={} gave-up={}",
                 m.views_recovered, m.views_quarantined, m.udf_retries, m.udf_gave_up
             );
+            println!(
+                "columnar: batches={} rows={} pivoted={}",
+                m.columnar_batches, m.columnar_rows, m.rows_pivoted
+            );
+            println!(
+                "parallel: workers={} pipelines={} morsels={} stolen={}",
+                m.n_workers, m.parallel_pipelines, m.morsels_dispatched, m.morsels_stolen
+            );
         }
         "stats" => {
             for (name, c) in db.invocation_stats().all() {

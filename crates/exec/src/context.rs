@@ -11,6 +11,7 @@ use eva_video::VideoDataset;
 
 use crate::config::ExecConfig;
 use crate::funcache::FunCacheTable;
+use crate::pool::WorkerPool;
 
 /// Per-operator runtime statistics for one query execution.
 ///
@@ -64,6 +65,10 @@ pub struct ExecCtx<'a> {
     pub op_stats: &'a OpStatsCollector,
     /// Tunables.
     pub config: ExecConfig,
+    /// Worker pool override. `None` (the production path) uses
+    /// [`WorkerPool::global`]; tests and scaling benchmarks inject
+    /// dedicated pools to pin the worker count.
+    pub pool: Option<&'a WorkerPool>,
 }
 
 impl ExecCtx<'_> {
@@ -79,5 +84,11 @@ impl ExecCtx<'_> {
     /// never touches the clock or the counters — see `eva_common::trace`.
     pub fn trace(&self) -> &TraceSink {
         self.storage.trace()
+    }
+
+    /// The worker pool this execution fans out on: the injected override if
+    /// present, otherwise the shared process-wide pool.
+    pub fn pool(&self) -> &WorkerPool {
+        self.pool.unwrap_or_else(|| WorkerPool::global())
     }
 }

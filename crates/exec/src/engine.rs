@@ -7,7 +7,7 @@ use eva_common::{
     Batch, CostBreakdown, EvaError, ExecBatch, MetricsSnapshot, OpId, OpStats, QueryTrace, Result,
     Schema, SimClock, SpanKind, SpanRef,
 };
-use eva_planner::PhysPlan;
+use eva_planner::{parallel_segment, ParallelSegment, PhysPlan};
 use eva_storage::StorageEngine;
 use eva_udf::{InvocationStats, UdfRegistry};
 
@@ -17,6 +17,7 @@ use crate::funcache::FunCacheTable;
 use crate::ops::aggregate::AggregateOp;
 use crate::ops::apply::ApplyOp;
 use crate::ops::filter::FilterOp;
+use crate::ops::parallel::ParallelPipelineOp;
 use crate::ops::project::ProjectOp;
 use crate::ops::scan::ScanFramesOp;
 use crate::ops::sort_limit::{LimitOp, SortOp};
@@ -127,7 +128,17 @@ fn op_label(plan: &PhysPlan) -> &'static str {
 
 /// Build the operator tree for a physical plan. Every node is wrapped in an
 /// [`InstrumentedOp`] carrying the plan node's operator id.
-fn build(plan: &PhysPlan) -> Result<BoxedOp> {
+///
+/// When an engaged [`ParallelSegment`] is supplied, the subtree rooted at
+/// `par.root_op_id` is replaced by a single **unwrapped**
+/// [`ParallelPipelineOp`], which replays the subsumed operators' accounting
+/// itself (wrapping it would double-count rows and cost).
+fn build(plan: &PhysPlan, par: Option<&ParallelSegment>) -> Result<BoxedOp> {
+    if let Some(seg) = par {
+        if seg.root_op_id == plan.op_id() {
+            return Ok(Box::new(ParallelPipelineOp::new(seg.clone())));
+        }
+    }
     let inner: BoxedOp = match plan {
         PhysPlan::ScanFrames {
             dataset,
@@ -141,14 +152,15 @@ fn build(plan: &PhysPlan) -> Result<BoxedOp> {
         )),
         PhysPlan::Filter {
             input, predicate, ..
-        } => Box::new(FilterOp::new(build(input)?, predicate.clone())),
+        } => Box::new(FilterOp::new(build(input, par)?, predicate.clone())),
         PhysPlan::Apply {
             input,
             spec,
             schema,
             ..
         } => Box::new(
-            ApplyOp::new(build(input)?, spec.clone(), Arc::clone(schema))?.with_op_id(plan.op_id()),
+            ApplyOp::new(build(input, par)?, spec.clone(), Arc::clone(schema))?
+                .with_op_id(plan.op_id()),
         ),
         PhysPlan::Project {
             input,
@@ -156,7 +168,7 @@ fn build(plan: &PhysPlan) -> Result<BoxedOp> {
             schema,
             ..
         } => Box::new(ProjectOp::new(
-            build(input)?,
+            build(input, par)?,
             items.clone(),
             Arc::clone(schema),
         )),
@@ -167,13 +179,15 @@ fn build(plan: &PhysPlan) -> Result<BoxedOp> {
             schema,
             ..
         } => Box::new(AggregateOp::new(
-            build(input)?,
+            build(input, par)?,
             group_by.clone(),
             aggs.clone(),
             Arc::clone(schema),
         )),
-        PhysPlan::Sort { input, keys, .. } => Box::new(SortOp::new(build(input)?, keys.clone())),
-        PhysPlan::Limit { input, n, .. } => Box::new(LimitOp::new(build(input)?, *n)),
+        PhysPlan::Sort { input, keys, .. } => {
+            Box::new(SortOp::new(build(input, par)?, keys.clone()))
+        }
+        PhysPlan::Limit { input, n, .. } => Box::new(LimitOp::new(build(input, par)?, *n)),
     };
     Ok(Box::new(InstrumentedOp {
         id: plan.op_id(),
@@ -195,7 +209,7 @@ fn dataset_of(plan: &PhysPlan) -> Result<&str> {
     }
 }
 
-/// Execute a physical plan to completion.
+/// Execute a physical plan to completion on the shared worker pool.
 #[allow(clippy::too_many_arguments)]
 pub fn execute(
     plan: &PhysPlan,
@@ -205,6 +219,24 @@ pub fn execute(
     clock: &SimClock,
     funcache: &FunCacheTable,
     config: ExecConfig,
+) -> Result<QueryOutput> {
+    execute_with_pool(
+        plan, storage, registry, stats, clock, funcache, config, None,
+    )
+}
+
+/// [`execute`] with an injected worker pool — tests and scaling benchmarks
+/// pin the worker count; `None` uses the process-wide pool.
+#[allow(clippy::too_many_arguments)]
+pub fn execute_with_pool(
+    plan: &PhysPlan,
+    storage: &StorageEngine,
+    registry: &UdfRegistry,
+    stats: &InvocationStats,
+    clock: &SimClock,
+    funcache: &FunCacheTable,
+    config: ExecConfig,
+    pool: Option<&crate::pool::WorkerPool>,
 ) -> Result<QueryOutput> {
     let started = std::time::Instant::now();
     let before = clock.snapshot();
@@ -216,6 +248,14 @@ pub fn execute(
         .begin_query(explain.lines().next().unwrap_or("query").trim());
     let dataset = storage.dataset(dataset_of(plan)?)?;
     let op_stats = OpStatsCollector::new();
+    // Morsel-driven engagement is deterministic: it depends only on the plan
+    // shape, the configured thresholds, and the scan-range size — never on
+    // the worker count — so counters and results are machine-independent.
+    let segment = if config.parallel_scan_min_rows > 0 && config.morsel_rows > 0 {
+        parallel_segment(plan).filter(|s| s.range_len() >= config.parallel_scan_min_rows)
+    } else {
+        None
+    };
     let ctx = ExecCtx {
         storage,
         registry,
@@ -225,8 +265,14 @@ pub fn execute(
         funcache,
         op_stats: &op_stats,
         config,
+        pool,
     };
-    let mut root = build(plan)?;
+    // Surface the pool width as a gauge (masked from deterministic
+    // comparisons) so `\metrics` and snapshots report the parallelism level.
+    storage
+        .metrics()
+        .set_n_workers(ctx.pool().n_workers() as u64);
+    let mut root = build(plan, segment.as_ref())?;
     let schema = root.schema();
     let mut out = Batch::empty(schema);
     while let Some(batch) = root.next(&ctx)? {

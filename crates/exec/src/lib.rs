@@ -27,6 +27,6 @@ mod testing;
 
 pub use config::ExecConfig;
 pub use context::ExecCtx;
-pub use engine::{execute, QueryOutput};
+pub use engine::{execute, execute_with_pool, QueryOutput};
 pub use funcache::{FunCacheKey, FunCacheTable};
 pub use pool::WorkerPool;

@@ -1,4 +1,13 @@
 //! Hash aggregation (GROUP BY).
+//!
+//! Aggregation is structured around *mergeable partial states*: every input
+//! batch folds into a fresh partial [`Groups`] table which is then merged
+//! into the running total in batch-arrival order. The serial operator and
+//! the morsel-parallel pipeline breaker share this core
+//! ([`AggPlan`]/[`AggState::merge`]), and because a parallel pipeline's
+//! morsel boundaries reproduce the serial batch boundaries, merging
+//! per-morsel partials in morsel order is *bit-identical* to the serial
+//! fold — including float accumulation order.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -15,7 +24,7 @@ use crate::ops::{BoxedOp, Operator};
 
 /// One aggregate's running state.
 #[derive(Debug, Clone)]
-enum AggState {
+pub(crate) enum AggState {
     Count(i64),
     Sum(f64),
     Min(Option<Value>),
@@ -93,6 +102,51 @@ impl AggState {
         Ok(())
     }
 
+    /// Fold a later partial into this one. Merging is the associative half
+    /// of the aggregate algebra; determinism comes from the *caller*
+    /// merging partials in batch/morsel order. Min/Max replace only on a
+    /// strict inequality, so the earlier partial wins ties exactly like
+    /// the sequential fold.
+    pub(crate) fn merge(&mut self, later: AggState) {
+        match (self, later) {
+            (AggState::Count(a), AggState::Count(b)) => *a += b,
+            (AggState::Sum(a), AggState::Sum(b)) => *a += b,
+            (AggState::Min(a), AggState::Min(b)) => {
+                if let Some(v) = b {
+                    let replace = match a {
+                        Some(cur) => {
+                            CellRef::from_value(&v).sql_cmp(CellRef::from_value(cur))
+                                == Some(std::cmp::Ordering::Less)
+                        }
+                        None => true,
+                    };
+                    if replace {
+                        *a = Some(v);
+                    }
+                }
+            }
+            (AggState::Max(a), AggState::Max(b)) => {
+                if let Some(v) = b {
+                    let replace = match a {
+                        Some(cur) => {
+                            CellRef::from_value(&v).sql_cmp(CellRef::from_value(cur))
+                                == Some(std::cmp::Ordering::Greater)
+                        }
+                        None => true,
+                    };
+                    if replace {
+                        *a = Some(v);
+                    }
+                }
+            }
+            (AggState::Avg { sum: a, n: an }, AggState::Avg { sum: b, n: bn }) => {
+                *a += b;
+                *an += bn;
+            }
+            _ => unreachable!("merging mismatched aggregate states"),
+        }
+    }
+
     fn finish(self) -> Value {
         match self {
             AggState::Count(c) => Value::Int(c),
@@ -121,14 +175,177 @@ enum ArgPlan {
     Expr(Expr),
 }
 
+/// The hash table: key bytes → (key row, per-aggregate states).
+pub(crate) type Groups = HashMap<Vec<u8>, (Row, Vec<AggState>)>;
+
+/// A resolved aggregation: group-key positions and argument plans bound
+/// against a concrete input schema. Shared by the serial [`AggregateOp`]
+/// and the morsel-parallel pipeline breaker — both fold batches into
+/// partial [`Groups`] through this and merge partials in arrival order.
+/// `Send + Sync`, so workers can fold morsels through a shared `Arc`.
+pub(crate) struct AggPlan {
+    aggs: Vec<(AggFunc, Option<Expr>, String)>,
+    key_idx: Vec<usize>,
+    args: Vec<ArgPlan>,
+    in_schema: Arc<Schema>,
+}
+
+impl AggPlan {
+    /// Bind `group_by` names and aggregate arguments against `in_schema`.
+    pub(crate) fn resolve(
+        group_by: &[String],
+        aggs: &[(AggFunc, Option<Expr>, String)],
+        in_schema: Arc<Schema>,
+    ) -> Result<AggPlan> {
+        let key_idx: Vec<usize> = group_by
+            .iter()
+            .map(|g| {
+                in_schema
+                    .index_of(g)
+                    .ok_or_else(|| EvaError::Exec(format!("unknown group column '{g}'")))
+            })
+            .collect::<Result<_>>()?;
+        // Resolve argument positions once; unresolvable columns stay
+        // expressions so the evaluator reports the standard binder error.
+        let args: Vec<ArgPlan> = aggs
+            .iter()
+            .map(|(_, arg, _)| match arg {
+                None => ArgPlan::Star,
+                Some(Expr::Column(c)) => match in_schema.index_of(c) {
+                    Some(i) => ArgPlan::Col(i),
+                    None => ArgPlan::Expr(Expr::Column(c.clone())),
+                },
+                Some(e) => ArgPlan::Expr(e.clone()),
+            })
+            .collect();
+        Ok(AggPlan {
+            aggs: aggs.to_vec(),
+            key_idx,
+            args,
+            in_schema,
+        })
+    }
+
+    fn fresh_states(&self) -> Vec<AggState> {
+        self.aggs.iter().map(|(f, _, _)| AggState::new(*f)).collect()
+    }
+
+    /// Fold one batch (either form) into `groups`.
+    pub(crate) fn consume(&self, batch: &ExecBatch, groups: &mut Groups) -> Result<()> {
+        match batch {
+            ExecBatch::Columnar(cb) => self.consume_columnar(cb, groups),
+            ExecBatch::Rows(b) => self.consume_rows(b, groups),
+        }
+    }
+
+    fn consume_rows(&self, batch: &Batch, groups: &mut Groups) -> Result<()> {
+        for row in batch.rows() {
+            let mut key = Vec::new();
+            for &i in &self.key_idx {
+                row[i].write_bytes(&mut key);
+            }
+            let entry = groups.entry(key).or_insert_with(|| {
+                let key_row: Row = self.key_idx.iter().map(|&i| row[i].clone()).collect();
+                (key_row, self.fresh_states())
+            });
+            for (arg, state) in self.args.iter().zip(entry.1.iter_mut()) {
+                match arg {
+                    ArgPlan::Star => state.update(None)?,
+                    ArgPlan::Col(i) => state.update_cell(CellRef::from_value(&row[*i]))?,
+                    ArgPlan::Expr(e) => {
+                        let rc = RowContext::new(&self.in_schema, row, &NoUdfs);
+                        let v = e.eval(&rc)?;
+                        state.update(Some(&v))?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Columnar fold: group keys hash each cell's [`Value::write_bytes`]
+    /// encoding (identical to the row path, so grouping and output order
+    /// cannot diverge) and argument cells update [`AggState`] without
+    /// materializing rows.
+    pub(crate) fn consume_columnar(&self, cb: &ColumnarBatch, groups: &mut Groups) -> Result<()> {
+        let active = cb.physical_indices();
+        // Computed arguments evaluate once per batch into compact columns;
+        // bare columns are read in place through the selection.
+        let mut computed: Vec<Option<Column>> = Vec::with_capacity(self.args.len());
+        for arg in &self.args {
+            computed.push(match arg {
+                ArgPlan::Expr(e) => Some(eval_columnar(e, cb, &active)?),
+                _ => None,
+            });
+        }
+        for (pos, &phys) in active.iter().enumerate() {
+            let phys = phys as usize;
+            let mut key = Vec::new();
+            for &i in &self.key_idx {
+                cb.column(i).write_value_bytes(phys, &mut key);
+            }
+            let entry = groups.entry(key).or_insert_with(|| {
+                let key_row: Row = self
+                    .key_idx
+                    .iter()
+                    .map(|&i| cb.column(i).value_at(phys))
+                    .collect();
+                (key_row, self.fresh_states())
+            });
+            for ((arg, col), state) in self.args.iter().zip(&computed).zip(entry.1.iter_mut()) {
+                match (arg, col) {
+                    (ArgPlan::Star, _) => state.update(None)?,
+                    (ArgPlan::Col(i), _) => state.update_cell(cb.column(*i).cell(phys))?,
+                    (ArgPlan::Expr(_), Some(col)) => state.update_cell(col.cell(pos))?,
+                    (ArgPlan::Expr(_), None) => unreachable!("computed column missing"),
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Merge a *later* partial into the running total. Per-key state
+    /// arithmetic is independent across keys, so the hash map's iteration
+    /// order cannot affect the result — determinism needs only that the
+    /// caller present partials in batch/morsel order.
+    pub(crate) fn merge_into(&self, total: &mut Groups, later: Groups) {
+        for (key, (key_row, states)) in later {
+            match total.entry(key) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    for (cur, new) in e.get_mut().1.iter_mut().zip(states) {
+                        cur.merge(new);
+                    }
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert((key_row, states));
+                }
+            }
+        }
+    }
+
+    /// Finalize: one output row per group, sorted by key bytes for
+    /// reproducibility.
+    pub(crate) fn finish(&self, groups: Groups, out_schema: &Arc<Schema>) -> Batch {
+        let mut out: Vec<(Vec<u8>, Row)> = groups
+            .into_iter()
+            .map(|(key, (key_row, states))| {
+                let mut row = key_row;
+                for s in states {
+                    row.push(s.finish());
+                }
+                (key, row)
+            })
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        let rows: Vec<Row> = out.into_iter().map(|(_, r)| r).collect();
+        Batch::new(Arc::clone(out_schema), rows)
+    }
+}
+
 /// Blocking hash aggregation: drains its input, then emits one batch of
 /// groups (key order deterministic by first appearance, then sorted by key
-/// bytes for reproducibility).
-///
-/// Columnar input feeds the hash table directly from the typed arrays:
-/// group keys hash each cell's [`Value::write_bytes`] encoding (identical
-/// to the row path, so grouping and output order cannot diverge) and
-/// argument cells update [`AggState`] without materializing rows.
+/// bytes for reproducibility). Each input batch folds into a fresh partial
+/// table merged in arrival order — see the module docs for why.
 pub struct AggregateOp {
     input: BoxedOp,
     group_by: Vec<String>,
@@ -155,95 +372,6 @@ impl AggregateOp {
     }
 }
 
-/// The hash table: key bytes → (key row, per-aggregate states).
-type Groups = HashMap<Vec<u8>, (Row, Vec<AggState>)>;
-
-impl AggregateOp {
-    fn consume_rows(
-        &self,
-        batch: &Batch,
-        in_schema: &Arc<Schema>,
-        key_idx: &[usize],
-        args: &[ArgPlan],
-        groups: &mut Groups,
-    ) -> Result<()> {
-        for row in batch.rows() {
-            let mut key = Vec::new();
-            for &i in key_idx {
-                row[i].write_bytes(&mut key);
-            }
-            let entry = groups.entry(key).or_insert_with(|| {
-                let key_row: Row = key_idx.iter().map(|&i| row[i].clone()).collect();
-                let states = self
-                    .aggs
-                    .iter()
-                    .map(|(f, _, _)| AggState::new(*f))
-                    .collect();
-                (key_row, states)
-            });
-            for (arg, state) in args.iter().zip(entry.1.iter_mut()) {
-                match arg {
-                    ArgPlan::Star => state.update(None)?,
-                    ArgPlan::Col(i) => state.update_cell(CellRef::from_value(&row[*i]))?,
-                    ArgPlan::Expr(e) => {
-                        let rc = RowContext::new(in_schema, row, &NoUdfs);
-                        let v = e.eval(&rc)?;
-                        state.update(Some(&v))?;
-                    }
-                }
-            }
-        }
-        Ok(())
-    }
-
-    fn consume_columnar(
-        &self,
-        cb: &ColumnarBatch,
-        key_idx: &[usize],
-        args: &[ArgPlan],
-        groups: &mut Groups,
-    ) -> Result<()> {
-        let active = cb.physical_indices();
-        // Computed arguments evaluate once per batch into compact columns;
-        // bare columns are read in place through the selection.
-        let mut computed: Vec<Option<Column>> = Vec::with_capacity(args.len());
-        for arg in args {
-            computed.push(match arg {
-                ArgPlan::Expr(e) => Some(eval_columnar(e, cb, &active)?),
-                _ => None,
-            });
-        }
-        for (pos, &phys) in active.iter().enumerate() {
-            let phys = phys as usize;
-            let mut key = Vec::new();
-            for &i in key_idx {
-                cb.column(i).write_value_bytes(phys, &mut key);
-            }
-            let entry = groups.entry(key).or_insert_with(|| {
-                let key_row: Row = key_idx
-                    .iter()
-                    .map(|&i| cb.column(i).value_at(phys))
-                    .collect();
-                let states = self
-                    .aggs
-                    .iter()
-                    .map(|(f, _, _)| AggState::new(*f))
-                    .collect();
-                (key_row, states)
-            });
-            for ((arg, col), state) in args.iter().zip(&computed).zip(entry.1.iter_mut()) {
-                match (arg, col) {
-                    (ArgPlan::Star, _) => state.update(None)?,
-                    (ArgPlan::Col(i), _) => state.update_cell(cb.column(*i).cell(phys))?,
-                    (ArgPlan::Expr(_), Some(col)) => state.update_cell(col.cell(pos))?,
-                    (ArgPlan::Expr(_), None) => unreachable!("computed column missing"),
-                }
-            }
-        }
-        Ok(())
-    }
-}
-
 impl Operator for AggregateOp {
     fn schema(&self) -> Arc<Schema> {
         Arc::clone(&self.schema)
@@ -255,58 +383,13 @@ impl Operator for AggregateOp {
         }
         self.done = true;
 
-        let in_schema = self.input.schema();
-        let key_idx: Vec<usize> = self
-            .group_by
-            .iter()
-            .map(|g| {
-                in_schema
-                    .index_of(g)
-                    .ok_or_else(|| EvaError::Exec(format!("unknown group column '{g}'")))
-            })
-            .collect::<Result<_>>()?;
-        // Resolve argument positions once; unresolvable columns stay
-        // expressions so the evaluator reports the standard binder error.
-        let args: Vec<ArgPlan> = self
-            .aggs
-            .iter()
-            .map(|(_, arg, _)| match arg {
-                None => ArgPlan::Star,
-                Some(Expr::Column(c)) => match in_schema.index_of(c) {
-                    Some(i) => ArgPlan::Col(i),
-                    None => ArgPlan::Expr(Expr::Column(c.clone())),
-                },
-                Some(e) => ArgPlan::Expr(e.clone()),
-            })
-            .collect();
-
-        let mut groups: Groups = HashMap::new();
+        let plan = AggPlan::resolve(&self.group_by, &self.aggs, self.input.schema())?;
+        let mut total: Groups = HashMap::new();
         while let Some(batch) = self.input.next(ctx)? {
-            match batch {
-                ExecBatch::Columnar(cb) => {
-                    self.consume_columnar(&cb, &key_idx, &args, &mut groups)?
-                }
-                ExecBatch::Rows(b) => {
-                    self.consume_rows(&b, &in_schema, &key_idx, &args, &mut groups)?
-                }
-            }
+            let mut partial: Groups = HashMap::new();
+            plan.consume(&batch, &mut partial)?;
+            plan.merge_into(&mut total, partial);
         }
-
-        let mut out: Vec<(Vec<u8>, Row)> = groups
-            .into_iter()
-            .map(|(key, (key_row, states))| {
-                let mut row = key_row;
-                for s in states {
-                    row.push(s.finish());
-                }
-                (key, row)
-            })
-            .collect();
-        out.sort_by(|a, b| a.0.cmp(&b.0));
-        let rows: Vec<Row> = out.into_iter().map(|(_, r)| r).collect();
-        Ok(Some(ExecBatch::Rows(Batch::new(
-            Arc::clone(&self.schema),
-            rows,
-        ))))
+        Ok(Some(ExecBatch::Rows(plan.finish(total, &self.schema))))
     }
 }

@@ -36,7 +36,6 @@ use eva_udf::{SimUdf, UdfEvalContext};
 
 use crate::context::ExecCtx;
 use crate::ops::{into_rows, BoxedOp, Operator};
-use crate::pool::WorkerPool;
 
 /// The fused probe/evaluate/store apply.
 pub struct ApplyOp {
@@ -204,7 +203,7 @@ impl ApplyOp {
         // Parallel wall-clock evaluation on the persistent pool; chunk
         // results come back in submission order, so the merged list keeps
         // input order and downstream bookkeeping stays deterministic.
-        let pool = WorkerPool::global();
+        let pool = ctx.pool();
         let chunk_size = inputs.len().div_ceil(pool.n_workers());
         type EvalChunk = Result<Vec<(usize, Vec<Row>)>>;
         let tasks: Vec<Box<dyn FnOnce() -> EvalChunk + Send>> = inputs
@@ -247,7 +246,7 @@ impl ApplyOp {
         if threshold == 0 || keys.len() < threshold {
             return ctx.storage.view_probe(view, keys, ctx.clock);
         }
-        let pool = WorkerPool::global();
+        let pool = ctx.pool();
         let chunk_size = keys.len().div_ceil(pool.n_workers());
         type ProbeChunk = Result<(Vec<Option<Arc<[Row]>>>, usize)>;
         let tasks: Vec<Box<dyn FnOnce() -> ProbeChunk + Send>> = keys

@@ -11,14 +11,60 @@ use crate::context::ExecCtx;
 use crate::ops::{BoxedOp, Operator};
 
 /// How the projection executes, resolved once against the input schema
-/// instead of re-binding column names per row.
-enum ProjPlan {
+/// instead of re-binding column names per row. Shared with the
+/// morsel-parallel pipeline, whose workers run the same columnar kernel
+/// per morsel.
+pub(crate) enum ProjPlan {
     /// Every item is a bare input column: reorder by position. On the
     /// columnar path this is zero-copy (`Arc`-shared columns, selection
     /// carried through).
     Reorder(Vec<usize>),
     /// General expressions: evaluate per item.
     Compute,
+}
+
+impl ProjPlan {
+    /// `Reorder` when every item is a resolvable bare column. Unknown
+    /// columns fall back to `Compute` so the evaluator reports them with
+    /// the standard binder error.
+    pub(crate) fn resolve(items: &[(Expr, String)], in_schema: &Schema) -> ProjPlan {
+        let mut idx = Vec::with_capacity(items.len());
+        for (expr, _) in items {
+            match expr {
+                Expr::Column(c) => match in_schema.index_of(c) {
+                    Some(i) => idx.push(i),
+                    None => return ProjPlan::Compute,
+                },
+                _ => return ProjPlan::Compute,
+            }
+        }
+        ProjPlan::Reorder(idx)
+    }
+
+    /// The columnar projection kernel: pure compute, no clock, no metrics
+    /// — safe on worker threads.
+    pub(crate) fn apply_columnar(
+        &self,
+        items: &[(Expr, String)],
+        schema: &Arc<Schema>,
+        cb: &ColumnarBatch,
+    ) -> Result<ColumnarBatch> {
+        match self {
+            ProjPlan::Reorder(idx) => Ok(cb.project(Arc::clone(schema), idx)),
+            ProjPlan::Compute => {
+                let active = cb.physical_indices();
+                let mut columns = Vec::with_capacity(items.len());
+                for (expr, _) in items {
+                    columns.push(Arc::new(eval_columnar(expr, cb, &active)?));
+                }
+                Ok(ColumnarBatch::new(
+                    Arc::clone(schema),
+                    columns,
+                    active.len(),
+                ))
+            }
+        }
+    }
 }
 
 /// Evaluates projection expressions; bare-column projections reduce to a
@@ -34,30 +80,13 @@ impl ProjectOp {
     /// New projection.
     pub fn new(input: BoxedOp, items: Vec<(Expr, String)>, schema: Arc<Schema>) -> ProjectOp {
         let in_schema = input.schema();
-        let plan = Self::resolve(&items, &in_schema);
+        let plan = ProjPlan::resolve(&items, &in_schema);
         ProjectOp {
             input,
             items,
             schema,
             plan,
         }
-    }
-
-    /// `Reorder` when every item is a resolvable bare column. Unknown
-    /// columns fall back to `Compute` so the evaluator reports them with
-    /// the standard binder error.
-    fn resolve(items: &[(Expr, String)], in_schema: &Schema) -> ProjPlan {
-        let mut idx = Vec::with_capacity(items.len());
-        for (expr, _) in items {
-            match expr {
-                Expr::Column(c) => match in_schema.index_of(c) {
-                    Some(i) => idx.push(i),
-                    None => return ProjPlan::Compute,
-                },
-                _ => return ProjPlan::Compute,
-            }
-        }
-        ProjPlan::Reorder(idx)
     }
 }
 
@@ -71,21 +100,9 @@ impl Operator for ProjectOp {
             return Ok(None);
         };
         match (batch, &self.plan) {
-            (ExecBatch::Columnar(cb), ProjPlan::Reorder(idx)) => Ok(Some(ExecBatch::Columnar(
-                cb.project(Arc::clone(&self.schema), idx),
+            (ExecBatch::Columnar(cb), plan) => Ok(Some(ExecBatch::Columnar(
+                plan.apply_columnar(&self.items, &self.schema, &cb)?,
             ))),
-            (ExecBatch::Columnar(cb), ProjPlan::Compute) => {
-                let active = cb.physical_indices();
-                let mut columns = Vec::with_capacity(self.items.len());
-                for (expr, _) in &self.items {
-                    columns.push(Arc::new(eval_columnar(expr, &cb, &active)?));
-                }
-                Ok(Some(ExecBatch::Columnar(ColumnarBatch::new(
-                    Arc::clone(&self.schema),
-                    columns,
-                    active.len(),
-                ))))
-            }
             (ExecBatch::Rows(batch), ProjPlan::Reorder(idx)) => {
                 let rows: Vec<Row> = batch
                     .rows()

@@ -1,5 +1,6 @@
 //! Sort and limit.
 
+use std::cmp::Ordering;
 use std::sync::Arc;
 
 use eva_common::{Batch, EvaError, ExecBatch, Result, Row, Schema};
@@ -7,8 +8,15 @@ use eva_common::{Batch, EvaError, ExecBatch, Result, Row, Schema};
 use crate::context::ExecCtx;
 use crate::ops::{into_rows, BoxedOp, Operator};
 
-/// Blocking sort by column keys. Sorting permutes whole tuples, so columnar
-/// input pivots to rows at the buffering step (charged as `rows_pivoted`).
+/// Blocking sort by column keys.
+///
+/// Input buffers in whatever form it arrives. When the whole input is one
+/// columnar batch — the common shape on the vectorized hot path — the sort
+/// permutes the batch's *selection vector* by comparing key cells in place:
+/// columns stay `Arc`-shared, nothing pivots, and `rows_pivoted` stays
+/// untouched (downstream consumers pivot only if and when they must).
+/// Multi-batch or row-form input falls back to materializing rows, charging
+/// `rows_pivoted` only for the columnar-sourced ones.
 pub struct SortOp {
     input: BoxedOp,
     keys: Vec<(String, bool)>,
@@ -26,6 +34,20 @@ impl SortOp {
     }
 }
 
+/// Compare by keys, ties keeping arrival order via stable sort; NULLs
+/// compare equal everywhere (`sql_cmp` yields `None`), matching the
+/// row-path comparator exactly.
+fn chain_ordering<I: Iterator<Item = Option<Ordering>>>(cmps: I, descs: &[bool]) -> Ordering {
+    for (cmp, &desc) in cmps.zip(descs) {
+        let ord = cmp.unwrap_or(Ordering::Equal);
+        let ord = if desc { ord.reverse() } else { ord };
+        if ord != Ordering::Equal {
+            return ord;
+        }
+    }
+    Ordering::Equal
+}
+
 impl Operator for SortOp {
     fn schema(&self) -> Arc<Schema> {
         self.input.schema()
@@ -37,29 +59,44 @@ impl Operator for SortOp {
         }
         self.done = true;
         let schema = self.input.schema();
-        let key_idx: Vec<(usize, bool)> = self
+        let key_idx: Vec<usize> = self
             .keys
             .iter()
-            .map(|(c, d)| {
+            .map(|(c, _)| {
                 schema
                     .index_of(c)
-                    .map(|i| (i, *d))
                     .ok_or_else(|| EvaError::Exec(format!("unknown sort column '{c}'")))
             })
             .collect::<Result<_>>()?;
-        let mut rows: Vec<Row> = Vec::new();
+        let descs: Vec<bool> = self.keys.iter().map(|(_, d)| *d).collect();
+        // Buffer unpivoted: the single-columnar-batch case sorts in place.
+        let mut batches: Vec<ExecBatch> = Vec::new();
         while let Some(batch) = self.input.next(ctx)? {
+            batches.push(batch);
+        }
+        if batches.len() == 1 {
+            if let ExecBatch::Columnar(cb) = &batches[0] {
+                let mut sel = cb.physical_indices();
+                sel.sort_by(|&a, &b| {
+                    chain_ordering(
+                        key_idx.iter().map(|&i| {
+                            let col = cb.column(i);
+                            col.cell(a as usize).sql_cmp(col.cell(b as usize))
+                        }),
+                        &descs,
+                    )
+                });
+                return Ok(Some(ExecBatch::Columnar(cb.with_selection(sel))));
+            }
+        }
+        // General case: materialize rows in arrival order (columnar batches
+        // charge `rows_pivoted` here) and stable-sort them.
+        let mut rows: Vec<Row> = Vec::new();
+        for batch in batches {
             rows.extend(into_rows(ctx, batch).into_rows());
         }
         rows.sort_by(|a, b| {
-            for &(i, desc) in &key_idx {
-                let ord = a[i].sql_cmp(&b[i]).unwrap_or(std::cmp::Ordering::Equal);
-                let ord = if desc { ord.reverse() } else { ord };
-                if ord != std::cmp::Ordering::Equal {
-                    return ord;
-                }
-            }
-            std::cmp::Ordering::Equal
+            chain_ordering(key_idx.iter().map(|&i| a[i].sql_cmp(&b[i])), &descs)
         });
         Ok(Some(ExecBatch::Rows(Batch::new(schema, rows))))
     }

@@ -12,10 +12,27 @@
 //! compute; callers account.
 
 use crossbeam::channel::{unbounded, Sender};
+use std::collections::VecDeque;
 use std::panic::AssertUnwindSafe;
-use std::sync::OnceLock;
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// What one lane of a [`WorkerPool::run_stealing`] call did: how many items
+/// it executed, how many of those it stole from another lane's deque, and
+/// how long the lane was busy. `executed`/`stolen` splits are
+/// scheduling-dependent (callers must treat them as nondeterministic);
+/// only the *sum* of `executed` across lanes is deterministic.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LaneReport {
+    /// Items this lane ran (own + stolen).
+    pub executed: u64,
+    /// Subset of `executed` popped from another lane's deque.
+    pub stolen: u64,
+    /// Wall-clock busy time of the lane, nanoseconds.
+    pub wall_ns: u64,
+}
 
 /// A fixed-size pool of worker threads executing submitted closures.
 pub struct WorkerPool {
@@ -28,12 +45,22 @@ static GLOBAL: OnceLock<WorkerPool> = OnceLock::new();
 impl WorkerPool {
     /// The process-wide pool, spawned lazily on first use and shared by
     /// every session (concurrent sessions queue into the same workers).
+    /// An `EVA_THREADS` environment override takes precedence over the
+    /// detected core count (clamped to `[1, 64]`); experiments use it to
+    /// pin the pool size, and `MetricsSnapshot::n_workers` records what the
+    /// session actually ran with.
     pub fn global() -> &'static WorkerPool {
         GLOBAL.get_or_init(|| {
-            let n = std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(4)
-                .clamp(2, 8);
+            let n = std::env::var("EVA_THREADS")
+                .ok()
+                .and_then(|s| s.trim().parse::<usize>().ok())
+                .map(|n| n.clamp(1, 64))
+                .unwrap_or_else(|| {
+                    std::thread::available_parallelism()
+                        .map(|n| n.get())
+                        .unwrap_or(4)
+                        .clamp(2, 8)
+                });
             WorkerPool::new(n)
         })
     }
@@ -93,6 +120,87 @@ impl WorkerPool {
             .map(|slot| slot.expect("pool task result missing"))
             .collect()
     }
+
+    /// Run `n_items` independent work items with per-lane deques and work
+    /// stealing, returning results **in item order** plus one
+    /// [`LaneReport`] per lane.
+    ///
+    /// Items are pre-assigned round-robin to `min(n_workers, n_items)`
+    /// lanes; each lane pops its own deque from the front and, when empty,
+    /// steals from the *back* of the other lanes' deques. Which lane runs
+    /// which item is scheduling-dependent, but the result vector is
+    /// scattered back by item index, so the output (and anything the caller
+    /// derives from it in item order) is deterministic regardless of
+    /// stealing. `work` receives the item index and must be pure compute:
+    /// no clock, no metrics (the caller-thread charging rule).
+    #[allow(clippy::type_complexity)]
+    pub fn run_stealing<T, F>(&self, n_items: usize, work: F) -> (Vec<T>, Vec<LaneReport>)
+    where
+        T: Send + 'static,
+        F: Fn(usize) -> T + Send + Sync + 'static,
+    {
+        if n_items == 0 {
+            return (Vec::new(), Vec::new());
+        }
+        let n_lanes = self.n_workers.min(n_items).max(1);
+        let mut deques: Vec<Mutex<VecDeque<usize>>> =
+            (0..n_lanes).map(|_| Mutex::new(VecDeque::new())).collect();
+        for item in 0..n_items {
+            deques[item % n_lanes].get_mut().unwrap().push_back(item);
+        }
+        let deques = Arc::new(deques);
+        let work = Arc::new(work);
+        let tasks: Vec<Box<dyn FnOnce() -> (Vec<(usize, T)>, LaneReport) + Send>> = (0..n_lanes)
+            .map(|lane| {
+                let deques = Arc::clone(&deques);
+                let work = Arc::clone(&work);
+                Box::new(move || {
+                    let started = Instant::now();
+                    let mut done: Vec<(usize, T)> = Vec::new();
+                    let mut report = LaneReport::default();
+                    loop {
+                        // Own work first (front of own deque)...
+                        let mut next = deques[lane].lock().unwrap().pop_front();
+                        let mut stolen = false;
+                        if next.is_none() {
+                            // ...then steal from the back of the others.
+                            for offset in 1..deques.len() {
+                                let victim = (lane + offset) % deques.len();
+                                if let Some(item) = deques[victim].lock().unwrap().pop_back() {
+                                    next = Some(item);
+                                    stolen = true;
+                                    break;
+                                }
+                            }
+                        }
+                        let Some(item) = next else { break };
+                        done.push((item, work(item)));
+                        report.executed += 1;
+                        if stolen {
+                            report.stolen += 1;
+                        }
+                    }
+                    report.wall_ns = started.elapsed().as_nanos() as u64;
+                    (done, report)
+                }) as Box<dyn FnOnce() -> (Vec<(usize, T)>, LaneReport) + Send>
+            })
+            .collect();
+        let lane_outs = self.run(tasks);
+        let mut results: Vec<Option<T>> = (0..n_items).map(|_| None).collect();
+        let mut reports = Vec::with_capacity(n_lanes);
+        for (done, report) in lane_outs {
+            for (item, value) in done {
+                debug_assert!(results[item].is_none(), "item {item} ran twice");
+                results[item] = Some(value);
+            }
+            reports.push(report);
+        }
+        let results = results
+            .into_iter()
+            .map(|slot| slot.expect("work-stealing item result missing"))
+            .collect();
+        (results, reports)
+    }
 }
 
 #[cfg(test)]
@@ -137,6 +245,62 @@ mod tests {
             let out = j.join().unwrap();
             assert_eq!(out[0], t * 100);
             assert_eq!(out.len(), 16);
+        }
+    }
+
+    #[test]
+    fn stealing_results_come_back_in_item_order() {
+        let pool = WorkerPool::new(4);
+        let (out, reports) = pool.run_stealing(33, |i| i * 3);
+        assert_eq!(out, (0..33).map(|i| i * 3).collect::<Vec<_>>());
+        assert_eq!(reports.len(), 4);
+        let executed: u64 = reports.iter().map(|r| r.executed).sum();
+        let stolen: u64 = reports.iter().map(|r| r.stolen).sum();
+        assert_eq!(executed, 33);
+        assert!(stolen <= executed);
+    }
+
+    #[test]
+    fn stealing_handles_fewer_items_than_workers() {
+        let pool = WorkerPool::new(8);
+        let (out, reports) = pool.run_stealing(3, |i| i + 1);
+        assert_eq!(out, vec![1, 2, 3]);
+        // Lanes are capped at the item count — no idle lanes reported.
+        assert_eq!(reports.len(), 3);
+        let (out, reports) = pool.run_stealing(0, |i: usize| i);
+        assert!(out.is_empty());
+        assert!(reports.is_empty());
+    }
+
+    #[test]
+    fn skewed_items_all_complete_under_stealing() {
+        // One pathologically slow item pinned to lane 0: the other lanes
+        // drain everything else by stealing, and the result order still
+        // comes back by item index.
+        let pool = WorkerPool::new(4);
+        let (out, reports) = pool.run_stealing(64, |i| {
+            if i == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            i
+        });
+        assert_eq!(out, (0..64).collect::<Vec<_>>());
+        assert_eq!(reports.iter().map(|r| r.executed).sum::<u64>(), 64);
+    }
+
+    #[test]
+    fn stealing_runs_every_item_exactly_once() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let pool = WorkerPool::new(3);
+        let hits = Arc::new((0..50).map(|_| AtomicU64::new(0)).collect::<Vec<_>>());
+        let hits2 = Arc::clone(&hits);
+        let (out, _) = pool.run_stealing(50, move |i| {
+            hits2[i].fetch_add(1, Ordering::SeqCst);
+            i
+        });
+        assert_eq!(out.len(), 50);
+        for h in hits.iter() {
+            assert_eq!(h.load(Ordering::SeqCst), 1);
         }
     }
 

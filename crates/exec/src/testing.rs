@@ -73,6 +73,7 @@ impl TestEnv {
             funcache: &self.funcache,
             op_stats: &self.op_stats,
             config,
+            pool: None,
         }
     }
 

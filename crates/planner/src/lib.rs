@@ -15,6 +15,7 @@
 pub mod bind;
 pub mod cost;
 pub mod optimizer;
+pub mod parallel;
 pub mod plan;
 pub mod reorder;
 pub mod rules;
@@ -23,5 +24,6 @@ pub mod setcover;
 pub use bind::Binder;
 pub use cost::PredicateProfile;
 pub use optimizer::{Optimizer, PlannerConfig, ReuseStrategy};
+pub use parallel::{parallel_segment, ParallelBreaker, ParallelSegment, ParallelStage};
 pub use plan::{ApplyReuse, ApplySpec, LogicalPlan, PhysPlan, Segment};
 pub use reorder::RankingKind;

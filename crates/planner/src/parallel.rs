@@ -1,0 +1,322 @@
+//! Marking parallel-safe pipeline segments for morsel-driven execution.
+//!
+//! A *parallel segment* is the maximal UDF-free suffix of a physical plan's
+//! operator chain that sits directly on a [`PhysPlan::ScanFrames`] leaf:
+//! `Scan ← (Filter | Project)*`, optionally terminated by an
+//! [`PhysPlan::Aggregate`] pipeline breaker. Every operator in the segment
+//! is a pure function of its morsel — no UDFs, no view probes, no shared
+//! state — so the executor may run one pipeline instance per worker over
+//! fixed-size frame-range morsels and stitch the outputs back together in
+//! morsel order, bit-identical to serial execution.
+//!
+//! This module is *analysis only*: it never rewrites the plan, so
+//! `EXPLAIN` output and the pre-order [`OpId`] numbering are untouched.
+//! The executor substitutes its own parallel operator for the segment at
+//! build time, keyed by [`ParallelSegment::root_op_id`], and decides
+//! *whether* to engage from the scan-range size and the configured
+//! thresholds — both deterministic inputs, never the worker count.
+
+use std::sync::Arc;
+
+use eva_common::{OpId, Schema};
+use eva_expr::{AggFunc, Expr};
+
+use crate::plan::PhysPlan;
+
+/// One pipeline stage above the scan, in bottom-up order.
+#[derive(Debug, Clone)]
+pub enum ParallelStage {
+    /// A UDF-free selection.
+    Filter {
+        /// The original plan node's id (runtime stats are replayed here).
+        op_id: OpId,
+        /// The predicate, evaluated column-at-a-time per morsel.
+        predicate: Expr,
+    },
+    /// A UDF-free projection.
+    Project {
+        /// The original plan node's id.
+        op_id: OpId,
+        /// `(expression, output name)` pairs.
+        items: Vec<(Expr, String)>,
+        /// Output schema.
+        schema: Arc<Schema>,
+    },
+}
+
+impl ParallelStage {
+    /// The original plan node's id.
+    pub fn op_id(&self) -> OpId {
+        match self {
+            ParallelStage::Filter { op_id, .. } | ParallelStage::Project { op_id, .. } => *op_id,
+        }
+    }
+}
+
+/// The aggregate pipeline breaker terminating a segment, if any: workers
+/// fold per-morsel partial states, the caller merges them in morsel order.
+#[derive(Debug, Clone)]
+pub struct ParallelBreaker {
+    /// The original `Aggregate` node's id.
+    pub op_id: OpId,
+    /// Group-by columns.
+    pub group_by: Vec<String>,
+    /// Aggregates.
+    pub aggs: Vec<(AggFunc, Option<Expr>, String)>,
+    /// Output schema.
+    pub schema: Arc<Schema>,
+}
+
+/// A parallel-safe pipeline segment rooted at a frame scan.
+#[derive(Debug, Clone)]
+pub struct ParallelSegment {
+    /// Id of the segment's topmost node — the breaker if present, else the
+    /// highest stage, else the scan itself. The executor substitutes its
+    /// parallel operator where it would have built this node.
+    pub root_op_id: OpId,
+    /// The `ScanFrames` leaf's id.
+    pub scan_op_id: OpId,
+    /// Dataset the scan reads.
+    pub dataset: String,
+    /// Frame-id range `[from, to)` after predicate pushdown.
+    pub range: (u64, u64),
+    /// The scan's output schema.
+    pub scan_schema: Arc<Schema>,
+    /// Filter/Project stages above the scan, bottom-up.
+    pub stages: Vec<ParallelStage>,
+    /// Terminating aggregate, if the segment ends at one.
+    pub breaker: Option<ParallelBreaker>,
+}
+
+impl ParallelSegment {
+    /// Frames in the scan range (the executor's engagement test compares
+    /// this against `parallel_scan_min_rows`).
+    pub fn range_len(&self) -> u64 {
+        self.range.1.saturating_sub(self.range.0)
+    }
+}
+
+/// True when the expression is safe to evaluate on a worker thread: free of
+/// UDF calls (which probe views, charge cost, and touch shared caches) and
+/// of aggregate calls (which belong to the breaker, not a stage).
+fn worker_safe(e: &Expr) -> bool {
+    let mut safe = true;
+    e.visit(&mut |n| {
+        if matches!(n, Expr::Udf(_) | Expr::Agg { .. }) {
+            safe = false;
+        }
+    });
+    safe
+}
+
+/// Find the parallel-safe segment of `plan`, if it has one.
+///
+/// Walks to the plan's `ScanFrames` leaf and climbs back up through
+/// consecutive worker-safe `Filter`/`Project` nodes; if the next node up is
+/// an `Aggregate` with worker-safe arguments, it becomes the breaker.
+/// Purely structural — the result depends only on the plan shape, so the
+/// same query text always yields the same segmentation.
+pub fn parallel_segment(plan: &PhysPlan) -> Option<ParallelSegment> {
+    // Path from root to leaf.
+    let mut path: Vec<&PhysPlan> = vec![plan];
+    while let Some(input) = path.last().unwrap().input() {
+        path.push(input);
+    }
+    let (scan_op_id, dataset, range, scan_schema) = match path.last().unwrap() {
+        PhysPlan::ScanFrames {
+            id,
+            dataset,
+            range,
+            schema,
+            ..
+        } => (*id, dataset.clone(), *range, Arc::clone(schema)),
+        _ => return None,
+    };
+    // Climb from just above the scan, collecting worker-safe stages.
+    let mut stages = Vec::new();
+    let mut top = path.len() - 1; // index into `path` of the segment's top
+    for idx in (0..path.len() - 1).rev() {
+        match path[idx] {
+            PhysPlan::Filter { id, predicate, .. } if worker_safe(predicate) => {
+                stages.push(ParallelStage::Filter {
+                    op_id: *id,
+                    predicate: predicate.clone(),
+                });
+                top = idx;
+            }
+            PhysPlan::Project {
+                id, items, schema, ..
+            } if items.iter().all(|(e, _)| worker_safe(e)) => {
+                stages.push(ParallelStage::Project {
+                    op_id: *id,
+                    items: items.clone(),
+                    schema: Arc::clone(schema),
+                });
+                top = idx;
+            }
+            _ => break,
+        }
+    }
+    // The node directly above the chain, if an aggregate, is the breaker.
+    let breaker = if top > 0 {
+        match path[top - 1] {
+            PhysPlan::Aggregate {
+                id,
+                group_by,
+                aggs,
+                schema,
+                ..
+            } if aggs
+                .iter()
+                .all(|(_, arg, _)| arg.as_ref().map_or(true, worker_safe)) =>
+            {
+                Some(ParallelBreaker {
+                    op_id: *id,
+                    group_by: group_by.clone(),
+                    aggs: aggs.clone(),
+                    schema: Arc::clone(schema),
+                })
+            }
+            _ => None,
+        }
+    } else {
+        None
+    };
+    let root_op_id = breaker
+        .as_ref()
+        .map(|b| b.op_id)
+        .or_else(|| stages.last().map(|s| s.op_id()))
+        .unwrap_or(scan_op_id);
+    Some(ParallelSegment {
+        root_op_id,
+        scan_op_id,
+        dataset,
+        range,
+        scan_schema,
+        stages,
+        breaker,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eva_common::{DataType, Field};
+
+    fn scan_schema() -> Arc<Schema> {
+        Arc::new(
+            Schema::new(vec![
+                Field::new("id", DataType::Int),
+                Field::new("timestamp", DataType::Int),
+                Field::new("frame", DataType::Int),
+            ])
+            .unwrap(),
+        )
+    }
+
+    fn scan(range: (u64, u64)) -> PhysPlan {
+        PhysPlan::ScanFrames {
+            id: OpId::UNSET,
+            table: "video".into(),
+            dataset: "v".into(),
+            range,
+            schema: scan_schema(),
+        }
+    }
+
+    fn filter(input: PhysPlan, predicate: Expr) -> PhysPlan {
+        PhysPlan::Filter {
+            id: OpId::UNSET,
+            input: Box::new(input),
+            predicate,
+        }
+    }
+
+    fn project(input: PhysPlan, items: Vec<(Expr, String)>) -> PhysPlan {
+        let schema = Arc::new(
+            Schema::new(
+                items
+                    .iter()
+                    .map(|(_, n)| Field::new(n.clone(), DataType::Int))
+                    .collect(),
+            )
+            .unwrap(),
+        );
+        PhysPlan::Project {
+            id: OpId::UNSET,
+            input: Box::new(input),
+            items,
+            schema,
+        }
+    }
+
+    fn aggregate(input: PhysPlan) -> PhysPlan {
+        PhysPlan::Aggregate {
+            id: OpId::UNSET,
+            input: Box::new(input),
+            group_by: vec![],
+            aggs: vec![(AggFunc::Count, None, "n".into())],
+            schema: Arc::new(Schema::new(vec![Field::new("n", DataType::Int)]).unwrap()),
+        }
+    }
+
+    #[test]
+    fn full_chain_with_breaker() {
+        let mut plan = aggregate(project(
+            filter(scan((0, 10_000)), Expr::col("id").lt(5_000)),
+            vec![(Expr::col("id"), "id".into())],
+        ));
+        plan.assign_op_ids();
+        let seg = parallel_segment(&plan).expect("segment");
+        assert_eq!(seg.range, (0, 10_000));
+        assert_eq!(seg.range_len(), 10_000);
+        assert_eq!(seg.stages.len(), 2);
+        assert!(matches!(seg.stages[0], ParallelStage::Filter { .. }));
+        assert!(matches!(seg.stages[1], ParallelStage::Project { .. }));
+        let breaker = seg.breaker.as_ref().expect("breaker");
+        // Pre-order ids: agg=1, project=2, filter=3, scan=4.
+        assert_eq!(breaker.op_id, OpId(1));
+        assert_eq!(seg.root_op_id, OpId(1));
+        assert_eq!(seg.scan_op_id, OpId(4));
+    }
+
+    #[test]
+    fn chain_stops_below_udf_filter() {
+        let udf = Expr::Udf(eva_expr::UdfCall::new("det", vec![Expr::col("frame")]));
+        let mut plan = filter(
+            filter(scan((0, 100)), Expr::col("id").lt(50)),
+            udf.clone().eq_val("car"),
+        );
+        plan.assign_op_ids();
+        let seg = parallel_segment(&plan).expect("segment");
+        // Only the UDF-free filter joins the segment; root is that filter.
+        assert_eq!(seg.stages.len(), 1);
+        assert!(seg.breaker.is_none());
+        assert_eq!(seg.root_op_id, OpId(2));
+    }
+
+    #[test]
+    fn bare_scan_is_its_own_segment() {
+        let mut plan = scan((5, 25));
+        plan.assign_op_ids();
+        let seg = parallel_segment(&plan).expect("segment");
+        assert!(seg.stages.is_empty());
+        assert!(seg.breaker.is_none());
+        assert_eq!(seg.root_op_id, seg.scan_op_id);
+        assert_eq!(seg.range_len(), 20);
+    }
+
+    #[test]
+    fn breaker_requires_adjacency() {
+        // Aggregate above a UDF filter is NOT a breaker for the segment.
+        let udf = Expr::Udf(eva_expr::UdfCall::new("det", vec![Expr::col("frame")]));
+        let mut plan = aggregate(filter(
+            filter(scan((0, 100)), Expr::col("id").lt(50)),
+            udf.eq_val("car"),
+        ));
+        plan.assign_op_ids();
+        let seg = parallel_segment(&plan).expect("segment");
+        assert_eq!(seg.stages.len(), 1);
+        assert!(seg.breaker.is_none());
+    }
+}

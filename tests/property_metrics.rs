@@ -105,8 +105,8 @@ proptest! {
 
     #[test]
     fn snapshot_algebra_is_consistent(
-        a in prop::collection::vec(0u64..1_000_000, 22),
-        b in prop::collection::vec(0u64..1_000_000, 22),
+        a in prop::collection::vec(0u64..1_000_000, 24),
+        b in prop::collection::vec(0u64..1_000_000, 24),
     ) {
         use eva_common::MetricsSnapshot;
         let fill = |v: &[u64]| MetricsSnapshot {
@@ -131,6 +131,10 @@ proptest! {
             views_quarantined: v[14],
             udf_retries: v[15],
             udf_gave_up: v[16],
+            morsels_dispatched: v[20],
+            morsels_stolen: v[21],
+            parallel_pipelines: v[22],
+            n_workers: v[23],
             shard_lock_contention: v[12],
         };
         let (x, y) = (fill(&a), fill(&b));
@@ -143,10 +147,14 @@ proptest! {
             sum.udf_calls_requested,
             sum.udf_calls_executed + sum.udf_calls_avoided
         );
-        // deterministic() only clears the interleaving-dependent counter.
+        // deterministic() only clears the scheduling-dependent counters.
         let det = sum.deterministic();
         prop_assert_eq!(det.shard_lock_contention, 0);
+        prop_assert_eq!(det.morsels_stolen, 0);
+        prop_assert_eq!(det.n_workers, 0);
         prop_assert_eq!(det.probes, sum.probes);
         prop_assert_eq!(det.udf_calls_requested, sum.udf_calls_requested);
+        prop_assert_eq!(det.morsels_dispatched, sum.morsels_dispatched);
+        prop_assert_eq!(det.parallel_pipelines, sum.parallel_pipelines);
     }
 }
