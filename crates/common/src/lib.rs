@@ -26,6 +26,7 @@ pub mod ids;
 pub mod metrics;
 pub mod schema;
 pub mod table_fmt;
+pub mod testutil;
 pub mod trace;
 pub mod value;
 

@@ -294,8 +294,14 @@ impl fmt::Display for Value {
             Value::Null => write!(f, "NULL"),
             Value::Bool(b) => write!(f, "{b}"),
             Value::Int(i) => write!(f, "{i}"),
+            // Keep a decimal point on integral floats so the literal
+            // re-lexes as a Float, not an Int (AST round-trip invariant).
+            Value::Float(v) if v.is_finite() && v.fract() == 0.0 && v.abs() < 1e15 => {
+                write!(f, "{v:.1}")
+            }
             Value::Float(v) => write!(f, "{v}"),
-            Value::Str(s) => write!(f, "'{s}'"),
+            // The lexer unescapes '' to ', so Display must re-escape.
+            Value::Str(s) => write!(f, "'{}'", s.replace('\'', "''")),
             Value::Box(b) => write!(f, "{b}"),
         }
     }
@@ -395,5 +401,15 @@ mod tests {
         assert_eq!(Value::Null.to_string(), "NULL");
         assert_eq!(Value::from("red").to_string(), "'red'");
         assert_eq!(Value::Int(-3).to_string(), "-3");
+    }
+
+    #[test]
+    fn display_round_trips_through_lexical_form() {
+        // Integral floats keep a decimal point so they re-lex as floats.
+        assert_eq!(Value::Float(1.0).to_string(), "1.0");
+        assert_eq!(Value::Float(-2.0).to_string(), "-2.0");
+        assert_eq!(Value::Float(0.25).to_string(), "0.25");
+        // Embedded quotes are re-escaped the way the lexer unescapes them.
+        assert_eq!(Value::from("it's").to_string(), "'it''s'");
     }
 }

@@ -18,3 +18,7 @@ pub mod session;
 
 pub use analyze::build_stats;
 pub use session::{EvaDb, SessionConfig, StatementResult};
+
+// Re-exported so width-pinning callers of `execute_select_with_pool` (the
+// differential fuzzer, scaling benchmarks) need no direct eva-exec dep.
+pub use eva_exec::WorkerPool;

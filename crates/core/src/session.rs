@@ -5,7 +5,7 @@ use eva_common::{
     CostBreakdown, DataType, EvaError, Field, MetricsSink, MetricsSnapshot, QueryTrace, Result,
     Schema, SimClock, SpanHists, TraceSink, UdfId,
 };
-use eva_exec::{execute, ExecConfig, FunCacheTable, QueryOutput};
+use eva_exec::{execute, execute_with_pool, ExecConfig, FunCacheTable, QueryOutput, WorkerPool};
 use eva_parser::{parse, CreateUdfStmt, SelectStmt, Statement};
 use eva_planner::{Binder, Optimizer, PhysPlan, PlannerConfig, ReuseStrategy};
 use eva_storage::{RecoveryReport, StorageEngine};
@@ -68,6 +68,11 @@ pub struct EvaDb {
     /// Outcome of the most recent [`EvaDb::load_state`] recovery pass
     /// (what the repl's `\health` command reports).
     last_recovery: std::sync::Mutex<Option<RecoveryReport>>,
+    /// Whether [`EvaDb::load_state`] prunes aggregated predicates whose
+    /// views did not survive recovery. Always true in production; the
+    /// differential fuzzer flips it off to prove its recovery oracle
+    /// catches the resulting wrong answers (see `set_recovery_prune`).
+    prune_on_load: std::sync::atomic::AtomicBool,
 }
 
 impl EvaDb {
@@ -89,6 +94,7 @@ impl EvaDb {
             funcache: FunCacheTable::new(),
             config,
             last_recovery: std::sync::Mutex::new(None),
+            prune_on_load: std::sync::atomic::AtomicBool::new(true),
         })
     }
 
@@ -236,6 +242,27 @@ impl EvaDb {
         )
     }
 
+    /// [`EvaDb::execute_select`] with an injected worker pool — tests and
+    /// the differential fuzzer pin the worker count; `None` uses the
+    /// process-wide pool.
+    pub fn execute_select_with_pool(
+        &mut self,
+        stmt: &SelectStmt,
+        pool: Option<&WorkerPool>,
+    ) -> Result<QueryOutput> {
+        let plan = self.plan_select(stmt)?;
+        execute_with_pool(
+            &plan,
+            &self.storage,
+            &self.registry,
+            &self.stats,
+            &self.clock,
+            &self.funcache,
+            self.config.exec,
+            pool,
+        )
+    }
+
     /// Produce the physical plan for a SELECT without executing it.
     pub fn plan_select(&self, stmt: &SelectStmt) -> Result<PhysPlan> {
         let logical = Binder::new(&self.catalog).bind_select(stmt)?;
@@ -330,7 +357,14 @@ impl EvaDb {
             };
             report.manager_note = Some(format!("{what} — starting cold ({e})"));
         }
-        let pruned = self.manager.prune_dangling();
+        let pruned = if self
+            .prune_on_load
+            .load(std::sync::atomic::Ordering::Relaxed)
+        {
+            self.manager.prune_dangling()
+        } else {
+            Vec::new()
+        };
         if !pruned.is_empty() {
             let names: Vec<&str> = pruned.iter().map(|s| s.name.as_str()).collect();
             let note = format!(
@@ -350,6 +384,17 @@ impl EvaDb {
     /// The outcome of the most recent [`EvaDb::load_state`] call, if any.
     pub fn health_report(&self) -> Option<RecoveryReport> {
         self.last_recovery.lock().expect("recovery lock").clone()
+    }
+
+    /// Testing hook: enable or disable the dangling-predicate prune inside
+    /// [`EvaDb::load_state`]. Disabling it deliberately reintroduces the
+    /// wrong-answer bug PR 4 fixed (the planner claims coverage from views
+    /// that were quarantined) — the differential fuzzer's sabotage mode uses
+    /// this to prove its recovery oracle and shrinker work end to end.
+    #[doc(hidden)]
+    pub fn set_recovery_prune(&self, enabled: bool) {
+        self.prune_on_load
+            .store(enabled, std::sync::atomic::Ordering::Relaxed);
     }
 
     // -- helpers -----------------------------------------------------------------
@@ -621,9 +666,7 @@ mod tests {
     }
 
     fn unique_dir(tag: &str) -> std::path::PathBuf {
-        let dir = std::env::temp_dir().join(format!("eva_session_{tag}_{}", std::process::id()));
-        let _ = std::fs::remove_dir_all(&dir);
-        dir
+        eva_common::testutil::unique_temp_dir(&format!("session_{tag}"))
     }
 
     #[test]

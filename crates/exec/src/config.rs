@@ -45,6 +45,12 @@ pub struct ExecConfig {
     /// default keeps small interactive queries — and the plan goldens —
     /// on the serial path.
     pub parallel_scan_min_rows: u64,
+    /// Testing hook: pivot scan output to row batches at the source,
+    /// forcing the whole query down the row-at-a-time path (and disabling
+    /// parallel pipelines, which are columnar-only). The differential
+    /// fuzzer's columnar-vs-row oracle flips this; production configs leave
+    /// it off.
+    pub force_row_path: bool,
 }
 
 impl Default for ExecConfig {
@@ -59,6 +65,7 @@ impl Default for ExecConfig {
             udf_retry_backoff_ms: 5.0,
             morsel_rows: 1024,
             parallel_scan_min_rows: 4096,
+            force_row_path: false,
         }
     }
 }

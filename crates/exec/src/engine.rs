@@ -21,7 +21,7 @@ use crate::ops::parallel::ParallelPipelineOp;
 use crate::ops::project::ProjectOp;
 use crate::ops::scan::ScanFramesOp;
 use crate::ops::sort_limit::{LimitOp, SortOp};
-use crate::ops::{into_rows, BoxedOp, Operator};
+use crate::ops::{into_rows, BoxedOp, Operator, PivotRowsOp};
 
 /// The result of one query execution.
 #[derive(Debug, Clone)]
@@ -133,7 +133,7 @@ fn op_label(plan: &PhysPlan) -> &'static str {
 /// `par.root_op_id` is replaced by a single **unwrapped**
 /// [`ParallelPipelineOp`], which replays the subsumed operators' accounting
 /// itself (wrapping it would double-count rows and cost).
-fn build(plan: &PhysPlan, par: Option<&ParallelSegment>) -> Result<BoxedOp> {
+fn build(plan: &PhysPlan, par: Option<&ParallelSegment>, force_row: bool) -> Result<BoxedOp> {
     if let Some(seg) = par {
         if seg.root_op_id == plan.op_id() {
             return Ok(Box::new(ParallelPipelineOp::new(seg.clone())));
@@ -145,22 +145,38 @@ fn build(plan: &PhysPlan, par: Option<&ParallelSegment>) -> Result<BoxedOp> {
             range,
             schema,
             ..
-        } => Box::new(ScanFramesOp::new(
-            dataset.clone(),
-            *range,
-            Arc::clone(schema),
-        )),
+        } => {
+            let scan: BoxedOp = Box::new(ScanFramesOp::new(
+                dataset.clone(),
+                *range,
+                Arc::clone(schema),
+            ));
+            if force_row {
+                // Pivot below the instrumentation shim so the scan node
+                // reports row batches, exactly like the pre-columnar engine.
+                Box::new(PivotRowsOp::new(scan))
+            } else {
+                scan
+            }
+        }
         PhysPlan::Filter {
             input, predicate, ..
-        } => Box::new(FilterOp::new(build(input, par)?, predicate.clone())),
+        } => Box::new(FilterOp::new(
+            build(input, par, force_row)?,
+            predicate.clone(),
+        )),
         PhysPlan::Apply {
             input,
             spec,
             schema,
             ..
         } => Box::new(
-            ApplyOp::new(build(input, par)?, spec.clone(), Arc::clone(schema))?
-                .with_op_id(plan.op_id()),
+            ApplyOp::new(
+                build(input, par, force_row)?,
+                spec.clone(),
+                Arc::clone(schema),
+            )?
+            .with_op_id(plan.op_id()),
         ),
         PhysPlan::Project {
             input,
@@ -168,7 +184,7 @@ fn build(plan: &PhysPlan, par: Option<&ParallelSegment>) -> Result<BoxedOp> {
             schema,
             ..
         } => Box::new(ProjectOp::new(
-            build(input, par)?,
+            build(input, par, force_row)?,
             items.clone(),
             Arc::clone(schema),
         )),
@@ -179,15 +195,17 @@ fn build(plan: &PhysPlan, par: Option<&ParallelSegment>) -> Result<BoxedOp> {
             schema,
             ..
         } => Box::new(AggregateOp::new(
-            build(input, par)?,
+            build(input, par, force_row)?,
             group_by.clone(),
             aggs.clone(),
             Arc::clone(schema),
         )),
         PhysPlan::Sort { input, keys, .. } => {
-            Box::new(SortOp::new(build(input, par)?, keys.clone()))
+            Box::new(SortOp::new(build(input, par, force_row)?, keys.clone()))
         }
-        PhysPlan::Limit { input, n, .. } => Box::new(LimitOp::new(build(input, par)?, *n)),
+        PhysPlan::Limit { input, n, .. } => {
+            Box::new(LimitOp::new(build(input, par, force_row)?, *n))
+        }
     };
     Ok(Box::new(InstrumentedOp {
         id: plan.op_id(),
@@ -251,11 +269,12 @@ pub fn execute_with_pool(
     // Morsel-driven engagement is deterministic: it depends only on the plan
     // shape, the configured thresholds, and the scan-range size — never on
     // the worker count — so counters and results are machine-independent.
-    let segment = if config.parallel_scan_min_rows > 0 && config.morsel_rows > 0 {
-        parallel_segment(plan).filter(|s| s.range_len() >= config.parallel_scan_min_rows)
-    } else {
-        None
-    };
+    let segment =
+        if !config.force_row_path && config.parallel_scan_min_rows > 0 && config.morsel_rows > 0 {
+            parallel_segment(plan).filter(|s| s.range_len() >= config.parallel_scan_min_rows)
+        } else {
+            None
+        };
     let ctx = ExecCtx {
         storage,
         registry,
@@ -272,7 +291,7 @@ pub fn execute_with_pool(
     storage
         .metrics()
         .set_n_workers(ctx.pool().n_workers() as u64);
-    let mut root = build(plan, segment.as_ref())?;
+    let mut root = build(plan, segment.as_ref(), config.force_row_path)?;
     let schema = root.schema();
     let mut out = Batch::empty(schema);
     while let Some(batch) = root.next(&ctx)? {

@@ -227,7 +227,10 @@ impl AggPlan {
     }
 
     fn fresh_states(&self) -> Vec<AggState> {
-        self.aggs.iter().map(|(f, _, _)| AggState::new(*f)).collect()
+        self.aggs
+            .iter()
+            .map(|(f, _, _)| AggState::new(*f))
+            .collect()
     }
 
     /// Fold one batch (either form) into `groups`.

@@ -100,9 +100,11 @@ impl Operator for ProjectOp {
             return Ok(None);
         };
         match (batch, &self.plan) {
-            (ExecBatch::Columnar(cb), plan) => Ok(Some(ExecBatch::Columnar(
-                plan.apply_columnar(&self.items, &self.schema, &cb)?,
-            ))),
+            (ExecBatch::Columnar(cb), plan) => Ok(Some(ExecBatch::Columnar(plan.apply_columnar(
+                &self.items,
+                &self.schema,
+                &cb,
+            )?))),
             (ExecBatch::Rows(batch), ProjPlan::Reorder(idx)) => {
                 let rows: Vec<Row> = batch
                     .rows()

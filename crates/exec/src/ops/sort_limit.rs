@@ -95,9 +95,7 @@ impl Operator for SortOp {
         for batch in batches {
             rows.extend(into_rows(ctx, batch).into_rows());
         }
-        rows.sort_by(|a, b| {
-            chain_ordering(key_idx.iter().map(|&i| a[i].sql_cmp(&b[i])), &descs)
-        });
+        rows.sort_by(|a, b| chain_ordering(key_idx.iter().map(|&i| a[i].sql_cmp(&b[i])), &descs));
         Ok(Some(ExecBatch::Rows(Batch::new(schema, rows))))
     }
 }

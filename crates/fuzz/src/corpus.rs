@@ -1,0 +1,121 @@
+//! The on-disk regression corpus.
+//!
+//! Every shrunk failure is written as a self-contained JSON file — the full
+//! [`FuzzCase`] (dataset parameters + statements), a version tag, and a
+//! human note. `tests/corpus/` holds the *committed* corpus: seeds that
+//! once failed (or that pin known-tricky interleavings) and now must stay
+//! green; `tests/fuzz_corpus.rs` replays all of them on every `cargo test`.
+
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+
+use crate::gen::FuzzCase;
+
+/// Bumped when [`FuzzCase`]'s serialized form changes incompatibly; the
+/// replay test refuses files from another version instead of mis-reading
+/// them.
+pub const CORPUS_VERSION: u32 = 1;
+
+/// One corpus entry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CorpusFile {
+    /// Format version (see [`CORPUS_VERSION`]).
+    pub version: u32,
+    /// Why this case is in the corpus.
+    pub note: String,
+    /// The session to replay through the oracles.
+    pub case: FuzzCase,
+}
+
+/// The committed corpus directory (`tests/corpus/` at the repository root).
+pub fn corpus_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/corpus")
+}
+
+/// Stable file name for a repro of the given case.
+pub fn repro_file_name(case: &FuzzCase) -> String {
+    format!("repro-{:016x}.json", case.seed)
+}
+
+/// Write one corpus file (pretty-printed, trailing newline) and return its
+/// path.
+pub fn write_corpus_file(dir: &Path, file: &CorpusFile) -> Result<PathBuf, String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+    let path = dir.join(repro_file_name(&file.case));
+    let mut json =
+        serde_json::to_string_pretty(file).map_err(|e| format!("serialize corpus file: {e}"))?;
+    json.push('\n');
+    std::fs::write(&path, json).map_err(|e| format!("write {}: {e}", path.display()))?;
+    Ok(path)
+}
+
+/// Load every `.json` file in a corpus directory, sorted by file name.
+/// A malformed file is an error — a corpus entry that silently stops
+/// parsing is a regression test that silently stopped running.
+pub fn load_corpus_dir(dir: &Path) -> Result<Vec<(PathBuf, CorpusFile)>, String> {
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("read {}: {e}", dir.display()))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "json"))
+        .collect();
+    paths.sort();
+    let mut out = Vec::with_capacity(paths.len());
+    for path in paths {
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        let file: CorpusFile =
+            serde_json::from_str(&text).map_err(|e| format!("parse {}: {e}", path.display()))?;
+        out.push((path, file));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate_case, sabotage_case};
+    use eva_harness::TempDir;
+
+    #[test]
+    fn corpus_files_round_trip() {
+        let dir = TempDir::new("fuzz_corpus_rt");
+        for case in [generate_case(3), sabotage_case(9)] {
+            let file = CorpusFile {
+                version: CORPUS_VERSION,
+                note: "round-trip test".to_string(),
+                case,
+            };
+            let path = write_corpus_file(dir.path(), &file).expect("write");
+            assert!(path.is_file());
+        }
+        let loaded = load_corpus_dir(dir.path()).expect("load");
+        assert_eq!(loaded.len(), 2);
+        for (_, f) in &loaded {
+            assert_eq!(f.version, CORPUS_VERSION);
+        }
+        // Deterministic order: sorted by file name.
+        let names: Vec<_> = loaded
+            .iter()
+            .map(|(p, _)| p.file_name().unwrap().to_owned())
+            .collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
+    }
+
+    #[test]
+    fn malformed_corpus_file_is_an_error() {
+        let dir = TempDir::new("fuzz_corpus_bad");
+        std::fs::write(dir.path().join("broken.json"), "{ not json").expect("write");
+        assert!(load_corpus_dir(dir.path()).is_err());
+    }
+
+    #[test]
+    fn committed_corpus_dir_exists() {
+        // The committed corpus must never silently vanish (an empty or
+        // missing directory would make the replay test vacuous).
+        let entries = load_corpus_dir(&corpus_dir()).expect("committed corpus loads");
+        assert!(!entries.is_empty(), "tests/corpus/ has no entries");
+    }
+}

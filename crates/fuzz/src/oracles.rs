@@ -1,0 +1,463 @@
+//! The four equivalence oracles.
+//!
+//! Each oracle replays the same [`FuzzCase`] under two configurations that
+//! the system contracts to be observably equivalent, then diffs:
+//!
+//! 1. **Warm vs cold** — every SELECT of the warm session (views
+//!    accumulating, save/load cycles, armed faults) must return the same
+//!    row *multiset* as the same SELECT run alone in a fresh session.
+//!    This is the paper's core correctness claim: reuse rewrites never
+//!    change answers.
+//! 2. **Parallel vs serial** — morsel-parallel execution at several
+//!    (width × morsel) points must be bit-identical to serial: same rows
+//!    in the same order, same simulated cost, same deterministic counters,
+//!    same per-operator stats.
+//! 3. **Columnar vs row** — the columnar hot path must match the
+//!    `PivotRowsOp`-forced row-at-a-time path on rows and simulated cost
+//!    (pivoting is charged to counters, never to the clock).
+//! 4. **Crash recovery** — for sessions that save, crash the save at every
+//!    write ordinal with a cycling fault site, then recover in a fresh
+//!    session; the recovered session's remaining SELECTs must still answer
+//!    correctly, and `load_state` must never error on a torn store.
+
+use std::fmt;
+use std::path::Path;
+
+use eva_common::MetricsSnapshot;
+use eva_core::EvaDb;
+use eva_exec::ExecConfig;
+use eva_harness::TempDir;
+
+use crate::gen::{FuzzCase, FuzzStmt};
+use crate::session::{exec_select, fresh_db, replay, run_single_select, ArmCfg, SelectObs};
+
+/// Which oracle flagged a divergence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OracleId {
+    /// Warm full-session replay vs each SELECT alone in a fresh session.
+    WarmCold,
+    /// Morsel-parallel execution vs serial, at several config points.
+    ParallelSerial,
+    /// Columnar hot path vs the forced row-at-a-time path.
+    ColumnarRow,
+    /// Save crashed at every write ordinal, then recovered and resumed.
+    CrashRecovery,
+}
+
+impl fmt::Display for OracleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            OracleId::WarmCold => "warm-vs-cold",
+            OracleId::ParallelSerial => "parallel-vs-serial",
+            OracleId::ColumnarRow => "columnar-vs-row",
+            OracleId::CrashRecovery => "crash-recovery",
+        })
+    }
+}
+
+/// How a case failed. The shrinker preserves this at *kind* granularity: a
+/// candidate reproduces the failure iff it fails the same way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailKind {
+    /// The session did not replay at all (parse, bind, or execution error).
+    Replay,
+    /// A replayed session diverged under the named oracle.
+    Oracle(OracleId),
+}
+
+impl fmt::Display for FailKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FailKind::Replay => f.write_str("replay-error"),
+            FailKind::Oracle(o) => write!(f, "oracle:{o}"),
+        }
+    }
+}
+
+/// A case failure: kind plus a human diagnosis.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// Failure kind (the shrinker's equivalence key).
+    pub kind: FailKind,
+    /// What diverged, with enough context to debug from the log alone.
+    pub detail: String,
+}
+
+impl fmt::Display for Failure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.kind, self.detail)
+    }
+}
+
+impl Failure {
+    fn replay(detail: impl Into<String>) -> Failure {
+        Failure {
+            kind: FailKind::Replay,
+            detail: detail.into(),
+        }
+    }
+
+    fn oracle(id: OracleId, detail: impl Into<String>) -> Failure {
+        Failure {
+            kind: FailKind::Oracle(id),
+            detail: detail.into(),
+        }
+    }
+}
+
+/// What a green case exercised (for the per-case log line).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CaseReport {
+    /// SELECT statements in the session.
+    pub n_selects: usize,
+    /// (SELECT × config-point) comparisons made by the parallel oracle.
+    pub parallel_cmps: usize,
+    /// Crash points swept by the recovery oracle (0 when the case never
+    /// saves).
+    pub crash_points: usize,
+}
+
+/// Width × morsel points for the parallel oracle. `(8, 1)` maximizes
+/// scheduling chaos (every frame its own morsel, more lanes than work);
+/// `(1, 4096)` degenerates to serial-through-the-pool.
+const PAIRS: [(usize, usize); 3] = [(8, 1), (2, 64), (1, 4096)];
+
+/// Write-site cycle for the crash sweep, in save-path write order.
+const SITES: [&str; 4] = ["torn_write", "rename_fail", "short_write", "bit_flip"];
+
+/// Scheduling-dependent counters masked for any cross-config comparison.
+fn core_mask(m: &MetricsSnapshot) -> MetricsSnapshot {
+    MetricsSnapshot {
+        morsels_dispatched: 0,
+        parallel_pipelines: 0,
+        ..m.deterministic()
+    }
+}
+
+/// Additionally mask the counters that *define* the columnar-vs-row split.
+fn col_mask(m: &MetricsSnapshot) -> MetricsSnapshot {
+    MetricsSnapshot {
+        columnar_batches: 0,
+        columnar_rows: 0,
+        rows_pivoted: 0,
+        ..core_mask(m)
+    }
+}
+
+/// The SQL of every SELECT in the case, in statement order.
+fn select_sqls(case: &FuzzCase) -> Vec<&str> {
+    case.stmts
+        .iter()
+        .filter_map(|s| match s {
+            FuzzStmt::Select(sql) => Some(sql.as_str()),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Run every oracle against one case.
+pub fn check_case(case: &FuzzCase) -> Result<CaseReport, Failure> {
+    let base = replay(case, &ArmCfg::default(), "fuzz_base").map_err(Failure::replay)?;
+    let sqls = select_sqls(case);
+    debug_assert_eq!(base.selects.len(), sqls.len());
+    let mut report = CaseReport {
+        n_selects: sqls.len(),
+        ..CaseReport::default()
+    };
+
+    warm_vs_cold(case, &sqls, &base.selects)?;
+    report.parallel_cmps = parallel_vs_serial(case, &sqls)?;
+    columnar_vs_row(case, &sqls, &base.selects)?;
+    report.crash_points = crash_recovery(case, &base)?;
+    Ok(report)
+}
+
+/// Oracle 1: each warm SELECT vs the same SELECT alone in a fresh session.
+/// Rows only, as multisets — a view-serving plan may emit in another order.
+fn warm_vs_cold(case: &FuzzCase, sqls: &[&str], warm: &[SelectObs]) -> Result<(), Failure> {
+    for (k, (sql, w)) in sqls.iter().zip(warm).enumerate() {
+        let cold = run_single_select(case, sql)
+            .map_err(|e| Failure::oracle(OracleId::WarmCold, format!("cold select {k}: {e}")))?;
+        if w.row_multiset() != cold.row_multiset() {
+            return Err(Failure::oracle(
+                OracleId::WarmCold,
+                format!(
+                    "select {k} `{sql}`: warm {} row(s) != cold {} row(s)",
+                    w.rows.len(),
+                    cold.rows.len()
+                ),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Oracle 2: for each (width, morsel) point, a fully-parallel replay must be
+/// bit-identical to a pipelines-disabled serial replay at the same batch
+/// cadence — rows in order, simulated cost, deterministic counters, and
+/// per-operator stats.
+fn parallel_vs_serial(case: &FuzzCase, sqls: &[&str]) -> Result<usize, Failure> {
+    let id = OracleId::ParallelSerial;
+    let mut cmps = 0;
+    for (width, morsel) in PAIRS {
+        // `batch_size = morsel_rows` in *both* arms keeps the serial arm on
+        // the exact batch boundaries the parallel arm's morsels produce.
+        let serial = ArmCfg {
+            exec: ExecConfig {
+                batch_size: morsel,
+                morsel_rows: morsel,
+                parallel_scan_min_rows: 0,
+                ..ExecConfig::default()
+            },
+            width: None,
+        };
+        let parallel = ArmCfg {
+            exec: ExecConfig {
+                batch_size: morsel,
+                morsel_rows: morsel,
+                parallel_scan_min_rows: 1,
+                ..ExecConfig::default()
+            },
+            width: Some(width),
+        };
+        let s = replay(case, &serial, "fuzz_ps_serial")
+            .map_err(|e| Failure::oracle(id, format!("serial arm (morsel {morsel}): {e}")))?;
+        let p = replay(case, &parallel, "fuzz_ps_parallel")
+            .map_err(|e| Failure::oracle(id, format!("parallel arm (w{width} m{morsel}): {e}")))?;
+        for (k, (sv, pv)) in s.selects.iter().zip(&p.selects).enumerate() {
+            let ctx = format!("select {k} `{}` at w{width} m{morsel}", sqls[k]);
+            if sv.rows != pv.rows {
+                return Err(Failure::oracle(id, format!("{ctx}: rows differ")));
+            }
+            if sv.breakdown != pv.breakdown {
+                return Err(Failure::oracle(
+                    id,
+                    format!(
+                        "{ctx}: simulated cost differs (serial {:?} vs parallel {:?})",
+                        sv.breakdown, pv.breakdown
+                    ),
+                ));
+            }
+            if core_mask(&sv.metrics) != core_mask(&pv.metrics) {
+                return Err(Failure::oracle(
+                    id,
+                    format!(
+                        "{ctx}: counters differ (serial {:?} vs parallel {:?})",
+                        core_mask(&sv.metrics),
+                        core_mask(&pv.metrics)
+                    ),
+                ));
+            }
+            if sv.op_stats != pv.op_stats {
+                return Err(Failure::oracle(id, format!("{ctx}: op_stats differ")));
+            }
+            cmps += 1;
+        }
+    }
+    Ok(cmps)
+}
+
+/// Oracle 3: the base (columnar-capable) replay vs a `force_row_path`
+/// replay. Rows in order and simulated cost must match; the columnar
+/// bookkeeping counters are masked (they define the split), and op_stats
+/// are skipped (the plans legitimately differ by a pivot node).
+fn columnar_vs_row(case: &FuzzCase, sqls: &[&str], columnar: &[SelectObs]) -> Result<(), Failure> {
+    let id = OracleId::ColumnarRow;
+    let row_arm = ArmCfg {
+        exec: ExecConfig {
+            force_row_path: true,
+            ..ExecConfig::default()
+        },
+        width: None,
+    };
+    let r = replay(case, &row_arm, "fuzz_row_path")
+        .map_err(|e| Failure::oracle(id, format!("row arm: {e}")))?;
+    for (k, (cv, rv)) in columnar.iter().zip(&r.selects).enumerate() {
+        let ctx = format!("select {k} `{}`", sqls[k]);
+        if cv.rows != rv.rows {
+            return Err(Failure::oracle(id, format!("{ctx}: rows differ")));
+        }
+        if cv.breakdown != rv.breakdown {
+            return Err(Failure::oracle(
+                id,
+                format!(
+                    "{ctx}: simulated cost differs (columnar {:?} vs row {:?})",
+                    cv.breakdown, rv.breakdown
+                ),
+            ));
+        }
+        if col_mask(&cv.metrics) != col_mask(&rv.metrics) {
+            return Err(Failure::oracle(
+                id,
+                format!(
+                    "{ctx}: counters differ (columnar {:?} vs row {:?})",
+                    col_mask(&cv.metrics),
+                    col_mask(&rv.metrics)
+                ),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Replay a statement slice on an open session (serial, no pool), returning
+/// per-SELECT observations. `saved` seeds the load-gating flag — the crash
+/// survivor starts with it set, since it begins life by loading the store.
+fn drive(
+    db: &mut EvaDb,
+    stmts: &[FuzzStmt],
+    dir: &Path,
+    mut saved: bool,
+) -> Result<Vec<SelectObs>, String> {
+    let mut out = Vec::new();
+    for stmt in stmts {
+        match stmt {
+            FuzzStmt::Select(sql) => out.push(exec_select(db, sql, None)?),
+            FuzzStmt::ResetViews => db.reset_reuse_state(),
+            FuzzStmt::Save => {
+                if db.save_state(dir).is_ok() {
+                    saved = true;
+                }
+            }
+            FuzzStmt::Load => {
+                if saved {
+                    db.load_state(dir).map_err(|e| format!("Load: {e}"))?;
+                }
+            }
+            FuzzStmt::Fault(spec) => db
+                .storage()
+                .failpoints()
+                .apply_spec(spec)
+                .map_err(|e| format!("Fault `{spec}`: {e}"))?,
+            FuzzStmt::Disarm => db.storage().failpoints().disarm_all(),
+        }
+    }
+    Ok(out)
+}
+
+/// Oracle 4: crash the first save at every write ordinal and recover.
+///
+/// For each ordinal `nth` (cycling through the fault sites), a *victim*
+/// session replays up to the first `Save`, arms `site=nth:<n>`, and
+/// attempts the save — which dies partway, leaving a torn store. A fresh
+/// *survivor* session must then `load_state` without error (quarantining
+/// whatever is damaged) and answer the session's remaining SELECTs with
+/// the same row multisets as the uninterrupted base replay.
+fn crash_recovery(case: &FuzzCase, base: &crate::session::ReplayOutcome) -> Result<usize, Failure> {
+    let id = OracleId::CrashRecovery;
+    let Some(save_idx) = base.first_save_index else {
+        return Ok(0);
+    };
+    // Writes during a save: one segment file per view, plus the store
+    // manifest and the manager state. Sweep them all (capped — deep view
+    // stacks would make the sweep quadratic-ish in session length).
+    let n_writes = base.views_at_first_save.unwrap_or(0) + 2;
+    let n_selects_before = case.stmts[..save_idx]
+        .iter()
+        .filter(|s| matches!(s, FuzzStmt::Select(_)))
+        .count();
+    let base_after = &base.selects[n_selects_before..];
+    let remainder = &case.stmts[save_idx + 1..];
+
+    let mut points = 0;
+    for nth in 1..=n_writes.min(6) {
+        let site = SITES[(nth - 1) % SITES.len()];
+        let crash_dir = TempDir::new("fuzz_crash");
+
+        // Victim: run up to the save, then crash the save's nth write.
+        let mut victim = fresh_db(case, &ArmCfg::default()).map_err(Failure::replay)?;
+        drive(
+            &mut victim,
+            &case.stmts[..save_idx],
+            crash_dir.path(),
+            false,
+        )
+        .map_err(|e| Failure::replay(format!("victim prefix (nth {nth}): {e}")))?;
+        victim
+            .storage()
+            .failpoints()
+            .apply_spec(&format!("{site}=nth:{nth}"))
+            .map_err(|e| Failure::replay(format!("arming {site}=nth:{nth}: {e}")))?;
+        let _ = victim.save_state(crash_dir.path()); // the crash: Err expected
+        victim.storage().failpoints().disarm_all();
+        drop(victim);
+
+        // Survivor: recover from the torn store, then finish the session.
+        let mut survivor = fresh_db(case, &ArmCfg::default()).map_err(Failure::replay)?;
+        survivor.load_state(crash_dir.path()).map_err(|e| {
+            Failure::oracle(
+                id,
+                format!("load_state after {site}=nth:{nth} crash errored: {e}"),
+            )
+        })?;
+        let recovered = drive(&mut survivor, remainder, crash_dir.path(), true)
+            .map_err(|e| Failure::oracle(id, format!("survivor after {site}=nth:{nth}: {e}")))?;
+
+        if recovered.len() != base_after.len() {
+            return Err(Failure::oracle(
+                id,
+                format!(
+                    "survivor after {site}=nth:{nth} ran {} select(s), base ran {}",
+                    recovered.len(),
+                    base_after.len()
+                ),
+            ));
+        }
+        for (k, (rv, bv)) in recovered.iter().zip(base_after).enumerate() {
+            if rv.row_multiset() != bv.row_multiset() {
+                return Err(Failure::oracle(
+                    id,
+                    format!(
+                        "post-recovery select {k} after {site}=nth:{nth}: {} row(s) vs base {}",
+                        rv.rows.len(),
+                        bv.rows.len()
+                    ),
+                ));
+            }
+        }
+        points += 1;
+    }
+    Ok(points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate_case, sabotage_case};
+
+    #[test]
+    fn small_generated_cases_are_green() {
+        // A handful of quick seeds; the full smoke run lives in the CLI and
+        // the corpus replay test.
+        for seed in [3u64, 14] {
+            let case = generate_case(seed);
+            if let Err(f) = check_case(&case) {
+                panic!("seed {seed} failed: {f}\ncase: {case:#?}");
+            }
+        }
+    }
+
+    #[test]
+    fn sabotage_case_is_caught() {
+        let case = sabotage_case(1);
+        let f = check_case(&case).expect_err("sabotaged recovery must be flagged");
+        assert!(
+            matches!(f.kind, FailKind::Oracle(_)),
+            "expected an oracle failure, got {f}"
+        );
+    }
+
+    #[test]
+    fn crash_oracle_skips_saveless_cases() {
+        let case = crate::gen::FuzzCase {
+            seed: 0,
+            dataset_seed: 5,
+            n_frames: 12,
+            sabotage: None,
+            stmts: vec![FuzzStmt::Select("SELECT id FROM video WHERE id < 4".into())],
+        };
+        let report = check_case(&case).expect("trivial case is green");
+        assert_eq!(report.crash_points, 0);
+        assert_eq!(report.n_selects, 1);
+    }
+}

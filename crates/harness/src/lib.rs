@@ -10,6 +10,10 @@ use eva_planner::ReuseStrategy;
 use eva_video::generator::generate;
 use eva_video::{VideoConfig, VideoDataset};
 
+// The blessed per-test unique temp-dir helpers (implemented in eva-common so
+// in-crate unit tests can use them too; integration tests import from here).
+pub use eva_common::testutil::{unique_temp_dir, TempDir};
+
 /// A small deterministic dataset sized for fast integration tests.
 pub fn test_dataset(seed: u64, n_frames: u64) -> VideoDataset {
     generate(VideoConfig {

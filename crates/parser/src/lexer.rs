@@ -135,6 +135,48 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>> {
                     i += 1;
                 }
             }
+            '-' if bytes
+                .get(i + 1)
+                .map(|b| b.is_ascii_digit())
+                .unwrap_or(false) =>
+            {
+                // Negative numeric literal. EVA-QL has no arithmetic, so a
+                // `-` that is not a comment can only introduce a signed
+                // number.
+                let start = i;
+                let mut j = i + 1;
+                let mut is_float = false;
+                while j < bytes.len()
+                    && ((bytes[j] as char).is_ascii_digit()
+                        || (bytes[j] == b'.'
+                            && !is_float
+                            && bytes
+                                .get(j + 1)
+                                .map(|b| b.is_ascii_digit())
+                                .unwrap_or(false)))
+                {
+                    if bytes[j] == b'.' {
+                        is_float = true;
+                    }
+                    j += 1;
+                }
+                let text = &src[start..j];
+                let kind =
+                    if is_float {
+                        TokenKind::Float(text.parse().map_err(|_| {
+                            EvaError::Parse(format!("invalid float literal '{text}'"))
+                        })?)
+                    } else {
+                        TokenKind::Int(text.parse().map_err(|_| {
+                            EvaError::Parse(format!("invalid integer literal '{text}'"))
+                        })?)
+                    };
+                tokens.push(Token {
+                    kind,
+                    offset: start,
+                });
+                i = j;
+            }
             '(' => {
                 tokens.push(Token {
                     kind: TokenKind::Symbol(Symbol::LParen),
@@ -368,6 +410,16 @@ mod tests {
         let ks = kinds("1.x");
         assert_eq!(ks[0], TokenKind::Int(1));
         assert_eq!(ks[1], TokenKind::Symbol(Symbol::Dot));
+    }
+
+    #[test]
+    fn negative_numbers() {
+        assert_eq!(kinds("-7")[0], TokenKind::Int(-7));
+        assert_eq!(kinds("-0.5")[0], TokenKind::Float(-0.5));
+        // Comments still win over signs.
+        assert_eq!(kinds("-- note\n-3")[0], TokenKind::Int(-3));
+        // A bare '-' not followed by a digit is still rejected.
+        assert!(tokenize("a - b").is_err());
     }
 
     #[test]

@@ -1,0 +1,285 @@
+//! AST-first round-trip property: for an arbitrary well-formed
+//! [`SelectStmt`] *value*, `parse(stmt.to_string())` must yield exactly
+//! `stmt` back.
+//!
+//! This is strictly stronger than the print→parse fixed point in
+//! `properties.rs` (which only shows printing is *stable*, not that it is
+//! *faithful*): starting from the AST catches printers that lose
+//! information the parser normalizes away, and parsers that mangle valid
+//! prints (precedence, quoting, sign handling). It also underwrites the
+//! differential fuzzer, whose shrinker mutates ASTs and re-prints them.
+//!
+//! The generator only emits *canonical* ASTs — the forms `parse` itself
+//! produces (lowercase identifiers and UDF names, uppercase accuracy
+//! levels) — since non-canonical spellings are normalized by the parser by
+//! design and cannot round-trip.
+
+use proptest::prelude::*;
+
+use eva_common::Value;
+use eva_expr::{AggFunc, CmpOp, Expr, UdfCall};
+use eva_parser::{parse, ApplyClause, SelectItem, SelectStmt, SortOrder, Statement};
+
+const COLS: &[&str] = &[
+    "id",
+    "ts",
+    "frame",
+    "label",
+    "bbox",
+    "score",
+    "cam_id",
+    "lane",
+    "plate_text",
+    "speed",
+];
+const UDFS: &[&str] = &["yolo_tiny", "cartype", "colordet", "my_udf"];
+const TABLES: &[&str] = &["video", "traffic", "cams"];
+const ALIASES: &[&str] = &["a", "b", "total", "hits"];
+const ACCURACIES: &[&str] = &["LOW", "MEDIUM", "HIGH"];
+const AGGS: &[AggFunc] = &[
+    AggFunc::Count,
+    AggFunc::Sum,
+    AggFunc::Min,
+    AggFunc::Max,
+    AggFunc::Avg,
+];
+const CMPS: &[CmpOp] = &[
+    CmpOp::Eq,
+    CmpOp::Ne,
+    CmpOp::Lt,
+    CmpOp::Le,
+    CmpOp::Gt,
+    CmpOp::Ge,
+];
+
+fn arb_col() -> impl Strategy<Value = Expr> {
+    prop::sample::select(COLS).prop_map(Expr::col)
+}
+
+fn arb_literal() -> impl Strategy<Value = Expr> {
+    // Ranges stay well inside what the lexer can re-read: `i64::MIN` has no
+    // positive counterpart, and non-ASCII strings would be mangled by the
+    // byte-wise string scanner. The float range still exercises negative,
+    // integral ("2.0") and long-decimal-expansion values.
+    prop_oneof![
+        (-1_000_000i64..=1_000_000).prop_map(|v| Expr::Literal(Value::Int(v))),
+        (-1.0e6..1.0e6f64).prop_map(|v| Expr::Literal(Value::Float(v))),
+        "[a-zA-Z0-9_ .,'-]{0,12}".prop_map(|s| Expr::Literal(Value::Str(s))),
+        any::<bool>().prop_map(|b| Expr::Literal(Value::Bool(b))),
+    ]
+}
+
+fn arb_udf_call() -> impl Strategy<Value = Expr> {
+    let arg = prop_oneof![arb_col(), arb_literal()];
+    (
+        prop::sample::select(UDFS),
+        prop::collection::vec(arg, 1..=3),
+        prop::option::of(prop::sample::select(ACCURACIES)),
+    )
+        .prop_map(|(name, args, acc)| {
+            let call = UdfCall::new(name, args);
+            Expr::Udf(match acc {
+                Some(a) => call.with_accuracy(a),
+                None => call,
+            })
+        })
+}
+
+fn arb_agg() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        Just(Expr::Agg {
+            func: AggFunc::Count,
+            arg: None,
+        }),
+        (prop::sample::select(AGGS), prop::sample::select(COLS)).prop_map(|(func, c)| Expr::Agg {
+            func,
+            arg: Some(Box::new(Expr::col(c))),
+        }),
+    ]
+}
+
+/// Value-level expressions — anything legal as a comparison operand or a
+/// projection item. Deliberately excludes Cmp/And/Or/Not: those are
+/// predicates, and the grammar (like SQL's) does not allow a bare
+/// predicate as a comparison operand.
+fn arb_value_expr() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        4 => arb_col(),
+        4 => arb_literal(),
+        2 => arb_udf_call(),
+        1 => arb_agg(),
+    ]
+}
+
+fn arb_predicate() -> impl Strategy<Value = Expr> {
+    let atom = prop_oneof![
+        4 => (arb_value_expr(), prop::sample::select(CMPS), arb_value_expr())
+            .prop_map(|(l, op, r)| Expr::cmp(l, op, r)),
+        1 => (arb_value_expr(), any::<bool>()).prop_map(|(e, negated)| Expr::IsNull {
+            expr: Box::new(e),
+            negated,
+        }),
+    ];
+    atom.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+            inner.prop_map(|e| e.not()),
+        ]
+    })
+}
+
+fn arb_select_item() -> impl Strategy<Value = Expr> {
+    arb_value_expr()
+}
+
+fn arb_projection() -> impl Strategy<Value = Vec<SelectItem>> {
+    prop_oneof![
+        1 => Just(vec![SelectItem::Wildcard]),
+        4 => prop::collection::vec(
+            (arb_select_item(), prop::option::of(prop::sample::select(ALIASES))),
+            1..=3,
+        )
+        .prop_map(|items| {
+            items
+                .into_iter()
+                .map(|(expr, alias)| SelectItem::Expr {
+                    expr,
+                    alias: alias.map(str::to_string),
+                })
+                .collect()
+        }),
+    ]
+}
+
+fn arb_apply() -> impl Strategy<Value = ApplyClause> {
+    (
+        prop::sample::select(UDFS),
+        prop::collection::vec(arb_col(), 1..=2),
+        prop::option::of(prop::sample::select(ACCURACIES)),
+    )
+        .prop_map(|(name, args, acc)| {
+            let call = UdfCall::new(name, args);
+            ApplyClause {
+                udf: match acc {
+                    Some(a) => call.with_accuracy(a),
+                    None => call,
+                },
+            }
+        })
+}
+
+fn arb_select() -> impl Strategy<Value = SelectStmt> {
+    (
+        arb_projection(),
+        prop::sample::select(TABLES),
+        prop::collection::vec(arb_apply(), 0..=2),
+        prop::option::of(arb_predicate()),
+        prop::collection::vec(prop::sample::select(COLS), 0..=2),
+        prop::collection::vec((prop::sample::select(COLS), any::<bool>()), 0..=2),
+        prop::option::of(0u64..=50),
+    )
+        .prop_map(
+            |(projection, from, applies, where_clause, group_by, order_by, limit)| SelectStmt {
+                projection,
+                from: from.to_string(),
+                applies,
+                where_clause,
+                group_by: group_by.into_iter().map(str::to_string).collect(),
+                order_by: order_by
+                    .into_iter()
+                    .map(|(c, desc)| {
+                        (
+                            c.to_string(),
+                            if desc {
+                                SortOrder::Desc
+                            } else {
+                                SortOrder::Asc
+                            },
+                        )
+                    })
+                    .collect(),
+                limit,
+            },
+        )
+}
+
+fn reparse(stmt: &SelectStmt) -> Result<SelectStmt, String> {
+    let sql = stmt.to_string();
+    match parse(&sql) {
+        Ok(Statement::Select(s)) => Ok(s),
+        Ok(other) => Err(format!("`{sql}` parsed as non-SELECT {other:?}")),
+        Err(e) => Err(format!("`{sql}` failed to parse: {e}")),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn arbitrary_select_round_trips(stmt in arb_select()) {
+        match reparse(&stmt) {
+            Ok(parsed) => prop_assert_eq!(&parsed, &stmt, "sql: {}", stmt.to_string()),
+            Err(e) => prop_assert!(false, "{}", e),
+        }
+    }
+}
+
+/// Deterministic pins for the literal spellings that historically break
+/// printer/parser pairs.
+#[test]
+fn tricky_literals_round_trip() {
+    let lits = [
+        Value::Int(-7),
+        Value::Int(0),
+        Value::Float(-0.5),
+        Value::Float(2.0),  // must print "2.0", not "2"
+        Value::Float(-3.0), // negative *and* integral
+        Value::Float(0.30000000000000004),
+        Value::Str("it's".to_string()), // quote-escaping
+        Value::Str(String::new()),
+        Value::Str("-- not a comment".to_string()),
+        Value::Bool(true),
+        Value::Bool(false),
+    ];
+    for lit in lits {
+        let stmt = SelectStmt {
+            projection: vec![SelectItem::Expr {
+                expr: Expr::col("id"),
+                alias: None,
+            }],
+            from: "video".to_string(),
+            applies: Vec::new(),
+            where_clause: Some(Expr::cmp(
+                Expr::col("label"),
+                CmpOp::Ne,
+                Expr::Literal(lit.clone()),
+            )),
+            group_by: Vec::new(),
+            order_by: Vec::new(),
+            limit: None,
+        };
+        let parsed = reparse(&stmt).unwrap_or_else(|e| panic!("literal {lit:?}: {e}"));
+        assert_eq!(parsed, stmt, "literal {lit:?}");
+    }
+}
+
+/// Predicate operators on the left of a comparison (a negative literal
+/// opening a WHERE clause exercises the lexer's sign handling).
+#[test]
+fn negative_literal_in_lhs_round_trips() {
+    let stmt = SelectStmt {
+        projection: vec![SelectItem::Wildcard],
+        from: "video".to_string(),
+        applies: Vec::new(),
+        where_clause: Some(Expr::cmp(
+            Expr::Literal(Value::Int(-3)),
+            CmpOp::Le,
+            Expr::col("id"),
+        )),
+        group_by: Vec::new(),
+        order_by: Vec::new(),
+        limit: None,
+    };
+    assert_eq!(reparse(&stmt).expect("parses"), stmt);
+}

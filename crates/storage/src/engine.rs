@@ -850,13 +850,7 @@ mod tests {
 
     #[test]
     fn persistence_round_trip() {
-        // Unique per test (not just per process) so parallel test binaries
-        // and sibling tests can never race on a shared directory.
-        let dir = std::env::temp_dir().join(format!(
-            "eva_engine_persistence_round_trip_{}",
-            std::process::id()
-        ));
-        let _ = std::fs::remove_dir_all(&dir);
+        let dir = eva_common::testutil::unique_temp_dir("engine_persistence_round_trip");
         let eng = StorageEngine::new();
         let clock = SimClock::new();
         let id = eng.create_view("det", ViewKeyKind::Frame, out_schema());

@@ -386,9 +386,7 @@ mod tests {
 
     #[test]
     fn write_atomic_fault_injection_matrix() {
-        let dir = std::env::temp_dir().join(format!("eva_segment_fi_{}", std::process::id()));
-        let _ = std::fs::remove_dir_all(&dir);
-        std::fs::create_dir_all(&dir).unwrap();
+        let dir = eva_common::testutil::unique_temp_dir("segment_fi");
         let bytes = encode_segment(&demo_view(1));
         let fp = FailpointRegistry::new();
 
@@ -439,9 +437,7 @@ mod tests {
 
     #[test]
     fn quarantine_renames_aside() {
-        let dir = std::env::temp_dir().join(format!("eva_quarantine_{}", std::process::id()));
-        let _ = std::fs::remove_dir_all(&dir);
-        std::fs::create_dir_all(&dir).unwrap();
+        let dir = eva_common::testutil::unique_temp_dir("quarantine");
         let p = dir.join("view_9.seg");
         std::fs::write(&p, b"junk").unwrap();
         let q = quarantine_file(&p);

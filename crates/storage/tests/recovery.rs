@@ -11,10 +11,7 @@ use eva_storage::segment;
 use eva_storage::{StorageEngine, ViewKey, ViewKeyKind};
 
 fn unique_dir(tag: &str) -> PathBuf {
-    let dir = std::env::temp_dir().join(format!("eva_recovery_{tag}_{}", std::process::id()));
-    let _ = std::fs::remove_dir_all(&dir);
-    std::fs::create_dir_all(&dir).unwrap();
-    dir
+    eva_common::testutil::unique_temp_dir(&format!("recovery_{tag}"))
 }
 
 fn out_schema() -> Arc<Schema> {

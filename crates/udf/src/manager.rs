@@ -419,8 +419,7 @@ mod tests {
 
     #[test]
     fn save_load_round_trips_aggregates() {
-        let dir = std::env::temp_dir().join(format!("eva_mgr_roundtrip_{}", std::process::id()));
-        let _ = std::fs::remove_dir_all(&dir);
+        let dir = eva_common::testutil::unique_temp_dir("mgr_roundtrip");
         let storage = StorageEngine::new();
         let mgr = UdfManager::new(storage.clone());
         mgr.view_for(&sig(), ViewKeyKind::Frame, schema());
@@ -440,8 +439,7 @@ mod tests {
 
     #[test]
     fn corrupt_manager_state_is_corrupt_not_io() {
-        let dir = std::env::temp_dir().join(format!("eva_mgr_corrupt_{}", std::process::id()));
-        let _ = std::fs::remove_dir_all(&dir);
+        let dir = eva_common::testutil::unique_temp_dir("mgr_corrupt");
         let storage = StorageEngine::new();
         let mgr = UdfManager::new(storage.clone());
         mgr.view_for(&sig(), ViewKeyKind::Frame, schema());

@@ -29,9 +29,7 @@ const QUERIES: [&str; 2] = [
 const N_WRITES: u64 = 4;
 
 fn unique_dir(tag: &str) -> std::path::PathBuf {
-    let dir = std::env::temp_dir().join(format!("eva_chaos_{tag}_{}", std::process::id()));
-    let _ = std::fs::remove_dir_all(&dir);
-    dir
+    eva_harness::unique_temp_dir(&format!("chaos_{tag}"))
 }
 
 /// A session over the standard chaos dataset with every failpoint disarmed

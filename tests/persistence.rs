@@ -8,9 +8,7 @@ use eva_storage::{StorageEngine, ViewKey, ViewKeyKind};
 use std::sync::Arc;
 
 fn temp_dir(tag: &str) -> std::path::PathBuf {
-    let dir = std::env::temp_dir().join(format!("eva_persist_{tag}_{}", std::process::id()));
-    let _ = std::fs::remove_dir_all(&dir);
-    dir
+    eva_harness::unique_temp_dir(&format!("persist_{tag}"))
 }
 
 #[test]

@@ -126,8 +126,10 @@ fn run(
     let stats = InvocationStats::new();
     let clock = SimClock::new();
     let funcache = FunCacheTable::new();
-    execute_with_pool(plan, storage, &registry, &stats, &clock, &funcache, config, pool)
-        .expect("query execution")
+    execute_with_pool(
+        plan, storage, &registry, &stats, &clock, &funcache, config, pool,
+    )
+    .expect("query execution")
 }
 
 fn serial_cfg(batch: usize) -> ExecConfig {
@@ -165,7 +167,10 @@ fn assert_identical(serial: &QueryOutput, par: &QueryOutput, what: &str) {
         core_counters(&par.metrics),
         "{what}: deterministic metrics"
     );
-    assert_eq!(serial.op_stats, par.op_stats, "{what}: EXPLAIN ANALYZE stats");
+    assert_eq!(
+        serial.op_stats, par.op_stats,
+        "{what}: EXPLAIN ANALYZE stats"
+    );
 }
 
 #[test]
@@ -252,8 +257,5 @@ fn concurrent_queries_share_the_pool_safely() {
     // are atomic sums charged once per query, so the totals are exact.
     let delta = storage.metrics().snapshot().since(&before);
     assert_eq!(delta.parallel_pipelines, n_queries as u64);
-    assert_eq!(
-        delta.morsels_dispatched,
-        n_queries as u64 * N.div_ceil(256)
-    );
+    assert_eq!(delta.morsels_dispatched, n_queries as u64 * N.div_ceil(256));
 }
