@@ -120,6 +120,8 @@ impl HotEnv {
                 ..ExecConfig::default()
             },
             pool: None,
+            governor: eva_common::QueryGovernor::ungoverned(),
+            breaker: None,
         }
     }
 }

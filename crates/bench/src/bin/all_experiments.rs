@@ -10,7 +10,7 @@
 use std::process::Command;
 
 /// `(binary, expected JSON artifact)` for every experiment in the suite.
-const EXPERIMENTS: [(&str, &str); 16] = [
+const EXPERIMENTS: [(&str, &str); 17] = [
     ("tab2_hit_percentage", "tab2_hit_percentage.json"),
     ("fig5_workload_speedup", "fig5_workload_speedup.json"),
     ("tab3_udf_statistics", "tab3_udf_statistics.json"),
@@ -33,6 +33,7 @@ const EXPERIMENTS: [(&str, &str); 16] = [
     ("ablations", "ablations.json"),
     ("bench_reuse_path", "BENCH_reuse_path.json"),
     ("bench_trajectory", "BENCH_trajectory.json"),
+    ("bench_overload", "BENCH_overload.json"),
 ];
 
 /// Validate one artifact: it must exist, parse as JSON, and carry data (an
@@ -90,6 +91,14 @@ fn main() {
         };
         match status {
             Ok(s) if s.success() => {}
+            Ok(s) if s.code() == Some(eva_bench::EXIT_CANCELLED) => {
+                eprintln!(
+                    "experiment {name} was cancelled by lifecycle governance \
+                     (exit {}) — raise the deadline/budget or free capacity",
+                    eva_bench::EXIT_CANCELLED
+                );
+                failed.push(name);
+            }
             other => {
                 eprintln!("experiment {name} failed: {other:?}");
                 failed.push(name);

@@ -1,0 +1,142 @@
+//! Overload demonstration for the query-lifecycle governance stack, written
+//! to `experiments_out/BENCH_overload.json` and gated in CI.
+//!
+//! Two rounds:
+//!
+//! 1. **Contention** — 8 single-threaded sessions (one per thread) share
+//!    one [`AdmissionController`] with 2 slots and a 2-deep FIFO queue, and
+//!    all arrive together behind a barrier. The controller admits what fits
+//!    and sheds the rest with `Cancelled { reason: Shed }`; shed queries are
+//!    a reported outcome, never a panic.
+//! 2. **Degradation** — a session with a 32-byte memory budget runs a
+//!    GROUP BY whose aggregation state cannot fit. The query completes in
+//!    the streaming/merging fallback with exact results, and the planner
+//!    skips view materialization for it.
+//!
+//! The summed metrics snapshot must show `queries_admitted`, `queries_shed`
+//! and `degraded_queries` all positive — that is the perf-gate contract in
+//! `.github/perf-baseline.json`.
+
+use std::sync::{Arc, Barrier, Mutex};
+
+use eva_baselines::ReuseStrategy;
+use eva_bench::{banner, write_json_with_metrics, TextTable};
+use eva_common::{CancelReason, MetricsSnapshot};
+use eva_core::{AdmissionConfig, AdmissionController, EvaDb, SessionConfig};
+use eva_video::{generator::generate, VideoConfig, VideoDataset};
+
+const N_SESSIONS: usize = 8;
+const N_SLOTS: usize = 2;
+const N_WAITERS: usize = 2;
+
+const Q: &str = "SELECT id, bbox FROM video CROSS APPLY fasterrcnn_resnet50(frame) \
+                 WHERE id < 120 AND label = 'car'";
+const AGG_Q: &str = "SELECT label, COUNT(*) AS n FROM video CROSS APPLY \
+                     fasterrcnn_resnet50(frame) WHERE id < 30 GROUP BY label";
+
+fn tiny(seed: u64) -> VideoDataset {
+    generate(VideoConfig {
+        name: format!("overload_{seed}"),
+        n_frames: 240,
+        width: 96,
+        height: 54,
+        fps: 25.0,
+        target_density: 4.0,
+        person_fraction: 0.0,
+        seed,
+    })
+}
+
+fn contention_round(gate: &AdmissionController) -> (u64, u64, MetricsSnapshot) {
+    let barrier = Arc::new(Barrier::new(N_SESSIONS));
+    let tally = Arc::new(Mutex::new((0u64, 0u64, MetricsSnapshot::default())));
+    let handles: Vec<_> = (0..N_SESSIONS)
+        .map(|i| {
+            let gate = gate.clone();
+            let barrier = Arc::clone(&barrier);
+            let tally = Arc::clone(&tally);
+            std::thread::spawn(move || {
+                let mut db =
+                    EvaDb::new(SessionConfig::for_strategy(ReuseStrategy::Eva)).expect("session");
+                db.load_video(tiny(i as u64), "video").expect("load");
+                db.set_admission(Some(gate));
+                barrier.wait();
+                let (completed, shed) = match db.execute_sql(Q) {
+                    Ok(r) => {
+                        r.rows().expect("select returns rows");
+                        (1, 0)
+                    }
+                    // Shedding is the expected overload outcome — a
+                    // structured refusal, not an error to die on.
+                    Err(e) if e.cancel_reason() == Some(CancelReason::Shed) => (0, 1),
+                    Err(e) => panic!("unexpected failure under overload: {e}"),
+                };
+                let mut t = tally.lock().unwrap();
+                t.0 += completed;
+                t.1 += shed;
+                t.2 = t.2.plus(&db.metrics_snapshot());
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("no session panics under overload");
+    }
+    let t = tally.lock().unwrap();
+    (t.0, t.1, t.2)
+}
+
+fn degradation_round() -> MetricsSnapshot {
+    let mut cfg = SessionConfig::for_strategy(ReuseStrategy::Eva);
+    cfg.governor.budget_bytes = Some(32);
+    let mut db = EvaDb::new(cfg).expect("session");
+    db.load_video(tiny(99), "video").expect("load");
+    let out = db
+        .execute_sql(AGG_Q)
+        .expect("budget trip degrades, not fails")
+        .rows()
+        .expect("rows");
+    assert!(out.n_rows() > 0, "degraded aggregation still answers");
+    assert_eq!(out.metrics.degraded_queries, 1, "{:?}", out.metrics);
+    db.metrics_snapshot()
+}
+
+fn main() {
+    banner("BENCH overload: admission control + graceful degradation");
+    let gate = AdmissionController::new(AdmissionConfig {
+        max_concurrent: N_SLOTS,
+        max_waiters: N_WAITERS,
+        queue_deadline_ms: Some(30_000),
+    });
+    let (completed, shed, contention_metrics) = contention_round(&gate);
+    assert_eq!(completed + shed, N_SESSIONS as u64);
+    assert!(
+        shed >= 1,
+        "8 simultaneous arrivals on 2+2 capacity must shed"
+    );
+    let snap = gate.snapshot();
+    assert_eq!(snap.admitted, completed, "{snap:?}");
+    assert_eq!(snap.shed, shed, "{snap:?}");
+
+    let degraded_metrics = degradation_round();
+    let metrics = contention_metrics.plus(&degraded_metrics);
+
+    let mut table = TextTable::new(vec!["outcome", "count"]);
+    table.row(vec!["sessions".into(), N_SESSIONS.to_string()]);
+    table.row(vec!["slots".into(), N_SLOTS.to_string()]);
+    table.row(vec!["completed".into(), completed.to_string()]);
+    table.row(vec!["shed".into(), shed.to_string()]);
+    table.row(vec![
+        "degraded".into(),
+        metrics.degraded_queries.to_string(),
+    ]);
+    println!("{}", table.render());
+
+    let json = serde_json::json!({
+        "sessions": N_SESSIONS,
+        "slots": N_SLOTS,
+        "max_waiters": N_WAITERS,
+        "completed": completed,
+        "shed": shed,
+    });
+    write_json_with_metrics("BENCH_overload", &json, &metrics);
+}

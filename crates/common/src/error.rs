@@ -5,6 +5,41 @@ use std::fmt;
 /// Convenience alias used across all EVA-RS crates.
 pub type Result<T, E = EvaError> = std::result::Result<T, E>;
 
+/// Why a query was cancelled. Carried by [`EvaError::Cancelled`] so callers
+/// can distinguish governance outcomes (retryable shed, tightening budgets)
+/// from genuine runtime failures without parsing message strings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CancelReason {
+    /// The per-query deadline elapsed (SimClock-denominated by default; a
+    /// wall-clock overlay may also fire with this reason).
+    Deadline,
+    /// The per-query memory accountant exceeded its byte budget at a point
+    /// where no graceful degradation was possible.
+    Budget,
+    /// The admission controller refused or timed out the query under load.
+    Shed,
+    /// An explicit caller-issued cancellation.
+    User,
+}
+
+impl CancelReason {
+    /// Stable lowercase label (used in displays, logs, and counters).
+    pub fn label(self) -> &'static str {
+        match self {
+            CancelReason::Deadline => "deadline",
+            CancelReason::Budget => "budget",
+            CancelReason::Shed => "shed",
+            CancelReason::User => "user",
+        }
+    }
+}
+
+impl fmt::Display for CancelReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// The error type shared by every EVA-RS subsystem.
 ///
 /// Variants are grouped by the pipeline stage that raises them so callers can
@@ -34,6 +69,17 @@ pub enum EvaError {
     Corrupt(String),
     /// Invalid configuration or API misuse.
     Config(String),
+    /// The query was cancelled by the governance layer before completing:
+    /// deadline exceeded, memory budget tripped without a degradation path,
+    /// shed by the admission controller, or explicitly cancelled. Distinct
+    /// from [`EvaError::Exec`]: the engine was healthy, the query was cut
+    /// short on purpose, and a retry (or a looser budget) may succeed.
+    Cancelled {
+        /// Structured cancellation cause.
+        reason: CancelReason,
+        /// Human-readable context (which budget, how far over, …).
+        message: String,
+    },
 }
 
 impl EvaError {
@@ -50,6 +96,7 @@ impl EvaError {
             EvaError::Io(_) => "io",
             EvaError::Corrupt(_) => "corrupt",
             EvaError::Config(_) => "config",
+            EvaError::Cancelled { .. } => "cancelled",
         }
     }
 
@@ -65,7 +112,24 @@ impl EvaError {
             | EvaError::Type(m)
             | EvaError::Io(m)
             | EvaError::Corrupt(m)
-            | EvaError::Config(m) => m,
+            | EvaError::Config(m)
+            | EvaError::Cancelled { message: m, .. } => m,
+        }
+    }
+
+    /// Build a [`EvaError::Cancelled`].
+    pub fn cancelled(reason: CancelReason, message: impl Into<String>) -> EvaError {
+        EvaError::Cancelled {
+            reason,
+            message: message.into(),
+        }
+    }
+
+    /// The structured cancellation reason, when this is a cancellation.
+    pub fn cancel_reason(&self) -> Option<CancelReason> {
+        match self {
+            EvaError::Cancelled { reason, .. } => Some(*reason),
+            _ => None,
         }
     }
 }
@@ -136,10 +200,32 @@ mod tests {
             EvaError::Io(String::new()),
             EvaError::Corrupt(String::new()),
             EvaError::Config(String::new()),
+            EvaError::Cancelled {
+                reason: CancelReason::User,
+                message: String::new(),
+            },
         ];
         let mut labels: Vec<_> = all.iter().map(|e| e.stage()).collect();
         labels.sort_unstable();
         labels.dedup();
         assert_eq!(labels.len(), all.len());
+    }
+
+    #[test]
+    fn cancelled_carries_structured_reason() {
+        let e = EvaError::cancelled(CancelReason::Deadline, "sim deadline 5ms exceeded");
+        assert_eq!(e.stage(), "cancelled");
+        assert_eq!(e.cancel_reason(), Some(CancelReason::Deadline));
+        assert_eq!(e.to_string(), "[cancelled] sim deadline 5ms exceeded");
+        assert_eq!(EvaError::Exec("boom".into()).cancel_reason(), None);
+        for (r, label) in [
+            (CancelReason::Deadline, "deadline"),
+            (CancelReason::Budget, "budget"),
+            (CancelReason::Shed, "shed"),
+            (CancelReason::User, "user"),
+        ] {
+            assert_eq!(r.label(), label);
+            assert_eq!(r.to_string(), label);
+        }
     }
 }

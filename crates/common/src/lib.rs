@@ -20,6 +20,7 @@ pub mod codec;
 pub mod column;
 pub mod error;
 pub mod failpoint;
+pub mod governor;
 pub mod hash;
 pub mod hist;
 pub mod ids;
@@ -34,8 +35,9 @@ pub use batch::{Batch, ColumnarBatch, ExecBatch, Row};
 pub use clock::{CostBreakdown, CostCategory, SimClock};
 pub use codec::{ByteReader, ByteWriter};
 pub use column::{Bitmap, CellRef, Column, ColumnBuilder, ColumnData};
-pub use error::{EvaError, Result};
+pub use error::{CancelReason, EvaError, Result};
 pub use failpoint::{Failpoint, FailpointRegistry, FireRule};
+pub use governor::{GovernorConfig, QueryGovernor};
 pub use hist::LatencyHistogram;
 pub use ids::{FrameId, OpId, QueryId, UdfId, ViewId};
 pub use metrics::{MetricsSink, MetricsSnapshot, OpStats};

@@ -99,6 +99,34 @@ pub struct MetricsSnapshot {
     /// only on the plan shape, the config thresholds, and the row count.
     #[serde(default)]
     pub parallel_pipelines: u64,
+    /// Queries that entered graceful degradation instead of failing when
+    /// their memory budget tripped (streaming aggregation, materialization
+    /// skipped). Deterministic: the budget verdict is a pure function of
+    /// the workload and the configured budget.
+    #[serde(default)]
+    pub degraded_queries: u64,
+    /// View-materialization commits dropped because the owning query
+    /// degraded (or was cancelled) — the coverage predicate was never
+    /// claimed, so later plans recompute instead of trusting partial state.
+    #[serde(default)]
+    pub materialization_skipped: u64,
+    /// UDF circuit-breaker transitions to *open* (fail-fast) after K
+    /// consecutive retry-budget exhaustions. Deterministic: driven by the
+    /// seeded failpoint schedule and the SimClock cooldown timer.
+    #[serde(default)]
+    pub udf_breaker_open: u64,
+    /// UDF circuit-breaker transitions to *half-open* (one probe allowed)
+    /// once the SimClock cooldown elapses.
+    #[serde(default)]
+    pub udf_breaker_halfopen: u64,
+    /// Queries granted an admission slot (recorded outside the per-query
+    /// metrics window, so per-query deltas are unaffected).
+    #[serde(default)]
+    pub queries_admitted: u64,
+    /// Queries refused by the admission controller: queue overflow past the
+    /// high-water mark, or a queue-deadline timeout.
+    #[serde(default)]
+    pub queries_shed: u64,
     /// Worker-pool size the session ran with — a gauge, not a counter, so
     /// experiments record the core count behind their wall numbers.
     /// **Machine-dependent**; masked by
@@ -143,6 +171,12 @@ impl MetricsSnapshot {
             morsels_dispatched: self.morsels_dispatched - earlier.morsels_dispatched,
             morsels_stolen: self.morsels_stolen.saturating_sub(earlier.morsels_stolen),
             parallel_pipelines: self.parallel_pipelines - earlier.parallel_pipelines,
+            degraded_queries: self.degraded_queries - earlier.degraded_queries,
+            materialization_skipped: self.materialization_skipped - earlier.materialization_skipped,
+            udf_breaker_open: self.udf_breaker_open - earlier.udf_breaker_open,
+            udf_breaker_halfopen: self.udf_breaker_halfopen - earlier.udf_breaker_halfopen,
+            queries_admitted: self.queries_admitted - earlier.queries_admitted,
+            queries_shed: self.queries_shed - earlier.queries_shed,
             n_workers: self.n_workers.saturating_sub(earlier.n_workers),
             shard_lock_contention: self
                 .shard_lock_contention
@@ -177,6 +211,12 @@ impl MetricsSnapshot {
             morsels_dispatched: self.morsels_dispatched + other.morsels_dispatched,
             morsels_stolen: self.morsels_stolen + other.morsels_stolen,
             parallel_pipelines: self.parallel_pipelines + other.parallel_pipelines,
+            degraded_queries: self.degraded_queries + other.degraded_queries,
+            materialization_skipped: self.materialization_skipped + other.materialization_skipped,
+            udf_breaker_open: self.udf_breaker_open + other.udf_breaker_open,
+            udf_breaker_halfopen: self.udf_breaker_halfopen + other.udf_breaker_halfopen,
+            queries_admitted: self.queries_admitted + other.queries_admitted,
+            queries_shed: self.queries_shed + other.queries_shed,
             n_workers: self.n_workers + other.n_workers,
             shard_lock_contention: self.shard_lock_contention + other.shard_lock_contention,
         }
@@ -243,6 +283,15 @@ impl MetricsSnapshot {
             ("parallel_pipelines", self.parallel_pipelines as f64),
             // `n_workers` is deliberately absent: it is a machine-dependent
             // gauge, and this list feeds the cross-machine perf-gate diff.
+            ("degraded_queries", self.degraded_queries as f64),
+            (
+                "materialization_skipped",
+                self.materialization_skipped as f64,
+            ),
+            ("udf_breaker_open", self.udf_breaker_open as f64),
+            ("udf_breaker_halfopen", self.udf_breaker_halfopen as f64),
+            ("queries_admitted", self.queries_admitted as f64),
+            ("queries_shed", self.queries_shed as f64),
             ("shard_lock_contention", self.shard_lock_contention as f64),
         ]
     }
@@ -275,6 +324,12 @@ struct Inner {
     morsels_dispatched: AtomicU64,
     morsels_stolen: AtomicU64,
     parallel_pipelines: AtomicU64,
+    degraded_queries: AtomicU64,
+    materialization_skipped: AtomicU64,
+    udf_breaker_open: AtomicU64,
+    udf_breaker_halfopen: AtomicU64,
+    queries_admitted: AtomicU64,
+    queries_shed: AtomicU64,
     n_workers: AtomicU64,
     shard_lock_contention: AtomicU64,
 }
@@ -431,6 +486,43 @@ impl MetricsSink {
             .fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record one query entering graceful degradation (budget tripped; the
+    /// engine switched to streaming aggregation / skipped materialization
+    /// instead of failing).
+    pub fn record_degraded_query(&self) {
+        self.inner.degraded_queries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record `n` view-materialization commits dropped because the owning
+    /// query degraded or was cancelled.
+    pub fn record_materialization_skipped(&self, n: u64) {
+        self.inner
+            .materialization_skipped
+            .fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record the UDF circuit breaker tripping open.
+    pub fn record_udf_breaker_open(&self) {
+        self.inner.udf_breaker_open.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record the UDF circuit breaker transitioning to half-open.
+    pub fn record_udf_breaker_halfopen(&self) {
+        self.inner
+            .udf_breaker_halfopen
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one query admitted by the admission controller.
+    pub fn record_query_admitted(&self) {
+        self.inner.queries_admitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one query shed by the admission controller.
+    pub fn record_query_shed(&self) {
+        self.inner.queries_shed.fetch_add(1, Ordering::Relaxed);
+    }
+
     fn add_ms_avoided(&self, ms: f64) {
         let cell = &self.inner.udf_ms_avoided_bits;
         let mut cur = cell.load(Ordering::Relaxed);
@@ -471,6 +563,12 @@ impl MetricsSink {
             morsels_dispatched: i.morsels_dispatched.load(Ordering::Relaxed),
             morsels_stolen: i.morsels_stolen.load(Ordering::Relaxed),
             parallel_pipelines: i.parallel_pipelines.load(Ordering::Relaxed),
+            degraded_queries: i.degraded_queries.load(Ordering::Relaxed),
+            materialization_skipped: i.materialization_skipped.load(Ordering::Relaxed),
+            udf_breaker_open: i.udf_breaker_open.load(Ordering::Relaxed),
+            udf_breaker_halfopen: i.udf_breaker_halfopen.load(Ordering::Relaxed),
+            queries_admitted: i.queries_admitted.load(Ordering::Relaxed),
+            queries_shed: i.queries_shed.load(Ordering::Relaxed),
             n_workers: i.n_workers.load(Ordering::Relaxed),
             shard_lock_contention: i.shard_lock_contention.load(Ordering::Relaxed),
         }
@@ -503,6 +601,12 @@ impl MetricsSink {
         i.morsels_dispatched.store(0, Ordering::Relaxed);
         i.morsels_stolen.store(0, Ordering::Relaxed);
         i.parallel_pipelines.store(0, Ordering::Relaxed);
+        i.degraded_queries.store(0, Ordering::Relaxed);
+        i.materialization_skipped.store(0, Ordering::Relaxed);
+        i.udf_breaker_open.store(0, Ordering::Relaxed);
+        i.udf_breaker_halfopen.store(0, Ordering::Relaxed);
+        i.queries_admitted.store(0, Ordering::Relaxed);
+        i.queries_shed.store(0, Ordering::Relaxed);
         i.n_workers.store(0, Ordering::Relaxed);
         i.shard_lock_contention.store(0, Ordering::Relaxed);
     }
@@ -729,6 +833,51 @@ mod tests {
         assert_eq!(before.plus(&delta), m.snapshot());
         // Columnar counters are deterministic — they survive the mask.
         assert_eq!(m.snapshot().deterministic().columnar_rows, 1544);
+        m.reset();
+        assert_eq!(m.snapshot(), MetricsSnapshot::default());
+    }
+
+    #[test]
+    fn governance_counters_round_trip() {
+        let m = MetricsSink::new();
+        m.record_degraded_query();
+        m.record_materialization_skipped(2);
+        m.record_udf_breaker_open();
+        m.record_udf_breaker_halfopen();
+        m.record_query_admitted();
+        m.record_query_admitted();
+        m.record_query_shed();
+        let s = m.snapshot();
+        assert_eq!(s.degraded_queries, 1);
+        assert_eq!(s.materialization_skipped, 2);
+        assert_eq!(s.udf_breaker_open, 1);
+        assert_eq!(s.udf_breaker_halfopen, 1);
+        assert_eq!(s.queries_admitted, 2);
+        assert_eq!(s.queries_shed, 1);
+        let before = s;
+        m.record_query_shed();
+        m.record_degraded_query();
+        let delta = m.snapshot().since(&before);
+        assert_eq!(delta.queries_shed, 1);
+        assert_eq!(delta.degraded_queries, 1);
+        assert_eq!(delta.queries_admitted, 0);
+        assert_eq!(before.plus(&delta), m.snapshot());
+        // Governance counters are deterministic — they survive the mask.
+        let d = m.snapshot().deterministic();
+        assert_eq!(d.degraded_queries, 2);
+        assert_eq!(d.queries_shed, 2);
+        // And they are exported for the perf gate.
+        let names: Vec<&str> = s.named_counters().iter().map(|(n, _)| *n).collect();
+        for name in [
+            "degraded_queries",
+            "materialization_skipped",
+            "udf_breaker_open",
+            "udf_breaker_halfopen",
+            "queries_admitted",
+            "queries_shed",
+        ] {
+            assert!(names.contains(&name), "missing counter {name}");
+        }
         m.reset();
         assert_eq!(m.snapshot(), MetricsSnapshot::default());
     }

@@ -63,7 +63,12 @@ fn main() {
                     out.wall_ms
                 );
             }
-            Err(e) => eprintln!("error: {e}"),
+            Err(e) => match e.cancel_reason() {
+                // Cancellation is lifecycle governance, not failure: report
+                // the structured reason and keep the session alive.
+                Some(reason) => eprintln!("cancelled ({reason}): {e}"),
+                None => eprintln!("error: {e}"),
+            },
         }
     }
 }
@@ -83,7 +88,7 @@ fn meta_command(db: &mut EvaDb, cmd: &str) -> bool {
             println!("\\views — materialized view inventory");
             println!("\\save <dir> — persist views + aggregated predicates");
             println!("\\load <dir> — restore saved state (recovery pass)");
-            println!("\\health — outcome of the last \\load recovery pass");
+            println!("\\health — last \\load recovery outcome + governance (breaker, admission)");
             println!("\\reset — drop all reuse state");
             println!("\\quit — leave");
         }
@@ -183,6 +188,16 @@ fn meta_command(db: &mut EvaDb, cmd: &str) -> bool {
                 "parallel: workers={} pipelines={} morsels={} stolen={}",
                 m.n_workers, m.parallel_pipelines, m.morsels_dispatched, m.morsels_stolen
             );
+            println!(
+                "governance: degraded={} materialization-skipped={} breaker open/half-open={}/{} \
+                 admitted={} shed={}",
+                m.degraded_queries,
+                m.materialization_skipped,
+                m.udf_breaker_open,
+                m.udf_breaker_halfopen,
+                m.queries_admitted,
+                m.queries_shed
+            );
         }
         "stats" => {
             for (name, c) in db.invocation_stats().all() {
@@ -221,15 +236,18 @@ fn meta_command(db: &mut EvaDb, cmd: &str) -> bool {
             },
             None => eprintln!("usage: \\load <dir>"),
         },
-        "health" => match db.health_report() {
-            Some(report) => {
-                println!("{}", report.summary());
-                if report.is_clean() {
-                    println!("store is healthy — nothing quarantined or worked around");
+        "health" => {
+            match db.health_report() {
+                Some(report) => {
+                    println!("{}", report.summary());
+                    if report.is_clean() {
+                        println!("store is healthy — nothing quarantined or worked around");
+                    }
                 }
+                None => println!("no \\load has run in this session"),
             }
-            None => println!("no \\load has run in this session"),
-        },
+            print!("{}", db.governance_report());
+        }
         "reset" => {
             db.reset_reuse_state();
             println!("reuse state cleared");

@@ -13,9 +13,11 @@
 //! strategy (EVA / No-Reuse / HashStash / FunCache) and the ranking function,
 //! which is how the evaluation's systems-under-test are instantiated.
 
+pub mod admission;
 pub mod analyze;
 pub mod session;
 
+pub use admission::{AdmissionConfig, AdmissionController, AdmissionPermit, AdmissionSnapshot};
 pub use analyze::build_stats;
 pub use session::{EvaDb, SessionConfig, StatementResult};
 

@@ -1,18 +1,23 @@
 //! The [`EvaDb`] session.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
 use eva_catalog::{AccuracyLevel, Catalog, TableDef, UdfDef};
 use eva_common::{
-    CostBreakdown, DataType, EvaError, Field, MetricsSink, MetricsSnapshot, QueryTrace, Result,
-    Schema, SimClock, SpanHists, TraceSink, UdfId,
+    CostBreakdown, DataType, EvaError, Field, GovernorConfig, MetricsSink, MetricsSnapshot,
+    QueryGovernor, QueryTrace, Result, Schema, SimClock, SpanHists, TraceSink, UdfId,
 };
-use eva_exec::{execute, execute_with_pool, ExecConfig, FunCacheTable, QueryOutput, WorkerPool};
+use eva_exec::{execute_governed, ExecConfig, FunCacheTable, QueryOutput, WorkerPool};
 use eva_parser::{parse, CreateUdfStmt, SelectStmt, Statement};
-use eva_planner::{Binder, Optimizer, PhysPlan, PlannerConfig, ReuseStrategy};
+use eva_planner::{Binder, CommitLog, Optimizer, PhysPlan, PlannerConfig, ReuseStrategy};
 use eva_storage::{RecoveryReport, StorageEngine};
 use eva_symbolic::StatsCatalog;
 use eva_udf::registry::install_standard_zoo;
-use eva_udf::{InvocationStats, UdfManager, UdfRegistry};
+use eva_udf::{InvocationStats, UdfBreaker, UdfManager, UdfRegistry};
 use eva_video::{jackson, ua_detrac, UaDetracSize, VideoDataset};
+
+use crate::admission::{AdmissionConfig, AdmissionController};
 
 /// Session configuration: planner strategy + executor tunables.
 #[derive(Debug, Clone, Copy, Default)]
@@ -21,6 +26,10 @@ pub struct SessionConfig {
     pub planner: PlannerConfig,
     /// Executor configuration.
     pub exec: ExecConfig,
+    /// Per-query governance knobs (deadline, memory budget). The
+    /// `EVA_QUERY_DEADLINE` / `EVA_QUERY_BUDGET_BYTES` env knobs overlay
+    /// this at query start.
+    pub governor: GovernorConfig,
 }
 
 impl SessionConfig {
@@ -29,6 +38,7 @@ impl SessionConfig {
         SessionConfig {
             planner: PlannerConfig::for_strategy(strategy),
             exec: ExecConfig::default(),
+            governor: GovernorConfig::default(),
         }
     }
 }
@@ -73,6 +83,15 @@ pub struct EvaDb {
     /// differential fuzzer flips it off to prove its recovery oracle
     /// catches the resulting wrong answers (see `set_recovery_prune`).
     prune_on_load: std::sync::atomic::AtomicBool,
+    /// Circuit breaker around UDF evaluation: opens after K consecutive
+    /// transient-retry exhaustions, half-opens on a SimClock timer.
+    breaker: UdfBreaker,
+    /// Optional admission gate; `None` admits everything. Enabled by
+    /// `EVA_MAX_CONCURRENT_QUERIES` or [`EvaDb::set_admission`].
+    admission: Option<AdmissionController>,
+    /// External cancellation flag for the in-flight query; any thread may
+    /// set it via the handle from [`EvaDb::cancel_handle`].
+    cancel_flag: Arc<AtomicBool>,
 }
 
 impl EvaDb {
@@ -95,6 +114,9 @@ impl EvaDb {
             config,
             last_recovery: std::sync::Mutex::new(None),
             prune_on_load: std::sync::atomic::AtomicBool::new(true),
+            breaker: UdfBreaker::default(),
+            admission: AdmissionConfig::from_env().map(AdmissionController::new),
+            cancel_flag: Arc::new(AtomicBool::new(false)),
         })
     }
 
@@ -178,6 +200,72 @@ impl EvaDb {
         self.config = config;
     }
 
+    // -- governance -------------------------------------------------------------
+
+    /// The session's UDF circuit breaker.
+    pub fn breaker(&self) -> &UdfBreaker {
+        &self.breaker
+    }
+
+    /// The admission controller, if admission control is on.
+    pub fn admission(&self) -> Option<&AdmissionController> {
+        self.admission.as_ref()
+    }
+
+    /// Replace the per-query governance knobs for subsequent queries
+    /// (deadline, byte budget, cancellation trip point). The fuzz harness
+    /// uses this to lift governance mid-session before revalidating a
+    /// governed session's surviving answers.
+    pub fn set_governor(&mut self, governor: GovernorConfig) {
+        self.config.governor = governor;
+    }
+
+    /// Install (or remove) an admission controller. Overload tests share
+    /// one controller across several single-threaded sessions.
+    pub fn set_admission(&mut self, gate: Option<AdmissionController>) {
+        self.admission = gate;
+    }
+
+    /// A handle any thread can use to cancel this session's in-flight
+    /// query (it unwinds with `Cancelled { reason: User }` at the next
+    /// batch boundary). The flag is re-armed at each query start.
+    pub fn cancel_handle(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.cancel_flag)
+    }
+
+    /// Cancel the in-flight query, if any (see [`EvaDb::cancel_handle`]).
+    pub fn cancel_current(&self) {
+        self.cancel_flag.store(true, Ordering::SeqCst);
+    }
+
+    /// Human-readable governance summary (the repl's `\health` tail):
+    /// degradation counters, breaker state, admission occupancy.
+    pub fn governance_report(&self) -> String {
+        let m = self.metrics_snapshot();
+        let mut s = format!(
+            "governor: degraded queries={} materialization skipped={}\n",
+            m.degraded_queries, m.materialization_skipped
+        );
+        s.push_str(&format!(
+            "udf breaker: state={} opened={} half-opened={}\n",
+            self.breaker.state_label(),
+            self.breaker.times_opened(),
+            self.breaker.times_halfopened()
+        ));
+        match &self.admission {
+            Some(gate) => {
+                let a = gate.snapshot();
+                let cfg = gate.config();
+                s.push_str(&format!(
+                    "admission: active={}/{} waiting={} admitted={} shed={}\n",
+                    a.active, cfg.max_concurrent, a.waiting, a.admitted, a.shed
+                ));
+            }
+            None => s.push_str("admission: off (set EVA_MAX_CONCURRENT_QUERIES to enable)\n"),
+        }
+        s
+    }
+
     // -- data loading ----------------------------------------------------------
 
     /// Load a generated dataset under a table name, building statistics.
@@ -230,16 +318,7 @@ impl EvaDb {
 
     /// Execute a bound SELECT.
     pub fn execute_select(&mut self, stmt: &SelectStmt) -> Result<QueryOutput> {
-        let plan = self.plan_select(stmt)?;
-        execute(
-            &plan,
-            &self.storage,
-            &self.registry,
-            &self.stats,
-            &self.clock,
-            &self.funcache,
-            self.config.exec,
-        )
+        Ok(self.run_select(stmt, None)?.1)
     }
 
     /// [`EvaDb::execute_select`] with an injected worker pool — tests and
@@ -250,8 +329,38 @@ impl EvaDb {
         stmt: &SelectStmt,
         pool: Option<&WorkerPool>,
     ) -> Result<QueryOutput> {
-        let plan = self.plan_select(stmt)?;
-        execute_with_pool(
+        Ok(self.run_select(stmt, pool)?.1)
+    }
+
+    /// The governed query lifecycle every SELECT goes through:
+    ///
+    /// 1. **Admission** — take a slot (or be shed) before any work happens;
+    ///    the permit is held for planning *and* execution, and admission
+    ///    counters land outside the per-query metrics window.
+    /// 2. **Governance** — a fresh [`QueryGovernor`] (session config +
+    ///    env overlays + the external cancel flag) rides the exec context.
+    /// 3. **Deferred coverage** — plan-time view commits go to a
+    ///    [`CommitLog`], applied only when the query completes un-degraded,
+    ///    so a cancelled or degraded query never claims coverage for rows
+    ///    it did not materialize.
+    fn run_select(
+        &mut self,
+        stmt: &SelectStmt,
+        pool: Option<&WorkerPool>,
+    ) -> Result<(PhysPlan, QueryOutput)> {
+        let _permit = match &self.admission {
+            Some(gate) => Some(gate.admit(self.storage.metrics())?),
+            None => None,
+        };
+        self.cancel_flag.store(false, Ordering::SeqCst);
+        let governor = QueryGovernor::new(
+            self.config.governor.with_env_overrides(),
+            self.clock.total_ms(),
+        )
+        .with_external_cancel(Arc::clone(&self.cancel_flag));
+        let commits = CommitLog::new();
+        let plan = self.plan_select_deferred(stmt, &commits)?;
+        let result = execute_governed(
             &plan,
             &self.storage,
             &self.registry,
@@ -260,10 +369,31 @@ impl EvaDb {
             &self.funcache,
             self.config.exec,
             pool,
-        )
+            governor.clone(),
+            Some(&self.breaker),
+        );
+        match result {
+            Ok(mut out) => {
+                if governor.is_degraded() {
+                    let skipped = commits.discard() as u64;
+                    if skipped > 0 {
+                        self.metrics().record_materialization_skipped(skipped);
+                        out.metrics.materialization_skipped += skipped;
+                    }
+                } else {
+                    commits.apply(&self.manager);
+                }
+                Ok((plan, out))
+            }
+            Err(e) => {
+                commits.discard();
+                Err(e)
+            }
+        }
     }
 
-    /// Produce the physical plan for a SELECT without executing it.
+    /// Produce the physical plan for a SELECT without executing it. Commits
+    /// coverage eagerly (no execution follows to defer for).
     pub fn plan_select(&self, stmt: &SelectStmt) -> Result<PhysPlan> {
         let logical = Binder::new(&self.catalog).bind_select(stmt)?;
         let optimizer = Optimizer {
@@ -271,6 +401,20 @@ impl EvaDb {
             manager: &self.manager,
             stats: &self.stats_catalog,
             config: self.config.planner,
+            commits: None,
+        };
+        optimizer.optimize(&logical, &self.clock)
+    }
+
+    /// [`EvaDb::plan_select`] with coverage commits deferred into `log`.
+    fn plan_select_deferred(&self, stmt: &SelectStmt, log: &CommitLog) -> Result<PhysPlan> {
+        let logical = Binder::new(&self.catalog).bind_select(stmt)?;
+        let optimizer = Optimizer {
+            catalog: &self.catalog,
+            manager: &self.manager,
+            stats: &self.stats_catalog,
+            config: self.config.planner,
+            commits: Some(log),
         };
         optimizer.optimize(&logical, &self.clock)
     }
@@ -299,16 +443,7 @@ impl EvaDb {
             Statement::Select(stmt) => stmt,
             other => return Err(EvaError::Plan(format!("cannot explain {other:?}"))),
         };
-        let plan = self.plan_select(&stmt)?;
-        let out = execute(
-            &plan,
-            &self.storage,
-            &self.registry,
-            &self.stats,
-            &self.clock,
-            &self.funcache,
-            self.config.exec,
-        )?;
+        let (plan, out) = self.run_select(&stmt, None)?;
         let mut text = plan.explain_analyze(&out.op_stats);
         if !text.ends_with('\n') {
             text.push('\n');
@@ -489,6 +624,18 @@ fn runtime_footer(out: &QueryOutput) -> String {
         s.push_str(&format!(
             "resilience: views recovered={} quarantined={} | udf retries={} gave-up={}\n",
             m.views_recovered, m.views_quarantined, m.udf_retries, m.udf_gave_up
+        ));
+    }
+    if m.degraded_queries + m.materialization_skipped + m.udf_breaker_open + m.udf_breaker_halfopen
+        > 0
+    {
+        s.push_str(&format!(
+            "governance: degraded={} materialization skipped={} | breaker opened={} \
+             half-opened={}\n",
+            m.degraded_queries,
+            m.materialization_skipped,
+            m.udf_breaker_open,
+            m.udf_breaker_halfopen
         ));
     }
     s
@@ -737,6 +884,145 @@ mod tests {
         assert!(!report.loaded.is_empty(), "{report}");
         db2.execute_sql(Q).unwrap().rows().unwrap();
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn deadline_cancels_cleanly_and_claims_no_coverage() {
+        let mut cfg = SessionConfig::for_strategy(ReuseStrategy::Eva);
+        cfg.governor.deadline_ms = Some(10.0); // far below the ~12s detector cost
+        let mut db = EvaDb::new(cfg).unwrap();
+        db.load_video(tiny(), "video").unwrap();
+        let err = db.execute_sql(Q).unwrap_err();
+        assert_eq!(
+            err.cancel_reason(),
+            Some(eva_common::CancelReason::Deadline),
+            "{err}"
+        );
+        // The deferred commit log was dropped: no coverage claimed for the
+        // rows the cancelled query never materialized.
+        let det_sig = eva_udf::UdfSignature::new("fasterrcnn_resnet50", "video", &["frame"]);
+        assert!(db.manager().aggregated(&det_sig).is_false());
+        // The session survives: lifting the deadline re-runs to completion
+        // with correct results.
+        let mut cfg = db.config();
+        cfg.governor.deadline_ms = None;
+        db.set_config(cfg);
+        let out = db.execute_sql(Q).unwrap().rows().unwrap();
+        assert!(out.n_rows() > 0);
+        assert!(!db.manager().aggregated(&det_sig).is_false());
+    }
+
+    #[test]
+    fn budget_trip_degrades_aggregation_and_skips_materialization() {
+        const AGG_Q: &str = "SELECT label, COUNT(*) AS n FROM video CROSS APPLY \
+                             fasterrcnn_resnet50(frame) WHERE id < 30 GROUP BY label";
+        // Reference: the same query ungoverned.
+        let mut clean = session(ReuseStrategy::Eva);
+        let mut want = clean.execute_sql(AGG_Q).unwrap().rows().unwrap();
+        want.batch
+            .rows_mut()
+            .sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+
+        // A budget below one aggregation group's 64-byte charge trips on
+        // the first batch and degrades rather than failing.
+        let mut cfg = SessionConfig::for_strategy(ReuseStrategy::Eva);
+        cfg.governor.budget_bytes = Some(32);
+        let mut db = EvaDb::new(cfg).unwrap();
+        db.load_video(tiny(), "video").unwrap();
+        let mut out = db.execute_sql(AGG_Q).unwrap().rows().unwrap();
+        out.batch
+            .rows_mut()
+            .sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+        assert_eq!(
+            out.batch.rows(),
+            want.batch.rows(),
+            "degraded mode is exact"
+        );
+        assert_eq!(out.metrics.degraded_queries, 1, "{:?}", out.metrics);
+        assert!(out.metrics.materialization_skipped > 0, "{:?}", out.metrics);
+        // The planner skipped new view coverage for the degraded query.
+        let det_sig = eva_udf::UdfSignature::new("fasterrcnn_resnet50", "video", &["frame"]);
+        assert!(db.manager().aggregated(&det_sig).is_false());
+        // EXPLAIN ANALYZE surfaces the governance footer on a repeat run.
+        let (text, _) = db.explain_analyze_query(AGG_Q).unwrap();
+        assert!(text.contains("governance:"), "{text}");
+        assert!(text.contains("degraded=1"), "{text}");
+    }
+
+    #[test]
+    fn budget_trip_without_degradation_path_cancels() {
+        // A plain scan has no streaming fallback: its result buffer is the
+        // retained state, so tripping the budget cancels with `Budget`.
+        let mut cfg = SessionConfig::for_strategy(ReuseStrategy::Eva);
+        cfg.governor.budget_bytes = Some(256); // < 30 rows × 64 bytes
+        let mut db = EvaDb::new(cfg).unwrap();
+        db.load_video(tiny(), "video").unwrap();
+        let err = db
+            .execute_sql("SELECT id, timestamp FROM video WHERE id < 30")
+            .unwrap_err();
+        assert_eq!(
+            err.cancel_reason(),
+            Some(eva_common::CancelReason::Budget),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn external_cancel_unwinds_as_user_cancellation() {
+        let mut db = session(ReuseStrategy::Eva);
+        // A stale cancel from before the query does not kill it: the flag
+        // is re-armed at query start.
+        db.cancel_current();
+        db.execute_sql("SELECT id FROM video WHERE id < 5")
+            .unwrap()
+            .rows()
+            .unwrap();
+        // A cancel arriving *during* execution does. The setter spins so
+        // the re-arm at query start cannot outrun it.
+        let handle = db.cancel_handle();
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_setter = Arc::clone(&stop);
+        let setter = std::thread::spawn(move || {
+            while !stop_setter.load(Ordering::SeqCst) {
+                handle.store(true, Ordering::SeqCst);
+                std::thread::yield_now();
+            }
+        });
+        let err = db.execute_sql(Q).unwrap_err();
+        stop.store(true, Ordering::SeqCst);
+        setter.join().unwrap();
+        assert_eq!(
+            err.cancel_reason(),
+            Some(eva_common::CancelReason::User),
+            "{err}"
+        );
+        // The session stays usable after the cancellation.
+        db.execute_sql("SELECT id FROM video WHERE id < 5")
+            .unwrap()
+            .rows()
+            .unwrap();
+    }
+
+    #[test]
+    fn admission_gate_admits_and_frees_slots_in_session() {
+        let mut db = session(ReuseStrategy::Eva);
+        let gate = crate::admission::AdmissionController::new(crate::admission::AdmissionConfig {
+            max_concurrent: 1,
+            max_waiters: 0,
+            queue_deadline_ms: None,
+        });
+        db.set_admission(Some(gate.clone()));
+        db.execute_sql("SELECT id FROM video WHERE id < 5")
+            .unwrap()
+            .rows()
+            .unwrap();
+        db.execute_sql("SELECT id FROM video WHERE id < 5")
+            .unwrap()
+            .rows()
+            .unwrap();
+        let s = gate.snapshot();
+        assert_eq!((s.active, s.admitted, s.shed), (0, 2, 0), "{s:?}");
+        assert_eq!(db.metrics_snapshot().queries_admitted, 2);
     }
 
     #[test]

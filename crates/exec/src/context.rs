@@ -4,9 +4,9 @@ use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use eva_common::{MetricsSink, OpId, OpStats, SimClock, TraceSink};
+use eva_common::{MetricsSink, OpId, OpStats, QueryGovernor, SimClock, TraceSink};
 use eva_storage::StorageEngine;
-use eva_udf::{InvocationStats, UdfRegistry};
+use eva_udf::{InvocationStats, UdfBreaker, UdfRegistry};
 use eva_video::VideoDataset;
 
 use crate::config::ExecConfig;
@@ -69,6 +69,13 @@ pub struct ExecCtx<'a> {
     /// [`WorkerPool::global`]; tests and scaling benchmarks inject
     /// dedicated pools to pin the worker count.
     pub pool: Option<&'a WorkerPool>,
+    /// Per-query governance: cancellation token, deadline, and the memory
+    /// accountant. Defaults to [`QueryGovernor::ungoverned`] (all checks are
+    /// near-free no-ops); the session builds a governed one per query.
+    pub governor: QueryGovernor,
+    /// UDF circuit breaker shared across the session's queries; `None` for
+    /// direct executor users and unit tests (no breaker gating).
+    pub breaker: Option<&'a UdfBreaker>,
 }
 
 impl ExecCtx<'_> {

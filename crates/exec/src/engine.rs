@@ -4,12 +4,12 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use eva_common::{
-    Batch, CostBreakdown, EvaError, ExecBatch, MetricsSnapshot, OpId, OpStats, QueryTrace, Result,
-    Schema, SimClock, SpanKind, SpanRef,
+    Batch, CostBreakdown, EvaError, ExecBatch, MetricsSnapshot, OpId, OpStats, QueryGovernor,
+    QueryTrace, Result, Schema, SimClock, SpanKind, SpanRef,
 };
 use eva_planner::{parallel_segment, ParallelSegment, PhysPlan};
 use eva_storage::StorageEngine;
-use eva_udf::{InvocationStats, UdfRegistry};
+use eva_udf::{InvocationStats, UdfBreaker, UdfRegistry};
 
 use crate::config::ExecConfig;
 use crate::context::{ExecCtx, OpStatsCollector};
@@ -256,6 +256,44 @@ pub fn execute_with_pool(
     config: ExecConfig,
     pool: Option<&crate::pool::WorkerPool>,
 ) -> Result<QueryOutput> {
+    execute_governed(
+        plan,
+        storage,
+        registry,
+        stats,
+        clock,
+        funcache,
+        config,
+        pool,
+        QueryGovernor::ungoverned(),
+        None,
+    )
+}
+
+/// Deterministic estimate of the retained bytes one result row costs the
+/// memory accountant. Deliberately crude: the budget verdict must be a pure
+/// function of the row count, never of allocator behavior.
+pub const RESULT_ROW_BYTES: u64 = 64;
+
+/// [`execute_with_pool`] under a [`QueryGovernor`] and an optional UDF
+/// circuit breaker — the session's governed entry point. The governor's
+/// token/deadline is checked at every batch boundary of the engine's pull
+/// loop (and inside the cooperating operators), and the retained result
+/// buffer is charged to the memory accountant; exceeding the budget here has
+/// no degradation path, so it cancels with `Cancelled { Budget }`.
+#[allow(clippy::too_many_arguments)]
+pub fn execute_governed(
+    plan: &PhysPlan,
+    storage: &StorageEngine,
+    registry: &UdfRegistry,
+    stats: &InvocationStats,
+    clock: &SimClock,
+    funcache: &FunCacheTable,
+    config: ExecConfig,
+    pool: Option<&crate::pool::WorkerPool>,
+    governor: QueryGovernor,
+    breaker: Option<&UdfBreaker>,
+) -> Result<QueryOutput> {
     let started = std::time::Instant::now();
     let before = clock.snapshot();
     let metrics_before = storage.metrics().snapshot();
@@ -285,6 +323,8 @@ pub fn execute_with_pool(
         op_stats: &op_stats,
         config,
         pool,
+        governor: governor.clone(),
+        breaker,
     };
     // Surface the pool width as a gauge (masked from deterministic
     // comparisons) so `\metrics` and snapshots report the parallelism level.
@@ -294,9 +334,29 @@ pub fn execute_with_pool(
     let mut root = build(plan, segment.as_ref(), config.force_row_path)?;
     let schema = root.schema();
     let mut out = Batch::empty(schema);
+    // The engine's pull loop is the outermost batch boundary: check the
+    // governor between batches and charge the retained result buffer. The
+    // charge tracks the buffer's high-water row count in a deterministic
+    // per-row estimate, so the budget verdict cannot depend on scheduling.
+    let budgeted = governor.config().budget_bytes.is_some();
+    let mut result_charged = 0u64;
     while let Some(batch) = root.next(&ctx)? {
+        governor.check(clock)?;
         out.extend(into_rows(&ctx, batch))?;
+        // A degraded query already gave up materialization and bounded its
+        // aggregation state; cancelling it at result buffering would turn
+        // graceful degradation back into failure, so the charge stops.
+        if budgeted && !governor.is_degraded() {
+            let want = out.len() as u64 * RESULT_ROW_BYTES;
+            if want > result_charged {
+                if !governor.charge_bytes(want - result_charged) {
+                    return Err(governor.budget_exceeded());
+                }
+                result_charged = want;
+            }
+        }
     }
+    governor.release_bytes(result_charged);
     let breakdown = clock.snapshot().since(&before);
     let metrics = storage.metrics().snapshot().since(&metrics_before);
     storage

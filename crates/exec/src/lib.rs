@@ -27,6 +27,6 @@ mod testing;
 
 pub use config::ExecConfig;
 pub use context::ExecCtx;
-pub use engine::{execute, execute_with_pool, QueryOutput};
+pub use engine::{execute, execute_governed, execute_with_pool, QueryOutput, RESULT_ROW_BYTES};
 pub use funcache::{FunCacheKey, FunCacheTable};
-pub use pool::WorkerPool;
+pub use pool::{LaneReport, WorkerPool};

@@ -9,7 +9,7 @@
 //! per-morsel partials in morsel order is *bit-identical* to the serial
 //! fold — including float accumulation order.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 use eva_common::{
@@ -345,10 +345,50 @@ impl AggPlan {
     }
 }
 
+/// Deterministic estimate of the retained bytes one aggregation group
+/// charges the memory accountant. Crude on purpose: the budget verdict must
+/// be a pure function of the group count, never of allocator behavior.
+pub(crate) const AGG_GROUP_BYTES: u64 = 64;
+
+/// The degraded-mode spill: groups flushed out of the hash table, keyed by
+/// their encoded group key. A `BTreeMap` so the final emission is already in
+/// the exact key-byte order [`AggPlan::finish`] sorts into.
+type Spill = BTreeMap<Vec<u8>, (Row, Vec<AggState>)>;
+
+/// Fold the hash table into the spill, merging per key with the same
+/// earlier-partial-wins [`AggState::merge`] the in-memory path uses — so the
+/// degraded result is bit-identical to the never-degraded one.
+fn flush_into_spill(total: &mut Groups, spill: &mut Spill) {
+    for (key, (key_row, states)) in total.drain() {
+        match spill.entry(key) {
+            std::collections::btree_map::Entry::Occupied(mut e) => {
+                for (cur, new) in e.get_mut().1.iter_mut().zip(states) {
+                    cur.merge(new);
+                }
+            }
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert((key_row, states));
+            }
+        }
+    }
+}
+
 /// Blocking hash aggregation: drains its input, then emits one batch of
 /// groups (key order deterministic by first appearance, then sorted by key
 /// bytes for reproducibility). Each input batch folds into a fresh partial
 /// table merged in arrival order — see the module docs for why.
+///
+/// ## Graceful degradation
+///
+/// Under a governed query with a byte budget, the operator charges its
+/// retained group state to the memory accountant per batch. When the budget
+/// trips it does **not** fail: it enters a streaming/merging mode — the hash
+/// table is flushed into a sorted spill after every batch, so in-flight
+/// state stays bounded by one batch's groups. Because the flush uses the
+/// same per-key merge as the in-memory fold and the spill iterates in the
+/// same key-byte order `finish` sorts into, the degraded result is
+/// bit-identical to the never-degraded one; only `degraded_queries` (and
+/// the planner's materialization-skip) reveal the downgrade.
 pub struct AggregateOp {
     input: BoxedOp,
     group_by: Vec<String>,
@@ -387,12 +427,59 @@ impl Operator for AggregateOp {
         self.done = true;
 
         let plan = AggPlan::resolve(&self.group_by, &self.aggs, self.input.schema())?;
+        let governor = &ctx.governor;
+        let budgeted = governor.config().budget_bytes.is_some();
         let mut total: Groups = HashMap::new();
+        let mut spill: Option<Spill> = None;
+        let mut charged = 0u64;
         while let Some(batch) = self.input.next(ctx)? {
+            governor.check(ctx.clock)?;
             let mut partial: Groups = HashMap::new();
             plan.consume(&batch, &mut partial)?;
             plan.merge_into(&mut total, partial);
+            if let Some(sp) = spill.as_mut() {
+                // Already degraded: stream every batch's groups into the
+                // spill so the hash table never outgrows one batch.
+                flush_into_spill(&mut total, sp);
+                continue;
+            }
+            if budgeted {
+                let want = total.len() as u64 * AGG_GROUP_BYTES;
+                if want > charged {
+                    if governor.charge_bytes(want - charged) {
+                        charged = want;
+                    } else {
+                        // Budget tripped: degrade to streaming/merging mode
+                        // instead of failing the query.
+                        if governor.enter_degraded() {
+                            ctx.metrics().record_degraded_query();
+                        }
+                        governor.release_bytes(want);
+                        charged = 0;
+                        let mut sp = Spill::new();
+                        flush_into_spill(&mut total, &mut sp);
+                        spill = Some(sp);
+                    }
+                }
+            }
         }
-        Ok(Some(ExecBatch::Rows(plan.finish(total, &self.schema))))
+        governor.release_bytes(charged);
+        let batch = match spill {
+            Some(mut sp) => {
+                flush_into_spill(&mut total, &mut sp);
+                let rows: Vec<Row> = sp
+                    .into_values()
+                    .map(|(mut row, states)| {
+                        for s in states {
+                            row.push(s.finish());
+                        }
+                        row
+                    })
+                    .collect();
+                Batch::new(Arc::clone(&self.schema), rows)
+            }
+            None => plan.finish(total, &self.schema),
+        };
+        Ok(Some(ExecBatch::Rows(batch)))
     }
 }

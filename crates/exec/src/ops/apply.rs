@@ -165,9 +165,19 @@ impl ApplyOp {
         }
         if let Some(frame) = exhausted {
             ctx.metrics().record_udf_retries(retries, 1);
+            // A retry-budget exhaustion feeds the circuit breaker's
+            // consecutive-failure streak (caller thread, deterministic).
+            if let Some(b) = ctx.breaker {
+                b.record_exhaustion(ctx.clock, ctx.metrics());
+            }
+            let last_backoff_ms = if budget == 0 {
+                0.0
+            } else {
+                base * (1u64 << (budget - 1).min(62)) as f64
+            };
             return Err(EvaError::Exec(format!(
                 "udf '{udf_name}' kept failing transiently on frame {} after {} attempts \
-                 (retry budget {budget})",
+                 (retry budget {budget}, last backoff {last_backoff_ms}ms)",
                 frame.raw(),
                 budget as u64 + 1,
             )));
@@ -176,6 +186,24 @@ impl ApplyOp {
             ctx.metrics().record_udf_retries(retries, 0);
         }
         Ok(())
+    }
+
+    /// Gate one evaluation site on the UDF circuit breaker (when the
+    /// session wired one in): fail fast while it is open, let the half-open
+    /// probe through once the SimClock cooldown elapses.
+    fn breaker_check(&self, ctx: &ExecCtx<'_>) -> Result<()> {
+        match ctx.breaker {
+            Some(b) => b.check(ctx.clock, ctx.metrics()),
+            None => Ok(()),
+        }
+    }
+
+    /// Report a successful evaluation to the breaker: closes a half-open
+    /// probe and resets the consecutive-exhaustion streak.
+    fn breaker_success(&self, ctx: &ExecCtx<'_>) {
+        if let Some(b) = ctx.breaker {
+            b.record_success();
+        }
     }
 
     /// Evaluate the model on the rows at `miss_idx`, fanning large batches
@@ -276,6 +304,12 @@ impl ApplyOp {
         segments: &[Segment],
         store: bool,
     ) -> Result<Vec<Option<Arc<[Row]>>>> {
+        // A degraded query stops growing materialized state: fresh UDF
+        // results still serve the query but are no longer appended to views
+        // (and the session drops the pending coverage commits, so partial
+        // appends are never claimed). Deterministic: the degradation point
+        // is itself deterministic.
+        let store = store && !ctx.governor.is_degraded();
         let n = batch.len();
         let mut results: Vec<Option<Arc<[Row]>>> = vec![None; n];
         let mut keys = Vec::with_capacity(n);
@@ -378,12 +412,14 @@ impl ApplyOp {
                     .collect();
                 let eval_started = std::time::Instant::now();
                 let eval_clock = ctx.clock.snapshot();
+                self.breaker_check(ctx)?;
                 self.charge_transient_failures(
                     ctx,
                     &seg.udf.name,
                     inputs.iter().map(|&(_, f, b)| (f, b)),
                 )?;
                 let evaluated = self.eval_rows(ctx, &udf, &inputs)?;
+                self.breaker_success(ctx);
                 let n_eval = evaluated.len() as u64;
                 ctx.metrics().record_udf_calls(n_eval, 0, 0.0);
                 ctx.op_stats
@@ -461,6 +497,7 @@ impl ApplyOp {
                     results.push(Some(rows));
                 }
                 None => {
+                    self.breaker_check(ctx)?;
                     self.charge_transient_failures(
                         ctx,
                         &udf_def.name,
@@ -473,6 +510,7 @@ impl ApplyOp {
                             bbox,
                         })?
                         .into();
+                    self.breaker_success(ctx);
                     ctx.clock.charge(CostCategory::Udf, udf.cost_ms());
                     ctx.stats.record_eval(&udf_def.name, vkey, udf.cost_ms());
                     ctx.funcache.insert(key, Arc::clone(&rows));
@@ -519,8 +557,10 @@ impl ApplyOp {
         }
         let eval_started = std::time::Instant::now();
         let eval_clock = ctx.clock.snapshot();
+        self.breaker_check(ctx)?;
         self.charge_transient_failures(ctx, &udf_def.name, inputs.iter().map(|&(_, f, b)| (f, b)))?;
         let evaluated = self.eval_rows(ctx, &udf, &inputs)?;
+        self.breaker_success(ctx);
         let n_eval = evaluated.len() as u64;
         ctx.metrics().record_udf_calls(n_eval, 0, 0.0);
         ctx.op_stats
@@ -552,6 +592,10 @@ impl Operator for ApplyOp {
             let Some(batch) = self.input.next(ctx)? else {
                 return Ok(None);
             };
+            // Cooperative governance check at the operator's batch boundary
+            // — before the batch's UDF work, where cancellation saves the
+            // most simulated (and real) time.
+            ctx.governor.check(ctx.clock)?;
             // UDF dispatch and the cross-apply join are row-oriented; this
             // is the planned pivot point off the columnar hot path.
             let batch = into_rows(ctx, batch);

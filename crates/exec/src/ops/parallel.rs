@@ -256,6 +256,7 @@ impl ParallelPipelineOp {
             self.seg.range.0,
             self.seg.range.1,
             ctx.config.morsel_rows.max(1) as u64,
+            &ctx.governor,
         )?;
         let n_morsels = morsels.len();
         let (outs, reports) = if n_morsels == 0 {
@@ -263,20 +264,67 @@ impl ParallelPipelineOp {
         } else {
             // The workers get their own handles: the storage engine clones
             // cheaply (`Arc`-backed), kernels and the aggregation plan ride
-            // in `Arc`s. Everything they touch is pure compute.
+            // in `Arc`s. Everything they touch is pure compute — except the
+            // governor, which is the designed exception: lanes observe the
+            // cancellation token between morsels (`morsel_gate` /
+            // `lane_break`) but never charge or record anything.
             let storage: StorageEngine = ctx.storage.clone();
             let dataset = self.seg.dataset.clone();
             let kernels = Arc::new(kernels);
             let agg_w = agg.clone();
-            ctx.pool().run_stealing(n_morsels, move |i| {
-                run_morsel(&storage, &dataset, &kernels, agg_w.as_deref(), morsels[i])
-            })
+            let gate = ctx.governor.clone();
+            let lanes = ctx.governor.clone();
+            ctx.pool().run_stealing_cancellable(
+                n_morsels,
+                move || lanes.lane_break(),
+                move |i| {
+                    if !gate.morsel_gate(i as u64) {
+                        return None;
+                    }
+                    Some(run_morsel(
+                        &storage,
+                        &dataset,
+                        &kernels,
+                        agg_w.as_deref(),
+                        morsels[i],
+                    ))
+                },
+            )
         };
-        // Deterministic error propagation: the lowest-indexed morsel's
-        // error surfaces, exactly like the serial scan order would pick.
+        // Walk the outputs in morsel order. The contiguous completed prefix
+        // is kept; the first gap (a refused or unran morsel) or the
+        // lowest-indexed error decides the outcome — exactly the boundary a
+        // serial run with the same morsel schedule would have stopped at.
         let mut results = Vec::with_capacity(outs.len());
+        let mut failure: Option<eva_common::EvaError> = None;
         for out in outs {
-            results.push(out?);
+            match out.flatten() {
+                Some(Ok(m)) => results.push(m),
+                Some(Err(e)) => {
+                    failure = Some(e);
+                    break;
+                }
+                None => {
+                    // A morsel the gate refused or no lane ran: surface the
+                    // governor's cancellation (the gate always trips the
+                    // token before refusing).
+                    failure = Some(match ctx.governor.check_token() {
+                        Err(e) => e,
+                        Ok(()) => ctx.governor.cancel_error(),
+                    });
+                    break;
+                }
+            }
+        }
+        if let Some(err) = failure {
+            // Replay the completed prefix's accounting (IO charges, scan
+            // counters, per-op stats) before unwinding, so the deterministic
+            // counters of a cancelled run cover exactly the morsels that
+            // completed — bit-identical at any worker-pool width.
+            for m in &results {
+                replay_morsel(ctx, &self.seg, m);
+            }
+            return Err(err);
         }
         // Counters — on the caller thread, once per engaged pipeline. The
         // morsel count is deterministic (plan shape + config + row count);

@@ -139,6 +139,34 @@ impl WorkerPool {
         T: Send + 'static,
         F: Fn(usize) -> T + Send + Sync + 'static,
     {
+        let (results, reports) = self.run_stealing_cancellable(n_items, || false, work);
+        let results = results
+            .into_iter()
+            .map(|slot| slot.expect("work-stealing item result missing"))
+            .collect();
+        (results, reports)
+    }
+
+    /// [`run_stealing`](Self::run_stealing) with a cooperative cancellation
+    /// probe: every lane calls `cancel()` before each dequeue/steal and
+    /// stops draining once it returns `true`. Results come back **in item
+    /// order** with `None` for items no lane ran — the caller decides what
+    /// a gap means (typically: replay accounting for the completed prefix,
+    /// then surface `EvaError::Cancelled`). The pool itself stays fully
+    /// reusable after a cancelled round; lanes park back on the shared
+    /// channel exactly as after a completed one.
+    #[allow(clippy::type_complexity)]
+    pub fn run_stealing_cancellable<T, F, C>(
+        &self,
+        n_items: usize,
+        cancel: C,
+        work: F,
+    ) -> (Vec<Option<T>>, Vec<LaneReport>)
+    where
+        T: Send + 'static,
+        F: Fn(usize) -> T + Send + Sync + 'static,
+        C: Fn() -> bool + Send + Sync + 'static,
+    {
         if n_items == 0 {
             return (Vec::new(), Vec::new());
         }
@@ -150,15 +178,22 @@ impl WorkerPool {
         }
         let deques = Arc::new(deques);
         let work = Arc::new(work);
+        let cancel = Arc::new(cancel);
         let tasks: Vec<Box<dyn FnOnce() -> (Vec<(usize, T)>, LaneReport) + Send>> = (0..n_lanes)
             .map(|lane| {
                 let deques = Arc::clone(&deques);
                 let work = Arc::clone(&work);
+                let cancel = Arc::clone(&cancel);
                 Box::new(move || {
                     let started = Instant::now();
                     let mut done: Vec<(usize, T)> = Vec::new();
                     let mut report = LaneReport::default();
                     loop {
+                        // Cooperative cancellation: observed between items,
+                        // never mid-item.
+                        if cancel() {
+                            break;
+                        }
                         // Own work first (front of own deque)...
                         let mut next = deques[lane].lock().unwrap().pop_front();
                         let mut stolen = false;
@@ -195,10 +230,6 @@ impl WorkerPool {
             }
             reports.push(report);
         }
-        let results = results
-            .into_iter()
-            .map(|slot| slot.expect("work-stealing item result missing"))
-            .collect();
         (results, reports)
     }
 }
@@ -302,6 +333,50 @@ mod tests {
         for h in hits.iter() {
             assert_eq!(h.load(Ordering::SeqCst), 1);
         }
+    }
+
+    #[test]
+    fn cancellable_with_never_cancel_matches_run_stealing() {
+        let pool = WorkerPool::new(4);
+        let (out, reports) = pool.run_stealing_cancellable(17, || false, |i| i * 5);
+        assert_eq!(out, (0..17).map(|i| Some(i * 5)).collect::<Vec<_>>());
+        assert_eq!(reports.iter().map(|r| r.executed).sum::<u64>(), 17);
+    }
+
+    #[test]
+    fn cancelled_round_leaves_gaps_and_a_reusable_pool() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let pool = WorkerPool::new(2);
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_probe = Arc::clone(&stop);
+        let stop_work = Arc::clone(&stop);
+        let (out, _) = pool.run_stealing_cancellable(
+            64,
+            move || stop_probe.load(Ordering::SeqCst),
+            move |i| {
+                if i == 0 {
+                    // Lane 0's first item flips the flag; every other item
+                    // stalls until it does, so lanes cannot drain the round
+                    // before the cancellation lands.
+                    stop_work.store(true, Ordering::SeqCst);
+                } else {
+                    let deadline = Instant::now() + std::time::Duration::from_secs(5);
+                    while !stop_work.load(Ordering::SeqCst) && Instant::now() < deadline {
+                        std::hint::spin_loop();
+                    }
+                }
+                i
+            },
+        );
+        assert_eq!(out.len(), 64);
+        assert_eq!(out[0], Some(0));
+        assert!(
+            out.iter().any(|slot| slot.is_none()),
+            "cancellation mid-round must leave unran items"
+        );
+        // The pool is fully reusable after a cancelled round.
+        let (out, _) = pool.run_stealing(8, |i| i + 1);
+        assert_eq!(out, (1..=8).collect::<Vec<_>>());
     }
 
     #[test]

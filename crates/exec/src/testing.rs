@@ -74,6 +74,8 @@ impl TestEnv {
             op_stats: &self.op_stats,
             config,
             pool: None,
+            governor: eva_common::QueryGovernor::ungoverned(),
+            breaker: None,
         }
     }
 

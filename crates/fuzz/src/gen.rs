@@ -19,7 +19,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use eva_common::Value;
+use eva_common::{GovernorConfig, Value};
 use eva_expr::{AggFunc, CmpOp, Expr, UdfCall};
 use eva_parser::{ApplyClause, SelectItem, SelectStmt, SortOrder};
 
@@ -69,6 +69,16 @@ pub struct FuzzCase {
     pub n_frames: u64,
     /// Optional deliberate bug reintroduction, honored by the replayer.
     pub sabotage: Option<Sabotage>,
+    /// Per-query governance knobs for the governed-replay oracle (oracles
+    /// 1–4 always replay ungoverned). Tight knobs cancel or degrade
+    /// mid-session; loose knobs must be invisible. Defaults keep older
+    /// corpus files deserializable.
+    #[serde(default)]
+    pub governor: GovernorConfig,
+    /// Admission width for the governed replay (`Some(1)` serializes every
+    /// query through a one-slot [`eva_core::AdmissionController`]).
+    #[serde(default)]
+    pub admission_width: Option<usize>,
     /// The session's statements, replayed in order.
     pub stmts: Vec<FuzzStmt>,
 }
@@ -80,6 +90,11 @@ impl FuzzCase {
             .iter()
             .filter(|s| matches!(s, FuzzStmt::Select(_)))
             .count()
+    }
+
+    /// True when the governed-replay oracle has anything to exercise.
+    pub fn is_governed(&self) -> bool {
+        self.governor.is_governed() || self.admission_width.is_some()
     }
 }
 
@@ -403,11 +418,58 @@ pub fn generate_case(seed: u64) -> FuzzCase {
         }
     }
 
+    // Roughly half the sessions replay governed (oracle 5). Tight knobs
+    // are sized to trip on the standard detector queries (a sim-ms
+    // deadline a few frames deep; a byte budget a few result rows deep);
+    // loose knobs must be observably invisible.
+    let (governor, admission_width) = match rng.below(12) {
+        0..=5 => (GovernorConfig::default(), None),
+        6 => (
+            GovernorConfig {
+                deadline_ms: Some(40.0),
+                ..GovernorConfig::default()
+            },
+            None,
+        ),
+        7 => (
+            GovernorConfig {
+                deadline_ms: Some(1e9),
+                ..GovernorConfig::default()
+            },
+            None,
+        ),
+        8 => (
+            GovernorConfig {
+                budget_bytes: Some(256),
+                ..GovernorConfig::default()
+            },
+            None,
+        ),
+        9 => (
+            GovernorConfig {
+                budget_bytes: Some(1 << 20),
+                ..GovernorConfig::default()
+            },
+            None,
+        ),
+        10 => (GovernorConfig::default(), Some(1)),
+        _ => (
+            GovernorConfig {
+                deadline_ms: Some(60.0),
+                budget_bytes: Some(512),
+                ..GovernorConfig::default()
+            },
+            Some(1),
+        ),
+    };
+
     FuzzCase {
         seed,
         dataset_seed,
         n_frames,
         sabotage: None,
+        governor,
+        admission_width,
         stmts,
     }
 }
@@ -425,6 +487,8 @@ pub fn sabotage_case(seed: u64) -> FuzzCase {
         dataset_seed: 777,
         n_frames: 48,
         sabotage: Some(Sabotage::SkipPrune),
+        governor: GovernorConfig::default(),
+        admission_width: None,
         stmts: vec![
             FuzzStmt::Select(query.to_string()),
             FuzzStmt::Fault("bit_flip=nth:1".to_string()),
@@ -488,6 +552,33 @@ mod tests {
         assert_eq!(s.projection, t.projection);
         assert_eq!(s.applies, t.applies);
         assert_eq!(s.limit, t.limit);
+    }
+
+    #[test]
+    fn governance_knobs_are_emitted() {
+        let mut governed = 0;
+        let mut tight_deadline = 0;
+        let mut budgeted = 0;
+        let mut width_one = 0;
+        for seed in 0..200u64 {
+            let case = generate_case(seed);
+            if case.is_governed() {
+                governed += 1;
+            }
+            if case.governor.deadline_ms.is_some_and(|d| d < 1e6) {
+                tight_deadline += 1;
+            }
+            if case.governor.budget_bytes.is_some() {
+                budgeted += 1;
+            }
+            if case.admission_width == Some(1) {
+                width_one += 1;
+            }
+        }
+        assert!(governed > 40, "only {governed}/200 governed cases");
+        assert!(tight_deadline > 0, "no tight-deadline cases");
+        assert!(budgeted > 0, "no byte-budget cases");
+        assert!(width_one > 0, "no admission-width-1 cases");
     }
 
     #[test]

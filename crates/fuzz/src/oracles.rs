@@ -19,17 +19,25 @@
 //!    write ordinal with a cycling fault site, then recover in a fresh
 //!    session; the recovered session's remaining SELECTs must still answer
 //!    correctly, and `load_state` must never error on a torn store.
+//! 5. **Governed replay** — replay the session under the case's governance
+//!    knobs (deadline, byte budget, admission width). Statements may be
+//!    cancelled or degraded, but only with structured `Cancelled` errors;
+//!    every SELECT that survives must answer identically when re-asked on
+//!    the same session with governance lifted and in a fresh clean
+//!    session — a cancelled query must leave no trace in the view store.
 
 use std::fmt;
 use std::path::Path;
 
-use eva_common::MetricsSnapshot;
-use eva_core::EvaDb;
+use eva_common::{GovernorConfig, MetricsSnapshot};
+use eva_core::{AdmissionConfig, AdmissionController, EvaDb};
 use eva_exec::ExecConfig;
 use eva_harness::TempDir;
 
 use crate::gen::{FuzzCase, FuzzStmt};
-use crate::session::{exec_select, fresh_db, replay, run_single_select, ArmCfg, SelectObs};
+use crate::session::{
+    exec_select, fresh_db, parse_select, replay, run_single_select, ArmCfg, SelectObs,
+};
 
 /// Which oracle flagged a divergence.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -42,6 +50,9 @@ pub enum OracleId {
     ColumnarRow,
     /// Save crashed at every write ordinal, then recovered and resumed.
     CrashRecovery,
+    /// Governed replay (deadline/budget/admission); surviving SELECTs
+    /// revalidated with governance lifted and against a clean session.
+    GovernedReplay,
 }
 
 impl fmt::Display for OracleId {
@@ -51,6 +62,7 @@ impl fmt::Display for OracleId {
             OracleId::ParallelSerial => "parallel-vs-serial",
             OracleId::ColumnarRow => "columnar-vs-row",
             OracleId::CrashRecovery => "crash-recovery",
+            OracleId::GovernedReplay => "governed-replay",
         })
     }
 }
@@ -115,6 +127,9 @@ pub struct CaseReport {
     /// Crash points swept by the recovery oracle (0 when the case never
     /// saves).
     pub crash_points: usize,
+    /// Statements cancelled (deadline/budget/shed) during the governed
+    /// replay (0 when the case carries no governance knobs).
+    pub governed_cancelled: usize,
 }
 
 /// Width × morsel points for the parallel oracle. `(8, 1)` maximizes
@@ -169,6 +184,7 @@ pub fn check_case(case: &FuzzCase) -> Result<CaseReport, Failure> {
     report.parallel_cmps = parallel_vs_serial(case, &sqls)?;
     columnar_vs_row(case, &sqls, &base.selects)?;
     report.crash_points = crash_recovery(case, &base)?;
+    report.governed_cancelled = governed_replay(case)?;
     Ok(report)
 }
 
@@ -210,6 +226,7 @@ fn parallel_vs_serial(case: &FuzzCase, sqls: &[&str]) -> Result<usize, Failure> 
                 ..ExecConfig::default()
             },
             width: None,
+            ..ArmCfg::default()
         };
         let parallel = ArmCfg {
             exec: ExecConfig {
@@ -219,6 +236,7 @@ fn parallel_vs_serial(case: &FuzzCase, sqls: &[&str]) -> Result<usize, Failure> 
                 ..ExecConfig::default()
             },
             width: Some(width),
+            ..ArmCfg::default()
         };
         let s = replay(case, &serial, "fuzz_ps_serial")
             .map_err(|e| Failure::oracle(id, format!("serial arm (morsel {morsel}): {e}")))?;
@@ -269,6 +287,7 @@ fn columnar_vs_row(case: &FuzzCase, sqls: &[&str], columnar: &[SelectObs]) -> Re
             ..ExecConfig::default()
         },
         width: None,
+        ..ArmCfg::default()
     };
     let r = replay(case, &row_arm, "fuzz_row_path")
         .map_err(|e| Failure::oracle(id, format!("row arm: {e}")))?;
@@ -420,6 +439,110 @@ fn crash_recovery(case: &FuzzCase, base: &crate::session::ReplayOutcome) -> Resu
     Ok(points)
 }
 
+/// Oracle 5: replay under the case's governance knobs. Any statement may
+/// come back `Cancelled { Deadline | Budget | Shed | User }` — that is a
+/// tolerated, structured outcome — but a non-governance error is a replay
+/// failure, and a cancelled query must leave no trace: each surviving
+/// SELECT is re-asked (a) on the same session with governance lifted and
+/// (b) in a fresh clean session, and all three answers must agree as row
+/// multisets. Returns the number of cancelled statements.
+fn governed_replay(case: &FuzzCase) -> Result<usize, Failure> {
+    let id = OracleId::GovernedReplay;
+    if !case.is_governed() {
+        return Ok(0);
+    }
+    let arm = ArmCfg {
+        governor: case.governor,
+        ..ArmCfg::default()
+    };
+    let mut db = fresh_db(case, &arm).map_err(Failure::replay)?;
+    if let Some(width) = case.admission_width {
+        db.set_admission(Some(AdmissionController::new(AdmissionConfig {
+            max_concurrent: width.max(1),
+            max_waiters: 4,
+            queue_deadline_ms: Some(30_000),
+        })));
+    }
+    let scratch = TempDir::new("fuzz_governed");
+    let mut survivors: Vec<(&str, Vec<String>)> = Vec::new();
+    let mut cancelled = 0;
+    let mut saved = false;
+
+    for (i, stmt) in case.stmts.iter().enumerate() {
+        match stmt {
+            FuzzStmt::Select(sql) => {
+                let parsed = parse_select(sql).map_err(Failure::replay)?;
+                match db.execute_select_with_pool(&parsed, None) {
+                    Ok(out) => {
+                        let obs = SelectObs::from_output(out);
+                        survivors.push((sql.as_str(), obs.row_multiset()));
+                    }
+                    Err(e) if e.cancel_reason().is_some() => cancelled += 1,
+                    Err(e) => {
+                        return Err(Failure::replay(format!(
+                            "governed stmt {i} `{sql}`: non-governance error: {e}"
+                        )))
+                    }
+                }
+            }
+            FuzzStmt::ResetViews => db.reset_reuse_state(),
+            FuzzStmt::Save => {
+                // Tolerated, as in the base replay: a fault plan may be
+                // targeting this save's writes.
+                if db.save_state(scratch.path()).is_ok() {
+                    saved = true;
+                }
+            }
+            FuzzStmt::Load => {
+                if saved {
+                    db.load_state(scratch.path())
+                        .map_err(|e| Failure::replay(format!("governed stmt {i} (Load): {e}")))?;
+                }
+            }
+            FuzzStmt::Fault(spec) => {
+                db.storage().failpoints().apply_spec(spec).map_err(|e| {
+                    Failure::replay(format!("governed stmt {i} (Fault `{spec}`): {e}"))
+                })?;
+            }
+            FuzzStmt::Disarm => db.storage().failpoints().disarm_all(),
+        }
+    }
+
+    // Revalidation: governance lifted on the *survived* session. Whatever
+    // the cancelled statements touched (partial view materialization,
+    // coverage claims, admission slots) must not change any answer.
+    db.storage().failpoints().disarm_all();
+    db.set_governor(GovernorConfig::default());
+    db.set_admission(None);
+    for (k, (sql, governed)) in survivors.iter().enumerate() {
+        let warm = exec_select(&mut db, sql, None)
+            .map_err(|e| Failure::oracle(id, format!("post-governance warm select {k}: {e}")))?;
+        if warm.row_multiset() != *governed {
+            return Err(Failure::oracle(
+                id,
+                format!(
+                    "survivor {k} `{sql}`: governed {} row(s) != ungoverned warm re-ask {}",
+                    governed.len(),
+                    warm.rows.len()
+                ),
+            ));
+        }
+        let clean = run_single_select(case, sql)
+            .map_err(|e| Failure::oracle(id, format!("clean select {k}: {e}")))?;
+        if clean.row_multiset() != *governed {
+            return Err(Failure::oracle(
+                id,
+                format!(
+                    "survivor {k} `{sql}`: governed {} row(s) != clean session {}",
+                    governed.len(),
+                    clean.rows.len()
+                ),
+            ));
+        }
+    }
+    Ok(cancelled)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -454,10 +577,72 @@ mod tests {
             dataset_seed: 5,
             n_frames: 12,
             sabotage: None,
+            governor: GovernorConfig::default(),
+            admission_width: None,
             stmts: vec![FuzzStmt::Select("SELECT id FROM video WHERE id < 4".into())],
         };
         let report = check_case(&case).expect("trivial case is green");
         assert_eq!(report.crash_points, 0);
         assert_eq!(report.n_selects, 1);
+        assert_eq!(
+            report.governed_cancelled, 0,
+            "ungoverned case skips oracle 5"
+        );
+    }
+
+    #[test]
+    fn governed_oracle_tolerates_total_cancellation() {
+        // A zero sim-ms deadline cancels every statement that does any
+        // work; the oracle must stay green (structured cancellations are
+        // an outcome, not a failure) and the session must stay clean.
+        let case = crate::gen::FuzzCase {
+            seed: 0,
+            dataset_seed: 5,
+            n_frames: 24,
+            sabotage: None,
+            governor: GovernorConfig {
+                deadline_ms: Some(0.0),
+                ..GovernorConfig::default()
+            },
+            admission_width: None,
+            stmts: vec![
+                FuzzStmt::Select(
+                    "SELECT id, label FROM video CROSS APPLY yolo_tiny(frame) WHERE id < 16".into(),
+                ),
+                FuzzStmt::Select("SELECT COUNT(*) FROM video".into()),
+            ],
+        };
+        let report = check_case(&case).expect("cancelled-everything case is green");
+        assert!(
+            report.governed_cancelled >= 1,
+            "a 0ms deadline must cancel at least one statement"
+        );
+    }
+
+    #[test]
+    fn governed_oracle_covers_budget_and_admission() {
+        // A 256-byte budget degrades the aggregation (which must still be
+        // exact) and cancels wide projections; admission width 1 threads
+        // every query through a one-slot controller.
+        let case = crate::gen::FuzzCase {
+            seed: 0,
+            dataset_seed: 5,
+            n_frames: 24,
+            sabotage: None,
+            governor: GovernorConfig {
+                budget_bytes: Some(256),
+                ..GovernorConfig::default()
+            },
+            admission_width: Some(1),
+            stmts: vec![
+                FuzzStmt::Select(
+                    "SELECT label, COUNT(*) FROM video CROSS APPLY yolo_tiny(frame) \
+                     WHERE id < 16 GROUP BY label"
+                        .into(),
+                ),
+                FuzzStmt::Select("SELECT id FROM video WHERE id < 2".into()),
+            ],
+        };
+        check_case(&case).expect("budget degradation under admission is green");
     }
 }

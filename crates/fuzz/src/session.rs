@@ -46,7 +46,7 @@ pub struct SelectObs {
 }
 
 impl SelectObs {
-    fn from_output(out: QueryOutput) -> SelectObs {
+    pub(crate) fn from_output(out: QueryOutput) -> SelectObs {
         SelectObs {
             breakdown: out.breakdown,
             metrics: out.metrics,
@@ -73,6 +73,9 @@ pub struct ArmCfg {
     pub exec: ExecConfig,
     /// Worker-pool width (`None` ⇒ no pool, engine-internal threading only).
     pub width: Option<usize>,
+    /// Per-query governance knobs. Default (ungoverned) for oracles 1–4;
+    /// the governed-replay oracle sets the case's knobs here.
+    pub governor: eva_common::GovernorConfig,
 }
 
 /// Everything an oracle needs from one full-session replay.
@@ -101,6 +104,7 @@ pub fn parse_select(sql: &str) -> Result<SelectStmt, String> {
 pub fn fresh_db(case: &FuzzCase, arm: &ArmCfg) -> Result<EvaDb, String> {
     let mut cfg = SessionConfig::for_strategy(ReuseStrategy::Eva);
     cfg.exec = arm.exec;
+    cfg.governor = arm.governor;
     let mut db = EvaDb::new(cfg).map_err(|e| format!("session construction: {e}"))?;
     db.load_video(test_dataset(case.dataset_seed, case.n_frames), "video")
         .map_err(|e| format!("dataset load: {e}"))?;
@@ -193,6 +197,8 @@ mod tests {
             dataset_seed: 7,
             n_frames: 16,
             sabotage: None,
+            governor: eva_common::GovernorConfig::default(),
+            admission_width: None,
             stmts: vec![
                 FuzzStmt::Select("SELECT id FROM video WHERE id < 8 ORDER BY id".to_string()),
                 FuzzStmt::Save,

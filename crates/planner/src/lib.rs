@@ -13,6 +13,7 @@
 //!   strategies (No-Reuse, HashStash, FunCache) used in the evaluation.
 
 pub mod bind;
+pub mod commits;
 pub mod cost;
 pub mod optimizer;
 pub mod parallel;
@@ -22,6 +23,7 @@ pub mod rules;
 pub mod setcover;
 
 pub use bind::Binder;
+pub use commits::{CommitLog, PendingCommit};
 pub use cost::PredicateProfile;
 pub use optimizer::{Optimizer, PlannerConfig, ReuseStrategy};
 pub use parallel::{parallel_segment, ParallelBreaker, ParallelSegment, ParallelStage};

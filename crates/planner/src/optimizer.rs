@@ -26,6 +26,7 @@ use eva_expr::{conjoin, util::substitute_udf, Expr, UdfCall};
 use eva_symbolic::{inter, to_dnf, udf_dim, Dnf, StatsCatalog};
 use eva_udf::{UdfManager, UdfSignature};
 
+use crate::commits::CommitLog;
 use crate::cost::PredicateProfile;
 use crate::plan::{ApplyReuse, ApplySpec, LogicalPlan, PhysPlan, Segment};
 use crate::reorder::{order_by_rank, RankingKind};
@@ -107,6 +108,10 @@ pub struct Optimizer<'a> {
     pub stats: &'a StatsCatalog,
     /// Configuration.
     pub config: PlannerConfig,
+    /// When set, coverage commits are deferred into this log instead of
+    /// being applied at plan time, so a cancelled query never claims
+    /// coverage for rows it did not materialize. `None` commits eagerly.
+    pub commits: Option<&'a CommitLog>,
 }
 
 /// The decomposed shape every bound EVA-QL query has:
@@ -437,9 +442,16 @@ impl<'a> Optimizer<'a> {
             None
         };
         if store {
-            // Record the Fig. 7 data point, then fold into p_u (§4.1).
-            self.manager.analyze(&sig, assoc, Some(assoc_expr));
-            self.manager.commit(&sig, assoc, Some(assoc_expr));
+            // Record the Fig. 7 data point, then fold into p_u (§4.1) —
+            // deferred until successful completion when a commit log is
+            // attached, so cancelled queries never over-claim coverage.
+            match self.commits {
+                Some(log) => log.record(sig.clone(), assoc.clone(), Some(assoc_expr.clone())),
+                None => {
+                    self.manager.analyze(&sig, assoc, Some(assoc_expr));
+                    self.manager.commit(&sig, assoc, Some(assoc_expr));
+                }
+            }
         }
         Ok(Segment {
             udf: def.clone(),
@@ -828,6 +840,7 @@ mod tests {
             manager,
             stats,
             config,
+            commits: None,
         };
         opt.optimize(&logical, &SimClock::new()).unwrap()
     }
@@ -956,8 +969,35 @@ mod tests {
             manager: &manager,
             stats: &stats,
             config: PlannerConfig::default(),
+            commits: None,
         };
         assert!(opt.optimize(&logical, &SimClock::new()).is_err());
+    }
+
+    #[test]
+    fn commit_log_defers_coverage_until_applied() {
+        let (catalog, manager, stats) = setup();
+        let stmt = match eva_parser::parse(Q).unwrap() {
+            eva_parser::Statement::Select(s) => s,
+            _ => unreachable!(),
+        };
+        let logical = Binder::new(&catalog).bind_select(&stmt).unwrap();
+        let log = crate::commits::CommitLog::new();
+        let opt = Optimizer {
+            catalog: &catalog,
+            manager: &manager,
+            stats: &stats,
+            config: PlannerConfig::default(),
+            commits: Some(&log),
+        };
+        opt.optimize(&logical, &SimClock::new()).unwrap();
+        // Nothing committed at plan time; the log holds both stores.
+        let det_sig = UdfSignature::new("fasterrcnn_resnet50", "video", &["frame"]);
+        assert!(manager.aggregated(&det_sig).is_false());
+        assert_eq!(log.len(), 2);
+        // Applying the log performs the commits.
+        assert_eq!(log.apply(&manager), 2);
+        assert!(!manager.aggregated(&det_sig).is_false());
     }
 
     #[test]
@@ -974,6 +1014,7 @@ mod tests {
             manager: &manager,
             stats: &stats,
             config: PlannerConfig::default(),
+            commits: None,
         };
         opt.optimize(&logical, &clock).unwrap();
         assert!(clock.snapshot().get(CostCategory::Optimize) > 0.0);

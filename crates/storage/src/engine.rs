@@ -287,13 +287,18 @@ impl StorageEngine {
     /// on worker scheduling — which is why `morsels_dispatched` can stay a
     /// deterministic counter. Each morsel scans independently via
     /// [`StorageEngine::scan_frames_columnar_uncharged`].
+    ///
+    /// Checks the query's cancellation token before partitioning, so a
+    /// query cancelled before dispatch never fans out at all.
     pub fn scan_morsels(
         &self,
         dataset: &str,
         from: u64,
         to: u64,
         morsel_rows: u64,
+        governor: &eva_common::QueryGovernor,
     ) -> Result<Vec<(u64, u64)>> {
+        governor.check_token()?;
         debug_assert!(morsel_rows > 0, "morsel_rows must be positive");
         let ds = self.dataset(dataset)?;
         let to = to.min(ds.len());

@@ -16,6 +16,7 @@
 //! is a *pure deterministic function of (model, frame)* — independent of
 //! invocation order — which is what makes result reuse exact.
 
+pub mod breaker;
 pub mod manager;
 pub mod profiler;
 pub mod registry;
@@ -23,6 +24,7 @@ pub mod runtime;
 pub mod signature;
 pub mod zoo;
 
+pub use breaker::{UdfBreaker, BREAKER_BASE_COOLDOWN_MS, BREAKER_TRIP_THRESHOLD};
 pub use manager::{ReuseAnalysis, UdfManager, MANAGER_FILE};
 pub use profiler::InvocationStats;
 pub use registry::UdfRegistry;

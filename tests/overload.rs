@@ -1,0 +1,173 @@
+//! Admission-control overload suite (the CI `overload` job).
+//!
+//! Eight single-threaded sessions — one per OS thread, as the controller's
+//! design intends — share one cloned [`AdmissionController`] with 2 slots
+//! and a 2-deep FIFO queue. The main thread holds both slots while every
+//! worker arrives, which makes the outcome exact rather than
+//! timing-dependent: the first two arrivals queue, the remaining six are
+//! shed immediately. Shedding must be a structured
+//! `Cancelled { reason: Shed }` refusal — never a panic — and a shed
+//! session must stay fully usable.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use eva_common::{CancelReason, MetricsSink};
+use eva_core::{AdmissionConfig, AdmissionController, EvaDb};
+use eva_harness::test_session;
+use eva_planner::ReuseStrategy;
+
+const N_SESSIONS: usize = 8;
+const N_SLOTS: usize = 2;
+const N_WAITERS: usize = 2;
+
+const Q: &str = "SELECT id FROM video CROSS APPLY fasterrcnn_resnet50(frame) \
+                 WHERE id < 12 AND label = 'car'";
+
+/// A small per-thread session over its own dataset, failpoints disarmed
+/// (the CI job exports `EVA_FAILPOINTS=all`).
+fn worker_session(seed: u64) -> EvaDb {
+    let db = test_session(ReuseStrategy::Eva, 900 + seed, 16);
+    db.storage().failpoints().disarm_all();
+    db
+}
+
+#[test]
+fn overload_sheds_exactly_the_excess_and_completes_the_rest() {
+    let gate = AdmissionController::new(AdmissionConfig {
+        max_concurrent: N_SLOTS,
+        max_waiters: N_WAITERS,
+        queue_deadline_ms: Some(30_000),
+    });
+    // Fill every slot from the main thread so worker arrivals can only
+    // queue or shed, independent of scheduling order.
+    let sink = MetricsSink::new();
+    let held: Vec<_> = (0..N_SLOTS)
+        .map(|_| gate.admit(&sink).expect("free slot"))
+        .collect();
+
+    let barrier = Arc::new(Barrier::new(N_SESSIONS));
+    let completed = Arc::new(AtomicU64::new(0));
+    let shed = Arc::new(AtomicU64::new(0));
+    let handles: Vec<_> = (0..N_SESSIONS)
+        .map(|i| {
+            let gate = gate.clone();
+            let barrier = Arc::clone(&barrier);
+            let completed = Arc::clone(&completed);
+            let shed = Arc::clone(&shed);
+            std::thread::spawn(move || {
+                let mut db = worker_session(i as u64);
+                db.set_admission(Some(gate));
+                barrier.wait();
+                match db.execute_sql(Q) {
+                    Ok(r) => {
+                        r.rows().expect("admitted select returns rows");
+                        completed.fetch_add(1, Ordering::SeqCst);
+                        assert_eq!(db.metrics_snapshot().queries_admitted, 1);
+                    }
+                    Err(e) => {
+                        // The only acceptable overload failure is a
+                        // structured shed.
+                        assert_eq!(
+                            e.cancel_reason(),
+                            Some(CancelReason::Shed),
+                            "unexpected failure under overload: {e}"
+                        );
+                        assert!(e.to_string().contains("admission queue full"), "{e}");
+                        shed.fetch_add(1, Ordering::SeqCst);
+                        assert_eq!(db.metrics_snapshot().queries_shed, 1);
+                    }
+                }
+            })
+        })
+        .collect();
+
+    // With both slots held here, arrivals resolve deterministically: two
+    // queue (FIFO), six find the queue full and shed. Wait for that steady
+    // state before releasing the slots.
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        let s = gate.snapshot();
+        if s.waiting == N_WAITERS && s.shed == (N_SESSIONS - N_WAITERS) as u64 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "arrivals never reached steady state: {s:?}"
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    drop(held);
+    for h in handles {
+        h.join().expect("no session panics under overload");
+    }
+
+    assert_eq!(completed.load(Ordering::SeqCst), N_WAITERS as u64);
+    assert_eq!(shed.load(Ordering::SeqCst), (N_SESSIONS - N_WAITERS) as u64);
+    let s = gate.snapshot();
+    assert_eq!((s.active, s.waiting), (0, 0), "all lanes drained: {s:?}");
+    // Admitted = the two main-thread holds plus the two queued workers.
+    assert_eq!(s.admitted, (N_SLOTS + N_WAITERS) as u64, "{s:?}");
+    assert_eq!(s.shed, (N_SESSIONS - N_WAITERS) as u64, "{s:?}");
+}
+
+#[test]
+fn shed_session_stays_usable_and_answers_identically() {
+    let gate = AdmissionController::new(AdmissionConfig {
+        max_concurrent: 1,
+        max_waiters: 0,
+        queue_deadline_ms: None,
+    });
+    let mut db = worker_session(40);
+    db.set_admission(Some(gate.clone()));
+
+    let sink = MetricsSink::new();
+    let held = gate.admit(&sink).expect("free slot");
+    let err = db
+        .execute_sql(Q)
+        .expect_err("zero-waiter gate with a busy slot must shed");
+    assert_eq!(err.cancel_reason(), Some(CancelReason::Shed), "{err}");
+    assert_eq!(db.metrics_snapshot().queries_shed, 1);
+
+    // The refusal happened before planning: the session is untouched and
+    // answers exactly like a never-gated session.
+    drop(held);
+    let rows = db
+        .execute_sql(Q)
+        .expect("slot freed, query admits")
+        .rows()
+        .expect("rows")
+        .batch
+        .into_rows();
+    let expect = worker_session(40)
+        .execute_sql(Q)
+        .expect("ungated baseline")
+        .rows()
+        .expect("rows")
+        .batch
+        .into_rows();
+    assert_eq!(rows, expect);
+    assert!(!rows.is_empty(), "workload must produce rows");
+    assert_eq!(db.metrics_snapshot().queries_admitted, 1);
+}
+
+#[test]
+fn queue_deadline_sheds_through_the_session_path() {
+    let gate = AdmissionController::new(AdmissionConfig {
+        max_concurrent: 1,
+        max_waiters: 4,
+        queue_deadline_ms: Some(25),
+    });
+    let mut db = worker_session(41);
+    db.set_admission(Some(gate.clone()));
+
+    let sink = MetricsSink::new();
+    let _held = gate.admit(&sink).expect("free slot");
+    let err = db
+        .execute_sql(Q)
+        .expect_err("queued query must shed at the queue deadline");
+    assert_eq!(err.cancel_reason(), Some(CancelReason::Shed), "{err}");
+    assert!(err.to_string().contains("queue deadline"), "{err}");
+    assert_eq!(gate.snapshot().waiting, 0, "shed waiter left the queue");
+}

@@ -105,8 +105,8 @@ proptest! {
 
     #[test]
     fn snapshot_algebra_is_consistent(
-        a in prop::collection::vec(0u64..1_000_000, 24),
-        b in prop::collection::vec(0u64..1_000_000, 24),
+        a in prop::collection::vec(0u64..1_000_000, 30),
+        b in prop::collection::vec(0u64..1_000_000, 30),
     ) {
         use eva_common::MetricsSnapshot;
         let fill = |v: &[u64]| MetricsSnapshot {
@@ -136,6 +136,12 @@ proptest! {
             parallel_pipelines: v[22],
             n_workers: v[23],
             shard_lock_contention: v[12],
+            degraded_queries: v[24],
+            materialization_skipped: v[25],
+            udf_breaker_open: v[26],
+            udf_breaker_halfopen: v[27],
+            queries_admitted: v[28],
+            queries_shed: v[29],
         };
         let (x, y) = (fill(&a), fill(&b));
         // plus/since are inverses…
@@ -156,5 +162,8 @@ proptest! {
         prop_assert_eq!(det.udf_calls_requested, sum.udf_calls_requested);
         prop_assert_eq!(det.morsels_dispatched, sum.morsels_dispatched);
         prop_assert_eq!(det.parallel_pipelines, sum.parallel_pipelines);
+        // Governance outcomes are deterministic, so they survive the mask.
+        prop_assert_eq!(det.degraded_queries, sum.degraded_queries);
+        prop_assert_eq!(det.queries_shed, sum.queries_shed);
     }
 }
